@@ -1,0 +1,31 @@
+//! Ablation bench (A2): GIS souping time as a function of granularity,
+//! demonstrating the O(N·g·F_v) scaling of §III-E that motivates LS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soup_bench::harness::{model_config, train_pool, ExperimentPreset};
+use soup_core::{GisSouping, SoupStrategy};
+use soup_gnn::Arch;
+use soup_graph::DatasetKind;
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut preset = ExperimentPreset::quick();
+    preset.train_epochs = 8;
+    preset.ingredients = 3;
+    let dataset = DatasetKind::Flickr.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    let ingredients = train_pool(&dataset, &cfg, &preset, 42);
+
+    let mut group = c.benchmark_group("gis_granularity");
+    group.sample_size(10);
+    for &g in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |bench, &g| {
+            bench.iter(|| {
+                std::hint::black_box(GisSouping::new(g).soup(&ingredients, &dataset, &cfg, 1))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

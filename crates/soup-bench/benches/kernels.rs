@@ -1,0 +1,99 @@
+//! Microbenchmarks of the tensor and graph kernels every souping strategy
+//! is built on: dense GEMM, CSR SpMM, GAT aggregation and the
+//! soup-weighted parameter sum (Eq. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soup_graph::{CsrGraph, SbmConfig};
+use soup_tensor::tape::Tape;
+use soup_tensor::{SplitMix64, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = SplitMix64::new(1);
+        let a = Tensor::randn(n, n, 1.0, &mut rng);
+        let b = Tensor::randn(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn test_graph(nodes: usize) -> (CsrGraph, Tensor) {
+    let synth = SbmConfig {
+        nodes,
+        classes: 8,
+        avg_degree: 16.0,
+        feature_dim: 64,
+        ..Default::default()
+    }
+    .generate(3);
+    (synth.graph, synth.features)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_gcn_norm");
+    for &n in &[1000usize, 4000] {
+        let (graph, feats) = test_graph(n);
+        let adj = graph.gcn_norm();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(adj.matvec_dense(&feats)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gat_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gat_aggregate");
+    for &n in &[1000usize, 4000] {
+        let (graph, _) = test_graph(n);
+        let idx = graph.edge_index();
+        let mut rng = SplitMix64::new(4);
+        let heads = 4;
+        let dim = 16;
+        let x = Tensor::randn(n, heads * dim, 1.0, &mut rng);
+        let al = Tensor::randn(n, heads, 1.0, &mut rng);
+        let ar = Tensor::randn(n, heads, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let a = tape.constant(al.clone());
+                let b = tape.constant(ar.clone());
+                std::hint::black_box(tape.value(tape.gat_aggregate(&idx, xv, a, b, heads, 0.2)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_soup_weighted_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soup_weighted_sum");
+    for &n_ing in &[8usize, 50] {
+        let mut rng = SplitMix64::new(5);
+        let weights: Vec<Tensor> = (0..n_ing)
+            .map(|_| Tensor::randn(128, 64, 1.0, &mut rng))
+            .collect();
+        let raw = Tensor::randn(n_ing, 1, 0.2, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n_ing), &n_ing, |bench, _| {
+            bench.iter(|| {
+                let tape = Tape::new();
+                let a = tape.param(raw.clone());
+                let mixed = tape.soup_layer(&weights, a);
+                let loss = tape.sum(mixed);
+                std::hint::black_box(tape.backward(loss))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_gat_aggregate,
+    bench_soup_weighted_sum
+);
+criterion_main!(benches);

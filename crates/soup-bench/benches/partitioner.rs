@@ -1,0 +1,38 @@
+//! Benchmarks of the multilevel partitioner — PLS's preprocessing step
+//! (Fig. 2 step 1) — across graph sizes and part counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soup_graph::SbmConfig;
+use soup_partition::{partition_graph, PartitionConfig};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_kway");
+    group.sample_size(10);
+    for &(nodes, k) in &[(1000usize, 8usize), (4000, 16), (4000, 32)] {
+        let synth = SbmConfig {
+            nodes,
+            classes: 8,
+            avg_degree: 16.0,
+            ..Default::default()
+        }
+        .generate(7);
+        let w = vec![1.0f32; nodes];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{nodes}_k{k}")),
+            &k,
+            |bench, &k| {
+                bench.iter(|| {
+                    std::hint::black_box(partition_graph(
+                        &synth.graph,
+                        &w,
+                        &PartitionConfig::new(k).with_seed(1),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion counterpart of Table III / Fig. 4a: wall-clock of the four
+//! souping strategies on one prepared ingredient pool (flickr / GCN at
+//! bench scale). The ingredient pool is trained once outside the measured
+//! region; each iteration measures the souping phase alone — exactly what
+//! Table III reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soup_bench::harness::{model_config, train_pool, ExperimentPreset};
+use soup_core::{
+    GisSouping, LearnedHyper, LearnedSouping, PartitionLearnedSouping, SoupStrategy, UniformSouping,
+};
+use soup_gnn::Arch;
+use soup_graph::DatasetKind;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut preset = ExperimentPreset::quick();
+    preset.train_epochs = 10;
+    let dataset = DatasetKind::Flickr.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    let ingredients = train_pool(&dataset, &cfg, &preset, 42);
+
+    let hyper = LearnedHyper {
+        epochs: preset.learned_epochs,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("souping_flickr_gcn");
+    group.sample_size(10);
+
+    group.bench_function("US", |b| {
+        b.iter(|| std::hint::black_box(UniformSouping.soup(&ingredients, &dataset, &cfg, 1)))
+    });
+    group.bench_function("GIS", |b| {
+        b.iter(|| {
+            std::hint::black_box(GisSouping::new(preset.gis_granularity).soup(
+                &ingredients,
+                &dataset,
+                &cfg,
+                1,
+            ))
+        })
+    });
+    group.bench_function("LS", |b| {
+        b.iter(|| {
+            std::hint::black_box(LearnedSouping::new(hyper).soup(&ingredients, &dataset, &cfg, 1))
+        })
+    });
+    group.bench_function("PLS", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                PartitionLearnedSouping::new(hyper, preset.pls_k, preset.pls_r).soup(
+                    &ingredients,
+                    &dataset,
+                    &cfg,
+                    1,
+                ),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

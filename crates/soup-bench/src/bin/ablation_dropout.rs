@@ -1,0 +1,107 @@
+//! §V-A / §VIII ablation: ingredient drop-out for Learned Souping.
+//!
+//! The paper observes that on small datasets with high ingredient
+//! dispersion, "GIS often discarded all ingredients except for the one
+//! with the highest validation performance. Such a selective strategy is
+//! challenging for LS to replicate ... the softmax function is not able
+//! to assign a zero to the interpolation ratio" (§V-A), and proposes
+//! drop-out of poor ingredients as future work (§VIII).
+//!
+//! This experiment builds an intentionally mixed-quality pool (some
+//! under-trained ingredients) and compares plain LS against LS with the
+//! hard-pruning extension and against GIS.
+//!
+//! Usage: `cargo run --release -p soup-bench --bin ablation_dropout [preset]`
+
+use soup_bench::harness::{model_config, write_csv, ExperimentPreset};
+use soup_core::strategy::test_accuracy;
+use soup_core::{
+    GisSouping, Ingredient, LearnedHyper, LearnedSouping, SoupStrategy, UniformSouping,
+};
+use soup_gnn::model::init_params;
+use soup_gnn::{train_single, Arch, TrainConfig};
+use soup_graph::DatasetKind;
+use soup_tensor::SplitMix64;
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    let dataset = DatasetKind::Flickr.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    let mut rng = SplitMix64::new(42);
+    let init = init_params(&cfg, &mut rng);
+
+    // Mixed-quality pool: half well-trained, half barely trained.
+    let mut ingredients = Vec::new();
+    let n = preset.ingredients.max(6);
+    for i in 0..n {
+        let epochs = if i % 2 == 0 { preset.train_epochs } else { 2 };
+        let tc = TrainConfig {
+            epochs,
+            early_stop_patience: None,
+            ..TrainConfig::quick()
+        };
+        let tm = train_single(&dataset, &cfg, &tc, &init, 500 + i as u64);
+        ingredients.push(Ingredient::new(
+            i,
+            tm.params,
+            tm.val_accuracy,
+            500 + i as u64,
+        ));
+    }
+    let accs: Vec<f64> = ingredients.iter().map(|i| i.val_accuracy * 100.0).collect();
+    println!("ABLATION ingredient drop-out (flickr/GCN, mixed-quality pool)");
+    println!("ingredient val accs: {accs:.1?}");
+
+    let base = LearnedHyper {
+        epochs: preset.learned_epochs,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, Box<dyn SoupStrategy>)> = vec![
+        ("US", Box::new(UniformSouping)),
+        ("GIS", Box::new(GisSouping::new(preset.gis_granularity))),
+        ("LS", Box::new(LearnedSouping::new(base))),
+        (
+            // Threshold relative to the uniform ratio 1/N: anything that
+            // sank clearly below uniform by the halfway point is dropped.
+            "LS+prune",
+            Box::new(LearnedSouping::new(LearnedHyper {
+                prune_threshold: Some(0.9 / n as f32),
+                ..base
+            })),
+        ),
+        (
+            "LS+earlystop",
+            Box::new(LearnedSouping::new(LearnedHyper {
+                epochs: preset.learned_epochs * 4,
+                early_stop_patience: Some(5),
+                holdout_ratio: 0.3,
+                ..base
+            })),
+        ),
+    ];
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>8}",
+        "variant", "val acc", "test acc", "epochs"
+    );
+    let mut rows = Vec::new();
+    for (name, s) in variants {
+        let outcome = s.soup(&ingredients, &dataset, &cfg, 9);
+        let test = test_accuracy(&outcome, &dataset, &cfg);
+        println!(
+            "{name:<14} {:>9.2}% {:>9.2}% {:>8}",
+            outcome.val_accuracy * 100.0,
+            test * 100.0,
+            outcome.stats.epochs
+        );
+        rows.push(format!(
+            "{name},{:.4},{test:.4},{}",
+            outcome.val_accuracy, outcome.stats.epochs
+        ));
+    }
+    println!("\nExpected shape (§V-A): GIS's hard selection leads on mixed-quality pools —");
+    println!("the regime the paper identifies as LS's weakness (softmax cannot zero a ratio).");
+    println!("The §VIII extensions narrow the gap: early stopping matches GIS-level accuracy");
+    println!("in a fraction of the epochs, and pruning hard-drops the weak ingredients.");
+    let _ = write_csv("ablation_dropout", "variant,val_acc,test_acc,epochs", &rows)
+        .map(|p| println!("wrote {}", p.display()));
+}

@@ -1,0 +1,53 @@
+//! §II/III-E ablation: GIS granularity.
+//!
+//! GIS cost is O(N·g·F_v); this sweep shows time growing linearly in `g`
+//! while accuracy saturates — the inefficiency motivating Learned Souping.
+//!
+//! Usage: `cargo run -p soup-bench --release --bin ablation_granularity [preset]`
+
+use soup_bench::harness::{model_config, train_pool, write_csv, ExperimentPreset};
+use soup_core::strategy::test_accuracy;
+use soup_core::{GisSouping, SoupStrategy};
+use soup_gnn::Arch;
+use soup_graph::DatasetKind;
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    let dataset = DatasetKind::Flickr.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    let ingredients = train_pool(&dataset, &cfg, &preset, 42);
+    println!(
+        "ABLATION GIS granularity (flickr/GCN, preset '{}', {} ingredients)",
+        preset.name,
+        ingredients.len()
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10}",
+        "g", "forwards", "test acc", "time (s)"
+    );
+    let mut rows = Vec::new();
+    for g in [2, 4, 8, 16, 32, 64] {
+        let gis = GisSouping::new(g);
+        let outcome = gis.soup(&ingredients, &dataset, &cfg, 3);
+        let acc = test_accuracy(&outcome, &dataset, &cfg);
+        println!(
+            "{:>6} {:>12} {:>9.2}% {:>10.3}",
+            g,
+            outcome.stats.forward_passes,
+            acc * 100.0,
+            outcome.stats.wall_time.as_secs_f64()
+        );
+        rows.push(format!(
+            "{g},{},{:.4},{:.4}",
+            outcome.stats.forward_passes,
+            acc,
+            outcome.stats.wall_time.as_secs_f64()
+        ));
+    }
+    let _ = write_csv(
+        "ablation_granularity",
+        "granularity,forwards,test_acc,time_s",
+        &rows,
+    )
+    .map(|p| println!("\nwrote {}", p.display()));
+}

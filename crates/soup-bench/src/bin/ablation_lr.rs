@@ -1,0 +1,61 @@
+//! §VI-A ablation: LS base-learning-rate sensitivity.
+//!
+//! The paper observes that "relatively large base learning rates often
+//! yielded the best results" and that performance varies significantly
+//! when hyperparameters deviate. This sweep reproduces the shape.
+//!
+//! Usage: `cargo run -p soup-bench --release --bin ablation_lr [preset]`
+
+use soup_bench::harness::{model_config, write_csv, ExperimentPreset};
+use soup_core::strategy::test_accuracy;
+use soup_core::{Ingredient, LearnedHyper, LearnedSouping, SoupStrategy};
+use soup_gnn::model::init_params;
+use soup_gnn::{train_single, Arch, TrainConfig};
+use soup_graph::DatasetKind;
+use soup_tensor::SplitMix64;
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    let dataset = DatasetKind::OgbnArxiv.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    // Mixed-quality pool: LR sensitivity only shows when the α's have real
+    // work to do (separating strong from weak ingredients).
+    let mut rng = SplitMix64::new(42);
+    let init = init_params(&cfg, &mut rng);
+    let ingredients: Vec<Ingredient> = (0..preset.ingredients.max(6))
+        .map(|i| {
+            let epochs = if i % 3 == 0 { 3 } else { preset.train_epochs };
+            let tc = TrainConfig {
+                epochs,
+                early_stop_patience: None,
+                ..TrainConfig::quick()
+            };
+            let tm = train_single(&dataset, &cfg, &tc, &init, 600 + i as u64);
+            Ingredient::new(i, tm.params, tm.val_accuracy, 600 + i as u64)
+        })
+        .collect();
+    println!(
+        "ABLATION LS base LR (ogbn-arxiv/GCN, mixed-quality pool, preset '{}', {} ingredients)",
+        preset.name,
+        ingredients.len()
+    );
+    println!("{:>8} {:>10} {:>10}", "base_lr", "test acc", "val acc");
+    let mut rows = Vec::new();
+    for lr in [0.01f32, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0] {
+        let hyper = LearnedHyper {
+            epochs: preset.learned_epochs,
+            base_lr: lr,
+            ..Default::default()
+        };
+        let outcome = LearnedSouping::new(hyper).soup(&ingredients, &dataset, &cfg, 11);
+        let acc = test_accuracy(&outcome, &dataset, &cfg);
+        println!(
+            "{lr:>8} {:>9.2}% {:>9.2}%",
+            acc * 100.0,
+            outcome.val_accuracy * 100.0
+        );
+        rows.push(format!("{lr},{acc:.4},{:.4}", outcome.val_accuracy));
+    }
+    let _ = write_csv("ablation_lr", "base_lr,test_acc,val_acc", &rows)
+        .map(|p| println!("\nwrote {}", p.display()));
+}

@@ -1,0 +1,97 @@
+//! §III-C ablation: does PLS need a METIS-quality partitioner?
+//!
+//! Compares PLS under four partition pools — the paper's validation-
+//! balanced multilevel partitioner, plain multilevel, BFS blocks, and
+//! structure-blind random assignment — on edge cut, validation balance,
+//! accuracy and souping time. Random partitions maximise the cut, so each
+//! epoch's partition union carries the *least* graph structure for the
+//! same R/K.
+//!
+//! Usage: `cargo run --release -p soup-bench --bin ablation_partitioner [preset]`
+
+use soup_bench::harness::{model_config, train_pool, write_csv, ExperimentPreset};
+use soup_core::strategy::test_accuracy;
+use soup_core::{LearnedHyper, PartitionLearnedSouping, PartitionerKind, SoupStrategy};
+use soup_gnn::Arch;
+use soup_graph::DatasetKind;
+use soup_partition::quality::subset_counts;
+use soup_partition::{
+    bfs_partition, edge_cut, partition_val_balanced, random_partition, PartitionConfig,
+};
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    let dataset = DatasetKind::Reddit.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    let ingredients = train_pool(&dataset, &cfg, &preset, 42);
+    let (k, r) = (preset.pls_k, preset.pls_r);
+    println!(
+        "ABLATION partitioner quality (PLS on reddit/GCN, K={k}, R={r}, preset '{}')",
+        preset.name
+    );
+
+    // Static partition quality first.
+    let pcfg = PartitionConfig::new(k).with_seed(42);
+    let pools = [
+        (
+            "ml+valbal",
+            partition_val_balanced(&dataset.graph, &dataset.splits, &pcfg),
+        ),
+        ("bfs", bfs_partition(&dataset.graph, k, 42)),
+        ("random", random_partition(dataset.num_nodes(), k, 42)),
+    ];
+    println!("\nstatic quality:");
+    println!(
+        "{:<12} {:>10} {:>22}",
+        "partitioner", "edge cut", "val spread (min..max)"
+    );
+    for (name, p) in &pools {
+        let cut = edge_cut(&dataset.graph, &p.assignment);
+        let counts = subset_counts(&p.assignment, &dataset.splits.val, k);
+        println!(
+            "{name:<12} {cut:>10} {:>12}..{}",
+            counts.iter().min().unwrap(),
+            counts.iter().max().unwrap()
+        );
+    }
+
+    // PLS outcome per partitioner.
+    let hyper = LearnedHyper {
+        epochs: preset.learned_epochs,
+        ..Default::default()
+    };
+    println!("\nPLS outcome:");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "partitioner", "val acc", "test acc", "time (s)"
+    );
+    let mut rows = Vec::new();
+    for kind in [
+        PartitionerKind::MultilevelValBalanced,
+        PartitionerKind::Multilevel,
+        PartitionerKind::Bfs,
+        PartitionerKind::Random,
+    ] {
+        let pls = PartitionLearnedSouping::new(hyper, k, r).with_partitioner(kind);
+        let outcome = pls.soup(&ingredients, &dataset, &cfg, 5);
+        let acc = test_accuracy(&outcome, &dataset, &cfg);
+        println!(
+            "{:<22} {:>9.2}% {:>9.2}% {:>10.3}",
+            format!("{kind:?}"),
+            outcome.val_accuracy * 100.0,
+            acc * 100.0,
+            outcome.stats.wall_time.as_secs_f64()
+        );
+        rows.push(format!(
+            "{kind:?},{:.4},{acc:.4},{:.4}",
+            outcome.val_accuracy,
+            outcome.stats.wall_time.as_secs_f64()
+        ));
+    }
+    let _ = write_csv(
+        "ablation_partitioner",
+        "partitioner,val_acc,test_acc,time_s",
+        &rows,
+    )
+    .map(|p| println!("\nwrote {}", p.display()));
+}

@@ -1,0 +1,79 @@
+//! §VI-B ablation: the PLS partition ratio R/K.
+//!
+//! Sweeps (R, K) combinations on one dataset, reporting accuracy, souping
+//! memory, time and the number of possible subgraphs binom(K, R). Expected
+//! shapes: memory tracks R/K; R=1 loses the cut edges and costs accuracy;
+//! large binom(K,R) keeps epoch subgraphs diverse.
+//!
+//! Usage: `cargo run -p soup-bench --release --bin ablation_rk [quick|standard|full]`
+
+use soup_bench::harness::{model_config, train_pool, write_csv, ExperimentPreset};
+use soup_core::strategy::test_accuracy;
+use soup_core::{LearnedHyper, PartitionLearnedSouping, SoupStrategy};
+use soup_gnn::Arch;
+use soup_graph::DatasetKind;
+use soup_tensor::memory::format_bytes;
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    let dataset = DatasetKind::Reddit.generate_scaled(42, preset.dataset_scale);
+    let cfg = model_config(Arch::Gcn, &dataset);
+    let ingredients = train_pool(&dataset, &cfg, &preset, 42);
+    println!(
+        "ABLATION R/K (PLS on reddit/GCN, preset '{}', {} ingredients)",
+        preset.name,
+        ingredients.len()
+    );
+    println!(
+        "{:>4} {:>4} {:>7} {:>14} {:>10} {:>10} {:>12}",
+        "R", "K", "R/K", "binom(K,R)", "test acc", "time (s)", "peak mem"
+    );
+    let sweeps: &[(usize, usize)] = &[
+        (1, 8),
+        (2, 8),
+        (4, 8),
+        (1, 16),
+        (4, 16),
+        (8, 16),
+        (16, 16),
+        (2, 32),
+        (8, 32),
+    ];
+    let hyper = LearnedHyper {
+        epochs: preset.learned_epochs,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for &(r, k) in sweeps {
+        if dataset.num_nodes() < k {
+            continue;
+        }
+        let pls = PartitionLearnedSouping::new(hyper, k, r);
+        let outcome = pls.soup(&ingredients, &dataset, &cfg, 7);
+        let acc = test_accuracy(&outcome, &dataset, &cfg);
+        println!(
+            "{:>4} {:>4} {:>7.3} {:>14.0} {:>9.2}% {:>10.3} {:>12}",
+            r,
+            k,
+            pls.partition_ratio(),
+            pls.num_possible_subgraphs(),
+            acc * 100.0,
+            outcome.stats.wall_time.as_secs_f64(),
+            format_bytes(outcome.stats.peak_mem_bytes),
+        );
+        rows.push(format!(
+            "{r},{k},{:.4},{:.0},{:.4},{:.4},{}",
+            pls.partition_ratio(),
+            pls.num_possible_subgraphs(),
+            acc,
+            outcome.stats.wall_time.as_secs_f64(),
+            outcome.stats.peak_mem_bytes
+        ));
+    }
+    let _ = write_csv(
+        "ablation_rk",
+        "r,k,ratio,combinations,test_acc,time_s,peak_mem_bytes",
+        &rows,
+    )
+    .map(|p| println!("\nwrote {}", p.display()));
+}

@@ -1,0 +1,110 @@
+//! Fig. 3 counterpart: per-dataset comparison of souping strategies against
+//! the spread of their ingredients' test accuracy, printed as ASCII series
+//! (one block per dataset, GCN architecture as the representative).
+//!
+//! Usage: `cargo run -p soup-bench --release --bin fig3 [quick|standard|full]`
+
+use soup_bench::harness::{
+    model_config, run_cell, train_pool, write_csv, CellConfig, ExperimentPreset,
+};
+use soup_core::strategy::test_accuracy;
+use soup_core::{GreedySouping, SoupStrategy};
+use soup_gnn::Arch;
+use soup_graph::DatasetKind;
+
+fn bar(v: f64, lo: f64, hi: f64, width: usize) -> String {
+    let frac = ((v - lo) / (hi - lo).max(1e-9)).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    println!(
+        "FIG 3: Souping strategies vs ingredient spread, test accuracy (preset '{}')",
+        preset.name
+    );
+    let mut rows = Vec::new();
+    for dataset in DatasetKind::ALL {
+        for arch in Arch::ALL {
+            let cell = CellConfig {
+                arch,
+                dataset,
+                seed: 42,
+            };
+            let r = run_cell(&cell, &preset);
+            // Greedy Souping (Alg. 1) as an extra series, souped on a
+            // freshly trained pool with matching settings.
+            let greedy_acc = {
+                let d = dataset.generate_scaled(42, preset.dataset_scale);
+                let cfg = model_config(arch, &d);
+                let ingredients = train_pool(&d, &cfg, &preset, 42);
+                let outcome = GreedySouping.soup(&ingredients, &d, &cfg, 1);
+                test_accuracy(&outcome, &d, &cfg)
+            };
+            let ing_min = r
+                .ingredient_tests
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let ing_max = r.ingredient_tests.iter().cloned().fold(0.0f64, f64::max);
+            let mut lo = ing_min.min(greedy_acc);
+            let mut hi = ing_max.max(greedy_acc);
+            for s in &r.strategies {
+                lo = lo.min(s.test_acc_mean);
+                hi = hi.max(s.test_acc_mean);
+            }
+            let pad = 0.15 * (hi - lo).max(1e-3);
+            let (lo, hi) = (lo - pad, hi + pad);
+            println!("\n== {} / {} ==", dataset.name(), arch.name());
+            println!(
+                "  ingredients  [{:.2}%..{:.2}%] mean {:.2}%",
+                ing_min * 100.0,
+                ing_max * 100.0,
+                r.ingredient_test_mean * 100.0
+            );
+            println!(
+                "  {:<12} {} {:.2}%",
+                "ing-mean",
+                bar(r.ingredient_test_mean, lo, hi, 40),
+                r.ingredient_test_mean * 100.0
+            );
+            for s in &r.strategies {
+                println!(
+                    "  {:<12} {} {:.2}%",
+                    s.strategy.name(),
+                    bar(s.test_acc_mean, lo, hi, 40),
+                    s.test_acc_mean * 100.0
+                );
+                rows.push(format!(
+                    "{},{},{},{:.4}",
+                    dataset.name(),
+                    arch.name(),
+                    s.strategy.name(),
+                    s.test_acc_mean
+                ));
+            }
+            println!(
+                "  {:<12} {} {:.2}%",
+                "Greedy",
+                bar(greedy_acc, lo, hi, 40),
+                greedy_acc * 100.0
+            );
+            rows.push(format!(
+                "{},{},Greedy,{greedy_acc:.4}",
+                dataset.name(),
+                arch.name()
+            ));
+            rows.push(format!(
+                "{},{},ingredients,{:.4}",
+                dataset.name(),
+                arch.name(),
+                r.ingredient_test_mean
+            ));
+        }
+    }
+    match write_csv("fig3", "dataset,model,series,test_acc", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 4 counterpart: (a) relative speedup over GIS and (b) relative
+//! memory usage vs GIS, per architecture × dataset. US is excluded from the
+//! memory panel, exactly as in the paper (§V-C: uniform souping needs no
+//! forward passes, so its memory is not comparable).
+//!
+//! Usage: `cargo run -p soup-bench --release --bin fig4 [quick|standard|full]`
+
+use soup_bench::harness::{full_grid, run_cell, write_csv, ExperimentPreset};
+use soup_tensor::memory::format_bytes;
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    println!(
+        "FIG 4a: Relative speedup over GIS (higher is better, preset '{}')",
+        preset.name
+    );
+    println!(
+        "{:<10} {:<14} {:>9} {:>9} {:>9}",
+        "Model", "Dataset", "US", "LS", "PLS"
+    );
+    let mut results = Vec::new();
+    for cell in full_grid(42) {
+        results.push(run_cell(&cell, &preset));
+    }
+    let mut rows_a = Vec::new();
+    for r in &results {
+        let by = |n: &str| {
+            r.strategies
+                .iter()
+                .find(|s| s.strategy.name() == n)
+                .unwrap()
+        };
+        let gis_t = by("GIS").time_mean_s.max(1e-9);
+        let speed = |n: &str| gis_t / by(n).time_mean_s.max(1e-9);
+        println!(
+            "{:<10} {:<14} {:>8.2}x {:>8.2}x {:>8.2}x",
+            r.arch.name(),
+            r.dataset.name(),
+            speed("US"),
+            speed("LS"),
+            speed("PLS"),
+        );
+        rows_a.push(format!(
+            "{},{},{:.3},{:.3},{:.3}",
+            r.arch.name(),
+            r.dataset.name(),
+            speed("US"),
+            speed("LS"),
+            speed("PLS")
+        ));
+    }
+
+    println!("\nFIG 4b: Peak souping memory relative to GIS (lower is better; US excluded)");
+    println!(
+        "{:<10} {:<14} {:>10} {:>10} {:>14} {:>14}",
+        "Model", "Dataset", "LS/GIS", "PLS/GIS", "LS abs", "PLS abs"
+    );
+    let mut rows_b = Vec::new();
+    for r in &results {
+        let by = |n: &str| {
+            r.strategies
+                .iter()
+                .find(|s| s.strategy.name() == n)
+                .unwrap()
+        };
+        let gis_m = by("GIS").peak_mem_mean.max(1.0);
+        println!(
+            "{:<10} {:<14} {:>10.2} {:>10.2} {:>14} {:>14}",
+            r.arch.name(),
+            r.dataset.name(),
+            by("LS").peak_mem_mean / gis_m,
+            by("PLS").peak_mem_mean / gis_m,
+            format_bytes(by("LS").peak_mem_mean as usize),
+            format_bytes(by("PLS").peak_mem_mean as usize),
+        );
+        rows_b.push(format!(
+            "{},{},{:.4},{:.4},{:.0},{:.0},{:.0}",
+            r.arch.name(),
+            r.dataset.name(),
+            by("LS").peak_mem_mean / gis_m,
+            by("PLS").peak_mem_mean / gis_m,
+            by("GIS").peak_mem_mean,
+            by("LS").peak_mem_mean,
+            by("PLS").peak_mem_mean
+        ));
+    }
+    let _ = write_csv(
+        "fig4a",
+        "model,dataset,us_speedup,ls_speedup,pls_speedup",
+        &rows_a,
+    )
+    .map(|p| println!("\nwrote {}", p.display()));
+    let _ = write_csv(
+        "fig4b",
+        "model,dataset,ls_rel_mem,pls_rel_mem,gis_bytes,ls_bytes,pls_bytes",
+        &rows_b,
+    )
+    .map(|p| println!("wrote {}", p.display()));
+}

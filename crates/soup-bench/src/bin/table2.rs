@@ -1,0 +1,62 @@
+//! Table II counterpart: test accuracy of Ingredients / US / GIS / LS / PLS
+//! across {GCN, GAT, GraphSAGE} × {flickr, ogbn-arxiv, reddit,
+//! ogbn-products}.
+//!
+//! Usage: `cargo run -p soup-bench --release --bin table2 [quick|standard|full]`
+
+use soup_bench::harness::{format_pm, full_grid, run_cell, write_csv, ExperimentPreset};
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    println!(
+        "TABLE II: Test accuracy (%) across datasets and souping strategies (preset '{}')",
+        preset.name
+    );
+    println!(
+        "{:<10} {:<14} {:>15} {:>15} {:>15} {:>15} {:>15}",
+        "Model", "Dataset", "Ingredients", "US", "GIS", "LS (ours)", "PLS (ours)"
+    );
+    let mut rows = Vec::new();
+    for cell in full_grid(42) {
+        let r = run_cell(&cell, &preset);
+        let by_name = |n: &str| {
+            r.strategies
+                .iter()
+                .find(|s| s.strategy.name() == n)
+                .unwrap()
+        };
+        println!(
+            "{:<10} {:<14} {:>15} {:>15} {:>15} {:>15} {:>15}",
+            r.arch.name(),
+            r.dataset.name(),
+            format_pm(r.ingredient_test_mean, r.ingredient_test_std),
+            format_pm(by_name("US").test_acc_mean, by_name("US").test_acc_std),
+            format_pm(by_name("GIS").test_acc_mean, by_name("GIS").test_acc_std),
+            format_pm(by_name("LS").test_acc_mean, by_name("LS").test_acc_std),
+            format_pm(by_name("PLS").test_acc_mean, by_name("PLS").test_acc_std),
+        );
+        rows.push(format!(
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.arch.name(),
+            r.dataset.name(),
+            r.ingredient_test_mean,
+            r.ingredient_test_std,
+            by_name("US").test_acc_mean,
+            by_name("US").test_acc_std,
+            by_name("GIS").test_acc_mean,
+            by_name("GIS").test_acc_std,
+            by_name("LS").test_acc_mean,
+            by_name("LS").test_acc_std,
+            by_name("PLS").test_acc_mean,
+            by_name("PLS").test_acc_std,
+        ));
+    }
+    match write_csv(
+        "table2",
+        "model,dataset,ing_mean,ing_std,us_mean,us_std,gis_mean,gis_std,ls_mean,ls_std,pls_mean,pls_std",
+        &rows,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,57 @@
+//! Table III counterpart: souping wall-clock time (seconds) of US / GIS /
+//! LS / PLS across the full grid.
+//!
+//! Usage: `cargo run -p soup-bench --release --bin table3 [quick|standard|full]`
+
+use soup_bench::harness::{full_grid, run_cell, write_csv, ExperimentPreset};
+
+fn main() {
+    let preset = ExperimentPreset::from_args();
+    println!(
+        "TABLE III: Souping time in seconds, lower is better (preset '{}')",
+        preset.name
+    );
+    println!(
+        "{:<10} {:<14} {:>14} {:>14} {:>14} {:>14}",
+        "Model", "Dataset", "US", "GIS", "LS (ours)", "PLS (ours)"
+    );
+    let mut rows = Vec::new();
+    for cell in full_grid(42) {
+        let r = run_cell(&cell, &preset);
+        let by_name = |n: &str| {
+            r.strategies
+                .iter()
+                .find(|s| s.strategy.name() == n)
+                .unwrap()
+        };
+        let fmt = |n: &str| {
+            format!(
+                "{:.3} ± {:.3}",
+                by_name(n).time_mean_s,
+                by_name(n).time_std_s
+            )
+        };
+        println!(
+            "{:<10} {:<14} {:>14} {:>14} {:>14} {:>14}",
+            r.arch.name(),
+            r.dataset.name(),
+            fmt("US"),
+            fmt("GIS"),
+            fmt("LS"),
+            fmt("PLS"),
+        );
+        rows.push(format!(
+            "{},{},{:.5},{:.5},{:.5},{:.5}",
+            r.arch.name(),
+            r.dataset.name(),
+            by_name("US").time_mean_s,
+            by_name("GIS").time_mean_s,
+            by_name("LS").time_mean_s,
+            by_name("PLS").time_mean_s,
+        ));
+    }
+    match write_csv("table3", "model,dataset,us_s,gis_s,ls_s,pls_s", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

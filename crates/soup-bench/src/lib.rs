@@ -1,0 +1,18 @@
+//! # soup-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! *Enhanced Soups for Graph Neural Networks*. Each `src/bin/*` binary
+//! prints one artefact (Table I–III, Fig. 3–4, plus the §VI ablations);
+//! the `benches/` directory carries Criterion microbenchmarks of the
+//! underlying kernels and strategies.
+//!
+//! All binaries take an optional preset argument (`quick` | `standard` |
+//! `full`) controlling dataset scale, ingredient counts and soup
+//! repetitions; `quick` finishes in seconds per cell, `full` approaches
+//! the paper's settings (50 ingredients, 4 soups).
+
+pub mod harness;
+
+pub use harness::{
+    format_pm, run_cell, CellConfig, CellResult, ExperimentPreset, StrategyKind, StrategyResult,
+};

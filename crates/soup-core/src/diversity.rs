@@ -1,0 +1,216 @@
+//! Ingredient-diversity diagnostics.
+//!
+//! §VIII (future work): *"There is also a possibility that the notion of
+//! diversity which is known so well in the field of model ensembles could
+//! be useful for the preparation of soups."* This module provides the two
+//! standard diversity views for a trained ingredient pool:
+//!
+//! - **weight-space diversity**: pairwise L2 distances between parameter
+//!   sets (the loss-landscape spread souping interpolates over);
+//! - **functional diversity**: pairwise prediction disagreement on a node
+//!   subset (the ensemble-style notion).
+//!
+//! The paper's §V-A observation — GAT/Reddit ingredients were
+//! "uncharacteristically similar" (std 0.06%), making the *uninformed* US
+//! strategy win — is exactly the regime these diagnostics detect.
+
+use crate::ingredient::{validate_ingredients, Ingredient};
+use soup_gnn::model::PropOps;
+use soup_gnn::{predict, ModelConfig};
+use soup_graph::Dataset;
+
+/// Symmetric matrix of pairwise L2 distances between ingredient weights.
+#[allow(clippy::needless_range_loop)] // symmetric-matrix fill reads clearest indexed
+pub fn pairwise_param_distance(ingredients: &[Ingredient]) -> Vec<Vec<f32>> {
+    validate_ingredients(ingredients);
+    let n = ingredients.len();
+    let mut d = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = ingredients[i].params.l2_distance(&ingredients[j].params);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+/// Mean off-diagonal value of a symmetric matrix.
+#[allow(clippy::needless_range_loop)] // symmetric-matrix walk reads clearest indexed
+pub fn mean_offdiagonal(matrix: &[Vec<f32>]) -> f64 {
+    let n = matrix.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += matrix[i][j] as f64;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+/// Pairwise prediction-disagreement matrix over the nodes in `mask`:
+/// entry `(i, j)` is the fraction of masked nodes where ingredients `i`
+/// and `j` predict different classes.
+#[allow(clippy::needless_range_loop)] // symmetric-matrix fill reads clearest indexed
+pub fn prediction_disagreement(
+    ingredients: &[Ingredient],
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    mask: &[usize],
+) -> Vec<Vec<f64>> {
+    validate_ingredients(ingredients);
+    assert!(!mask.is_empty(), "disagreement over empty mask");
+    let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+    let preds: Vec<Vec<usize>> = ingredients
+        .iter()
+        .map(|ing| predict(cfg, &ops, &ing.params, &dataset.features))
+        .collect();
+    let n = ingredients.len();
+    let mut d = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let diff = mask.iter().filter(|&&v| preds[i][v] != preds[j][v]).count();
+            let frac = diff as f64 / mask.len() as f64;
+            d[i][j] = frac;
+            d[j][i] = frac;
+        }
+    }
+    d
+}
+
+/// Summary statistics of an ingredient pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversityReport {
+    /// Mean pairwise L2 weight distance.
+    pub mean_weight_distance: f64,
+    /// Mean pairwise prediction disagreement on the validation split.
+    pub mean_disagreement: f64,
+    /// Standard deviation of ingredient validation accuracies — the §V-A
+    /// statistic (0.06% for the GAT/Reddit pool where US won).
+    pub val_acc_std: f64,
+}
+
+/// Compute a full diversity report for a pool.
+pub fn diversity_report(
+    ingredients: &[Ingredient],
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+) -> DiversityReport {
+    let weight = pairwise_param_distance(ingredients);
+    let disagreement = prediction_disagreement(ingredients, dataset, cfg, &dataset.splits.val);
+    let accs: Vec<f64> = ingredients.iter().map(|i| i.val_accuracy).collect();
+    let (_, std) = soup_graph::metrics::mean_std(&accs);
+    DiversityReport {
+        mean_weight_distance: mean_offdiagonal(&weight),
+        mean_disagreement: mean_offdiagonal(
+            &disagreement
+                .iter()
+                .map(|r| r.iter().map(|&x| x as f32).collect())
+                .collect::<Vec<_>>(),
+        ),
+        val_acc_std: std,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_gnn::model::init_params;
+    use soup_gnn::{train_single, TrainConfig};
+    use soup_graph::DatasetKind;
+    use soup_tensor::SplitMix64;
+
+    fn pool(n: usize, epochs_each: &[usize]) -> (Dataset, ModelConfig, Vec<Ingredient>) {
+        let d = DatasetKind::Flickr.generate_scaled(31, 0.15);
+        let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(12);
+        let mut rng = SplitMix64::new(31);
+        let init = init_params(&cfg, &mut rng);
+        let ingredients = (0..n)
+            .map(|i| {
+                let tc = TrainConfig {
+                    epochs: epochs_each[i % epochs_each.len()],
+                    ..TrainConfig::quick()
+                };
+                let tm = train_single(&d, &cfg, &tc, &init, 300 + i as u64);
+                Ingredient::new(i, tm.params, tm.val_accuracy, 300 + i as u64)
+            })
+            .collect();
+        (d, cfg, ingredients)
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let (_, _, ingredients) = pool(3, &[10]);
+        let d = pairwise_param_distance(&ingredients);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..3 {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+        }
+        assert!(d[0][1] > 0.0);
+    }
+
+    #[test]
+    fn identical_ingredients_have_zero_diversity() {
+        let (d, cfg, ingredients) = pool(1, &[8]);
+        let clones: Vec<Ingredient> = (0..3)
+            .map(|i| Ingredient::new(i, ingredients[0].params.clone(), 0.5, 0))
+            .collect();
+        let report = diversity_report(&clones, &d, &cfg);
+        assert_eq!(report.mean_weight_distance, 0.0);
+        assert_eq!(report.mean_disagreement, 0.0);
+        assert_eq!(report.val_acc_std, 0.0);
+    }
+
+    #[test]
+    fn disagreement_in_unit_range_and_consistent() {
+        let (d, cfg, ingredients) = pool(3, &[5, 15]);
+        let m = prediction_disagreement(&ingredients, &d, &cfg, &d.splits.val);
+        for row in &m {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_training_lengths_increase_diversity() {
+        // Pools trained for very different lengths should be more diverse
+        // than pools trained identically (up to seed noise).
+        let (d, cfg, uniform) = pool(4, &[12]);
+        let (_, _, mixed) = pool(4, &[2, 25]);
+        let ru = diversity_report(&uniform, &d, &cfg);
+        let rm = diversity_report(&mixed, &d, &cfg);
+        assert!(
+            rm.mean_weight_distance > ru.mean_weight_distance,
+            "mixed {} <= uniform {}",
+            rm.mean_weight_distance,
+            ru.mean_weight_distance
+        );
+    }
+
+    #[test]
+    fn mean_offdiagonal_basics() {
+        let m = vec![
+            vec![0.0, 2.0, 4.0],
+            vec![2.0, 0.0, 6.0],
+            vec![4.0, 6.0, 0.0],
+        ];
+        assert!((mean_offdiagonal(&m) - 4.0).abs() < 1e-9);
+        assert_eq!(mean_offdiagonal(&[vec![0.0]]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mask")]
+    fn empty_mask_panics() {
+        let (d, cfg, ingredients) = pool(2, &[5]);
+        prediction_disagreement(&ingredients, &d, &cfg, &[]);
+    }
+}

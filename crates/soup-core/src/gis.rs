@@ -1,0 +1,193 @@
+//! Greedy Interpolated Souping (GIS) — Algorithm 2, from Graph Ladling
+//! (Jaiswal et al. 2023). The state-of-the-art baseline the paper compares
+//! against.
+//!
+//! GIS sorts ingredients by validation accuracy, seeds the soup with the
+//! best one, and for each further ingredient performs an **exhaustive
+//! linear search** over `granularity` interpolation ratios, keeping the
+//! ratio that maximises validation accuracy. Every ratio costs one
+//! full-graph forward pass, so the total cost is `O(N · g · F_v)` (§III-E)
+//! — the inefficiency LS is designed to remove.
+
+use crate::ingredient::{sort_by_val_acc, validate_ingredients, Ingredient};
+use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use soup_gnn::model::PropOps;
+use soup_gnn::{evaluate_accuracy, ModelConfig};
+use soup_graph::Dataset;
+
+/// GIS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GisSouping {
+    /// Number of interpolation ratios searched per ingredient
+    /// (`linspace(0, 1, granularity)`, endpoints included).
+    pub granularity: usize,
+}
+
+impl Default for GisSouping {
+    fn default() -> Self {
+        Self { granularity: 20 }
+    }
+}
+
+impl GisSouping {
+    pub fn new(granularity: usize) -> Self {
+        assert!(
+            granularity >= 2,
+            "granularity must be >= 2 to include both endpoints"
+        );
+        Self { granularity }
+    }
+
+    /// The searched interpolation ratios.
+    pub fn ratios(&self) -> Vec<f32> {
+        (0..self.granularity)
+            .map(|i| i as f32 / (self.granularity - 1) as f32)
+            .collect()
+    }
+}
+
+impl SoupStrategy for GisSouping {
+    fn name(&self) -> &'static str {
+        "GIS"
+    }
+
+    fn soup(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        _seed: u64,
+    ) -> SoupOutcome {
+        validate_ingredients(ingredients);
+        assert!(self.granularity >= 2, "granularity must be >= 2");
+        measure_soup(dataset, cfg, || {
+            let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+            let order = sort_by_val_acc(ingredients);
+            let mut soup = ingredients[order[0]].params.clone();
+            let mut forwards = 1usize;
+            let mut soup_acc = evaluate_accuracy(
+                cfg,
+                &ops,
+                &soup,
+                &dataset.features,
+                &dataset.labels,
+                &dataset.splits.val,
+            );
+            let ratios = self.ratios();
+            for &idx in &order[1..] {
+                let ingredient = &ingredients[idx].params;
+                // Exhaustive linear search over interpolation ratios
+                // (alpha = 0 leaves the soup unchanged, so accuracy can
+                // never regress).
+                let mut best: (f32, f64) = (0.0, soup_acc);
+                for &alpha in &ratios[1..] {
+                    let candidate = soup.interpolate(ingredient, alpha);
+                    forwards += 1;
+                    let acc = evaluate_accuracy(
+                        cfg,
+                        &ops,
+                        &candidate,
+                        &dataset.features,
+                        &dataset.labels,
+                        &dataset.splits.val,
+                    );
+                    if acc >= best.1 {
+                        best = (alpha, acc);
+                    }
+                }
+                if best.0 > 0.0 {
+                    soup = soup.interpolate(ingredient, best.0);
+                    soup_acc = best.1;
+                }
+            }
+            (soup, forwards, 0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_gnn::model::init_params;
+    use soup_gnn::{train_single, TrainConfig};
+    use soup_graph::DatasetKind;
+    use soup_tensor::SplitMix64;
+
+    fn trained_ingredients(n: usize) -> (Dataset, ModelConfig, Vec<Ingredient>) {
+        let d = DatasetKind::Flickr.generate_scaled(6, 0.15);
+        let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(12);
+        let mut rng = SplitMix64::new(4);
+        let init = init_params(&cfg, &mut rng);
+        let tc = TrainConfig {
+            epochs: 15,
+            ..TrainConfig::quick()
+        };
+        let ingredients = (0..n)
+            .map(|i| {
+                let tm = train_single(&d, &cfg, &tc, &init, 70 + i as u64);
+                Ingredient::new(i, tm.params, tm.val_accuracy, 70 + i as u64)
+            })
+            .collect();
+        (d, cfg, ingredients)
+    }
+
+    #[test]
+    fn ratios_are_linspace() {
+        let g = GisSouping::new(5);
+        let r = g.ratios();
+        assert_eq!(r, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn granularity_one_panics() {
+        GisSouping::new(1);
+    }
+
+    #[test]
+    fn never_worse_than_best_ingredient_on_val() {
+        let (d, cfg, ingredients) = trained_ingredients(4);
+        let outcome = GisSouping::new(6).soup(&ingredients, &d, &cfg, 0);
+        let best = ingredients
+            .iter()
+            .map(|i| i.val_accuracy)
+            .fold(0.0, f64::max);
+        assert!(
+            outcome.val_accuracy >= best - 1e-9,
+            "GIS soup {} < best ingredient {best}",
+            outcome.val_accuracy
+        );
+    }
+
+    #[test]
+    fn forward_count_matches_complexity_model() {
+        // 1 (seed eval) + (N-1) * (g-1) searches.
+        let (d, cfg, ingredients) = trained_ingredients(3);
+        let g = 5;
+        let outcome = GisSouping::new(g).soup(&ingredients, &d, &cfg, 0);
+        assert_eq!(outcome.stats.forward_passes, 1 + 2 * (g - 1));
+    }
+
+    #[test]
+    fn higher_granularity_costs_more_time() {
+        let (d, cfg, ingredients) = trained_ingredients(3);
+        let coarse = GisSouping::new(3).soup(&ingredients, &d, &cfg, 0);
+        let fine = GisSouping::new(24).soup(&ingredients, &d, &cfg, 0);
+        assert!(
+            fine.stats.wall_time > coarse.stats.wall_time,
+            "fine {:?} <= coarse {:?}",
+            fine.stats.wall_time,
+            coarse.stats.wall_time
+        );
+        assert!(fine.stats.forward_passes > coarse.stats.forward_passes);
+    }
+
+    #[test]
+    fn single_ingredient_passthrough() {
+        let (d, cfg, ingredients) = trained_ingredients(1);
+        let outcome = GisSouping::default().soup(&ingredients, &d, &cfg, 0);
+        for (a, b) in outcome.params.flat().zip(ingredients[0].params.flat()) {
+            assert!(a.allclose(b, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Ingredients: independently trained model replicas awaiting souping.
+
+use soup_gnn::ParamSet;
+
+/// One trained ingredient (Phase 1 output).
+#[derive(Debug, Clone)]
+pub struct Ingredient {
+    /// Stable id (ordinal in the training run).
+    pub id: usize,
+    /// The trained parameters.
+    pub params: ParamSet,
+    /// Validation accuracy measured after training — the sort key of the
+    /// greedy algorithms (`SORT_ValAcc` in Alg. 1/2).
+    pub val_accuracy: f64,
+    /// Seed that drove this ingredient's training randomness.
+    pub train_seed: u64,
+}
+
+impl Ingredient {
+    pub fn new(id: usize, params: ParamSet, val_accuracy: f64, train_seed: u64) -> Self {
+        Self {
+            id,
+            params,
+            val_accuracy,
+            train_seed,
+        }
+    }
+}
+
+/// Indices of `ingredients` sorted by validation accuracy, best first
+/// (ties broken by id for determinism).
+pub fn sort_by_val_acc(ingredients: &[Ingredient]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ingredients.len()).collect();
+    order.sort_by(|&a, &b| {
+        ingredients[b]
+            .val_accuracy
+            .partial_cmp(&ingredients[a].val_accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ingredients[a].id.cmp(&ingredients[b].id))
+    });
+    order
+}
+
+/// Sanity checks shared by all souping algorithms: non-empty pool, one
+/// common architecture, and finite parameters (a diverged ingredient — a
+/// NaN/∞ anywhere — would silently poison every weighted mix).
+pub fn validate_ingredients(ingredients: &[Ingredient]) {
+    assert!(
+        !ingredients.is_empty(),
+        "souping requires at least one ingredient"
+    );
+    let first = &ingredients[0].params;
+    for ing in ingredients {
+        assert!(
+            first.same_shape(&ing.params),
+            "ingredient {} has mismatched architecture",
+            ing.id
+        );
+        for t in ing.params.flat() {
+            assert!(
+                t.data().iter().all(|v| v.is_finite()),
+                "ingredient {} contains non-finite parameters (diverged training?)",
+                ing.id
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_gnn::params::LayerParams;
+    use soup_tensor::Tensor;
+
+    fn ing(id: usize, acc: f64) -> Ingredient {
+        let params = ParamSet {
+            layers: vec![LayerParams {
+                name: "l0".into(),
+                tensors: vec![Tensor::scalar(id as f32)],
+            }],
+        };
+        Ingredient::new(id, params, acc, id as u64)
+    }
+
+    #[test]
+    fn sort_descending_by_acc() {
+        let ingredients = vec![ing(0, 0.5), ing(1, 0.9), ing(2, 0.7)];
+        assert_eq!(sort_by_val_acc(&ingredients), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let ingredients = vec![ing(0, 0.5), ing(1, 0.5), ing(2, 0.5)];
+        assert_eq!(sort_by_val_acc(&ingredients), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ingredient")]
+    fn empty_validation_panics() {
+        validate_ingredients(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched architecture")]
+    fn shape_mismatch_panics() {
+        let a = ing(0, 0.5);
+        let mut b = ing(1, 0.6);
+        b.params.layers[0].tensors[0] = Tensor::zeros(2, 2);
+        validate_ingredients(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_ingredient_rejected() {
+        let a = ing(0, 0.5);
+        let mut b = ing(1, 0.6);
+        b.params.layers[0].tensors[0] = Tensor::scalar(f32::NAN);
+        validate_ingredients(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinite_ingredient_rejected() {
+        let mut a = ing(0, 0.5);
+        a.params.layers[0].tensors[0] = Tensor::scalar(f32::INFINITY);
+        validate_ingredients(&[a]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Partition Learned Souping (PLS) — Algorithm 4, the paper's second
+//! contribution.
+//!
+//! PLS is Learned Souping with partition sampling: the graph is first
+//! partitioned into `K` parts (METIS-like, balancing validation nodes —
+//! §III-C), and every epoch draws `R` random partitions, joins them into a
+//! subgraph *with their mutual cut edges preserved* (Eq. 5), and runs the
+//! α-optimisation step on that subgraph only. Activations therefore scale
+//! with `R/K` of the graph — the source of the paper's 76-80% memory
+//! reductions — while the random partition mix acts like minibatching and
+//! regularises the soup (§V-A).
+//!
+//! §VI-B analyses the `R/K` ratio: with `binom(K, R)` possible subgraphs,
+//! `R=8, K=32` gives >10M combinations, while `R=1` never exercises cut
+//! edges and costs 2-3% accuracy.
+
+use crate::ingredient::{validate_ingredients, Ingredient};
+use crate::learned::{
+    learned_step, materialize_soup, prune_weak_ingredients, AlphaState, LearnedHyper,
+};
+use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use soup_gnn::model::PropOps;
+use soup_gnn::ModelConfig;
+use soup_graph::subgraph::InducedSubgraph;
+use soup_graph::Dataset;
+use soup_partition::{
+    bfs_partition, partition_graph, partition_val_balanced, random_partition, PartitionConfig,
+    Partitioning,
+};
+use soup_tensor::optim::{CosineAnnealing, Sgd};
+use soup_tensor::SplitMix64;
+
+/// Which partitioner prepares PLS's partition pool. The paper prescribes
+/// METIS with validation balancing (§III-C); the alternatives exist for
+/// the partition-quality ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionerKind {
+    /// Multilevel k-way with validation-node-boosted vertex weights
+    /// (the paper's setting).
+    #[default]
+    MultilevelValBalanced,
+    /// Multilevel k-way with uniform vertex weights.
+    Multilevel,
+    /// Cheap BFS block growing (locality, no refinement).
+    Bfs,
+    /// Structure-blind random assignment (ablation lower bound).
+    Random,
+}
+
+/// PLS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionLearnedSouping {
+    pub hyper: LearnedHyper,
+    /// Total number of partitions `K`.
+    pub num_partitions: usize,
+    /// Partitions selected per epoch `R` (the partition budget).
+    pub budget: usize,
+    /// Partitioner preparing the pool.
+    pub partitioner: PartitionerKind,
+}
+
+impl Default for PartitionLearnedSouping {
+    fn default() -> Self {
+        // The paper's practical choice: R=8, K=32 (§VI-B).
+        Self {
+            hyper: LearnedHyper::default(),
+            num_partitions: 32,
+            budget: 8,
+            partitioner: PartitionerKind::MultilevelValBalanced,
+        }
+    }
+}
+
+impl PartitionLearnedSouping {
+    pub fn new(hyper: LearnedHyper, num_partitions: usize, budget: usize) -> Self {
+        assert!(num_partitions >= 1, "K must be >= 1");
+        assert!(
+            (1..=num_partitions).contains(&budget),
+            "R must be in 1..=K (got R={budget}, K={num_partitions})"
+        );
+        Self {
+            hyper,
+            num_partitions,
+            budget,
+            partitioner: PartitionerKind::MultilevelValBalanced,
+        }
+    }
+
+    pub fn with_partitioner(mut self, partitioner: PartitionerKind) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    fn run_partitioner(&self, dataset: &Dataset, seed: u64) -> Partitioning {
+        let pcfg = PartitionConfig::new(self.num_partitions).with_seed(seed);
+        match self.partitioner {
+            PartitionerKind::MultilevelValBalanced => {
+                partition_val_balanced(&dataset.graph, &dataset.splits, &pcfg)
+            }
+            PartitionerKind::Multilevel => {
+                partition_graph(&dataset.graph, &vec![1.0; dataset.num_nodes()], &pcfg)
+            }
+            PartitionerKind::Bfs => bfs_partition(&dataset.graph, self.num_partitions, seed),
+            PartitionerKind::Random => {
+                random_partition(dataset.num_nodes(), self.num_partitions, seed)
+            }
+        }
+    }
+
+    /// The partition ratio `R/K` (§III-D) — the expected fraction of graph
+    /// nodes (and hence activation memory) touched per epoch.
+    pub fn partition_ratio(&self) -> f64 {
+        self.budget as f64 / self.num_partitions as f64
+    }
+
+    /// Number of distinct epoch subgraphs: `binom(K, R)` (§VI-B).
+    pub fn num_possible_subgraphs(&self) -> f64 {
+        let k = self.num_partitions;
+        // Multiplicative formula on the smaller side of the symmetry.
+        let r = self.budget.min(k - self.budget);
+        let mut acc = 1.0f64;
+        for i in 0..r {
+            acc *= (k - i) as f64 / (i + 1) as f64;
+        }
+        acc
+    }
+}
+
+impl SoupStrategy for PartitionLearnedSouping {
+    fn name(&self) -> &'static str {
+        "PLS"
+    }
+
+    fn soup(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        seed: u64,
+    ) -> SoupOutcome {
+        validate_ingredients(ingredients);
+        let h = self.hyper;
+        assert!(h.epochs > 0, "PLS needs at least one epoch");
+        measure_soup(dataset, cfg, || {
+            // Preprocessing: K-way partitioning (Fig. 2 step 1). Included
+            // in the measured time here; amortise it across repeated soups
+            // with [`Self::soup_prepartitioned`].
+            let partitioning = self.run_partitioner(dataset, seed);
+            self.mix_loop(ingredients, dataset, cfg, seed, &partitioning)
+        })
+    }
+}
+
+impl PartitionLearnedSouping {
+    /// Soup against a partitioning computed ahead of time — Fig. 2 calls
+    /// partitioning "a preprocessing step", so when many soups are mixed
+    /// from one dataset the partition pool is built once and reused; the
+    /// measured souping time then covers only the α-optimisation epochs.
+    pub fn soup_prepartitioned(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        seed: u64,
+        partitioning: &Partitioning,
+    ) -> SoupOutcome {
+        validate_ingredients(ingredients);
+        assert_eq!(
+            partitioning.assignment.len(),
+            dataset.num_nodes(),
+            "partitioning does not match dataset"
+        );
+        assert_eq!(
+            partitioning.k, self.num_partitions,
+            "partitioning k != configured K"
+        );
+        assert!(self.hyper.epochs > 0, "PLS needs at least one epoch");
+        measure_soup(dataset, cfg, || {
+            self.mix_loop(ingredients, dataset, cfg, seed, partitioning)
+        })
+    }
+
+    /// The Alg. 4 epoch loop over a fixed partition pool.
+    fn mix_loop(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        seed: u64,
+        partitioning: &Partitioning,
+    ) -> (soup_gnn::ParamSet, usize, usize) {
+        let h = self.hyper;
+        {
+            let mut rng = SplitMix64::new(seed).derive(0x915);
+            let mut alphas = AlphaState::init(
+                ingredients.len(),
+                ingredients[0].params.num_layers(),
+                &mut rng,
+            );
+            let fit_mask: Vec<usize> = if h.holdout_ratio > 0.0 {
+                dataset.splits.split_val(h.holdout_ratio, seed).0
+            } else {
+                dataset.splits.val.clone()
+            };
+            let fit_is_val: Vec<bool> = {
+                let mut v = vec![false; dataset.num_nodes()];
+                for &i in &fit_mask {
+                    v[i] = true;
+                }
+                v
+            };
+            let sched = CosineAnnealing::new(h.base_lr, h.eta_min, h.epochs);
+            let mut opt = Sgd::new(sched.lr(0).max(h.eta_min), h.momentum, h.weight_decay);
+            let mut epochs_run = 0usize;
+            for epoch in 0..h.epochs {
+                // Select R random partitions (Alg. 4: partitionSelection).
+                let selected: Vec<u32> = rng
+                    .sample_indices(self.num_partitions, self.budget)
+                    .into_iter()
+                    .map(|p| p as u32)
+                    .collect();
+                let sub = InducedSubgraph::from_partitions(
+                    &dataset.graph,
+                    &partitioning.assignment,
+                    &selected,
+                );
+                // Validation nodes of the subgraph (local ids).
+                let local_mask: Vec<usize> = sub
+                    .local_to_global
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &g)| fit_is_val[g])
+                    .map(|(l, _)| l)
+                    .collect();
+                if local_mask.is_empty() {
+                    // Degenerate draw (possible at tiny scales): skip.
+                    continue;
+                }
+                let sub_ops = PropOps::prepare(cfg.arch, &sub.graph);
+                let sub_x = sub.gather_features(&dataset.features);
+                let sub_labels = sub.gather_labels(&dataset.labels);
+                opt.lr = sched.lr(epoch).max(1e-6);
+                learned_step(
+                    ingredients,
+                    &mut alphas,
+                    cfg,
+                    &sub_ops,
+                    &sub_x,
+                    &sub_labels,
+                    &local_mask,
+                    &mut opt,
+                );
+                epochs_run += 1;
+                // §VIII ingredient drop-out at the half-way point.
+                if let Some(threshold) = h.prune_threshold {
+                    if epoch + 1 == h.epochs / 2 {
+                        prune_weak_ingredients(&mut alphas, threshold);
+                    }
+                }
+            }
+            (
+                materialize_soup(ingredients, &alphas),
+                epochs_run,
+                epochs_run,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learned::LearnedSouping;
+    use soup_gnn::model::init_params;
+    use soup_gnn::{train_single, TrainConfig};
+    use soup_graph::DatasetKind;
+
+    fn trained_ingredients(
+        n: usize,
+        seed: u64,
+        scale: f64,
+    ) -> (Dataset, ModelConfig, Vec<Ingredient>) {
+        let d = DatasetKind::Flickr.generate_scaled(seed, scale);
+        let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(12);
+        let mut rng = SplitMix64::new(seed);
+        let init = init_params(&cfg, &mut rng);
+        let tc = TrainConfig {
+            epochs: 15,
+            ..TrainConfig::quick()
+        };
+        let ingredients = (0..n)
+            .map(|i| {
+                let tm = train_single(&d, &cfg, &tc, &init, 200 + i as u64);
+                Ingredient::new(i, tm.params, tm.val_accuracy, 200 + i as u64)
+            })
+            .collect();
+        (d, cfg, ingredients)
+    }
+
+    #[test]
+    fn partition_ratio_and_combinations() {
+        let pls = PartitionLearnedSouping::default();
+        assert_eq!(pls.partition_ratio(), 0.25);
+        // binom(32, 8) = 10_518_300 — the ">10 million subgraphs" of §VI-B.
+        assert!((pls.num_possible_subgraphs() - 10_518_300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn binom_edge_cases() {
+        let r1 = PartitionLearnedSouping::new(LearnedHyper::default(), 16, 1);
+        assert!((r1.num_possible_subgraphs() - 16.0).abs() < 1e-9);
+        let all = PartitionLearnedSouping::new(LearnedHyper::default(), 8, 8);
+        assert!((all.num_possible_subgraphs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "R must be")]
+    fn budget_above_k_panics() {
+        PartitionLearnedSouping::new(LearnedHyper::default(), 4, 5);
+    }
+
+    #[test]
+    fn pls_produces_reasonable_soup() {
+        let (d, cfg, ingredients) = trained_ingredients(4, 20, 0.25);
+        let pls = PartitionLearnedSouping::new(
+            LearnedHyper {
+                epochs: 30,
+                ..Default::default()
+            },
+            8,
+            4,
+        );
+        let outcome = pls.soup(&ingredients, &d, &cfg, 3);
+        let best = ingredients
+            .iter()
+            .map(|i| i.val_accuracy)
+            .fold(0.0, f64::max);
+        assert!(
+            outcome.val_accuracy >= best - 0.08,
+            "PLS {} far below best ingredient {best}",
+            outcome.val_accuracy
+        );
+        assert!(outcome.stats.epochs > 0, "every epoch was skipped");
+    }
+
+    #[test]
+    fn pls_uses_less_memory_than_ls() {
+        let (d, cfg, ingredients) = trained_ingredients(4, 21, 0.5);
+        let h = LearnedHyper {
+            epochs: 15,
+            ..Default::default()
+        };
+        let ls = LearnedSouping::new(h).soup(&ingredients, &d, &cfg, 4);
+        let pls = PartitionLearnedSouping::new(h, 16, 2).soup(&ingredients, &d, &cfg, 4);
+        assert!(
+            pls.stats.peak_mem_bytes < ls.stats.peak_mem_bytes,
+            "PLS {} >= LS {}",
+            pls.stats.peak_mem_bytes,
+            ls.stats.peak_mem_bytes
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 22, 0.2);
+        let pls = PartitionLearnedSouping::new(
+            LearnedHyper {
+                epochs: 8,
+                ..Default::default()
+            },
+            8,
+            3,
+        );
+        let a = pls.soup(&ingredients, &d, &cfg, 9);
+        let b = pls.soup(&ingredients, &d, &cfg, 9);
+        assert_eq!(a.val_accuracy, b.val_accuracy);
+    }
+
+    #[test]
+    fn prepartitioned_soup_matches_and_is_faster() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 24, 0.25);
+        let hyper = LearnedHyper {
+            epochs: 10,
+            ..Default::default()
+        };
+        let pls = PartitionLearnedSouping::new(hyper, 8, 3);
+        let partitioning = pls.run_partitioner(&d, 6);
+        let pre = pls.soup_prepartitioned(&ingredients, &d, &cfg, 6, &partitioning);
+        let full = pls.soup(&ingredients, &d, &cfg, 6);
+        // Same seed + same partitioning path => identical soup.
+        assert_eq!(pre.val_accuracy, full.val_accuracy);
+        for (a, b) in pre.params.flat().zip(full.params.flat()) {
+            assert_eq!(a, b);
+        }
+        // The prepartitioned variant excludes partitioning from its time.
+        assert!(pre.stats.wall_time <= full.stats.wall_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioning k")]
+    fn prepartitioned_k_mismatch_panics() {
+        let (d, cfg, ingredients) = trained_ingredients(2, 25, 0.15);
+        let hyper = LearnedHyper {
+            epochs: 4,
+            ..Default::default()
+        };
+        let pls8 = PartitionLearnedSouping::new(hyper, 8, 2);
+        let pls4 = PartitionLearnedSouping::new(hyper, 4, 2);
+        let partitioning = pls4.run_partitioner(&d, 1);
+        pls8.soup_prepartitioned(&ingredients, &d, &cfg, 1, &partitioning);
+    }
+
+    #[test]
+    fn all_partitioner_kinds_run() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 23, 0.2);
+        for kind in [
+            PartitionerKind::MultilevelValBalanced,
+            PartitionerKind::Multilevel,
+            PartitionerKind::Bfs,
+            PartitionerKind::Random,
+        ] {
+            let pls = PartitionLearnedSouping::new(
+                LearnedHyper {
+                    epochs: 6,
+                    ..Default::default()
+                },
+                8,
+                3,
+            )
+            .with_partitioner(kind);
+            let outcome = pls.soup(&ingredients, &d, &cfg, 2);
+            assert!(
+                (0.0..=1.0).contains(&outcome.val_accuracy),
+                "{kind:?}: {}",
+                outcome.val_accuracy
+            );
+            assert!(outcome.stats.epochs > 0, "{kind:?} ran no epochs");
+        }
+    }
+}

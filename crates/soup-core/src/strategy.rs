@@ -1,0 +1,142 @@
+//! The common souping interface and its measurement harness.
+//!
+//! Every algorithm runs inside [`measure_soup`], which wraps the mixing
+//! phase in a wall-clock timer and a [`soup_tensor::MemoryScope`] — the
+//! *measured* quantities behind Table III (time) and Fig. 4b (memory).
+//! Validation/test accuracy of the finished soup is evaluated *outside*
+//! the measured region so that all strategies are compared on the cost of
+//! mixing alone (the paper does the same: US's memory is excluded from
+//! Fig. 4b because it needs no forward passes at all, §V-C).
+
+use crate::ingredient::Ingredient;
+use soup_gnn::model::PropOps;
+use soup_gnn::{evaluate_accuracy, ModelConfig, ParamSet};
+use soup_graph::Dataset;
+use soup_tensor::memory::MemoryScope;
+use std::time::{Duration, Instant};
+
+/// Resource measurements of one souping run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoupStats {
+    /// Wall-clock time of the mixing phase.
+    pub wall_time: Duration,
+    /// Peak device memory added during mixing (bytes above baseline).
+    pub peak_mem_bytes: usize,
+    /// Full-graph-equivalent forward passes performed (complexity model).
+    pub forward_passes: usize,
+    /// Optimisation epochs run (0 for search-based strategies).
+    pub epochs: usize,
+}
+
+/// The result of souping a set of ingredients.
+#[derive(Debug, Clone)]
+pub struct SoupOutcome {
+    /// The mixed model.
+    pub params: ParamSet,
+    /// Accuracy of the soup on the full validation split.
+    pub val_accuracy: f64,
+    /// Resource usage of the mixing phase.
+    pub stats: SoupStats,
+}
+
+/// A souping algorithm.
+pub trait SoupStrategy {
+    /// Short display name ("US", "GIS", "LS", "PLS", ...).
+    fn name(&self) -> &'static str;
+
+    /// Mix `ingredients` into a single model using `dataset` for whatever
+    /// validation signal the strategy consumes. `seed` drives all of the
+    /// strategy's internal randomness.
+    fn soup(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        seed: u64,
+    ) -> SoupOutcome;
+}
+
+/// Run `mix` under time/memory measurement, then evaluate the resulting
+/// parameters on the full validation split.
+pub fn measure_soup(
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    mix: impl FnOnce() -> (ParamSet, usize, usize),
+) -> SoupOutcome {
+    let scope = MemoryScope::start();
+    let start = Instant::now();
+    let (params, forward_passes, epochs) = mix();
+    let wall_time = start.elapsed();
+    let mem = scope.finish();
+
+    let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+    let val_accuracy = evaluate_accuracy(
+        cfg,
+        &ops,
+        &params,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.splits.val,
+    );
+    SoupOutcome {
+        params,
+        val_accuracy,
+        stats: SoupStats {
+            wall_time,
+            peak_mem_bytes: mem.peak_delta_bytes,
+            forward_passes,
+            epochs,
+        },
+    }
+}
+
+/// Evaluate a finished soup on the test split (the number Table II
+/// reports).
+pub fn test_accuracy(outcome: &SoupOutcome, dataset: &Dataset, cfg: &ModelConfig) -> f64 {
+    let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+    evaluate_accuracy(
+        cfg,
+        &ops,
+        &outcome.params,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.splits.test,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_gnn::model::init_params;
+    use soup_graph::DatasetKind;
+    use soup_tensor::SplitMix64;
+
+    #[test]
+    fn measure_soup_reports_resources() {
+        let d = DatasetKind::Flickr.generate_scaled(1, 0.15);
+        let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(8);
+        let mut rng = SplitMix64::new(1);
+        let params = init_params(&cfg, &mut rng);
+        let outcome = measure_soup(&d, &cfg, || {
+            // Simulate a mixing phase that allocates something measurable.
+            let tmp = soup_tensor::Tensor::zeros(256, 256);
+            drop(tmp);
+            (params.clone(), 3, 2)
+        });
+        assert!(outcome.stats.peak_mem_bytes >= 256 * 256 * 4);
+        assert_eq!(outcome.stats.forward_passes, 3);
+        assert_eq!(outcome.stats.epochs, 2);
+        assert!((0.0..=1.0).contains(&outcome.val_accuracy));
+    }
+
+    #[test]
+    fn test_accuracy_differs_from_val_split() {
+        let d = DatasetKind::Flickr.generate_scaled(2, 0.15);
+        let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(8);
+        let mut rng = SplitMix64::new(2);
+        let params = init_params(&cfg, &mut rng);
+        let outcome = measure_soup(&d, &cfg, || (params, 0, 0));
+        let t = test_accuracy(&outcome, &d, &cfg);
+        assert!((0.0..=1.0).contains(&t));
+    }
+}

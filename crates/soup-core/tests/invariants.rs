@@ -1,0 +1,153 @@
+//! Algebraic invariants every souping strategy must satisfy.
+//!
+//! The deepest one: a soup is a (per-layer) convex combination of its
+//! ingredients, so souping N *identical* ingredients must return exactly
+//! that ingredient — for LS this holds regardless of what the α's learn,
+//! because softmax weights sum to one. Violations indicate a broken mixing
+//! kernel rather than a tuning problem.
+
+use soup_core::{
+    GisSouping, GreedySouping, Ingredient, LearnedHyper, LearnedSouping, PartitionLearnedSouping,
+    SoupStrategy, UniformSouping,
+};
+use soup_gnn::model::init_params;
+use soup_gnn::{train_single, ModelConfig, TrainConfig};
+use soup_graph::{Dataset, DatasetKind};
+use soup_tensor::SplitMix64;
+
+fn one_model(seed: u64) -> (Dataset, ModelConfig, Ingredient) {
+    let d = DatasetKind::Flickr.generate_scaled(seed, 0.15);
+    let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(12);
+    let mut rng = SplitMix64::new(seed);
+    let init = init_params(&cfg, &mut rng);
+    let tc = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::quick()
+    };
+    let tm = train_single(&d, &cfg, &tc, &init, seed);
+    (d, cfg, Ingredient::new(0, tm.params, tm.val_accuracy, seed))
+}
+
+fn strategies() -> Vec<Box<dyn SoupStrategy>> {
+    let hyper = LearnedHyper {
+        epochs: 8,
+        ..Default::default()
+    };
+    vec![
+        Box::new(UniformSouping),
+        Box::new(GreedySouping),
+        Box::new(GisSouping::new(5)),
+        Box::new(LearnedSouping::new(hyper)),
+        Box::new(PartitionLearnedSouping::new(hyper, 6, 2)),
+    ]
+}
+
+#[test]
+fn identical_ingredients_produce_that_ingredient() {
+    let (d, cfg, base) = one_model(50);
+    let clones: Vec<Ingredient> = (0..4)
+        .map(|i| Ingredient::new(i, base.params.clone(), base.val_accuracy, i as u64))
+        .collect();
+    for s in strategies() {
+        let outcome = s.soup(&clones, &d, &cfg, 3);
+        for (a, b) in outcome.params.flat().zip(base.params.flat()) {
+            assert!(
+                a.allclose(b, 1e-4),
+                "{}: soup of identical ingredients differs from the ingredient",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn soup_entries_stay_in_ingredient_convex_hull_per_layer() {
+    // Train two genuinely different ingredients; every soup entry must be
+    // a per-layer convex combination (within fp tolerance) for US/LS/PLS.
+    let (d, cfg, a) = one_model(51);
+    let mut rng = SplitMix64::new(51);
+    let init = init_params(&cfg, &mut rng);
+    let tm = train_single(
+        &d,
+        &cfg,
+        &TrainConfig {
+            epochs: 10,
+            ..TrainConfig::quick()
+        },
+        &init,
+        999,
+    );
+    let b = Ingredient::new(1, tm.params, tm.val_accuracy, 999);
+    let a = Ingredient::new(0, a.params, a.val_accuracy, 51);
+    let pool = vec![a, b];
+
+    let hyper = LearnedHyper {
+        epochs: 8,
+        ..Default::default()
+    };
+    let convex: Vec<Box<dyn SoupStrategy>> = vec![
+        Box::new(UniformSouping),
+        Box::new(LearnedSouping::new(hyper)),
+        Box::new(PartitionLearnedSouping::new(hyper, 4, 2)),
+    ];
+    for s in convex {
+        let outcome = s.soup(&pool, &d, &cfg, 5);
+        let mut flat_a = pool[0].params.flat();
+        let mut flat_b = pool[1].params.flat();
+        for soup_t in outcome.params.flat() {
+            let ta = flat_a.next().unwrap();
+            let tb = flat_b.next().unwrap();
+            for i in 0..soup_t.len() {
+                let (lo, hi) = if ta.data()[i] <= tb.data()[i] {
+                    (ta.data()[i], tb.data()[i])
+                } else {
+                    (tb.data()[i], ta.data()[i])
+                };
+                let v = soup_t.data()[i];
+                assert!(
+                    v >= lo - 1e-4 && v <= hi + 1e-4,
+                    "{}: entry {v} outside hull [{lo}, {hi}]",
+                    s.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn soup_outcome_val_accuracy_matches_reevaluation() {
+    // The reported val accuracy must be exactly what evaluating the
+    // returned parameters yields (no stale or train-time numbers).
+    use soup_gnn::evaluate_accuracy;
+    use soup_gnn::model::PropOps;
+    let (d, cfg, base) = one_model(52);
+    let clones: Vec<Ingredient> = (0..3)
+        .map(|i| Ingredient::new(i, base.params.clone(), 0.5, i as u64))
+        .collect();
+    for s in strategies() {
+        let outcome = s.soup(&clones, &d, &cfg, 7);
+        let ops = PropOps::prepare(cfg.arch, &d.graph);
+        let acc = evaluate_accuracy(
+            &cfg,
+            &ops,
+            &outcome.params,
+            &d.features,
+            &d.labels,
+            &d.splits.val,
+        );
+        assert_eq!(acc, outcome.val_accuracy, "{}", s.name());
+    }
+}
+
+#[test]
+fn strategy_names_are_distinct() {
+    let names: Vec<&str> = strategies().iter().map(|s| s.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(
+        dedup.len(),
+        names.len(),
+        "duplicate strategy names: {names:?}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Reduce-style ingredient gather (Phase 2 entry, Fig. 1).
+//!
+//! After Phase 1 the trained ingredients sit on their workers; souping
+//! "gathers model parameters ('ingredients') onto a single device and
+//! mixes them ... similar to a reduce operation" (§III). This module
+//! models that step: it merges per-worker outputs into one id-ordered list
+//! and reports the bytes that would cross the interconnect.
+
+use soup_core::Ingredient;
+
+/// Transfer accounting for a gather.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatherReport {
+    /// Total parameter bytes moved to the souping device (ingredients
+    /// already resident on it — worker 0 — are free).
+    pub bytes_transferred: usize,
+    pub num_ingredients: usize,
+}
+
+/// Gather per-worker ingredient lists onto "device 0", returning the
+/// id-ordered ingredient list plus transfer accounting.
+pub fn gather_ingredients(per_worker: Vec<Vec<Ingredient>>) -> (Vec<Ingredient>, GatherReport) {
+    let mut bytes = 0usize;
+    let mut all: Vec<Ingredient> = Vec::new();
+    for (worker, list) in per_worker.into_iter().enumerate() {
+        for ing in list {
+            if worker != 0 {
+                bytes += ing.params.size_bytes();
+            }
+            all.push(ing);
+        }
+    }
+    all.sort_by_key(|i| i.id);
+    // Duplicate ids indicate a broken worker pool.
+    for pair in all.windows(2) {
+        assert_ne!(
+            pair[0].id, pair[1].id,
+            "duplicate ingredient id {}",
+            pair[0].id
+        );
+    }
+    let report = GatherReport {
+        bytes_transferred: bytes,
+        num_ingredients: all.len(),
+    };
+    (all, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_gnn::params::{LayerParams, ParamSet};
+    use soup_tensor::Tensor;
+
+    fn ing(id: usize) -> Ingredient {
+        let params = ParamSet {
+            layers: vec![LayerParams {
+                name: "l".into(),
+                tensors: vec![Tensor::zeros(10, 10)],
+            }],
+        };
+        Ingredient::new(id, params, 0.5, id as u64)
+    }
+
+    #[test]
+    fn orders_by_id_across_workers() {
+        let (all, report) = gather_ingredients(vec![vec![ing(2), ing(0)], vec![ing(1), ing(3)]]);
+        assert_eq!(
+            all.iter().map(|i| i.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(report.num_ingredients, 4);
+    }
+
+    #[test]
+    fn local_ingredients_are_free() {
+        let (_, report) = gather_ingredients(vec![vec![ing(0), ing(1)], vec![ing(2)]]);
+        // Only worker 1's single ingredient crosses: 100 floats.
+        assert_eq!(report.bytes_transferred, 400);
+    }
+
+    #[test]
+    fn empty_workers_ok() {
+        let (all, report) = gather_ingredients(vec![vec![], vec![ing(0)], vec![]]);
+        assert_eq!(all.len(), 1);
+        assert_eq!(report.bytes_transferred, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ingredient id")]
+    fn duplicate_ids_panic() {
+        gather_ingredients(vec![vec![ing(0)], vec![ing(0)]]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The shared dynamic task queue of §III-A.
+//!
+//! "Once a worker completes training an ingredient, it immediately begins
+//! training the next available ingredient from a shared task queue." The
+//! queue is a single atomic cursor over the ingredient ordinals — lock-free
+//! and wait-free; `fetch_add` with `Relaxed` ordering suffices because the
+//! claimed ordinal itself carries no data dependency (the worker derives
+//! everything else from its deterministic seed).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Lock-free claim queue over task ordinals `0..total`.
+#[derive(Debug)]
+pub struct TaskQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl TaskQueue {
+    pub fn new(total: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claim the next task, or `None` when the queue is drained.
+    pub fn claim(&self) -> Option<usize> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        (id < self.total).then_some(id)
+    }
+
+    /// Number of tasks claimed so far (may exceed `total` transiently by
+    /// the number of racing workers; clamped).
+    pub fn claimed(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.total)
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_claims_in_order() {
+        let q = TaskQueue::new(3);
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claimed(), 3);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = TaskQueue::new(0);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claimed(), 0);
+    }
+
+    #[test]
+    fn concurrent_claims_are_exactly_once() {
+        let q = Arc::new(TaskQueue::new(10_000));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(id) = q.claim() {
+                        mine.push(id);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..10_000).collect::<Vec<_>>(),
+            "lost or duplicated tasks"
+        );
+    }
+}

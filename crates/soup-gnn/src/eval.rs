@@ -1,0 +1,110 @@
+//! Model evaluation: predictions, accuracy, and the validation loss that
+//! souping algorithms optimise.
+
+use crate::config::ModelConfig;
+use crate::model::{forward, PropOps};
+use crate::params::{ParamSet, ParamVars};
+use soup_graph::metrics::accuracy;
+use soup_tensor::tape::Tape;
+use soup_tensor::{SplitMix64, Tensor};
+
+/// Argmax class predictions for every node (eval mode, no dropout).
+pub fn predict(
+    cfg: &ModelConfig,
+    ops: &PropOps,
+    params: &ParamSet,
+    features: &Tensor,
+) -> Vec<usize> {
+    let tape = Tape::new();
+    let vars = ParamVars::register(&tape, params, false);
+    let x = tape.constant(features.clone());
+    let mut rng = SplitMix64::new(0); // unused: eval mode skips dropout
+    let logits = forward(&tape, cfg, ops, x, &vars, false, &mut rng);
+    tape.value(logits).argmax_rows()
+}
+
+/// Accuracy over the nodes in `mask`.
+pub fn evaluate_accuracy(
+    cfg: &ModelConfig,
+    ops: &PropOps,
+    params: &ParamSet,
+    features: &Tensor,
+    labels: &[u32],
+    mask: &[usize],
+) -> f64 {
+    let preds = predict(cfg, ops, params, features);
+    accuracy(&preds, labels, mask)
+}
+
+/// Cross-entropy loss over the nodes in `mask` (eval mode).
+pub fn validation_loss(
+    cfg: &ModelConfig,
+    ops: &PropOps,
+    params: &ParamSet,
+    features: &Tensor,
+    labels: &[u32],
+    mask: &[usize],
+) -> f32 {
+    let tape = Tape::new();
+    let vars = ParamVars::register(&tape, params, false);
+    let x = tape.constant(features.clone());
+    let mut rng = SplitMix64::new(0);
+    let logits = forward(&tape, cfg, ops, x, &vars, false, &mut rng);
+    let loss = tape.cross_entropy_masked(logits, labels, mask);
+    tape.value(loss).item()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::init_params;
+    use crate::Arch;
+    use soup_graph::CsrGraph;
+
+    fn setup() -> (CsrGraph, ModelConfig, ParamSet, Tensor, Vec<u32>) {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let cfg = ModelConfig::gcn(4, 3).with_hidden(8);
+        let mut rng = SplitMix64::new(1);
+        let params = init_params(&cfg, &mut rng);
+        let features = Tensor::randn(6, 4, 1.0, &mut rng);
+        let labels = vec![0u32, 1, 2, 0, 1, 2];
+        (g, cfg, params, features, labels)
+    }
+
+    #[test]
+    fn predictions_are_valid_classes() {
+        let (g, cfg, params, features, _) = setup();
+        let ops = PropOps::prepare(Arch::Gcn, &g);
+        let preds = predict(&cfg, &ops, &params, &features);
+        assert_eq!(preds.len(), 6);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn accuracy_in_unit_range() {
+        let (g, cfg, params, features, labels) = setup();
+        let ops = PropOps::prepare(Arch::Gcn, &g);
+        let acc = evaluate_accuracy(&cfg, &ops, &params, &features, &labels, &[0, 1, 2, 3, 4, 5]);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn loss_is_finite_and_near_uniform_at_init() {
+        let (g, cfg, params, features, labels) = setup();
+        let ops = PropOps::prepare(Arch::Gcn, &g);
+        let loss = validation_loss(&cfg, &ops, &params, &features, &labels, &[0, 1, 2]);
+        assert!(loss.is_finite());
+        // Untrained logits are near zero -> loss near ln(3).
+        assert!((loss - 3.0f32.ln()).abs() < 0.8, "loss={loss}");
+    }
+
+    #[test]
+    fn eval_is_deterministic() {
+        let (g, cfg, params, features, _) = setup();
+        let ops = PropOps::prepare(Arch::Gcn, &g);
+        assert_eq!(
+            predict(&cfg, &ops, &params, &features),
+            predict(&cfg, &ops, &params, &features)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # soup-graph
+//!
+//! Graph substrate for the *Enhanced Soups for GNNs* reproduction: CSR
+//! graph storage, message-passing operator construction (GCN normalisation,
+//! mean aggregation, GAT edge indexes), synthetic counterparts of the
+//! paper's four benchmark datasets, train/val/test splits, GraphSAGE-style
+//! neighbor sampling and the induced-subgraph machinery that Partition
+//! Learned Souping builds its epoch subgraphs with (Eq. 5).
+//!
+//! The paper evaluates on Flickr, ogbn-arxiv, Reddit and ogbn-products;
+//! those datasets cannot be redistributed here, so [`DatasetKind`]
+//! generates *shape-preserving synthetic counterparts*: degree-corrected
+//! stochastic-block-model graphs with the paper's class counts and split
+//! ratios, scaled down uniformly (see DESIGN.md §2 for the substitution
+//! argument).
+
+pub mod csr;
+pub mod datasets;
+pub mod io;
+pub mod metrics;
+pub mod sampling;
+pub mod splits;
+pub mod stats;
+pub mod subgraph;
+pub mod synth;
+
+pub use csr::CsrGraph;
+pub use datasets::{Dataset, DatasetKind};
+pub use sampling::{NeighborSampler, SampledSubgraph};
+pub use splits::Splits;
+pub use subgraph::InducedSubgraph;
+pub use synth::SbmConfig;

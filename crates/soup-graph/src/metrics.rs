@@ -1,0 +1,100 @@
+//! Evaluation metrics for node classification.
+
+/// Accuracy of `predictions` against `labels` over the nodes in `mask`.
+pub fn accuracy(predictions: &[usize], labels: &[u32], mask: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions/labels length mismatch"
+    );
+    if mask.is_empty() {
+        return 0.0;
+    }
+    let correct = mask
+        .iter()
+        .filter(|&&i| predictions[i] == labels[i] as usize)
+        .count();
+    correct as f64 / mask.len() as f64
+}
+
+/// Mean and (population) standard deviation of a sample — the paper reports
+/// all Table II/III cells as `mean ± std` over repeated soups.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Per-class recall (diagnostics for class-imbalance checks).
+pub fn per_class_recall(
+    predictions: &[usize],
+    labels: &[u32],
+    mask: &[usize],
+    num_classes: usize,
+) -> Vec<f64> {
+    let mut hit = vec![0usize; num_classes];
+    let mut total = vec![0usize; num_classes];
+    for &i in mask {
+        let c = labels[i] as usize;
+        total[c] += 1;
+        if predictions[i] == c {
+            hit[c] += 1;
+        }
+    }
+    (0..num_classes)
+        .map(|c| {
+            if total[c] == 0 {
+                0.0
+            } else {
+                hit[c] as f64 / total[c] as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        let preds = vec![0, 1, 2, 0];
+        let labels = vec![0u32, 1, 0, 0];
+        assert_eq!(accuracy(&preds, &labels, &[0, 1, 2, 3]), 0.75);
+        assert_eq!(accuracy(&preds, &labels, &[2]), 0.0);
+        assert_eq!(accuracy(&preds, &labels, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn accuracy_empty_mask() {
+        assert_eq!(accuracy(&[0], &[0], &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_empty_and_single() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m, s) = mean_std(&[3.5]);
+        assert_eq!(m, 3.5);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn per_class_recall_values() {
+        let preds = vec![0, 0, 1, 1];
+        let labels = vec![0u32, 1, 1, 1];
+        let r = per_class_recall(&preds, &labels, &[0, 1, 2, 3], 3);
+        assert_eq!(r[0], 1.0);
+        assert!((r[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r[2], 0.0); // absent class
+    }
+}

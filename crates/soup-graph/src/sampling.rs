@@ -1,0 +1,205 @@
+//! GraphSAGE-style neighbor sampling.
+//!
+//! Minibatch ingredient training samples a k-hop neighborhood around a
+//! batch of seed nodes with per-layer fanout caps (Hamilton et al. 2018),
+//! then trains full-batch on the induced sampled subgraph with the loss
+//! restricted to the seeds. This mirrors DGL's block-based sampling in
+//! cost (the fanout bounds the neighborhood explosion) while staying on
+//! the same forward code path as full-batch training — see DESIGN.md §2
+//! substitution 3.
+
+use crate::csr::CsrGraph;
+use crate::subgraph::InducedSubgraph;
+use soup_tensor::SplitMix64;
+
+/// Fanout-bounded k-hop neighborhood sampler.
+#[derive(Debug, Clone)]
+pub struct NeighborSampler {
+    /// Max sampled neighbors per node, one entry per hop (outermost first).
+    pub fanouts: Vec<usize>,
+}
+
+/// The result of sampling: an induced subgraph plus the seed positions.
+#[derive(Debug)]
+pub struct SampledSubgraph {
+    pub sub: InducedSubgraph,
+    /// Local indices of the seed nodes within the subgraph.
+    pub seeds_local: Vec<usize>,
+}
+
+impl NeighborSampler {
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one hop");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        Self { fanouts }
+    }
+
+    /// Sample around `seeds`. Seeds occupy the first local indices.
+    pub fn sample(
+        &self,
+        graph: &CsrGraph,
+        seeds: &[usize],
+        rng: &mut SplitMix64,
+    ) -> SampledSubgraph {
+        let n = graph.num_nodes();
+        let mut visited = vec![false; n];
+        let mut nodes: Vec<usize> = Vec::with_capacity(seeds.len() * 4);
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of range");
+            if !visited[s] {
+                visited[s] = true;
+                nodes.push(s);
+            }
+        }
+        let mut frontier: Vec<usize> = nodes.clone();
+        for &fanout in &self.fanouts {
+            let mut next: Vec<usize> = Vec::new();
+            for &v in &frontier {
+                let neigh = graph.neighbors(v);
+                let take = |u: u32,
+                            visited: &mut Vec<bool>,
+                            nodes: &mut Vec<usize>,
+                            next: &mut Vec<usize>| {
+                    let u = u as usize;
+                    if !visited[u] {
+                        visited[u] = true;
+                        nodes.push(u);
+                        next.push(u);
+                    }
+                };
+                if neigh.len() <= fanout {
+                    for &u in neigh {
+                        take(u, &mut visited, &mut nodes, &mut next);
+                    }
+                } else {
+                    // Sample `fanout` distinct neighbor positions.
+                    for k in rng.sample_indices(neigh.len(), fanout) {
+                        take(neigh[k], &mut visited, &mut nodes, &mut next);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        let sub = InducedSubgraph::new(graph, &nodes);
+        let seeds_local: Vec<usize> = {
+            // Seeds were inserted first and deduped, so look them up.
+            let mut out = Vec::with_capacity(seeds.len());
+            let mut seen = vec![false; n];
+            for &s in seeds {
+                if !seen[s] {
+                    seen[s] = true;
+                    out.push(sub.global_to_local[s].expect("seed must be in subgraph"));
+                }
+            }
+            out
+        };
+        SampledSubgraph { sub, seeds_local }
+    }
+}
+
+/// Iterate over shuffled minibatches of `nodes`.
+pub fn minibatches(nodes: &[usize], batch_size: usize, rng: &mut SplitMix64) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order = nodes.to_vec();
+    rng.shuffle(&mut order);
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: usize) -> CsrGraph {
+        // Node 0 connected to all others.
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn fanout_caps_neighborhood() {
+        let g = star(100);
+        let sampler = NeighborSampler::new(vec![5]);
+        let mut rng = SplitMix64::new(1);
+        let s = sampler.sample(&g, &[0], &mut rng);
+        // Seed + at most 5 sampled leaves.
+        assert_eq!(s.sub.num_nodes(), 6);
+        assert_eq!(s.seeds_local, vec![0]);
+    }
+
+    #[test]
+    fn small_neighborhood_taken_fully() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let sampler = NeighborSampler::new(vec![10]);
+        let mut rng = SplitMix64::new(2);
+        let s = sampler.sample(&g, &[0], &mut rng);
+        assert_eq!(s.sub.num_nodes(), 4);
+    }
+
+    #[test]
+    fn multi_hop_expands() {
+        // Path 0-1-2-3: two hops from 0 reach 2 but not 3.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sampler = NeighborSampler::new(vec![2, 2]);
+        let mut rng = SplitMix64::new(3);
+        let s = sampler.sample(&g, &[0], &mut rng);
+        let globals: Vec<usize> = s.sub.local_to_global.clone();
+        assert!(globals.contains(&2));
+        assert!(!globals.contains(&3));
+    }
+
+    #[test]
+    fn duplicate_seeds_deduped() {
+        let g = star(10);
+        let sampler = NeighborSampler::new(vec![2]);
+        let mut rng = SplitMix64::new(4);
+        let s = sampler.sample(&g, &[0, 0, 1], &mut rng);
+        assert_eq!(s.seeds_local.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = star(50);
+        let sampler = NeighborSampler::new(vec![4, 4]);
+        let a = sampler
+            .sample(&g, &[0, 3], &mut SplitMix64::new(9))
+            .sub
+            .local_to_global;
+        let b = sampler
+            .sample(&g, &[0, 3], &mut SplitMix64::new(9))
+            .sub
+            .local_to_global;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_first_in_local_order() {
+        let g = star(20);
+        let sampler = NeighborSampler::new(vec![3]);
+        let mut rng = SplitMix64::new(5);
+        let s = sampler.sample(&g, &[7, 4], &mut rng);
+        assert_eq!(s.sub.local_to_global[0], 7);
+        assert_eq!(s.sub.local_to_global[1], 4);
+        assert_eq!(s.seeds_local, vec![0, 1]);
+    }
+
+    #[test]
+    fn minibatches_cover_all_nodes() {
+        let nodes: Vec<usize> = (0..23).collect();
+        let mut rng = SplitMix64::new(6);
+        let batches = minibatches(&nodes, 5, &mut rng);
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches.last().unwrap().len(), 3);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, nodes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_fanouts_panic() {
+        NeighborSampler::new(vec![]);
+    }
+}

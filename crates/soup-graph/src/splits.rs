@@ -1,0 +1,173 @@
+//! Train/validation/test node splits.
+//!
+//! Table I of the paper fixes a split ratio per dataset (e.g. 0.5/0.25/0.25
+//! for Flickr, 0.1/0.02/0.88 for ogbn-products). Splits are materialised as
+//! explicit index lists because every phase of the pipeline addresses them
+//! directly: ingredient training uses `train`, souping optimises on `val`
+//! (Alg. 3/4), and the reported numbers are `test` accuracy.
+
+use serde::{Deserialize, Serialize};
+use soup_tensor::SplitMix64;
+
+/// Disjoint node-index lists covering (a subset of) the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Splits {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+impl Splits {
+    /// Randomly split `n` nodes with the given ratios (must sum to ≤ 1;
+    /// any remainder is unlabeled/ignored, as in ogbn-style datasets).
+    pub fn random(n: usize, train_ratio: f64, val_ratio: f64, test_ratio: f64, seed: u64) -> Self {
+        assert!(
+            train_ratio >= 0.0 && val_ratio >= 0.0 && test_ratio >= 0.0,
+            "ratios must be non-negative"
+        );
+        let total = train_ratio + val_ratio + test_ratio;
+        assert!(total <= 1.0 + 1e-9, "split ratios sum to {total} > 1");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(seed).derive(0x5117);
+        rng.shuffle(&mut order);
+        let n_train = (n as f64 * train_ratio).round() as usize;
+        let n_val = (n as f64 * val_ratio).round() as usize;
+        let n_test = ((n as f64 * test_ratio).round() as usize).min(n - n_train - n_val);
+        let train = order[..n_train].to_vec();
+        let val = order[n_train..n_train + n_val].to_vec();
+        let test = order[n_train + n_val..n_train + n_val + n_test].to_vec();
+        Self { train, val, test }
+    }
+
+    /// Total number of split-assigned nodes.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split the validation set itself into a (train, holdout) pair.
+    ///
+    /// §IV-C: "For LS and PLS, hyperparameters were selected by randomly
+    /// splitting the validation set for training and validating the soup."
+    pub fn split_val(&self, holdout_ratio: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        assert!(
+            (0.0..1.0).contains(&holdout_ratio),
+            "holdout ratio in [0,1)"
+        );
+        let mut order = self.val.clone();
+        let mut rng = SplitMix64::new(seed).derive(0xa1);
+        rng.shuffle(&mut order);
+        let n_holdout = (order.len() as f64 * holdout_ratio).round() as usize;
+        let holdout = order[..n_holdout].to_vec();
+        let fit = order[n_holdout..].to_vec();
+        (fit, holdout)
+    }
+
+    /// Restrict to nodes present in `keep` (a local-index remap), producing
+    /// the split lists of an induced subgraph. `old_to_new[old] == Some(new)`.
+    pub fn localise(&self, old_to_new: &[Option<usize>]) -> Splits {
+        let remap = |xs: &[usize]| -> Vec<usize> {
+            xs.iter()
+                .filter_map(|&i| old_to_new.get(i).copied().flatten())
+                .collect()
+        };
+        Splits {
+            train: remap(&self.train),
+            val: remap(&self.val),
+            test: remap(&self.test),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_respected() {
+        let s = Splits::random(1000, 0.5, 0.25, 0.25, 7);
+        assert_eq!(s.train.len(), 500);
+        assert_eq!(s.val.len(), 250);
+        assert_eq!(s.test.len(), 250);
+    }
+
+    #[test]
+    fn partial_coverage_allowed() {
+        let s = Splits::random(1000, 0.1, 0.02, 0.5, 7);
+        assert_eq!(s.train.len(), 100);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 500);
+        assert_eq!(s.len(), 620);
+    }
+
+    #[test]
+    fn splits_are_disjoint() {
+        let s = Splits::random(500, 0.6, 0.2, 0.2, 11);
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(all.len(), before, "splits overlap");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(
+            Splits::random(100, 0.5, 0.3, 0.2, 3),
+            Splits::random(100, 0.5, 0.3, 0.2, 3)
+        );
+        assert_ne!(
+            Splits::random(100, 0.5, 0.3, 0.2, 3),
+            Splits::random(100, 0.5, 0.3, 0.2, 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn over_unity_panics() {
+        Splits::random(10, 0.8, 0.3, 0.3, 1);
+    }
+
+    #[test]
+    fn split_val_partitions_val() {
+        let s = Splits::random(400, 0.5, 0.3, 0.2, 5);
+        let (fit, holdout) = s.split_val(0.25, 9);
+        assert_eq!(fit.len() + holdout.len(), s.val.len());
+        let mut merged: Vec<usize> = fit.iter().chain(&holdout).copied().collect();
+        merged.sort_unstable();
+        let mut val_sorted = s.val.clone();
+        val_sorted.sort_unstable();
+        assert_eq!(merged, val_sorted);
+    }
+
+    #[test]
+    fn localise_remaps_and_filters() {
+        let s = Splits {
+            train: vec![0, 3],
+            val: vec![1],
+            test: vec![2, 4],
+        };
+        // Keep old nodes {1, 3, 4} -> new ids {0, 1, 2}.
+        let map = vec![None, Some(0), None, Some(1), Some(2)];
+        let local = s.localise(&map);
+        assert_eq!(local.train, vec![1]);
+        assert_eq!(local.val, vec![0]);
+        assert_eq!(local.test, vec![2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Splits::random(50, 0.5, 0.25, 0.25, 1);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Splits>(&json).unwrap(), s);
+    }
+}

@@ -1,0 +1,220 @@
+//! Structural graph statistics.
+//!
+//! Used by the Table-I harness to verify that the synthetic counterparts
+//! carry the structural signatures of their originals (heavy-tailed
+//! degrees for Reddit/ogbn-products, moderate clustering from homophily),
+//! and generally useful for characterising user-supplied datasets.
+
+use crate::csr::CsrGraph;
+use soup_tensor::SplitMix64;
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub median: usize,
+    /// Gini coefficient of the degree distribution: 0 = perfectly uniform,
+    /// →1 = extreme hub concentration.
+    pub gini: f64,
+    /// Fraction of isolated (degree-0) nodes.
+    pub isolated_fraction: f64,
+}
+
+/// Compute degree statistics.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_nodes();
+    assert!(n > 0, "degree_stats on empty graph");
+    let mut degrees: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    let total: usize = degrees.iter().sum();
+    let mean = total as f64 / n as f64;
+    // Gini via the sorted-values formula: G = (2 Σ i·x_i)/(n Σ x) − (n+1)/n.
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i + 1) as f64 * d as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().unwrap(),
+        mean,
+        median: degrees[n / 2],
+        gini,
+        isolated_fraction: isolated as f64 / n as f64,
+    }
+}
+
+/// Average local clustering coefficient estimated over `samples` random
+/// nodes (exact when `samples >= n`). The local coefficient of `v` is the
+/// fraction of its neighbor pairs that are themselves connected.
+pub fn clustering_coefficient(graph: &CsrGraph, samples: usize, seed: u64) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = SplitMix64::new(seed).derive(0xcc);
+    let nodes: Vec<usize> = if samples >= n {
+        (0..n).collect()
+    } else {
+        rng.sample_indices(n, samples)
+    };
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for v in nodes {
+        let neigh = graph.neighbors(v);
+        let d = neigh.len();
+        if d < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                if graph.has_edge(neigh[i] as usize, neigh[j] as usize) {
+                    links += 1;
+                }
+            }
+        }
+        total += links as f64 / (d * (d - 1) / 2) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Log-binned degree histogram: `(lower_bound, count)` per bin, covering
+/// `[1, 2), [2, 4), [4, 8), ...` plus a leading bin for degree 0.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<(usize, usize)> {
+    let max_deg = (0..graph.num_nodes())
+        .map(|v| graph.degree(v))
+        .max()
+        .unwrap_or(0);
+    let mut bins: Vec<(usize, usize)> = vec![(0, 0)];
+    let mut lo = 1usize;
+    while lo <= max_deg.max(1) {
+        bins.push((lo, 0));
+        lo *= 2;
+    }
+    for v in 0..graph.num_nodes() {
+        let d = graph.degree(v);
+        let idx = if d == 0 { 0 } else { (d.ilog2() as usize) + 1 };
+        bins[idx].1 += 1;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SbmConfig;
+
+    fn star(n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, &(1..n as u32).map(|v| (0, v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&star(11));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 20.0 / 11.0).abs() < 1e-9);
+        assert_eq!(s.median, 1);
+        assert!(s.gini > 0.3, "star should be highly unequal: {}", s.gini);
+        assert_eq!(s.isolated_fraction, 0.0);
+    }
+
+    #[test]
+    fn degree_stats_regular_graph_gini_zero() {
+        // 6-cycle: all degrees equal.
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|v| (v, (v + 1) % 6)).collect();
+        let g = CsrGraph::from_edges(6, &edges);
+        let s = degree_stats(&g);
+        assert!(s.gini.abs() < 1e-9, "gini {} for regular graph", s.gini);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn isolated_fraction() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.isolated_fraction, 0.5);
+    }
+
+    #[test]
+    fn clustering_triangle_is_one() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((clustering_coefficient(&g, 10, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_star_is_zero() {
+        let g = star(8);
+        assert_eq!(clustering_coefficient(&g, 100, 1), 0.0);
+    }
+
+    #[test]
+    fn clustering_sampled_close_to_exact() {
+        let synth = SbmConfig {
+            nodes: 500,
+            classes: 4,
+            avg_degree: 14.0,
+            ..Default::default()
+        }
+        .generate(3);
+        let exact = clustering_coefficient(&synth.graph, usize::MAX, 1);
+        let sampled = clustering_coefficient(&synth.graph, 250, 2);
+        assert!(
+            (exact - sampled).abs() < 0.05,
+            "exact {exact} vs sampled {sampled}"
+        );
+    }
+
+    #[test]
+    fn histogram_covers_all_nodes() {
+        let synth = SbmConfig {
+            nodes: 300,
+            classes: 3,
+            ..Default::default()
+        }
+        .generate(4);
+        let hist = degree_histogram(&synth.graph);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 300);
+        // Bin bounds are powers of two.
+        for w in hist.windows(2).skip(1) {
+            assert_eq!(w[1].0, w[0].0 * 2);
+        }
+    }
+
+    #[test]
+    fn hubs_raise_gini() {
+        let flat = SbmConfig {
+            nodes: 400,
+            classes: 4,
+            hub_fraction: 0.0,
+            ..Default::default()
+        }
+        .generate(5);
+        let skewed = SbmConfig {
+            nodes: 400,
+            classes: 4,
+            hub_fraction: 0.05,
+            hub_boost: 12.0,
+            ..Default::default()
+        }
+        .generate(5);
+        let g_flat = degree_stats(&flat.graph).gini;
+        let g_skew = degree_stats(&skewed.graph).gini;
+        assert!(g_skew > g_flat + 0.05, "flat {g_flat} vs skewed {g_skew}");
+    }
+}

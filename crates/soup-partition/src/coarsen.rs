@@ -1,0 +1,152 @@
+//! Weighted working graph and contraction.
+//!
+//! The multilevel hierarchy operates on [`WGraph`]: CSR adjacency with
+//! f32 edge weights (accumulated multiplicities of contracted edges) and
+//! vertex weights (accumulated fine-vertex mass, including the validation
+//! boost). Contraction merges matched pairs, sums parallel edge weights and
+//! drops collapsed self-edges.
+
+use soup_graph::CsrGraph;
+use std::collections::HashMap;
+
+/// Weighted undirected graph used inside the partitioner.
+#[derive(Debug, Clone)]
+pub struct WGraph {
+    pub indptr: Vec<usize>,
+    pub indices: Vec<u32>,
+    pub eweights: Vec<f32>,
+    pub vweights: Vec<f32>,
+}
+
+impl WGraph {
+    /// Lift a [`CsrGraph`] with unit edge weights and given vertex weights.
+    pub fn from_csr(g: &CsrGraph, vweights: Vec<f32>) -> Self {
+        assert_eq!(
+            vweights.len(),
+            g.num_nodes(),
+            "vertex weight length mismatch"
+        );
+        Self {
+            indptr: g.indptr().to_vec(),
+            indices: g.indices().to_vec(),
+            eweights: vec![1.0; g.num_directed_edges()],
+            vweights,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.vweights.len()
+    }
+
+    pub fn degree(&self, v: usize) -> usize {
+        self.indptr[v + 1] - self.indptr[v]
+    }
+
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        (self.indptr[v]..self.indptr[v + 1]).map(move |e| (self.indices[e], self.eweights[e]))
+    }
+
+    pub fn total_vweight(&self) -> f64 {
+        self.vweights.iter().map(|&w| w as f64).sum()
+    }
+
+    /// Contract according to `coarse_of` (fine vertex → coarse vertex id,
+    /// ids dense in `0..n_coarse`). Parallel edges merge; self-edges drop.
+    pub fn contract(&self, coarse_of: &[u32], n_coarse: usize) -> WGraph {
+        assert_eq!(coarse_of.len(), self.num_nodes());
+        let mut vweights = vec![0.0f32; n_coarse];
+        for (v, &c) in coarse_of.iter().enumerate() {
+            vweights[c as usize] += self.vweights[v];
+        }
+        // Accumulate coarse adjacency per coarse vertex.
+        let mut coarse_adj: Vec<HashMap<u32, f32>> = vec![HashMap::new(); n_coarse];
+        for v in 0..self.num_nodes() {
+            let cv = coarse_of[v];
+            for (u, w) in self.neighbors(v) {
+                let cu = coarse_of[u as usize];
+                if cu != cv {
+                    *coarse_adj[cv as usize].entry(cu).or_insert(0.0) += w;
+                }
+            }
+        }
+        let mut indptr = vec![0usize; n_coarse + 1];
+        let mut indices = Vec::new();
+        let mut eweights = Vec::new();
+        for (c, adj) in coarse_adj.iter().enumerate() {
+            let mut entries: Vec<(u32, f32)> = adj.iter().map(|(&u, &w)| (u, w)).collect();
+            entries.sort_unstable_by_key(|&(u, _)| u);
+            for (u, w) in entries {
+                indices.push(u);
+                eweights.push(w);
+            }
+            indptr[c + 1] = indices.len();
+        }
+        WGraph {
+            indptr,
+            indices,
+            eweights,
+            vweights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> WGraph {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        WGraph::from_csr(&g, vec![1.0; 4])
+    }
+
+    #[test]
+    fn lift_from_csr() {
+        let w = path4();
+        assert_eq!(w.num_nodes(), 4);
+        assert_eq!(w.degree(1), 2);
+        assert_eq!(w.total_vweight(), 4.0);
+        let n1: Vec<(u32, f32)> = w.neighbors(1).collect();
+        assert_eq!(n1, vec![(0, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn contract_merges_pairs() {
+        let w = path4();
+        // Merge {0,1} -> 0 and {2,3} -> 1.
+        let coarse = w.contract(&[0, 0, 1, 1], 2);
+        assert_eq!(coarse.num_nodes(), 2);
+        assert_eq!(coarse.vweights, vec![2.0, 2.0]);
+        // Single coarse edge 0-1 with weight 1 (the 1-2 edge).
+        let n0: Vec<(u32, f32)> = coarse.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn contract_sums_parallel_edges() {
+        // Square 0-1, 1-2, 2-3, 3-0; merge {0,1} and {2,3}: two parallel
+        // coarse edges (1-2 and 3-0) must sum to weight 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let w = WGraph::from_csr(&g, vec![1.0; 4]);
+        let coarse = w.contract(&[0, 0, 1, 1], 2);
+        let n0: Vec<(u32, f32)> = coarse.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn contract_drops_self_edges() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = WGraph::from_csr(&g, vec![1.0; 3]);
+        let coarse = w.contract(&[0, 0, 0], 1);
+        assert_eq!(coarse.num_nodes(), 1);
+        assert_eq!(coarse.degree(0), 0);
+        assert_eq!(coarse.vweights, vec![3.0]);
+    }
+
+    #[test]
+    fn vertex_weights_conserved() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w = WGraph::from_csr(&g, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let coarse = w.contract(&[0, 0, 1, 1, 2], 3);
+        assert_eq!(coarse.total_vweight(), w.total_vweight());
+    }
+}

@@ -1,0 +1,183 @@
+//! Initial partitioning by greedy graph growing (GGP).
+//!
+//! On the coarsest graph, partitions are grown one at a time from a seed:
+//! the partition absorbs the unassigned frontier vertex with the strongest
+//! connection to it until the partition reaches its weight quota, then the
+//! next partition starts from an unassigned vertex far from the previous
+//! regions. Leftover vertices (disconnected remnants) go to the lightest
+//! partition.
+
+use crate::coarsen::WGraph;
+use soup_tensor::SplitMix64;
+
+/// Greedy graph-growing k-way initial partition, balanced by vertex weight.
+#[allow(clippy::needless_range_loop)] // part/vertex ids index multiple arrays
+pub fn greedy_growing(g: &WGraph, k: usize, rng: &mut SplitMix64) -> Vec<u32> {
+    let n = g.num_nodes();
+    assert!(k >= 1, "k must be >= 1");
+    assert!(n >= k, "cannot split {n} vertices into {k} parts");
+    let total = g.total_vweight();
+    let quota = total / k as f64;
+    let mut assignment = vec![u32::MAX; n];
+    let mut loads = vec![0.0f64; k];
+
+    for part in 0..k {
+        // Seed: random unassigned vertex.
+        let unassigned: Vec<usize> = (0..n).filter(|&v| assignment[v] == u32::MAX).collect();
+        if unassigned.is_empty() {
+            break;
+        }
+        let seed = unassigned[rng.next_below(unassigned.len())];
+        assignment[seed] = part as u32;
+        loads[part] += g.vweights[seed] as f64;
+
+        // Gain map: connection strength of unassigned vertices to `part`.
+        let mut gain = vec![0.0f32; n];
+        let mut in_frontier = vec![false; n];
+        let mut frontier: Vec<usize> = Vec::new();
+        let push_neighbors = |v: usize,
+                              assignment: &[u32],
+                              gain: &mut [f32],
+                              in_frontier: &mut [bool],
+                              frontier: &mut Vec<usize>| {
+            for (u, w) in g.neighbors(v) {
+                let u = u as usize;
+                if assignment[u] == u32::MAX {
+                    gain[u] += w;
+                    if !in_frontier[u] {
+                        in_frontier[u] = true;
+                        frontier.push(u);
+                    }
+                }
+            }
+        };
+        push_neighbors(
+            seed,
+            &assignment,
+            &mut gain,
+            &mut in_frontier,
+            &mut frontier,
+        );
+
+        // Grow until quota (last partition keeps absorbing leftovers later).
+        while loads[part] < quota && part + 1 < k {
+            // Pick frontier vertex with max gain.
+            let mut best: Option<(usize, f32)> = None;
+            frontier.retain(|&u| assignment[u] == u32::MAX);
+            for &u in &frontier {
+                if best.is_none_or(|(_, bw)| gain[u] > bw) {
+                    best = Some((u, gain[u]));
+                }
+            }
+            let Some((u, _)) = best else { break }; // region exhausted
+            assignment[u] = part as u32;
+            loads[part] += g.vweights[u] as f64;
+            in_frontier[u] = false;
+            push_neighbors(u, &assignment, &mut gain, &mut in_frontier, &mut frontier);
+        }
+    }
+
+    // Whatever remains goes to the lightest partition (keeps balance).
+    for v in 0..n {
+        if assignment[v] == u32::MAX {
+            let lightest = (0..k)
+                .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+                .unwrap();
+            assignment[v] = lightest as u32;
+            loads[lightest] += g.vweights[v] as f64;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_graph::CsrGraph;
+
+    fn grid(w: usize, h: usize) -> WGraph {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        WGraph::from_csr(&CsrGraph::from_edges(w * h, &edges), vec![1.0; w * h])
+    }
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = grid(8, 8);
+        let a = greedy_growing(&g, 4, &mut SplitMix64::new(1));
+        assert!(a.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn all_parts_non_empty() {
+        let g = grid(10, 10);
+        let a = greedy_growing(&g, 5, &mut SplitMix64::new(2));
+        let mut seen = vec![false; 5];
+        for &p in &a {
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "empty partition: {seen:?}");
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = grid(12, 12);
+        let a = greedy_growing(&g, 4, &mut SplitMix64::new(3));
+        let mut counts = vec![0usize; 4];
+        for &p in &a {
+            counts[p as usize] += 1;
+        }
+        let target = 144 / 4;
+        for &c in &counts {
+            assert!(
+                c as f64 > target as f64 * 0.5 && (c as f64) < target as f64 * 1.8,
+                "counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let g = grid(4, 4);
+        let a = greedy_growing(&g, 1, &mut SplitMix64::new(4));
+        assert!(a.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn respects_vertex_weights() {
+        // Two heavy vertices should not land in the same partition when
+        // k=2 and everything else is light.
+        let csr = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut vw = vec![1.0; 6];
+        vw[0] = 10.0;
+        vw[5] = 10.0;
+        let g = WGraph::from_csr(&csr, vw);
+        let a = greedy_growing(&g, 2, &mut SplitMix64::new(5));
+        assert_ne!(a[0], a[5], "heavy vertices in same part: {a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_parts_panics() {
+        let g = grid(2, 1);
+        greedy_growing(&g, 5, &mut SplitMix64::new(1));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let g = grid(6, 6);
+        let a = greedy_growing(&g, 3, &mut SplitMix64::new(9));
+        let b = greedy_growing(&g, 3, &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+//! The multilevel k-way driver.
+//!
+//! Coarsen with heavy-edge matching until the graph is small, partition the
+//! coarsest level with greedy graph growing, then project back up the
+//! hierarchy refining the boundary at every level.
+
+use crate::coarsen::WGraph;
+use crate::initial::greedy_growing;
+use crate::matching::heavy_edge_matching;
+use crate::quality::balance_ratio;
+use crate::refine::refine_boundary;
+use soup_graph::CsrGraph;
+use soup_tensor::SplitMix64;
+
+/// Partitioner configuration.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Number of parts `K`.
+    pub k: usize,
+    /// Balance cap: max partition weight ≤ `imbalance × total/k`.
+    pub imbalance: f64,
+    /// Refinement passes per level.
+    pub refine_passes: usize,
+    /// Stop coarsening once the graph has at most `coarsen_to × k` vertices.
+    pub coarsen_to: usize,
+    /// RNG seed (matching order, seeds, move order).
+    pub seed: u64,
+}
+
+impl PartitionConfig {
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            imbalance: 1.10,
+            refine_passes: 4,
+            coarsen_to: 20,
+            seed: 0,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A k-way partitioning of a graph.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// `assignment[v]` is the part id of node `v`, in `0..k`.
+    pub assignment: Vec<u32>,
+    pub k: usize,
+}
+
+impl Partitioning {
+    /// Node lists per part.
+    pub fn part_nodes(&self) -> Vec<Vec<usize>> {
+        let mut parts = vec![Vec::new(); self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            parts[p as usize].push(v);
+        }
+        parts
+    }
+
+    /// Size of each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Multilevel k-way partitioning of `graph` with the given vertex weights.
+pub fn partition_graph(graph: &CsrGraph, vweights: &[f32], cfg: &PartitionConfig) -> Partitioning {
+    assert!(cfg.k >= 1, "k must be >= 1");
+    assert!(graph.num_nodes() >= cfg.k, "fewer nodes than parts");
+    assert!(cfg.imbalance >= 1.0, "imbalance must be >= 1.0");
+    let mut rng = SplitMix64::new(cfg.seed).derive(0x9a27);
+
+    if cfg.k == 1 {
+        return Partitioning {
+            assignment: vec![0; graph.num_nodes()],
+            k: 1,
+        };
+    }
+
+    // --- Coarsening phase.
+    let mut levels: Vec<WGraph> = vec![WGraph::from_csr(graph, vweights.to_vec())];
+    let mut maps: Vec<Vec<u32>> = Vec::new();
+    loop {
+        let top = levels.last().unwrap();
+        if top.num_nodes() <= cfg.coarsen_to * cfg.k {
+            break;
+        }
+        let matching = heavy_edge_matching(top, &mut rng);
+        // Stalled coarsening (few contractions) -> stop to avoid looping.
+        if matching.n_coarse as f64 > top.num_nodes() as f64 * 0.95 {
+            break;
+        }
+        let coarse = top.contract(&matching.coarse_of, matching.n_coarse);
+        maps.push(matching.coarse_of);
+        levels.push(coarse);
+    }
+
+    // --- Initial partition on the coarsest level.
+    let coarsest = levels.last().unwrap();
+    let mut assignment = greedy_growing(coarsest, cfg.k, &mut rng);
+    let total = coarsest.total_vweight();
+    let max_load = cfg.imbalance * total / cfg.k as f64;
+    refine_boundary(
+        coarsest,
+        &mut assignment,
+        cfg.k,
+        max_load,
+        cfg.refine_passes,
+        &mut rng,
+    );
+
+    // --- Uncoarsening with refinement.
+    for level in (0..maps.len()).rev() {
+        let fine = &levels[level];
+        let map = &maps[level];
+        let mut fine_assignment = vec![0u32; fine.num_nodes()];
+        for v in 0..fine.num_nodes() {
+            fine_assignment[v] = assignment[map[v] as usize];
+        }
+        let max_load = cfg.imbalance * fine.total_vweight() / cfg.k as f64;
+        refine_boundary(
+            fine,
+            &mut fine_assignment,
+            cfg.k,
+            max_load,
+            cfg.refine_passes,
+            &mut rng,
+        );
+        assignment = fine_assignment;
+    }
+
+    debug_assert_eq!(assignment.len(), graph.num_nodes());
+    debug_assert!(
+        balance_ratio(vweights, &assignment, cfg.k) <= cfg.imbalance * 2.5,
+        "partitioner produced severe imbalance"
+    );
+    Partitioning {
+        assignment,
+        k: cfg.k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{balance_ratio, edge_cut};
+    use soup_graph::SbmConfig;
+
+    fn grid_graph(w: usize, h: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(w * h, &edges)
+    }
+
+    #[test]
+    fn partitions_grid_reasonably() {
+        let g = grid_graph(16, 16); // 256 nodes, 480 edges
+        let w = vec![1.0f32; 256];
+        let p = partition_graph(&g, &w, &PartitionConfig::new(4).with_seed(1));
+        assert_eq!(p.assignment.len(), 256);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+        let ratio = balance_ratio(&w, &p.assignment, 4);
+        assert!(ratio < 1.4, "balance ratio {ratio}");
+        // A decent 4-way cut of a 16x16 grid is ~2 grid lines ≈ 32; random
+        // assignment would cut ~3/4 of 480 = 360.
+        let cut = edge_cut(&g, &p.assignment);
+        assert!(cut < 120, "edge cut {cut}");
+    }
+
+    #[test]
+    fn k_one_trivial() {
+        let g = grid_graph(4, 4);
+        let p = partition_graph(&g, &[1.0; 16], &PartitionConfig::new(1));
+        assert!(p.assignment.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let g = grid_graph(10, 10);
+        let w = vec![1.0f32; 100];
+        let a = partition_graph(&g, &w, &PartitionConfig::new(4).with_seed(7));
+        let b = partition_graph(&g, &w, &PartitionConfig::new(4).with_seed(7));
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn beats_random_cut_on_sbm() {
+        let synth = SbmConfig {
+            nodes: 800,
+            classes: 4,
+            avg_degree: 12.0,
+            ..Default::default()
+        }
+        .generate(3);
+        let g = &synth.graph;
+        let w = vec![1.0f32; 800];
+        let p = partition_graph(g, &w, &PartitionConfig::new(8).with_seed(2));
+        let cut = edge_cut(g, &p.assignment);
+        // Random 8-way assignment cuts ~7/8 of edges.
+        let mut rng = SplitMix64::new(11);
+        let random: Vec<u32> = (0..800).map(|_| rng.next_below(8) as u32).collect();
+        let random_cut = edge_cut(g, &random);
+        assert!(
+            (cut as f64) < 0.8 * random_cut as f64,
+            "multilevel cut {cut} vs random {random_cut}"
+        );
+    }
+
+    #[test]
+    fn respects_vertex_weights_in_balance() {
+        let g = grid_graph(10, 10);
+        // Half the nodes are 5x heavier.
+        let w: Vec<f32> = (0..100).map(|v| if v < 50 { 5.0 } else { 1.0 }).collect();
+        let p = partition_graph(&g, &w, &PartitionConfig::new(4).with_seed(3));
+        let ratio = balance_ratio(&w, &p.assignment, 4);
+        assert!(ratio < 1.6, "weighted balance ratio {ratio}");
+    }
+
+    #[test]
+    fn many_parts() {
+        let g = grid_graph(20, 20);
+        let p = partition_graph(&g, &[1.0; 400], &PartitionConfig::new(32).with_seed(4));
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.len(), 32);
+        assert!(sizes.iter().all(|&s| s > 0), "sizes={sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer nodes")]
+    fn too_many_parts_panics() {
+        let g = grid_graph(2, 2);
+        partition_graph(&g, &[1.0; 4], &PartitionConfig::new(8));
+    }
+}

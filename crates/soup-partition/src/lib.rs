@@ -1,0 +1,37 @@
+//! # soup-partition
+//!
+//! A multilevel k-way graph partitioner in the spirit of METIS (Karypis &
+//! Kumar 1997), which the paper uses to prepare Partition Learned Souping's
+//! partition pool: *"PLS begins by partitioning the graph into a set of P
+//! partitions using a partitioning algorithm such as Metis, which balances
+//! the number of validation nodes across partitions"* (§III-C).
+//!
+//! Pipeline (classic three phases):
+//!
+//! 1. **Coarsening** ([`matching`], [`coarsen`]) — heavy-edge matching
+//!    contracts the graph level by level until it is small.
+//! 2. **Initial partitioning** ([`initial`]) — greedy graph growing on the
+//!    coarsest graph, balanced by vertex weight.
+//! 3. **Uncoarsening + refinement** ([`refine`]) — the assignment is
+//!    projected back level by level and improved with boundary
+//!    Fiduccia–Mattheyses-style moves under a balance constraint.
+//!
+//! Validation-node balancing is expressed through vertex weights
+//! ([`valbalance`]): validation nodes get a weight boost so the balance
+//! constraint equalises validation mass across parts, which is what PLS
+//! needs (each epoch's subgraph must carry a representative share of
+//! validation nodes).
+
+pub mod baselines;
+pub mod coarsen;
+pub mod initial;
+pub mod kway;
+pub mod matching;
+pub mod quality;
+pub mod refine;
+pub mod valbalance;
+
+pub use baselines::{bfs_partition, random_partition};
+pub use kway::{partition_graph, PartitionConfig, Partitioning};
+pub use quality::{balance_ratio, edge_cut};
+pub use valbalance::{partition_val_balanced, val_weights};

@@ -1,0 +1,152 @@
+//! Heavy-edge matching (HEM) for coarsening.
+//!
+//! Visit vertices in random order; each unmatched vertex matches with its
+//! unmatched neighbor of maximum edge weight (ties: smaller vertex weight,
+//! to keep coarse vertices balanced). Unmatchable vertices survive as
+//! singletons. HEM is the standard METIS coarsening heuristic: contracting
+//! heavy edges removes as much edge weight as possible from future cuts.
+
+use crate::coarsen::WGraph;
+use soup_tensor::SplitMix64;
+
+/// Result of one matching pass: fine→coarse map and coarse vertex count.
+#[derive(Debug)]
+pub struct Matching {
+    pub coarse_of: Vec<u32>,
+    pub n_coarse: usize,
+}
+
+/// Compute a heavy-edge matching.
+pub fn heavy_edge_matching(g: &WGraph, rng: &mut SplitMix64) -> Matching {
+    let n = g.num_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut mate: Vec<Option<usize>> = vec![None; n];
+    for &v in &order {
+        if mate[v].is_some() {
+            continue;
+        }
+        let mut best: Option<(usize, f32)> = None;
+        for (u, w) in g.neighbors(v) {
+            let u = u as usize;
+            if u == v || mate[u].is_some() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bu, bw)) => w > bw || (w == bw && g.vweights[u] < g.vweights[bu]),
+            };
+            if better {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            mate[v] = Some(u);
+            mate[u] = Some(v);
+        }
+    }
+    // Assign dense coarse ids: matched pairs share one id.
+    let mut coarse_of = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if coarse_of[v] != u32::MAX {
+            continue;
+        }
+        coarse_of[v] = next;
+        if let Some(u) = mate[v] {
+            coarse_of[u] = next;
+        }
+        next += 1;
+    }
+    Matching {
+        coarse_of,
+        n_coarse: next as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_graph::CsrGraph;
+
+    fn wgraph(n: usize, edges: &[(u32, u32)]) -> WGraph {
+        WGraph::from_csr(&CsrGraph::from_edges(n, edges), vec![1.0; n])
+    }
+
+    #[test]
+    fn matching_is_valid() {
+        let g = wgraph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let m = heavy_edge_matching(&g, &mut SplitMix64::new(1));
+        // Every coarse id appears at most twice.
+        let mut counts = vec![0usize; m.n_coarse];
+        for &c in &m.coarse_of {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
+        // Matched pairs must be adjacent.
+        for v in 0..6 {
+            for u in 0..6 {
+                if v != u && m.coarse_of[v] == m.coarse_of[u] {
+                    let g2 =
+                        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+                    assert!(g2.has_edge(v, u), "non-adjacent pair {v},{u} matched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_matches_nearly_all() {
+        let edges: Vec<(u32, u32)> = (0..20u32).map(|v| (v, (v + 1) % 20)).collect();
+        let g = wgraph(20, &edges);
+        let m = heavy_edge_matching(&g, &mut SplitMix64::new(2));
+        // A 20-cycle admits a perfect matching; HEM should get close.
+        assert!(m.n_coarse <= 12, "n_coarse={}", m.n_coarse);
+        assert!(m.n_coarse >= 10);
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // 4-cycle with two heavy opposite edges: 0-1 and 2-3 weigh 5, the
+        // light edges 1-2 and 3-0 weigh 1. Every vertex's max-weight
+        // neighbor is its heavy mate, so HEM must find both heavy pairs
+        // regardless of visit order.
+        let csr = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut g = WGraph::from_csr(&csr, vec![1.0; 4]);
+        let heavy = [(0u32, 1u32), (1, 0), (2, 3), (3, 2)];
+        for v in 0..4 {
+            for e in g.indptr[v]..g.indptr[v + 1] {
+                if heavy.contains(&(v as u32, g.indices[e])) {
+                    g.eweights[e] = 5.0;
+                }
+            }
+        }
+        for seed in 0..10 {
+            let m = heavy_edge_matching(&g, &mut SplitMix64::new(seed));
+            assert_eq!(
+                m.coarse_of[0], m.coarse_of[1],
+                "seed {seed} ignored heavy edge 0-1"
+            );
+            assert_eq!(
+                m.coarse_of[2], m.coarse_of[3],
+                "seed {seed} ignored heavy edge 2-3"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = wgraph(4, &[(0, 1)]);
+        let m = heavy_edge_matching(&g, &mut SplitMix64::new(3));
+        assert_eq!(m.n_coarse, 3); // pair {0,1} + two singletons
+        assert_ne!(m.coarse_of[2], m.coarse_of[3]);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let g = wgraph(10, &[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (1, 2)]);
+        let a = heavy_edge_matching(&g, &mut SplitMix64::new(7));
+        let b = heavy_edge_matching(&g, &mut SplitMix64::new(7));
+        assert_eq!(a.coarse_of, b.coarse_of);
+    }
+}

@@ -1,0 +1,93 @@
+//! Partition quality metrics: edge cut and balance.
+
+use crate::coarsen::WGraph;
+use soup_graph::CsrGraph;
+
+/// Total weight of edges crossing partition boundaries (each undirected
+/// edge counted once) on a weighted working graph.
+pub fn edge_cut_wgraph(g: &WGraph, assignment: &[u32]) -> f64 {
+    let mut cut = 0.0f64;
+    for v in 0..g.num_nodes() {
+        for (u, w) in g.neighbors(v) {
+            if assignment[v] != assignment[u as usize] {
+                cut += w as f64;
+            }
+        }
+    }
+    cut / 2.0
+}
+
+/// Number of edges crossing partition boundaries on a [`CsrGraph`].
+pub fn edge_cut(g: &CsrGraph, assignment: &[u32]) -> usize {
+    assert_eq!(assignment.len(), g.num_nodes());
+    let mut cut = 0usize;
+    for v in 0..g.num_nodes() {
+        for &u in g.neighbors(v) {
+            if assignment[v] != assignment[u as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// Maximum partition weight divided by the ideal (total/k): 1.0 is perfect
+/// balance; METIS-style constraints allow e.g. ≤ 1.05.
+pub fn balance_ratio(vweights: &[f32], assignment: &[u32], k: usize) -> f64 {
+    assert_eq!(vweights.len(), assignment.len());
+    let mut loads = vec![0.0f64; k];
+    for (v, &p) in assignment.iter().enumerate() {
+        loads[p as usize] += vweights[v] as f64;
+    }
+    let total: f64 = loads.iter().sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let ideal = total / k as f64;
+    loads.iter().cloned().fold(0.0f64, f64::max) / ideal
+}
+
+/// Per-partition counts of the nodes listed in `subset` (e.g. validation
+/// nodes) — used to verify the §III-C validation-balancing requirement.
+pub fn subset_counts(assignment: &[u32], subset: &[usize], k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for &v in subset {
+        counts[assignment[v] as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_cut_counts_crossings() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn balance_ratio_perfect_and_skewed() {
+        let w = vec![1.0f32; 4];
+        assert_eq!(balance_ratio(&w, &[0, 0, 1, 1], 2), 1.0);
+        assert_eq!(balance_ratio(&w, &[0, 0, 0, 1], 2), 1.5);
+        assert_eq!(balance_ratio(&w, &[0, 0, 0, 0], 2), 2.0);
+    }
+
+    #[test]
+    fn balance_uses_vertex_weights() {
+        let w = vec![3.0f32, 1.0, 1.0, 1.0];
+        // Part 0: {0} weight 3; part 1: {1,2,3} weight 3 -> perfectly even.
+        assert_eq!(balance_ratio(&w, &[0, 1, 1, 1], 2), 1.0);
+    }
+
+    #[test]
+    fn subset_counts_works() {
+        let assignment = vec![0u32, 1, 0, 1, 0];
+        let counts = subset_counts(&assignment, &[0, 1, 4], 2);
+        assert_eq!(counts, vec![2, 1]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Boundary refinement (Fiduccia–Mattheyses-flavoured).
+//!
+//! After projecting a coarse assignment to a finer level, boundary vertices
+//! are visited in random order; each moves to the adjacent partition with
+//! the largest positive cut-gain, provided the move keeps every partition
+//! under the balance cap. Several passes run until no move helps. This is
+//! the greedy single-vertex variant of FM (no hill-climbing buckets), which
+//! is what METIS uses between levels in its k-way refinement.
+
+use crate::coarsen::WGraph;
+use soup_tensor::SplitMix64;
+
+/// Refine `assignment` in place. Returns the number of moves applied.
+pub fn refine_boundary(
+    g: &WGraph,
+    assignment: &mut [u32],
+    k: usize,
+    max_load: f64,
+    passes: usize,
+    rng: &mut SplitMix64,
+) -> usize {
+    let n = g.num_nodes();
+    let mut loads = vec![0.0f64; k];
+    for v in 0..n {
+        loads[assignment[v] as usize] += g.vweights[v] as f64;
+    }
+    let mut total_moves = 0usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..passes {
+        rng.shuffle(&mut order);
+        let mut moved = 0usize;
+        for &v in &order {
+            let own = assignment[v] as usize;
+            // Connection weight to each adjacent partition.
+            let mut conn: Vec<(usize, f32)> = Vec::new();
+            let mut own_conn = 0.0f32;
+            for (u, w) in g.neighbors(v) {
+                let pu = assignment[u as usize] as usize;
+                if pu == own {
+                    own_conn += w;
+                } else if let Some(entry) = conn.iter_mut().find(|(p, _)| *p == pu) {
+                    entry.1 += w;
+                } else {
+                    conn.push((pu, w));
+                }
+            }
+            if conn.is_empty() {
+                continue; // interior vertex
+            }
+            let vw = g.vweights[v] as f64;
+            let mut best: Option<(usize, f32)> = None;
+            for &(p, w) in &conn {
+                let gain = w - own_conn;
+                if gain > 0.0 && loads[p] + vw <= max_load && best.is_none_or(|(_, bg)| gain > bg) {
+                    best = Some((p, gain));
+                }
+            }
+            if let Some((p, _)) = best {
+                assignment[v] = p as u32;
+                loads[own] -= vw;
+                loads[p] += vw;
+                moved += 1;
+            }
+        }
+        total_moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::edge_cut_wgraph;
+    use soup_graph::CsrGraph;
+
+    /// Two dense cliques joined by one bridge edge.
+    fn two_cliques(size: usize) -> WGraph {
+        let mut edges = Vec::new();
+        for a in 0..size as u32 {
+            for b in (a + 1)..size as u32 {
+                edges.push((a, b));
+                edges.push((a + size as u32, b + size as u32));
+            }
+        }
+        edges.push((0, size as u32));
+        WGraph::from_csr(&CsrGraph::from_edges(2 * size, &edges), vec![1.0; 2 * size])
+    }
+
+    #[test]
+    fn fixes_one_misassigned_vertex() {
+        let g = two_cliques(5);
+        // Perfect split except vertex 4 is on the wrong side.
+        let mut a: Vec<u32> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
+        a[4] = 1;
+        let before = edge_cut_wgraph(&g, &a);
+        let moves = refine_boundary(&g, &mut a, 2, 6.0, 4, &mut SplitMix64::new(1));
+        let after = edge_cut_wgraph(&g, &a);
+        assert!(moves >= 1);
+        assert!(after < before, "cut {before} -> {after}");
+        assert_eq!(a[4], 0, "vertex 4 should return to its clique");
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = two_cliques(5);
+        // Everything in partition 0; cap prevents mass migration beyond 6.
+        let mut a = vec![0u32; 10];
+        refine_boundary(&g, &mut a, 2, 6.0, 8, &mut SplitMix64::new(2));
+        let load0 = a.iter().filter(|&&p| p == 0).count();
+        let load1 = 10 - load0;
+        assert!(load0 <= 6 + 4, "load0={load0}"); // cap only limits part 1 here
+        assert!(load1 <= 6, "moves exceeded cap: load1={load1}");
+    }
+
+    #[test]
+    fn never_worsens_cut() {
+        let g = two_cliques(6);
+        let mut a: Vec<u32> = (0..12).map(|v| if v % 2 == 0 { 0 } else { 1 }).collect();
+        let before = edge_cut_wgraph(&g, &a);
+        refine_boundary(&g, &mut a, 2, 8.0, 6, &mut SplitMix64::new(3));
+        let after = edge_cut_wgraph(&g, &a);
+        assert!(after <= before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn converges_to_zero_moves() {
+        let g = two_cliques(5);
+        let mut a: Vec<u32> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
+        // Already optimal: no moves possible.
+        let moves = refine_boundary(&g, &mut a, 2, 6.0, 5, &mut SplitMix64::new(4));
+        assert_eq!(moves, 0);
+    }
+}

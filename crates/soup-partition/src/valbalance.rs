@@ -1,0 +1,119 @@
+//! Validation-node-balanced partitioning.
+//!
+//! PLS evaluates its loss on the validation nodes of each epoch's subgraph
+//! (Alg. 4), so partitions must each carry a representative share of the
+//! validation set — §III-C: the partitioner "balances the number of
+//! validation nodes across partitions". We encode this as vertex weights:
+//! a validation node weighs `1 + boost` where `boost = n / |val|`, making
+//! total validation mass comparable to total structural mass, so the
+//! balance constraint equalises both simultaneously.
+
+use crate::kway::{partition_graph, PartitionConfig, Partitioning};
+use soup_graph::{CsrGraph, Splits};
+
+/// Vertex weights that make the balance constraint account for validation
+/// nodes as strongly as for structural nodes.
+pub fn val_weights(n: usize, val: &[usize]) -> Vec<f32> {
+    let mut w = vec![1.0f32; n];
+    if val.is_empty() {
+        return w;
+    }
+    let boost = (n as f32 / val.len() as f32).max(1.0);
+    for &v in val {
+        assert!(v < n, "validation node {v} out of range");
+        w[v] += boost;
+    }
+    w
+}
+
+/// Partition `graph` into `cfg.k` parts, balancing validation nodes.
+pub fn partition_val_balanced(
+    graph: &CsrGraph,
+    splits: &Splits,
+    cfg: &PartitionConfig,
+) -> Partitioning {
+    let w = val_weights(graph.num_nodes(), &splits.val);
+    partition_graph(graph, &w, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::subset_counts;
+    use soup_graph::SbmConfig;
+
+    #[test]
+    fn weights_boost_val_nodes() {
+        let w = val_weights(10, &[2, 5]);
+        assert_eq!(w[0], 1.0);
+        assert_eq!(w[2], 6.0); // 1 + 10/2
+        assert_eq!(w[5], 6.0);
+    }
+
+    #[test]
+    fn empty_val_uniform_weights() {
+        let w = val_weights(4, &[]);
+        assert_eq!(w, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_val_node_panics() {
+        val_weights(3, &[7]);
+    }
+
+    #[test]
+    fn val_nodes_spread_across_partitions() {
+        let synth = SbmConfig {
+            nodes: 1200,
+            classes: 4,
+            avg_degree: 10.0,
+            ..Default::default()
+        }
+        .generate(5);
+        let splits = Splits::random(1200, 0.5, 0.25, 0.25, 5);
+        let k = 8;
+        let p =
+            partition_val_balanced(&synth.graph, &splits, &PartitionConfig::new(k).with_seed(1));
+        let counts = subset_counts(&p.assignment, &splits.val, k);
+        let ideal = splits.val.len() as f64 / k as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) < ideal * 2.0 && (c as f64) > ideal * 0.3,
+                "part {i} has {c} val nodes (ideal {ideal}); counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_better_than_unit_weights_in_worst_case() {
+        // Concentrate validation nodes in one SBM block; unit-weight
+        // partitioning tends to isolate the block while val-balanced
+        // weights spread it.
+        let synth = SbmConfig {
+            nodes: 800,
+            classes: 4,
+            avg_degree: 12.0,
+            homophily: 0.95,
+            ..Default::default()
+        }
+        .generate(9);
+        // All validation nodes in class 0.
+        let val: Vec<usize> = (0..800)
+            .filter(|&v| synth.labels[v] == 0)
+            .take(100)
+            .collect();
+        let splits = Splits {
+            train: vec![],
+            val,
+            test: vec![],
+        };
+        let k = 4;
+        let balanced =
+            partition_val_balanced(&synth.graph, &splits, &PartitionConfig::new(k).with_seed(3));
+        let counts = subset_counts(&balanced.assignment, &splits.val, k);
+        let max_b = *counts.iter().max().unwrap() as f64;
+        // Balanced: no partition hoards most of the val nodes.
+        assert!(max_b <= 0.72 * splits.val.len() as f64, "counts={counts:?}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Parameter initialisation schemes.
+//!
+//! The paper initialises GNN weights with Glorot/Xavier initialisation
+//! (§III-B, citing Glorot & Bengio 2010), and the Learned Souping
+//! interpolation parameters "using Normal Xavier Initialization" (Alg. 3).
+//! Both variants are provided here; the souping crate and the GNN layers
+//! use them exclusively so that ingredient replicas share the paper's
+//! initialisation statistics.
+
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+
+/// Glorot/Xavier **normal**: `N(0, gain^2 * 2 / (fan_in + fan_out))`.
+pub fn xavier_normal(fan_in: usize, fan_out: usize, gain: f32, rng: &mut SplitMix64) -> Tensor {
+    let sigma = gain * (2.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::randn(fan_in, fan_out, sigma, rng)
+}
+
+/// Glorot/Xavier **uniform**: `U(-a, a)` with `a = gain * sqrt(6/(fan_in+fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, gain: f32, rng: &mut SplitMix64) -> Tensor {
+    let a = gain * (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Xavier-normal initialisation of an arbitrary-shaped tensor where the
+/// fan is given explicitly — used for attention vectors `(1, heads*dim)`
+/// whose fan is the feature dimension, not the literal tensor shape.
+pub fn xavier_normal_shaped(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    gain: f32,
+    rng: &mut SplitMix64,
+) -> Tensor {
+    let sigma = gain * (2.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::randn(rows, cols, sigma, rng)
+}
+
+/// Zero-initialised bias row `(1, n)`.
+pub fn zeros_bias(n: usize) -> Tensor {
+    Tensor::zeros(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_normal_variance() {
+        let mut rng = SplitMix64::new(42);
+        let w = xavier_normal(200, 100, 1.0, &mut rng);
+        let expected_var = 2.0 / 300.0;
+        let var = w.norm_sq() / w.len() as f32;
+        assert!((var - expected_var).abs() < 0.2 * expected_var, "var={var}");
+        assert!(w.mean().abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = SplitMix64::new(43);
+        let w = xavier_uniform(50, 50, 1.0, &mut rng);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(w.max_abs() <= a);
+        // Uniform variance a^2/3.
+        let var = w.norm_sq() / w.len() as f32;
+        assert!((var - a * a / 3.0).abs() < 0.01, "var={var}");
+    }
+
+    #[test]
+    fn gain_scales_spread() {
+        let mut r1 = SplitMix64::new(7);
+        let mut r2 = SplitMix64::new(7);
+        let w1 = xavier_normal(64, 64, 1.0, &mut r1);
+        let w2 = xavier_normal(64, 64, 2.0, &mut r2);
+        assert!(w2.allclose(&w1.scale(2.0), 1e-6));
+    }
+
+    #[test]
+    fn shaped_variant_uses_explicit_fan() {
+        let mut rng = SplitMix64::new(8);
+        let w = xavier_normal_shaped(1, 1024, 512, 512, 1.0, &mut rng);
+        assert_eq!(w.shape().rows, 1);
+        assert_eq!(w.shape().cols, 1024);
+        let var = w.norm_sq() / w.len() as f32;
+        let expected = 2.0 / 1024.0;
+        assert!((var - expected).abs() < 0.3 * expected, "var={var}");
+    }
+
+    #[test]
+    fn zeros_bias_shape() {
+        let b = zeros_bias(17);
+        assert_eq!(b.shape().rows, 1);
+        assert_eq!(b.shape().cols, 17);
+        assert_eq!(b.sum(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Activation functions used by the three GNN architectures:
+//! ReLU (GCN/GraphSAGE), LeakyReLU and ELU (GAT), plus sigmoid/tanh for
+//! completeness and tests.
+
+use crate::tape::{Tape, Var};
+
+impl Tape {
+    /// `max(x, 0)`.
+    pub fn relu(&self, x: Var) -> Var {
+        let out = self.value(x).map(|v| v.max(0.0));
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(|g, parents, _| {
+                vec![Some(
+                    g.zip(&parents[0], |gv, xv| if xv > 0.0 { gv } else { 0.0 }),
+                )]
+            }),
+        )
+    }
+
+    /// `x` for `x>0`, `slope*x` otherwise (GAT attention scores use
+    /// `slope = 0.2`).
+    pub fn leaky_relu(&self, x: Var, slope: f32) -> Var {
+        let out = self.value(x).map(|v| if v > 0.0 { v } else { slope * v });
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(move |g, parents, _| {
+                vec![Some(g.zip(&parents[0], |gv, xv| {
+                    if xv > 0.0 {
+                        gv
+                    } else {
+                        slope * gv
+                    }
+                }))]
+            }),
+        )
+    }
+
+    /// ELU: `x` for `x>0`, `alpha*(e^x - 1)` otherwise. GAT's hidden
+    /// nonlinearity in the original paper.
+    pub fn elu(&self, x: Var, alpha: f32) -> Var {
+        let out = self
+            .value(x)
+            .map(|v| if v > 0.0 { v } else { alpha * (v.exp() - 1.0) });
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(move |g, parents, out| {
+                // f'(x) = 1 for x>0, alpha*e^x = f(x) + alpha otherwise.
+                let mut dv = Vec::with_capacity(g.len());
+                for i in 0..g.len() {
+                    let xv = parents[0].data()[i];
+                    let d = if xv > 0.0 { 1.0 } else { out.data()[i] + alpha };
+                    dv.push(g.data()[i] * d);
+                }
+                vec![Some(crate::tensor::Tensor::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    dv,
+                ))]
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, x: Var) -> Var {
+        let out = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(|g, _, out| vec![Some(g.zip(out, |gv, y| gv * y * (1.0 - y)))]),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, x: Var) -> Var {
+        let out = self.value(x).map(f32::tanh);
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(|g, _, out| vec![Some(g.zip(out, |gv, y| gv * (1.0 - y * y)))]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::SplitMix64;
+    use crate::tape::{gradcheck, Tape};
+    use crate::tensor::Tensor;
+
+    fn smooth_input(seed: u64, r: usize, c: usize) -> Tensor {
+        // Keep values away from the ReLU kink so finite differences behave.
+        let mut rng = SplitMix64::new(seed);
+        Tensor::randn(r, c, 1.0, &mut rng).map(|x| if x.abs() < 0.15 { x + 0.3 } else { x })
+    }
+
+    #[test]
+    fn relu_forward() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]));
+        let y = tape.relu(x);
+        assert_eq!(tape.value(y).data(), &[0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        let x = smooth_input(1, 3, 4);
+        gradcheck(&|t, v| t.sum(t.relu(v[0])), &[x], 1e-3, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn leaky_relu_gradcheck() {
+        let x = smooth_input(2, 3, 4);
+        gradcheck(&|t, v| t.sum(t.leaky_relu(v[0], 0.2)), &[x], 1e-3, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn elu_gradcheck() {
+        let x = smooth_input(3, 3, 4);
+        gradcheck(&|t, v| t.sum(t.elu(v[0], 1.0)), &[x], 1e-3, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let mut rng = SplitMix64::new(4);
+        let x = Tensor::randn(3, 4, 1.0, &mut rng);
+        gradcheck(&|t, v| t.sum(t.sigmoid(v[0])), &[x], 1e-2, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        let mut rng = SplitMix64::new(5);
+        let x = Tensor::randn(3, 4, 1.0, &mut rng);
+        gradcheck(&|t, v| t.sum(t.tanh(v[0])), &[x], 1e-2, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn leaky_relu_negative_branch() {
+        let tape = Tape::new();
+        let x = tape.param(Tensor::scalar(-2.0));
+        let y = tape.leaky_relu(x, 0.1);
+        assert!((tape.value(y).item() + 0.2).abs() < 1e-6);
+        let g = tape.backward(y);
+        assert!((g.get(x).unwrap().item() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elu_continuity_at_zero() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::scalar(1e-5));
+        let b = tape.constant(Tensor::scalar(-1e-5));
+        let ya = tape.value(tape.elu(a, 1.0)).item();
+        let yb = tape.value(tape.elu(b, 1.0)).item();
+        assert!((ya - yb).abs() < 1e-4);
+    }
+}

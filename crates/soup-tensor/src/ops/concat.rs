@@ -1,0 +1,89 @@
+//! Column concatenation — GraphSAGE concatenates each node's own
+//! representation with its aggregated neighborhood before the linear
+//! transform.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Concatenate along columns: `(n, a) ++ (n, b) -> (n, a+b)`.
+    pub fn concat_cols(&self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(
+            av.rows(),
+            bv.rows(),
+            "concat_cols rows {} vs {}",
+            av.rows(),
+            bv.rows()
+        );
+        let (n, ca, cb) = (av.rows(), av.cols(), bv.cols());
+        let mut out = vec![0.0f32; n * (ca + cb)];
+        for r in 0..n {
+            out[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(av.row(r));
+            out[r * (ca + cb) + ca..(r + 1) * (ca + cb)].copy_from_slice(bv.row(r));
+        }
+        self.push_op(
+            Tensor::from_vec(n, ca + cb, out),
+            vec![a, b],
+            Box::new(move |g, _, _| {
+                let n = g.rows();
+                let mut ga = vec![0.0f32; n * ca];
+                let mut gb = vec![0.0f32; n * cb];
+                for r in 0..n {
+                    let grow = g.row(r);
+                    ga[r * ca..(r + 1) * ca].copy_from_slice(&grow[..ca]);
+                    gb[r * cb..(r + 1) * cb].copy_from_slice(&grow[ca..]);
+                }
+                vec![
+                    Some(Tensor::from_vec(n, ca, ga)),
+                    Some(Tensor::from_vec(n, cb, gb)),
+                ]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::SplitMix64;
+    use crate::tape::{gradcheck, Tape};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn forward_layout() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = tape.constant(Tensor::from_vec(2, 1, vec![9.0, 8.0]));
+        let y = tape.value(tape.concat_cols(a, b));
+        assert_eq!(y.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn gradcheck_both_parts() {
+        let mut rng = SplitMix64::new(1);
+        let a = Tensor::randn(3, 2, 1.0, &mut rng);
+        let b = Tensor::randn(3, 4, 1.0, &mut rng);
+        let w = Tensor::randn(3, 6, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.concat_cols(v[0], v[1]);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[a, b],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "concat_cols rows")]
+    fn mismatched_rows_panic() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::zeros(2, 2));
+        let b = tape.constant(Tensor::zeros(3, 2));
+        tape.concat_cols(a, b);
+    }
+}

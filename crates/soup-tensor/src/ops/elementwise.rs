@@ -1,0 +1,324 @@
+//! Elementwise arithmetic and bias broadcasting.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let out = self.value(a).add(&self.value(b));
+        self.push_op(
+            out,
+            vec![a, b],
+            Box::new(|g, _, _| vec![Some(g.clone()), Some(g.clone())]),
+        )
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let out = self.value(a).sub(&self.value(b));
+        self.push_op(
+            out,
+            vec![a, b],
+            Box::new(|g, _, _| vec![Some(g.clone()), Some(g.scale(-1.0))]),
+        )
+    }
+
+    /// Hadamard product `a ⊙ b`. Gradients are only materialised for the
+    /// sides that need them.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let out = self.value(a).mul(&self.value(b));
+        let need_a = self.requires_grad(a);
+        let need_b = self.requires_grad(b);
+        self.push_op(
+            out,
+            vec![a, b],
+            Box::new(move |g, parents, _| {
+                vec![
+                    need_a.then(|| g.mul(&parents[1])),
+                    need_b.then(|| g.mul(&parents[0])),
+                ]
+            }),
+        )
+    }
+
+    /// Scalar multiple `s * a`.
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        let out = self.value(a).scale(s);
+        self.push_op(
+            out,
+            vec![a],
+            Box::new(move |g, _, _| vec![Some(g.scale(s))]),
+        )
+    }
+
+    /// `a + s` elementwise with constant `s`.
+    pub fn add_scalar(&self, a: Var, s: f32) -> Var {
+        let out = self.value(a).map(|x| x + s);
+        self.push_op(out, vec![a], Box::new(|g, _, _| vec![Some(g.clone())]))
+    }
+
+    /// Broadcast-multiply by a row: `x (n,c) ⊙ b (1,c)`.
+    ///
+    /// GAT uses this to apply the attention vectors `aₗ`, `aᵣ` to every
+    /// node's transformed features before the per-head reduction.
+    pub fn mul_row(&self, x: Var, b: Var) -> Var {
+        let xv = self.value(x);
+        let bv = self.value(b);
+        assert_eq!(
+            bv.rows(),
+            1,
+            "row factor must be (1, c), got {}",
+            bv.shape()
+        );
+        assert_eq!(
+            bv.cols(),
+            xv.cols(),
+            "row width {} != features {}",
+            bv.cols(),
+            xv.cols()
+        );
+        let (n, c) = (xv.rows(), xv.cols());
+        let mut out = vec![0.0f32; n * c];
+        let bs = bv.data();
+        for (orow, xrow) in out.chunks_mut(c).zip(xv.data().chunks(c)) {
+            for i in 0..c {
+                orow[i] = xrow[i] * bs[i];
+            }
+        }
+        self.push_op(
+            Tensor::from_vec(n, c, out),
+            vec![x, b],
+            Box::new(|g, parents, _| {
+                let (n, c) = (g.rows(), g.cols());
+                let bs = parents[1].data();
+                let xs = parents[0].data();
+                let mut gx = vec![0.0f32; n * c];
+                let mut gb = vec![0.0f32; c];
+                for r in 0..n {
+                    for i in 0..c {
+                        let gv = g.data()[r * c + i];
+                        gx[r * c + i] = gv * bs[i];
+                        gb[i] += gv * xs[r * c + i];
+                    }
+                }
+                vec![
+                    Some(Tensor::from_vec(n, c, gx)),
+                    Some(Tensor::from_vec(1, c, gb)),
+                ]
+            }),
+        )
+    }
+
+    /// Sum within contiguous column blocks: `(n, blocks*width) -> (n, blocks)`.
+    ///
+    /// With [`Tape::mul_row`] this computes GAT's per-head attention terms
+    /// `aₗᵀ x_v` without materialising a block-diagonal matrix.
+    pub fn block_rowsum(&self, x: Var, blocks: usize) -> Var {
+        let xv = self.value(x);
+        let c = xv.cols();
+        assert!(
+            blocks > 0 && c.is_multiple_of(blocks),
+            "cols {c} not divisible by {blocks} blocks"
+        );
+        let width = c / blocks;
+        let n = xv.rows();
+        let mut out = vec![0.0f32; n * blocks];
+        for r in 0..n {
+            let row = xv.row(r);
+            for b in 0..blocks {
+                out[r * blocks + b] = row[b * width..(b + 1) * width].iter().sum();
+            }
+        }
+        self.push_op(
+            Tensor::from_vec(n, blocks, out),
+            vec![x],
+            Box::new(move |g, parents, _| {
+                let n = g.rows();
+                let c = parents[0].cols();
+                let mut gx = vec![0.0f32; n * c];
+                for r in 0..n {
+                    for b in 0..blocks {
+                        let gv = g.data()[r * blocks + b];
+                        for d in 0..width {
+                            gx[r * c + b * width + d] = gv;
+                        }
+                    }
+                }
+                vec![Some(Tensor::from_vec(n, c, gx))]
+            }),
+        )
+    }
+
+    /// Broadcast-add a bias row: `x (n,c) + b (1,c)`.
+    pub fn add_bias(&self, x: Var, b: Var) -> Var {
+        let xv = self.value(x);
+        let bv = self.value(b);
+        assert_eq!(
+            bv.rows(),
+            1,
+            "bias must be a (1, c) row, got {}",
+            bv.shape()
+        );
+        assert_eq!(
+            bv.cols(),
+            xv.cols(),
+            "bias width {} != features {}",
+            bv.cols(),
+            xv.cols()
+        );
+        let (n, c) = (xv.rows(), xv.cols());
+        let mut out = vec![0.0f32; n * c];
+        let bs = bv.data();
+        for (orow, xrow) in out.chunks_mut(c).zip(xv.data().chunks(c)) {
+            for i in 0..c {
+                orow[i] = xrow[i] + bs[i];
+            }
+        }
+        self.push_op(
+            Tensor::from_vec(n, c, out),
+            vec![x, b],
+            Box::new(|g, _, _| vec![Some(g.clone()), Some(g.sum_rows())]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::tape::gradcheck;
+
+    #[test]
+    fn add_forward_backward() {
+        let tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.param(Tensor::from_vec(1, 2, vec![10.0, 20.0]));
+        let y = tape.sum(tape.add(a, b));
+        assert_eq!(tape.value(y).item(), 33.0);
+        let g = tape.backward(y);
+        assert_eq!(g.get(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.get(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_gradcheck() {
+        let mut rng = SplitMix64::new(1);
+        let a = Tensor::randn(3, 3, 1.0, &mut rng);
+        let b = Tensor::randn(3, 3, 1.0, &mut rng);
+        gradcheck(&|t, v| t.sum(t.mul(v[0], v[1])), &[a, b], 1e-2, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn sub_gradcheck() {
+        let mut rng = SplitMix64::new(2);
+        let a = Tensor::randn(2, 4, 1.0, &mut rng);
+        let b = Tensor::randn(2, 4, 1.0, &mut rng);
+        gradcheck(&|t, v| t.sum(t.sub(v[0], v[1])), &[a, b], 1e-2, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let tape = Tape::new();
+        let a = tape.param(Tensor::scalar(3.0));
+        let y = tape.add_scalar(tape.scale(a, 4.0), 1.0);
+        assert_eq!(tape.value(y).item(), 13.0);
+        let g = tape.backward(y);
+        assert_eq!(g.get(a).unwrap().item(), 4.0);
+    }
+
+    #[test]
+    fn bias_broadcast_forward() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(2, 3, vec![0.0; 6]));
+        let b = tape.param(Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let y = tape.add_bias(x, b);
+        assert_eq!(tape.value(y).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_gradcheck() {
+        let mut rng = SplitMix64::new(3);
+        let x = Tensor::randn(4, 3, 1.0, &mut rng);
+        let b = Tensor::randn(1, 3, 1.0, &mut rng);
+        gradcheck(&|t, v| t.sum(t.add_bias(v[0], v[1])), &[x, b], 1e-2, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn mul_row_forward() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let b = tape.param(Tensor::from_vec(1, 3, vec![2.0, 0.0, -1.0]));
+        let y = tape.value(tape.mul_row(x, b));
+        assert_eq!(y.data(), &[2.0, 0.0, -3.0, 8.0, 0.0, -6.0]);
+    }
+
+    #[test]
+    fn mul_row_gradcheck() {
+        let mut rng = SplitMix64::new(4);
+        let x = Tensor::randn(4, 3, 1.0, &mut rng);
+        let b = Tensor::randn(1, 3, 1.0, &mut rng);
+        gradcheck(&|t, v| t.sum(t.mul_row(v[0], v[1])), &[x, b], 1e-2, 2e-2).unwrap();
+    }
+
+    #[test]
+    fn block_rowsum_forward() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(1, 6, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let y = tape.value(tape.block_rowsum(x, 2));
+        assert_eq!(y.data(), &[6.0, 15.0]);
+        let tape2 = Tape::new();
+        let x2 = tape2.constant(Tensor::from_vec(1, 6, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let y2 = tape2.value(tape2.block_rowsum(x2, 3));
+        assert_eq!(y2.data(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn block_rowsum_gradcheck() {
+        let mut rng = SplitMix64::new(5);
+        let x = Tensor::randn(3, 8, 1.0, &mut rng);
+        let w = Tensor::randn(3, 4, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.block_rowsum(v[0], 4);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn heads_dot_composition_matches_manual() {
+        // block_rowsum(mul_row(x, a)) computes per-head dot products.
+        let x = Tensor::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let a = Tensor::from_vec(1, 4, vec![1.0, -1.0, 2.0, 0.5]);
+        let tape = Tape::new();
+        let xv = tape.constant(x);
+        let av = tape.constant(a);
+        let y = tape.value(tape.block_rowsum(tape.mul_row(xv, av), 2));
+        // Head 0: 1*1 + 2*(-1) = -1 ; head 1: 3*2 + 4*0.5 = 8.
+        assert_eq!(y.row(0), &[-1.0, 8.0]);
+        assert_eq!(y.row(1), &[5.0 - 6.0, 14.0 + 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn block_rowsum_bad_blocks_panics() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 5));
+        tape.block_rowsum(x, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be")]
+    fn bias_wrong_shape_panics() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 3));
+        let b = tape.param(Tensor::zeros(2, 3));
+        tape.add_bias(x, b);
+    }
+}

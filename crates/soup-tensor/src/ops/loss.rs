@@ -1,0 +1,133 @@
+//! Classification losses on node subsets.
+//!
+//! Node-classification losses are always evaluated on a *subset* of nodes
+//! (the train split during ingredient training, the validation split during
+//! souping — Alg. 3/4 compute `validationLoss(Soup, G)`), so the primitive
+//! here is a masked NLL over explicit node indices.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Negative log-likelihood of `labels` under row-wise log-probabilities
+    /// `logp`, averaged over the nodes listed in `mask`.
+    ///
+    /// `labels[i]` is the class of node `i` (full-length); `mask` selects
+    /// which nodes contribute.
+    pub fn nll_loss_masked(&self, logp: Var, labels: &[u32], mask: &[usize]) -> Var {
+        let lp = self.value(logp);
+        assert_eq!(lp.rows(), labels.len(), "labels length != rows of logp");
+        assert!(!mask.is_empty(), "nll_loss_masked with empty mask");
+        let c = lp.cols();
+        let mut total = 0.0f64;
+        for &i in mask {
+            let y = labels[i] as usize;
+            assert!(y < c, "label {y} out of {c} classes at node {i}");
+            total -= lp.get(i, y) as f64;
+        }
+        let loss = (total / mask.len() as f64) as f32;
+
+        let labels: Vec<u32> = labels.to_vec();
+        let mask: Vec<usize> = mask.to_vec();
+        self.push_op(
+            Tensor::scalar(loss),
+            vec![logp],
+            Box::new(move |g, parents, _| {
+                let scale = -g.item() / mask.len() as f32;
+                let (n, c) = (parents[0].rows(), parents[0].cols());
+                let mut dx = vec![0.0f32; n * c];
+                for &i in &mask {
+                    dx[i * c + labels[i] as usize] += scale;
+                }
+                vec![Some(Tensor::from_vec(n, c, dx))]
+            }),
+        )
+    }
+
+    /// Cross-entropy on a node subset: `log_softmax` + masked NLL.
+    pub fn cross_entropy_masked(&self, logits: Var, labels: &[u32], mask: &[usize]) -> Var {
+        let lp = self.log_softmax(logits);
+        self.nll_loss_masked(lp, labels, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::SplitMix64;
+    use crate::tape::{gradcheck, Tape};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        // Logits hugely favour the correct class.
+        let logits = Tensor::from_vec(2, 3, vec![100.0, 0.0, 0.0, 0.0, 100.0, 0.0]);
+        let tape = Tape::new();
+        let x = tape.constant(logits);
+        let loss = tape.cross_entropy_masked(x, &[0, 1], &[0, 1]);
+        assert!(tape.value(loss).item() < 1e-4);
+    }
+
+    #[test]
+    fn uniform_prediction_gives_log_c() {
+        let logits = Tensor::zeros(4, 5);
+        let tape = Tape::new();
+        let x = tape.constant(logits);
+        let loss = tape.cross_entropy_masked(x, &[0, 1, 2, 3], &[0, 1, 2, 3]);
+        assert!((tape.value(loss).item() - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mask_restricts_contribution() {
+        // Node 1 has a catastrophically wrong prediction, but is masked out.
+        let logits = Tensor::from_vec(2, 2, vec![10.0, 0.0, 10.0, 0.0]);
+        let tape = Tape::new();
+        let x = tape.constant(logits);
+        let loss = tape.cross_entropy_masked(x, &[0, 1], &[0]);
+        assert!(tape.value(loss).item() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let mut rng = SplitMix64::new(1);
+        let logits = Tensor::randn(4, 3, 1.0, &mut rng);
+        let labels = vec![2u32, 0, 1, 1];
+        let mask = vec![0usize, 2, 3];
+        gradcheck(
+            &|t, v| t.cross_entropy_masked(v[0], &labels, &mask),
+            &[logits],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn grad_zero_outside_mask() {
+        let mut rng = SplitMix64::new(2);
+        let logits = Tensor::randn(3, 4, 1.0, &mut rng);
+        let tape = Tape::new();
+        let x = tape.param(logits);
+        let loss = tape.cross_entropy_masked(x, &[0, 1, 2], &[1]);
+        let g = tape.backward(loss);
+        let gx = g.get(x).unwrap();
+        assert!(gx.row(0).iter().all(|&v| v == 0.0));
+        assert!(gx.row(2).iter().all(|&v| v == 0.0));
+        assert!(gx.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mask")]
+    fn empty_mask_panics() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 2));
+        tape.cross_entropy_masked(x, &[0, 1], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_label_panics() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 2));
+        tape.cross_entropy_masked(x, &[0, 7], &[0, 1]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Row-wise L2 normalization.
+//!
+//! The stabiliser GraphSAGE's original paper applies to every layer output
+//! and the one our GIN layers use in place of BatchNorm: sum aggregation
+//! over hub nodes produces activations whose norm scales with degree, and
+//! without normalisation the MLP saturates (dead ReLUs, saturated
+//! softmax). Deterministic and batch-independent, unlike BatchNorm.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Normalise each row to unit L2 norm: `y = x / max(‖x‖₂, eps)`.
+    ///
+    /// Backward (per row, when the norm is above `eps`):
+    /// `∂L/∂x = (g − y·(yᵀg)) / ‖x‖`.
+    pub fn l2_normalize_rows(&self, x: Var, eps: f32) -> Var {
+        assert!(eps > 0.0, "eps must be positive");
+        let xv = self.value(x);
+        let (n, c) = (xv.rows(), xv.cols());
+        let mut out = vec![0.0f32; n * c];
+        let mut norms = vec![0.0f32; n];
+        for r in 0..n {
+            let row = xv.row(r);
+            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
+            norms[r] = norm;
+            for (o, &v) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
+                *o = v / norm;
+            }
+        }
+        self.push_op(
+            Tensor::from_vec(n, c, out),
+            vec![x],
+            Box::new(move |g, _, out| {
+                let (n, c) = (g.rows(), g.cols());
+                let mut gx = vec![0.0f32; n * c];
+                for r in 0..n {
+                    let grow = g.row(r);
+                    let yrow = out.row(r);
+                    let dot: f32 = grow.iter().zip(yrow).map(|(&a, &b)| a * b).sum();
+                    for i in 0..c {
+                        gx[r * c + i] = (grow[i] - yrow[i] * dot) / norms[r];
+                    }
+                }
+                vec![Some(Tensor::from_vec(n, c, gx))]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::SplitMix64;
+    use crate::tape::{gradcheck, Tape};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn rows_have_unit_norm() {
+        let mut rng = SplitMix64::new(1);
+        let x = Tensor::randn(5, 4, 3.0, &mut rng);
+        let tape = Tape::new();
+        let y = tape.value(tape.l2_normalize_rows(tape.constant(x), 1e-8));
+        for r in 0..5 {
+            let norm: f32 = y.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_stay_zero() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(2, 3));
+        let y = tape.value(tape.l2_normalize_rows(x, 1e-8));
+        assert_eq!(y.sum(), 0.0);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scale_invariant_forward() {
+        let mut rng = SplitMix64::new(2);
+        let x = Tensor::randn(3, 4, 1.0, &mut rng);
+        let tape = Tape::new();
+        let a = tape.value(tape.l2_normalize_rows(tape.constant(x.clone()), 1e-8));
+        let b = tape.value(tape.l2_normalize_rows(tape.constant(x.scale(7.0)), 1e-8));
+        assert!(a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn gradcheck_normalization() {
+        let mut rng = SplitMix64::new(3);
+        // Keep rows away from zero norm.
+        let x = Tensor::randn(3, 4, 1.0, &mut rng).map(|v| v + 0.5);
+        let w = Tensor::randn(3, 4, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.l2_normalize_rows(v[0], 1e-8);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[x],
+            1e-3,
+            3e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradient_is_orthogonal_to_output() {
+        // With g = y, backward must be ~0 (normalisation kills the radial
+        // component).
+        let mut rng = SplitMix64::new(4);
+        let x = Tensor::randn(4, 3, 1.0, &mut rng);
+        let tape = Tape::new();
+        let xv = tape.param(x);
+        let y = tape.l2_normalize_rows(xv, 1e-8);
+        // loss = 0.5 * sum(y^2) = const => grad x = 0.
+        let loss = tape.scale(tape.sum(tape.mul(y, y)), 0.5);
+        let g = tape.backward(loss);
+        assert!(g.get(xv).unwrap().max_abs() < 1e-5);
+    }
+}

@@ -1,0 +1,68 @@
+//! Reductions to scalars.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Sum of all elements → `(1,1)`.
+    pub fn sum(&self, x: Var) -> Var {
+        let out = Tensor::scalar(self.value(x).sum());
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(|g, parents, _| {
+                let s = g.item();
+                vec![Some(Tensor::full(parents[0].rows(), parents[0].cols(), s))]
+            }),
+        )
+    }
+
+    /// Mean of all elements → `(1,1)`.
+    pub fn mean(&self, x: Var) -> Var {
+        let v = self.value(x);
+        let n = v.len() as f32;
+        let out = Tensor::scalar(v.mean());
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(move |g, parents, _| {
+                let s = g.item() / n;
+                vec![Some(Tensor::full(parents[0].rows(), parents[0].cols(), s))]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::SplitMix64;
+    use crate::tape::{gradcheck, Tape};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn sum_grad_is_ones() {
+        let tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = tape.sum(x);
+        assert_eq!(tape.value(y).item(), 10.0);
+        let g = tape.backward(y);
+        assert_eq!(g.get(x).unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn mean_grad_is_uniform() {
+        let tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = tape.mean(x);
+        assert_eq!(tape.value(y).item(), 2.5);
+        let g = tape.backward(y);
+        assert_eq!(g.get(x).unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn mean_gradcheck_composed() {
+        let mut rng = SplitMix64::new(1);
+        let x = Tensor::randn(3, 3, 1.0, &mut rng);
+        gradcheck(&|t, v| t.mean(t.mul(v[0], v[0])), &[x], 1e-2, 2e-2).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Softmax variants.
+//!
+//! - [`Tape::log_softmax`] over rows: classifier head of every GNN.
+//! - [`Tape::softmax_vec`]: softmax over *all* entries of an `(n,1)`
+//!   tensor — this is how Learned Souping normalises the interpolation
+//!   parameters of one layer across ingredients (the paper notes in §V-A
+//!   that "the softmax function is not able to assign a zero to the
+//!   interpolation ratio", which is exactly this op's saturation
+//!   behaviour).
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Row-wise `log(softmax(x))`, numerically stabilised by the row max.
+    pub fn log_softmax(&self, x: Var) -> Var {
+        let xv = self.value(x);
+        let (n, c) = (xv.rows(), xv.cols());
+        let mut out = vec![0.0f32; n * c];
+        for (orow, xrow) in out.chunks_mut(c).zip(xv.data().chunks(c)) {
+            let m = xrow.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let lse = m + xrow.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for i in 0..c {
+                orow[i] = xrow[i] - lse;
+            }
+        }
+        self.push_op(
+            Tensor::from_vec(n, c, out),
+            vec![x],
+            Box::new(|g, _, out| {
+                // dx = g - softmax(x) * rowsum(g)
+                let (n, c) = (g.rows(), g.cols());
+                let mut dx = vec![0.0f32; n * c];
+                for r in 0..n {
+                    let grow = g.row(r);
+                    let orow = out.row(r);
+                    let gsum: f32 = grow.iter().sum();
+                    for i in 0..c {
+                        dx[r * c + i] = grow[i] - orow[i].exp() * gsum;
+                    }
+                }
+                vec![Some(Tensor::from_vec(n, c, dx))]
+            }),
+        )
+    }
+
+    /// Softmax over every entry of `x` treated as one vector (shape
+    /// preserved). Used for per-layer ingredient interpolation ratios.
+    pub fn softmax_vec(&self, x: Var) -> Var {
+        let xv = self.value(x);
+        let m = xv.data().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = xv.data().iter().map(|&v| (v - m).exp()).collect();
+        let total: f32 = exps.iter().sum();
+        let out = Tensor::from_vec(
+            xv.rows(),
+            xv.cols(),
+            exps.iter().map(|e| e / total).collect(),
+        );
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(|g, _, out| {
+                // dx_i = y_i * (g_i - Σ_j g_j y_j)
+                let dot: f32 = g
+                    .data()
+                    .iter()
+                    .zip(out.data())
+                    .map(|(&gv, &yv)| gv * yv)
+                    .sum();
+                vec![Some(g.zip(out, move |gv, yv| yv * (gv - dot)))]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::SplitMix64;
+    use crate::tape::{gradcheck, Tape};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn log_softmax_rows_sum_to_one() {
+        let mut rng = SplitMix64::new(1);
+        let x = Tensor::randn(5, 7, 2.0, &mut rng);
+        let tape = Tape::new();
+        let y = tape.log_softmax(tape.constant(x));
+        let yv = tape.value(y);
+        for r in 0..5 {
+            let s: f32 = yv.row(r).iter().map(|&v| v.exp()).sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_shift_invariant() {
+        let x = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let x_shift = x.map(|v| v + 100.0);
+        let tape = Tape::new();
+        let a = tape.value(tape.log_softmax(tape.constant(x)));
+        let b = tape.value(tape.log_softmax(tape.constant(x_shift)));
+        assert!(a.allclose(&b, 1e-4));
+    }
+
+    #[test]
+    fn log_softmax_extreme_values_stable() {
+        let x = Tensor::from_vec(1, 3, vec![1000.0, -1000.0, 999.0]);
+        let tape = Tape::new();
+        let y = tape.value(tape.log_softmax(tape.constant(x)));
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_gradcheck() {
+        let mut rng = SplitMix64::new(2);
+        let x = Tensor::randn(3, 4, 1.0, &mut rng);
+        // Weighted sum keeps the reduction non-symmetric.
+        let w = Tensor::randn(3, 4, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.log_softmax(v[0]);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn softmax_vec_normalises() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]));
+        let y = tape.value(tape.softmax_vec(x));
+        assert!((y.sum() - 1.0).abs() < 1e-6);
+        // Monotone in the input.
+        for i in 1..4 {
+            assert!(y.data()[i] > y.data()[i - 1]);
+        }
+    }
+
+    #[test]
+    fn softmax_vec_gradcheck() {
+        let mut rng = SplitMix64::new(3);
+        let x = Tensor::randn(5, 1, 1.0, &mut rng);
+        let w = Tensor::randn(5, 1, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.softmax_vec(v[0]);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn softmax_vec_never_exactly_zero() {
+        // The §V-A observation: softmax cannot zero out a ratio.
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(3, 1, vec![-30.0, 0.0, 30.0]));
+        let y = tape.value(tape.softmax_vec(x));
+        assert!(y.data().iter().all(|&v| v > 0.0));
+    }
+}

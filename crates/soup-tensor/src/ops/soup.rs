@@ -1,0 +1,159 @@
+//! The souping kernel: interpolation-weighted parameter sums.
+//!
+//! Learned Souping (Alg. 3) builds each soup layer as
+//! `W_soup^l = Σ_i α_i^l W_i^l` (Eq. 3) and optimises the α by gradient
+//! descent, which needs `∂L/∂α_i^l = ⟨∂L/∂W_soup^l, W_i^l⟩` (Eq. 4).
+//! [`Tape::weighted_param_sum`] implements exactly that contraction: the
+//! ingredient weights are constants (they were trained in Phase 1 and are
+//! frozen), so backward only produces an α-gradient — a length-N vector per
+//! layer — making LS's backward dramatically cheaper than retraining.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// `Σ_i alpha[i] · weights[i]` where `alpha` is an `(N, 1)` variable and
+    /// `weights` are `N` equally-shaped constant tensors.
+    pub fn weighted_param_sum(&self, weights: &[Tensor], alpha: Var) -> Var {
+        assert!(
+            !weights.is_empty(),
+            "weighted_param_sum needs at least one ingredient"
+        );
+        let av = self.value(alpha);
+        assert_eq!(
+            av.cols(),
+            1,
+            "alpha must be a column vector, got {}",
+            av.shape()
+        );
+        assert_eq!(
+            av.rows(),
+            weights.len(),
+            "alpha has {} entries for {} ingredients",
+            av.rows(),
+            weights.len()
+        );
+        let shape = weights[0].shape();
+        for (i, w) in weights.iter().enumerate() {
+            assert_eq!(
+                w.shape(),
+                shape,
+                "ingredient {i} shape {} != {shape}",
+                w.shape()
+            );
+        }
+        let mut out = Tensor::zeros(shape.rows, shape.cols);
+        for (i, w) in weights.iter().enumerate() {
+            out.axpy(av.data()[i], w);
+        }
+        let weights: Vec<Tensor> = weights.to_vec();
+        self.push_op(
+            out,
+            vec![alpha],
+            Box::new(move |g, _, _| {
+                let ga: Vec<f32> = weights
+                    .iter()
+                    .map(|w| g.data().iter().zip(w.data()).map(|(&a, &b)| a * b).sum())
+                    .collect();
+                vec![Some(Tensor::from_vec(weights.len(), 1, ga))]
+            }),
+        )
+    }
+
+    /// Convenience used by LS/PLS: softmax-normalise raw interpolation
+    /// parameters, then mix. Returns the mixed tensor variable.
+    pub fn soup_layer(&self, weights: &[Tensor], raw_alpha: Var) -> Var {
+        let alpha = self.softmax_vec(raw_alpha);
+        self.weighted_param_sum(weights, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::tape::gradcheck;
+
+    #[test]
+    fn forward_is_linear_combination() {
+        let w1 = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let w2 = Tensor::from_vec(2, 2, vec![0.0, 2.0, 2.0, 0.0]);
+        let tape = Tape::new();
+        let alpha = tape.param(Tensor::from_vec(2, 1, vec![0.5, 0.25]));
+        let y = tape.value(tape.weighted_param_sum(&[w1, w2], alpha));
+        assert_eq!(y.data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn alpha_gradient_is_inner_product() {
+        let w1 = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let w2 = Tensor::from_vec(1, 3, vec![-1.0, 0.0, 1.0]);
+        let tape = Tape::new();
+        let alpha = tape.param(Tensor::from_vec(2, 1, vec![1.0, 1.0]));
+        let y = tape.weighted_param_sum(&[w1, w2], alpha);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        // dL/dalpha_i = sum of W_i entries.
+        assert_eq!(g.get(alpha).unwrap().data(), &[6.0, 0.0]);
+    }
+
+    #[test]
+    fn gradcheck_through_softmax_mix() {
+        let mut rng = SplitMix64::new(1);
+        let weights: Vec<Tensor> = (0..4).map(|_| Tensor::randn(3, 3, 1.0, &mut rng)).collect();
+        let raw = Tensor::randn(4, 1, 0.5, &mut rng);
+        let probe = Tensor::randn(3, 3, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let mixed = t.soup_layer(&weights, v[0]);
+                let p = t.constant(probe.clone());
+                t.sum(t.mul(mixed, p))
+            },
+            &[raw],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn uniform_alpha_equals_average() {
+        let mut rng = SplitMix64::new(2);
+        let weights: Vec<Tensor> = (0..5).map(|_| Tensor::randn(2, 4, 1.0, &mut rng)).collect();
+        let tape = Tape::new();
+        // Equal raw alphas -> softmax gives 1/5 each.
+        let raw = tape.param(Tensor::zeros(5, 1));
+        let y = tape.value(tape.soup_layer(&weights, raw));
+        let mut avg = Tensor::zeros(2, 4);
+        for w in &weights {
+            avg.axpy(0.2, w);
+        }
+        assert!(y.allclose(&avg, 1e-5));
+    }
+
+    #[test]
+    fn saturated_alpha_selects_single_ingredient() {
+        let mut rng = SplitMix64::new(3);
+        let weights: Vec<Tensor> = (0..3).map(|_| Tensor::randn(2, 2, 1.0, &mut rng)).collect();
+        let tape = Tape::new();
+        let raw = tape.param(Tensor::from_vec(3, 1, vec![0.0, 50.0, 0.0]));
+        let y = tape.value(tape.soup_layer(&weights, raw));
+        assert!(y.allclose(&weights[1], 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ingredient")]
+    fn empty_ingredients_panic() {
+        let tape = Tape::new();
+        let alpha = tape.param(Tensor::zeros(0, 1));
+        tape.weighted_param_sum(&[], alpha);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn mismatched_shapes_panic() {
+        let tape = Tape::new();
+        let alpha = tape.param(Tensor::from_vec(2, 1, vec![0.5, 0.5]));
+        tape.weighted_param_sum(&[Tensor::zeros(2, 2), Tensor::zeros(3, 2)], alpha);
+    }
+}

@@ -1,0 +1,442 @@
+//! CSR sparse × dense products — the message-passing kernel behind GCN
+//! (symmetric-normalised adjacency) and GraphSAGE (row-normalised mean
+//! aggregation).
+//!
+//! A [`SparseMat`] is an immutable CSR matrix shared via `Arc`. Its
+//! structural arrays are registered with the device-memory meter so that
+//! experiments account for graph storage the same way the paper's GPU
+//! measurements do. Non-symmetric matrices eagerly build their transpose,
+//! which the backward pass needs (`∂L/∂X = Aᵀ G`); symmetric matrices
+//! (GCN's `D^{-1/2} A D^{-1/2}`) reuse the forward arrays.
+
+use crate::memory::MemGuard;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Csr {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    fn bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    fn transpose(&self, rows: usize, cols: usize) -> Csr {
+        let nnz = self.indices.len();
+        let mut counts = vec![0usize; cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        let mut cursor = counts;
+        for r in 0..rows {
+            for e in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[e] as usize;
+                let pos = cursor[c];
+                cursor[c] += 1;
+                indices[pos] = r as u32;
+                values[pos] = self.values[e];
+            }
+        }
+        Csr {
+            indptr,
+            indices,
+            values,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    rows: usize,
+    cols: usize,
+    fwd: Csr,
+    /// Transposed CSR for backward; `None` means the matrix is symmetric
+    /// and `fwd` doubles as its own transpose.
+    bwd: Option<Csr>,
+    _mem: MemGuard,
+}
+
+/// Immutable CSR sparse matrix, cheaply cloneable.
+#[derive(Debug, Clone)]
+pub struct SparseMat {
+    inner: Arc<Inner>,
+}
+
+impl SparseMat {
+    /// Build from CSR arrays.
+    ///
+    /// `symmetric` declares that the matrix equals its transpose (values
+    /// included) — the caller's responsibility; debug builds verify it.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+        symmetric: bool,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr[-1] must equal nnz"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be non-decreasing"
+        );
+        assert!(
+            indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        if symmetric {
+            assert_eq!(rows, cols, "symmetric matrix must be square");
+        }
+        let fwd = Csr {
+            indptr,
+            indices,
+            values,
+        };
+        let bwd = if symmetric {
+            None
+        } else {
+            Some(fwd.transpose(rows, cols))
+        };
+        let bytes = fwd.bytes() + bwd.as_ref().map_or(0, Csr::bytes);
+        let mat = Self {
+            inner: Arc::new(Inner {
+                rows,
+                cols,
+                fwd,
+                bwd,
+                _mem: MemGuard::new(bytes),
+            }),
+        };
+        #[cfg(debug_assertions)]
+        if symmetric {
+            debug_assert!(
+                mat.is_value_symmetric(),
+                "matrix declared symmetric but is not"
+            );
+        }
+        mat
+    }
+
+    pub fn rows(&self) -> usize {
+        self.inner.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.inner.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.inner.fwd.indices.len()
+    }
+
+    pub fn is_symmetric(&self) -> bool {
+        self.inner.bwd.is_none()
+    }
+
+    pub fn indptr(&self) -> &[usize] {
+        &self.inner.fwd.indptr
+    }
+
+    pub fn indices(&self) -> &[u32] {
+        &self.inner.fwd.indices
+    }
+
+    pub fn values(&self) -> &[f32] {
+        &self.inner.fwd.values
+    }
+
+    /// Dense materialisation (tests / tiny matrices only).
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.rows() * self.cols()];
+        for r in 0..self.rows() {
+            for e in self.inner.fwd.indptr[r]..self.inner.fwd.indptr[r + 1] {
+                out[r * self.cols() + self.inner.fwd.indices[e] as usize] +=
+                    self.inner.fwd.values[e];
+            }
+        }
+        Tensor::from_vec(self.rows(), self.cols(), out)
+    }
+
+    /// Exact check that values form a symmetric matrix (O(nnz log nnz)).
+    pub fn is_value_symmetric(&self) -> bool {
+        if self.rows() != self.cols() {
+            return false;
+        }
+        let mut entries: Vec<(u32, u32, f32)> = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows() {
+            for e in self.inner.fwd.indptr[r]..self.inner.fwd.indptr[r + 1] {
+                entries.push((
+                    r as u32,
+                    self.inner.fwd.indices[e],
+                    self.inner.fwd.values[e],
+                ));
+            }
+        }
+        let mut flipped: Vec<(u32, u32, f32)> =
+            entries.iter().map(|&(r, c, v)| (c, r, v)).collect();
+        entries.sort_by_key(|a| (a.0, a.1));
+        flipped.sort_by_key(|a| (a.0, a.1));
+        entries.len() == flipped.len()
+            && entries
+                .iter()
+                .zip(&flipped)
+                .all(|(a, b)| a.0 == b.0 && a.1 == b.1 && (a.2 - b.2).abs() < 1e-6)
+    }
+
+    /// `self × x` as raw tensors (no autograd). Row-parallel.
+    pub fn matvec_dense(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols(),
+            x.rows(),
+            "spmm dims: {}x{} × {}",
+            self.rows(),
+            self.cols(),
+            x.shape()
+        );
+        spmm_kernel(&self.inner.fwd, self.rows(), x)
+    }
+
+    fn backward_csr(&self) -> &Csr {
+        self.inner.bwd.as_ref().unwrap_or(&self.inner.fwd)
+    }
+}
+
+fn spmm_kernel(csr: &Csr, rows: usize, x: &Tensor) -> Tensor {
+    let c = x.cols();
+    let xs = x.data();
+    let mut out = vec![0.0f32; rows * c];
+    let row_work = |(r, orow): (usize, &mut [f32])| {
+        for e in csr.indptr[r]..csr.indptr[r + 1] {
+            let col = csr.indices[e] as usize;
+            let v = csr.values[e];
+            let xrow = &xs[col * c..(col + 1) * c];
+            for (o, &xv) in orow.iter_mut().zip(xrow) {
+                *o += v * xv;
+            }
+        }
+    };
+    if rows * c >= 8192 {
+        out.par_chunks_mut(c).enumerate().for_each(row_work);
+    } else {
+        out.chunks_mut(c).enumerate().for_each(row_work);
+    }
+    Tensor::from_vec(rows, c, out)
+}
+
+impl Tape {
+    /// Differentiable `A × x` for a constant sparse `A`.
+    pub fn spmm(&self, a: &SparseMat, x: Var) -> Var {
+        let out = a.matvec_dense(&self.value(x));
+        let a = a.clone();
+        self.push_op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| {
+                let gx = spmm_kernel(a.backward_csr(), a.cols(), g);
+                vec![Some(gx)]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DEVICE_MEMORY;
+    use crate::rng::SplitMix64;
+    use crate::tape::gradcheck;
+
+    /// 3×3 asymmetric test matrix:
+    /// [0 2 0]
+    /// [1 0 3]
+    /// [0 4 0]
+    fn asym() -> SparseMat {
+        SparseMat::new(
+            3,
+            3,
+            vec![0, 1, 3, 4],
+            vec![1, 0, 2, 1],
+            vec![2.0, 1.0, 3.0, 4.0],
+            false,
+        )
+    }
+
+    /// Symmetric matrix [0 1; 1 0] scaled.
+    fn sym() -> SparseMat {
+        SparseMat::new(2, 2, vec![0, 1, 2], vec![1, 0], vec![0.5, 0.5], true)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = asym();
+        let d = a.to_dense();
+        assert_eq!(d.data(), &[0.0, 2.0, 0.0, 1.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+        assert_eq!(a.nnz(), 4);
+        assert!(!a.is_symmetric());
+        assert!(sym().is_symmetric());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = asym();
+        let mut rng = SplitMix64::new(1);
+        let x = Tensor::randn(3, 5, 1.0, &mut rng);
+        let sparse = a.matvec_dense(&x);
+        let dense = a.to_dense().matmul(&x);
+        assert!(sparse.allclose(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spmm_large_parallel_matches_dense() {
+        // Random sparse 200×200 with ~5 entries/row, wide enough feature dim
+        // to hit the parallel path.
+        let mut rng = SplitMix64::new(2);
+        let n = 200;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..n {
+            for _ in 0..5 {
+                indices.push(rng.next_below(n) as u32);
+                values.push(rng.normal());
+            }
+            indptr.push(indices.len());
+        }
+        let a = SparseMat::new(n, n, indptr, indices, values, false);
+        let x = Tensor::randn(n, 64, 1.0, &mut rng);
+        let sparse = a.matvec_dense(&x);
+        let dense = a.to_dense().matmul(&x);
+        assert!(sparse.allclose(&dense, 1e-3));
+    }
+
+    #[test]
+    fn spmm_gradcheck_asymmetric() {
+        let a = asym();
+        let mut rng = SplitMix64::new(3);
+        let x = Tensor::randn(3, 2, 1.0, &mut rng);
+        let w = Tensor::randn(3, 2, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.spmm(&a, v[0]);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn spmm_gradcheck_symmetric() {
+        let a = sym();
+        let mut rng = SplitMix64::new(4);
+        let x = Tensor::randn(2, 3, 1.0, &mut rng);
+        let w = Tensor::randn(2, 3, 1.0, &mut rng);
+        gradcheck(
+            &|t, v| {
+                let y = t.spmm(&a, v[0]);
+                let wc = t.constant(w.clone());
+                t.sum(t.mul(y, wc))
+            },
+            &[x],
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn transpose_is_correct() {
+        let a = asym();
+        let at_dense = a.to_dense().transpose();
+        // Backward of spmm with grad seed e_i recovers rows of A^T.
+        let tape = Tape::new();
+        let x = tape.param(Tensor::eye(3));
+        let y = tape.spmm(&a, x);
+        let loss = tape.sum(y);
+        let g = tape.backward(loss);
+        // dL/dX = A^T * ones(3,3) -> each column is A^T row-sums.
+        let expect = at_dense.matmul(&Tensor::ones(3, 3));
+        assert!(g.get(x).unwrap().allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn memory_registered_and_released() {
+        let before = DEVICE_MEMORY.current();
+        let a = asym();
+        assert!(DEVICE_MEMORY.current() > before);
+        drop(a);
+        assert_eq!(DEVICE_MEMORY.current(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "indptr length")]
+    fn bad_indptr_panics() {
+        SparseMat::new(3, 3, vec![0, 1], vec![0], vec![1.0], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index")]
+    fn bad_column_panics() {
+        SparseMat::new(2, 2, vec![0, 1, 1], vec![5], vec![1.0], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn nonsquare_symmetric_panics() {
+        SparseMat::new(2, 3, vec![0, 0, 0], vec![], vec![], true);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn spmm_equals_dense_matmul(seed in 0u64..200, n in 2usize..20, c in 1usize..6) {
+                let mut rng = SplitMix64::new(seed);
+                let mut indptr = vec![0usize];
+                let mut indices = Vec::new();
+                let mut values = Vec::new();
+                for _ in 0..n {
+                    let deg = rng.next_below(4);
+                    for _ in 0..deg {
+                        indices.push(rng.next_below(n) as u32);
+                        values.push(rng.normal());
+                    }
+                    indptr.push(indices.len());
+                }
+                let a = SparseMat::new(n, n, indptr, indices, values, false);
+                let x = Tensor::randn(n, c, 1.0, &mut rng);
+                prop_assert!(a.matvec_dense(&x).allclose(&a.to_dense().matmul(&x), 1e-4));
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! Ingredient training uses Adam/AdamW (standard GNN practice); the
+//! souping interpolation parameters use SGD with momentum under a cosine
+//! annealing schedule, exactly as §III-B prescribes ("updated using
+//! Stochastic Gradient Descent (SGD) with a cosine annealing learning rate
+//! scheduler ... optimize α using SGD rather than AdamW").
+//!
+//! All optimizers mutate a flat slice of parameter tensors paired with
+//! same-order gradients; state (momentum/moment estimates) is lazily shaped
+//! on first step.
+
+use crate::tensor::Tensor;
+
+/// A gradient slot per parameter; `None` means no gradient flowed (treated
+/// as zero, i.e. the parameter is left untouched apart from weight decay).
+pub type GradSlice<'a> = &'a [Option<Tensor>];
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// One update step. `params[i]` is updated with `grads[i]`.
+    pub fn step(&mut self, params: &mut [Tensor], grads: GradSlice) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![None; params.len()];
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let Some(g) = &grads[i] else { continue };
+            // Effective gradient with decoupled-free classical L2.
+            let mut eff = g.clone();
+            if self.weight_decay != 0.0 {
+                eff.axpy(self.weight_decay, p);
+            }
+            let update = if self.momentum > 0.0 {
+                let v = self.velocity[i]
+                    .take()
+                    .map(|mut v| {
+                        let vd = v.make_mut();
+                        for (vv, &gv) in vd.iter_mut().zip(eff.data()) {
+                            *vv = self.momentum * *vv + gv;
+                        }
+                        v
+                    })
+                    .unwrap_or_else(|| eff.clone());
+                self.velocity[i] = Some(v.clone());
+                v
+            } else {
+                eff
+            };
+            p.axpy(-self.lr, &update);
+        }
+    }
+}
+
+/// Adam / AdamW (Kingma & Ba 2015; Loshchilov & Hutter 2019).
+///
+/// `decoupled = true` gives AdamW (weight decay applied directly to the
+/// parameters), `false` folds decay into the gradient (classic Adam-L2).
+#[derive(Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    pub decoupled: bool,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8, weight_decay, false)
+    }
+
+    /// AdamW variant with decoupled decay.
+    pub fn adamw(lr: f32, weight_decay: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8, weight_decay, true)
+    }
+
+    pub fn with_betas(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+        decoupled: bool,
+    ) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            decoupled,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    pub fn step(&mut self, params: &mut [Tensor], grads: GradSlice) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![None; params.len()];
+            self.v = vec![None; params.len()];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let Some(g) = &grads[i] else { continue };
+            let mut eff = g.clone();
+            if self.weight_decay != 0.0 && !self.decoupled {
+                eff.axpy(self.weight_decay, p);
+            }
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(p.rows(), p.cols()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(p.rows(), p.cols()));
+            {
+                let md = m.make_mut();
+                for (mm, &gv) in md.iter_mut().zip(eff.data()) {
+                    *mm = self.beta1 * *mm + (1.0 - self.beta1) * gv;
+                }
+            }
+            {
+                let vd = v.make_mut();
+                for (vv, &gv) in vd.iter_mut().zip(eff.data()) {
+                    *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                }
+            }
+            if self.decoupled && self.weight_decay != 0.0 {
+                let decay = self.lr * self.weight_decay;
+                let pd = p.make_mut();
+                for x in pd.iter_mut() {
+                    *x -= decay * *x;
+                }
+            }
+            let (mref, vref) = (self.m[i].as_ref().unwrap(), self.v[i].as_ref().unwrap());
+            let lr = self.lr;
+            let eps = self.eps;
+            let pd = p.make_mut();
+            for ((x, &mm), &vv) in pd.iter_mut().zip(mref.data()).zip(vref.data()) {
+                let mhat = mm / bc1;
+                let vhat = vv / bc2;
+                *x -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Cosine annealing schedule: `eta_min + (base - eta_min) * (1 + cos(π t/T)) / 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealing {
+    pub base_lr: f32,
+    pub eta_min: f32,
+    pub t_max: usize,
+}
+
+impl CosineAnnealing {
+    pub fn new(base_lr: f32, eta_min: f32, t_max: usize) -> Self {
+        assert!(t_max > 0, "t_max must be positive");
+        Self {
+            base_lr,
+            eta_min,
+            t_max,
+        }
+    }
+
+    /// Learning rate at epoch `t` (clamped to `t_max`).
+    pub fn lr(&self, t: usize) -> f32 {
+        let t = t.min(self.t_max) as f32;
+        let cos = (std::f32::consts::PI * t / self.t_max as f32).cos();
+        self.eta_min + (self.base_lr - self.eta_min) * (1.0 + cos) / 2.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `step_size` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    pub base_lr: f32,
+    pub gamma: f32,
+    pub step_size: usize,
+}
+
+impl StepDecay {
+    pub fn new(base_lr: f32, gamma: f32, step_size: usize) -> Self {
+        assert!(step_size > 0);
+        Self {
+            base_lr,
+            gamma,
+            step_size,
+        }
+    }
+
+    pub fn lr(&self, t: usize) -> f32 {
+        self.base_lr * self.gamma.powi((t / self.step_size) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::tape::Tape;
+
+    /// Minimise f(w) = ||w - target||^2 with each optimizer.
+    fn quadratic_converges(mut step: impl FnMut(&mut [Tensor], GradSlice), iters: usize) -> f32 {
+        let target = Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let mut params = vec![Tensor::zeros(1, 3)];
+        for _ in 0..iters {
+            let tape = Tape::new();
+            let w = tape.param(params[0].clone());
+            let t = tape.constant(target.clone());
+            let d = tape.sub(w, t);
+            let loss = tape.sum(tape.mul(d, d));
+            let grads = tape.backward(loss);
+            let g = vec![grads.get(w).cloned()];
+            step(&mut params, &g);
+        }
+        params[0].sub(&target).norm()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let err = quadratic_converges(|p, g| opt.step(p, g), 100);
+        assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster() {
+        // Small step size: heavy-ball's asymptotic rate sqrt(m) beats plain
+        // SGD's (1 - 2 lr) on this quadratic.
+        let mut plain = Sgd::new(0.01, 0.0, 0.0);
+        let mut mom = Sgd::new(0.01, 0.9, 0.0);
+        let err_plain = quadratic_converges(|p, g| plain.step(p, g), 30);
+        let err_mom = quadratic_converges(|p, g| mom.step(p, g), 30);
+        assert!(
+            err_mom < err_plain,
+            "momentum {err_mom} vs plain {err_plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1, 0.0);
+        let err = quadratic_converges(|p, g| opt.step(p, g), 200);
+        assert!(err < 1e-2, "err={err}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        let mut params = vec![Tensor::ones(1, 4)];
+        // Zero gradient: only decay acts.
+        let grads = vec![Some(Tensor::zeros(1, 4))];
+        for _ in 0..10 {
+            opt.step(&mut params, &grads);
+        }
+        assert!(params[0].max_abs() < 1.0);
+    }
+
+    #[test]
+    fn none_grad_leaves_param_untouched() {
+        let mut opt = Adam::new(0.1, 0.1);
+        let mut params = vec![Tensor::ones(1, 2)];
+        opt.step(&mut params, &[None]);
+        assert_eq!(params[0].data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn adamw_decay_is_decoupled() {
+        // With zero gradient, AdamW still decays parameters.
+        let mut opt = Adam::adamw(0.1, 0.5);
+        let mut params = vec![Tensor::ones(1, 2)];
+        opt.step(&mut params, &[Some(Tensor::zeros(1, 2))]);
+        assert!(params[0].data()[0] < 1.0);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineAnnealing::new(1.0, 0.1, 100);
+        assert!((s.lr(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr(100) - 0.1).abs() < 1e-6);
+        assert!((s.lr(50) - 0.55).abs() < 1e-6);
+        // Monotone decreasing.
+        for t in 1..=100 {
+            assert!(s.lr(t) <= s.lr(t - 1) + 1e-6);
+        }
+        // Clamps beyond t_max.
+        assert_eq!(s.lr(500), s.lr(100));
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::new(1.0, 0.5, 10);
+        assert_eq!(s.lr(0), 1.0);
+        assert_eq!(s.lr(9), 1.0);
+        assert_eq!(s.lr(10), 0.5);
+        assert_eq!(s.lr(25), 0.25);
+    }
+
+    #[test]
+    fn sgd_with_schedule_converges() {
+        let sched = CosineAnnealing::new(0.2, 0.001, 100);
+        let target = Tensor::from_vec(1, 2, vec![3.0, -1.0]);
+        let mut params = vec![Tensor::zeros(1, 2)];
+        let mut opt = Sgd::new(sched.lr(0), 0.9, 0.0);
+        for t in 0..100 {
+            opt.lr = sched.lr(t);
+            let tape = Tape::new();
+            let w = tape.param(params[0].clone());
+            let tv = tape.constant(target.clone());
+            let d = tape.sub(w, tv);
+            let loss = tape.sum(tape.mul(d, d));
+            let grads = tape.backward(loss);
+            let g = vec![grads.get(w).cloned()];
+            opt.step(&mut params, &g);
+        }
+        assert!(params[0].sub(&target).norm() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_panics() {
+        Sgd::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let mut rng = SplitMix64::new(1);
+        let g = Tensor::randn(2, 2, 1.0, &mut rng);
+        let run = || {
+            let mut opt = Adam::new(0.05, 0.01);
+            let mut params = vec![Tensor::ones(2, 2)];
+            for _ in 0..5 {
+                opt.step(&mut params, &[Some(g.clone())]);
+            }
+            params[0].clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

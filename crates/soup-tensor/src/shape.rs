@@ -1,0 +1,102 @@
+//! 2-D tensor shapes.
+//!
+//! Everything the souping pipeline touches is a matrix: node-feature
+//! matrices `(n, f)`, weight matrices `(f_in, f_out)`, per-edge score
+//! matrices `(E, heads)`, bias rows `(1, f)` and scalars `(1, 1)`. Keeping
+//! shapes strictly 2-D removes a whole class of broadcasting bugs and keeps
+//! kernel inner loops trivially vectorisable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Rows × columns shape of a [`crate::Tensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl Shape {
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes a dense f32 buffer of this shape occupies.
+    pub const fn bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+
+    /// `true` for a 1×1 shape.
+    pub const fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// Row-major flat index of `(r, c)`.
+    #[inline]
+    pub fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {self}"
+        );
+        r * self.cols + c
+    }
+
+    /// Shape of the transpose.
+    pub const fn transposed(&self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Self { rows, cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.bytes(), 48);
+        assert!(!s.is_scalar());
+        assert!(Shape::new(1, 1).is_scalar());
+        assert_eq!(s.transposed(), Shape::new(4, 3));
+        assert_eq!(s.idx(2, 3), 11);
+        assert_eq!(format!("{s}"), "(3, 4)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: Shape = (2, 5).into();
+        assert_eq!(s, Shape::new(2, 5));
+    }
+
+    #[test]
+    fn empty_shape() {
+        let s = Shape::new(0, 7);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

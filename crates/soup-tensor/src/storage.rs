@@ -1,0 +1,99 @@
+//! Allocation-tracked buffer storage.
+//!
+//! [`Buf`] owns the flat `Vec<f32>` behind a tensor and keeps the global
+//! [`crate::memory::DEVICE_MEMORY`] meter in sync across its whole
+//! lifecycle: construction registers the bytes, `Drop` releases them, and
+//! `Clone` (used by copy-on-write updates) registers the copy.
+
+use crate::memory::DEVICE_MEMORY;
+
+/// A tracked, heap-allocated `f32` buffer.
+#[derive(Debug)]
+pub struct Buf {
+    data: Vec<f32>,
+}
+
+impl Buf {
+    /// Take ownership of an existing vector, registering its capacity.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        DEVICE_MEMORY.alloc(Self::bytes_of(&data));
+        Self { data }
+    }
+
+    /// Allocate a zero-filled buffer of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        Self::from_vec(vec![0.0; len])
+    }
+
+    /// Allocate a buffer filled with `value`.
+    pub fn full(len: usize, value: f32) -> Self {
+        Self::from_vec(vec![value; len])
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    fn bytes_of(data: &Vec<f32>) -> usize {
+        data.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Self {
+        Self::from_vec(self.data.clone())
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        DEVICE_MEMORY.free(Self::bytes_of(&self.data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_alloc_and_free() {
+        let before = DEVICE_MEMORY.current();
+        let buf = Buf::zeros(1000);
+        assert!(DEVICE_MEMORY.current() >= before + 4000);
+        drop(buf);
+        assert_eq!(
+            DEVICE_MEMORY.current().min(before),
+            before.min(DEVICE_MEMORY.current())
+        );
+    }
+
+    #[test]
+    fn clone_registers_copy() {
+        let buf = Buf::full(256, 1.5);
+        let before = DEVICE_MEMORY.current();
+        let copy = buf.clone();
+        assert!(DEVICE_MEMORY.current() >= before + 1024);
+        assert_eq!(copy.as_slice(), buf.as_slice());
+        drop(copy);
+    }
+
+    #[test]
+    fn contents() {
+        let buf = Buf::full(4, 2.0);
+        assert_eq!(buf.as_slice(), &[2.0; 4]);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Autograd stress tests: randomly composed expression DAGs are checked
+//! against central finite differences. This complements the per-op
+//! gradchecks by exercising *interactions*: shared subexpressions
+//! (gradient accumulation), mixed constant/parameter paths (pruning), and
+//! deep op chains.
+
+use proptest::prelude::*;
+use soup_tensor::tape::{gradcheck, Tape, Var};
+use soup_tensor::{SplitMix64, Tensor};
+
+/// Ops that preserve an `(n, n)` square shape so composition is closed.
+#[derive(Debug, Clone, Copy)]
+enum SquareOp {
+    Add,
+    Mul,
+    MatMul,
+    Sub,
+    Relu,
+    Tanh,
+    Sigmoid,
+    Scale,
+    LogSoftmax,
+}
+
+const OPS: [SquareOp; 9] = [
+    SquareOp::Add,
+    SquareOp::Mul,
+    SquareOp::MatMul,
+    SquareOp::Sub,
+    SquareOp::Relu,
+    SquareOp::Tanh,
+    SquareOp::Sigmoid,
+    SquareOp::Scale,
+    SquareOp::LogSoftmax,
+];
+
+/// Build a random DAG over `leaves`, returning the final scalar.
+fn random_dag(tape: &Tape, leaves: &[Var], ops: &[u8], rng_seed: u64) -> Var {
+    let mut rng = SplitMix64::new(rng_seed);
+    let mut pool: Vec<Var> = leaves.to_vec();
+    for &code in ops {
+        let op = OPS[code as usize % OPS.len()];
+        let a = pool[rng.next_below(pool.len())];
+        let b = pool[rng.next_below(pool.len())];
+        let out = match op {
+            SquareOp::Add => tape.add(a, b),
+            SquareOp::Mul => tape.mul(a, b),
+            SquareOp::MatMul => tape.matmul(a, b),
+            SquareOp::Sub => tape.sub(a, b),
+            SquareOp::Relu => tape.relu(a),
+            SquareOp::Tanh => tape.tanh(a),
+            SquareOp::Sigmoid => tape.sigmoid(a),
+            SquareOp::Scale => tape.scale(a, 0.5),
+            SquareOp::LogSoftmax => tape.log_softmax(a),
+        };
+        pool.push(out);
+    }
+    // Reduce everything to a scalar through a product with a fixed probe so
+    // the reduction is not permutation-symmetric.
+    let last = *pool.last().unwrap();
+    tape.mean(tape.tanh(last))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_dags_pass_gradcheck(
+        seed in 0u64..10_000,
+        ops in proptest::collection::vec(0u8..9, 1..8),
+        n in 2usize..4,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        // Two parameters, one constant leaf.
+        let p1 = Tensor::randn(n, n, 0.5, &mut rng);
+        let p2 = Tensor::randn(n, n, 0.5, &mut rng);
+        // Keep values off the ReLU kink for finite differences.
+        let nudge = |t: Tensor| t.map(|x| if x.abs() < 0.1 { x + 0.25 } else { x });
+        let p1 = nudge(p1);
+        let p2 = nudge(p2);
+        let c = Tensor::randn(n, n, 0.5, &mut rng);
+        let result = gradcheck(
+            &|tape, vars| {
+                let cv = tape.constant(c.clone());
+                random_dag(tape, &[vars[0], vars[1], cv], &ops, seed)
+            },
+            &[p1, p2],
+            1e-2,
+            6e-2,
+        );
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+}
+
+#[test]
+fn shared_subexpression_accumulates() {
+    // y = (x*x) + (x*x) reuses the same node: dy/dx must be 4x.
+    let tape = Tape::new();
+    let x = tape.param(Tensor::scalar(3.0));
+    let sq = tape.mul(x, x);
+    let y = tape.add(sq, sq);
+    let g = tape.backward(y);
+    assert_eq!(g.get(x).unwrap().item(), 12.0);
+}
+
+#[test]
+fn diamond_dag_gradient() {
+    // y = relu(x) * sigmoid(x): two paths from x merge.
+    let mut rng = SplitMix64::new(5);
+    let x = Tensor::randn(3, 3, 1.0, &mut rng).map(|v| if v.abs() < 0.1 { v + 0.3 } else { v });
+    gradcheck(
+        &|t, v| {
+            let a = t.relu(v[0]);
+            let b = t.sigmoid(v[0]);
+            t.sum(t.mul(a, b))
+        },
+        &[x],
+        1e-2,
+        3e-2,
+    )
+    .unwrap();
+}
+
+#[test]
+fn deep_chain_stays_finite() {
+    // 60 chained tanh+matmul ops: gradients must not blow up or NaN.
+    let tape = Tape::new();
+    let mut rng = SplitMix64::new(6);
+    let w = tape.param(Tensor::randn(8, 8, 0.3, &mut rng));
+    let mut h = tape.constant(Tensor::randn(8, 8, 1.0, &mut rng));
+    for _ in 0..60 {
+        h = tape.tanh(tape.matmul(h, w));
+    }
+    let loss = tape.mean(h);
+    let g = tape.backward(loss);
+    let gw = g.get(w).unwrap();
+    assert!(
+        gw.data().iter().all(|v| v.is_finite()),
+        "non-finite gradient"
+    );
+}
+
+#[test]
+fn mixed_constant_param_pruning_consistency() {
+    // The value of the loss must be identical whether the "frozen" side is
+    // a constant or a param; and constants must receive no gradient.
+    let mut rng = SplitMix64::new(7);
+    let a = Tensor::randn(4, 4, 1.0, &mut rng);
+    let b = Tensor::randn(4, 4, 1.0, &mut rng);
+
+    let tape1 = Tape::new();
+    let pa1 = tape1.param(a.clone());
+    let cb1 = tape1.constant(b.clone());
+    let y1 = tape1.sum(tape1.matmul(pa1, cb1));
+
+    let tape2 = Tape::new();
+    let pa2 = tape2.param(a.clone());
+    let pb2 = tape2.param(b.clone());
+    let y2 = tape2.sum(tape2.matmul(pa2, pb2));
+
+    assert_eq!(tape1.value(y1).item(), tape2.value(y2).item());
+    let g1 = tape1.backward(y1);
+    let g2 = tape2.backward(y2);
+    assert!(g1.get(cb1).is_none());
+    assert!(g1.get(pa1).unwrap().allclose(g2.get(pa2).unwrap(), 1e-6));
+    assert!(g2.get(pb2).is_some());
+}
+
+#[test]
+fn gradients_match_across_tape_reuse_patterns() {
+    // Rebuilding the same computation on a fresh tape gives identical
+    // gradients (the define-by-run contract LS training relies on).
+    let mut rng = SplitMix64::new(8);
+    let w = Tensor::randn(5, 5, 1.0, &mut rng);
+    let x = Tensor::randn(5, 5, 1.0, &mut rng);
+    let run = || {
+        let tape = Tape::new();
+        let wv = tape.param(w.clone());
+        let xv = tape.constant(x.clone());
+        let y = tape.mean(tape.relu(tape.matmul(xv, wv)));
+        let g = tape.backward(y);
+        g.get(wv).unwrap().clone()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,78 @@
+//! Architecture comparison: soup all three GNN families on one dataset.
+//!
+//! Reproduces the qualitative structure of one Table II row-group — GCN,
+//! GraphSAGE and GAT ingredients souped with US / GIS / LS on the
+//! Reddit-like benchmark — and prints which strategy wins per architecture.
+//!
+//! Run: `cargo run --release --example arch_comparison`
+
+use enhanced_soups::gnn::Arch;
+use enhanced_soups::prelude::*;
+use enhanced_soups::soup::strategy::test_accuracy;
+use enhanced_soups::soup::LearnedHyper;
+
+fn main() {
+    let dataset = DatasetKind::Reddit.generate_scaled(42, 0.25);
+    println!(
+        "dataset: {} — {} nodes, {} edges, {} classes\n",
+        dataset.kind.name(),
+        dataset.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.num_classes()
+    );
+
+    for arch in Arch::ALL {
+        let cfg = match arch {
+            Arch::Gcn => {
+                ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(32)
+            }
+            Arch::Sage => {
+                ModelConfig::sage(dataset.num_features(), dataset.num_classes()).with_hidden(32)
+            }
+            Arch::Gat => ModelConfig::gat(dataset.num_features(), dataset.num_classes())
+                .with_hidden(8)
+                .with_heads(4),
+            Arch::Gin => {
+                ModelConfig::gin(dataset.num_features(), dataset.num_classes()).with_hidden(32)
+            }
+        };
+        let tc = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::quick()
+        };
+        let ingredients = train_ingredients(&dataset, &cfg, &tc, 5, 4, 42);
+        let ing_best = ingredients
+            .iter()
+            .map(|i| i.val_accuracy)
+            .fold(0.0, f64::max);
+
+        let hyper = LearnedHyper {
+            epochs: 25,
+            ..Default::default()
+        };
+        let strategies: Vec<(&str, Box<dyn SoupStrategy>)> = vec![
+            ("US ", Box::new(UniformSouping)),
+            ("GIS", Box::new(GisSouping::new(10))),
+            ("LS ", Box::new(LearnedSouping::new(hyper))),
+        ];
+        println!(
+            "== {} (best ingredient val {:.2}%)",
+            arch.name(),
+            ing_best * 100.0
+        );
+        let mut best: (&str, f64) = ("", 0.0);
+        for (name, s) in strategies {
+            let outcome = s.soup(&ingredients, &dataset, &cfg, 3);
+            let test = test_accuracy(&outcome, &dataset, &cfg);
+            if test > best.1 {
+                best = (name, test);
+            }
+            println!(
+                "  {name}  test {:.2}%  ({:.3}s)",
+                test * 100.0,
+                outcome.stats.wall_time.as_secs_f64()
+            );
+        }
+        println!("  -> winner: {} at {:.2}%\n", best.0.trim(), best.1 * 100.0);
+    }
+}

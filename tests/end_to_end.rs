@@ -1,0 +1,117 @@
+//! Cross-crate integration: the full pipeline from dataset synthesis
+//! through distributed ingredient training to every souping strategy.
+
+use enhanced_soups::prelude::*;
+use enhanced_soups::soup::strategy::test_accuracy;
+use enhanced_soups::soup::{GreedySouping, Ingredient, LearnedHyper};
+
+fn pipeline(seed: u64) -> (Dataset, ModelConfig, Vec<Ingredient>) {
+    let dataset = DatasetKind::Flickr.generate_scaled(seed, 0.2);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(16);
+    let tc = TrainConfig {
+        epochs: 15,
+        ..TrainConfig::quick()
+    };
+    let ingredients = train_ingredients(&dataset, &cfg, &tc, 5, 3, seed);
+    (dataset, cfg, ingredients)
+}
+
+#[test]
+fn every_strategy_produces_a_working_soup() {
+    let (dataset, cfg, ingredients) = pipeline(1);
+    let hyper = LearnedHyper {
+        epochs: 15,
+        ..Default::default()
+    };
+    let strategies: Vec<Box<dyn SoupStrategy>> = vec![
+        Box::new(UniformSouping),
+        Box::new(GreedySouping),
+        Box::new(GisSouping::new(6)),
+        Box::new(LearnedSouping::new(hyper)),
+        Box::new(PartitionLearnedSouping::new(hyper, 8, 3)),
+    ];
+    let random = 1.0 / dataset.num_classes() as f64;
+    for s in strategies {
+        let outcome = s.soup(&ingredients, &dataset, &cfg, 2);
+        assert!(
+            outcome.params.same_shape(&ingredients[0].params),
+            "{} shape",
+            s.name()
+        );
+        assert!(
+            outcome.val_accuracy > random,
+            "{} soup no better than random: {}",
+            s.name(),
+            outcome.val_accuracy
+        );
+        let test = test_accuracy(&outcome, &dataset, &cfg);
+        assert!(test > random, "{} test acc {test}", s.name());
+        // Parameters must be finite.
+        for t in outcome.params.flat() {
+            assert!(
+                t.data().iter().all(|v| v.is_finite()),
+                "{} non-finite params",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn souping_beats_ingredient_average_on_val() {
+    let (dataset, cfg, ingredients) = pipeline(2);
+    let mean_val: f64 =
+        ingredients.iter().map(|i| i.val_accuracy).sum::<f64>() / ingredients.len() as f64;
+    // The informed strategies should at least match the mean ingredient.
+    for s in [
+        Box::new(GisSouping::new(8)) as Box<dyn SoupStrategy>,
+        Box::new(LearnedSouping::new(LearnedHyper {
+            epochs: 25,
+            ..Default::default()
+        })),
+    ] {
+        let outcome = s.soup(&ingredients, &dataset, &cfg, 3);
+        assert!(
+            outcome.val_accuracy >= mean_val - 0.02,
+            "{}: {} well below ingredient mean {mean_val}",
+            s.name(),
+            outcome.val_accuracy
+        );
+    }
+}
+
+#[test]
+fn soup_has_single_model_inference_cost() {
+    // The motivating property of soups vs ensembles: the result is ONE
+    // model of ingredient size.
+    let (_, _, ingredients) = pipeline(3);
+    let dataset = DatasetKind::Flickr.generate_scaled(3, 0.2);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(16);
+    let outcome = UniformSouping.soup(&ingredients, &dataset, &cfg, 1);
+    assert_eq!(
+        outcome.params.size_bytes(),
+        ingredients[0].params.size_bytes()
+    );
+    assert_eq!(
+        outcome.params.num_params(),
+        ingredients[0].params.num_params()
+    );
+}
+
+#[test]
+fn minibatch_ingredients_are_soupable() {
+    let dataset = DatasetKind::Flickr.generate_scaled(4, 0.2);
+    let cfg = ModelConfig::sage(dataset.num_features(), dataset.num_classes()).with_hidden(16);
+    let tc = TrainConfig {
+        epochs: 6,
+        ..TrainConfig::quick()
+    }
+    .with_minibatch(64, vec![6, 6]);
+    let ingredients = train_ingredients(&dataset, &cfg, &tc, 4, 2, 4);
+    let outcome = LearnedSouping::new(LearnedHyper {
+        epochs: 12,
+        ..Default::default()
+    })
+    .soup(&ingredients, &dataset, &cfg, 5);
+    assert!(outcome.val_accuracy > 1.0 / dataset.num_classes() as f64);
+}

@@ -1,0 +1,132 @@
+//! Shape-level reproduction of the paper's headline claims, at test scale:
+//!
+//! - LS is faster than GIS (Table III / Fig. 4a) — gradient descent beats
+//!   exhaustive ratio search;
+//! - PLS peaks at less memory than LS (Fig. 4b) and roughly tracks R/K;
+//! - US is the fastest strategy but generally the least accurate among
+//!   informed alternatives on diverse ingredient pools (§V);
+//! - GIS forward-pass count follows O(N·g) while LS follows O(e) (§III-E).
+
+use enhanced_soups::prelude::*;
+use enhanced_soups::soup::{Ingredient, LearnedHyper};
+
+fn pool(seed: u64, scale: f64, n: usize) -> (Dataset, ModelConfig, Vec<Ingredient>) {
+    let dataset = DatasetKind::Reddit.generate_scaled(seed, scale);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(32);
+    let tc = TrainConfig {
+        epochs: 12,
+        ..TrainConfig::quick()
+    };
+    let ingredients = train_ingredients(&dataset, &cfg, &tc, n, 4, seed);
+    (dataset, cfg, ingredients)
+}
+
+#[test]
+fn ls_is_faster_than_gis_at_paper_like_settings() {
+    // Matched settings: GIS at granularity 20 over 6 ingredients performs
+    // ~100 full-graph forwards; LS at 25 epochs performs 25 fwd+bwd.
+    let (dataset, cfg, ingredients) = pool(1, 0.2, 6);
+    let gis = GisSouping::new(20).soup(&ingredients, &dataset, &cfg, 3);
+    let ls = LearnedSouping::new(LearnedHyper {
+        epochs: 25,
+        ..Default::default()
+    })
+    .soup(&ingredients, &dataset, &cfg, 3);
+    assert!(
+        ls.stats.wall_time < gis.stats.wall_time,
+        "LS {:?} not faster than GIS {:?}",
+        ls.stats.wall_time,
+        gis.stats.wall_time
+    );
+}
+
+#[test]
+fn pls_uses_less_memory_than_ls_roughly_tracking_ratio() {
+    let (dataset, cfg, ingredients) = pool(2, 0.3, 4);
+    let hyper = LearnedHyper {
+        epochs: 12,
+        ..Default::default()
+    };
+    let ls = LearnedSouping::new(hyper).soup(&ingredients, &dataset, &cfg, 5);
+    let pls = PartitionLearnedSouping::new(hyper, 16, 4).soup(&ingredients, &dataset, &cfg, 5);
+    assert!(
+        pls.stats.peak_mem_bytes < ls.stats.peak_mem_bytes,
+        "PLS {} >= LS {}",
+        pls.stats.peak_mem_bytes,
+        ls.stats.peak_mem_bytes
+    );
+    // The activation share should be well under half of LS's peak for
+    // R/K = 0.25 (model parameters are a shared constant floor).
+    assert!(
+        (pls.stats.peak_mem_bytes as f64) < 0.8 * ls.stats.peak_mem_bytes as f64,
+        "PLS memory {} not well below LS {}",
+        pls.stats.peak_mem_bytes,
+        ls.stats.peak_mem_bytes
+    );
+}
+
+#[test]
+fn us_is_fastest_strategy() {
+    let (dataset, cfg, ingredients) = pool(3, 0.15, 4);
+    let hyper = LearnedHyper {
+        epochs: 15,
+        ..Default::default()
+    };
+    let us = UniformSouping.soup(&ingredients, &dataset, &cfg, 1);
+    let gis = GisSouping::new(10).soup(&ingredients, &dataset, &cfg, 1);
+    let ls = LearnedSouping::new(hyper).soup(&ingredients, &dataset, &cfg, 1);
+    assert!(us.stats.wall_time <= gis.stats.wall_time);
+    assert!(us.stats.wall_time <= ls.stats.wall_time);
+}
+
+#[test]
+fn forward_pass_counts_follow_complexity_model() {
+    use enhanced_soups::soup::complexity::{gis_cost, ls_cost, PassCost};
+    let (dataset, cfg, ingredients) = pool(4, 0.15, 5);
+    let g = 8;
+    let e = 12;
+    let gis = GisSouping::new(g).soup(&ingredients, &dataset, &cfg, 1);
+    let ls = LearnedSouping::new(LearnedHyper {
+        epochs: e,
+        ..Default::default()
+    })
+    .soup(&ingredients, &dataset, &cfg, 1);
+    // GIS: 1 + (N-1)(g-1) forwards; LS: e forwards.
+    assert_eq!(gis.stats.forward_passes, 1 + (5 - 1) * (g - 1));
+    assert_eq!(ls.stats.forward_passes, e);
+    // Analytic model ordering agrees with measured counts.
+    let unit = PassCost::from_forward(1.0);
+    assert!(gis_cost(5, g, unit) > ls_cost(e, unit));
+}
+
+#[test]
+fn informed_strategies_beat_us_on_diverse_pools() {
+    // Make ingredients intentionally diverse by training some much longer
+    // than others — the regime where US suffers (§V-A).
+    let dataset = DatasetKind::OgbnArxiv.generate_scaled(5, 0.25);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(32);
+    let mut rng = enhanced_soups::tensor::SplitMix64::new(5);
+    let init = enhanced_soups::gnn::model::init_params(&cfg, &mut rng);
+    let mut ingredients = Vec::new();
+    for (i, epochs) in [2usize, 3, 25, 30].iter().enumerate() {
+        let tc = TrainConfig {
+            epochs: *epochs,
+            ..TrainConfig::quick()
+        };
+        let tm = enhanced_soups::gnn::train_single(&dataset, &cfg, &tc, &init, 100 + i as u64);
+        ingredients.push(Ingredient::new(
+            i,
+            tm.params,
+            tm.val_accuracy,
+            100 + i as u64,
+        ));
+    }
+    let us = UniformSouping.soup(&ingredients, &dataset, &cfg, 1);
+    let gis = GisSouping::new(10).soup(&ingredients, &dataset, &cfg, 1);
+    assert!(
+        gis.val_accuracy > us.val_accuracy,
+        "GIS {} should beat US {} on a mixed-quality pool",
+        gis.val_accuracy,
+        us.val_accuracy
+    );
+}

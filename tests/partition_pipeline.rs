@@ -1,0 +1,100 @@
+//! Integration of the partitioner with PLS's subgraph machinery:
+//! validation balancing, cut-edge preservation, and the Eq. (5) union.
+
+use enhanced_soups::graph::subgraph::InducedSubgraph;
+use enhanced_soups::partition::quality::{balance_ratio, subset_counts};
+use enhanced_soups::partition::{edge_cut, partition_val_balanced, PartitionConfig};
+use enhanced_soups::prelude::*;
+
+#[test]
+fn partitions_balance_validation_nodes_on_all_datasets() {
+    for kind in [DatasetKind::Flickr, DatasetKind::OgbnArxiv] {
+        let d = kind.generate_scaled(3, 0.25);
+        let k = 8;
+        let p = partition_val_balanced(&d.graph, &d.splits, &PartitionConfig::new(k).with_seed(1));
+        let counts = subset_counts(&p.assignment, &d.splits.val, k);
+        let ideal = d.splits.val.len() as f64 / k as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.25 * ideal && (c as f64) < 2.5 * ideal,
+                "{}: partition {i} has {c} val nodes (ideal {ideal:.1})",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_union_subgraph_invariants() {
+    let d = DatasetKind::Reddit.generate_scaled(4, 0.15);
+    let k = 8;
+    let p = partition_val_balanced(&d.graph, &d.splits, &PartitionConfig::new(k).with_seed(2));
+    let selected = [0u32, 3, 5];
+    let sub = InducedSubgraph::from_partitions(&d.graph, &p.assignment, &selected);
+
+    // Every retained node belongs to a selected partition.
+    for &g in &sub.local_to_global {
+        assert!(selected.contains(&p.assignment[g]));
+    }
+    // Every edge between two retained nodes survives, including cut edges
+    // between different selected partitions (Eq. 5).
+    let mut cross_partition_edges = 0usize;
+    for l in 0..sub.graph.num_nodes() {
+        let gl = sub.local_to_global[l];
+        for &lu in sub.graph.neighbors(l) {
+            let gu = sub.local_to_global[lu as usize];
+            assert!(d.graph.has_edge(gl, gu), "phantom edge in subgraph");
+            if p.assignment[gl] != p.assignment[gu] {
+                cross_partition_edges += 1;
+            }
+        }
+    }
+    assert!(
+        cross_partition_edges > 0,
+        "no preserved cut edges — Eq. 5 violated"
+    );
+
+    // Conversely: check a sample of original edges inside the union appear.
+    for v in (0..d.graph.num_nodes()).step_by(37) {
+        let Some(lv) = sub.global_to_local[v] else {
+            continue;
+        };
+        for &u in d.graph.neighbors(v) {
+            if let Some(lu) = sub.global_to_local[u as usize] {
+                assert!(sub.graph.has_edge(lv, lu), "lost edge {v}-{u}");
+            }
+        }
+    }
+}
+
+#[test]
+fn subgraph_size_tracks_partition_ratio() {
+    let d = DatasetKind::OgbnProducts.generate_scaled(5, 0.12);
+    let k = 16;
+    let p = partition_val_balanced(&d.graph, &d.splits, &PartitionConfig::new(k).with_seed(3));
+    assert!(balance_ratio(&vec![1.0; d.num_nodes()], &p.assignment, k) < 2.2);
+    for r in [2usize, 4, 8] {
+        let selected: Vec<u32> = (0..r as u32).collect();
+        let sub = InducedSubgraph::from_partitions(&d.graph, &p.assignment, &selected);
+        let frac = sub.num_nodes() as f64 / d.num_nodes() as f64;
+        let expected = r as f64 / k as f64;
+        assert!(
+            (frac - expected).abs() < 0.45 * expected + 0.05,
+            "R={r}: fraction {frac:.3} far from R/K={expected:.3}"
+        );
+    }
+}
+
+#[test]
+fn partitioner_cut_quality_on_benchmarks() {
+    let d = DatasetKind::Flickr.generate_scaled(6, 0.3);
+    let k = 8;
+    let p = partition_val_balanced(&d.graph, &d.splits, &PartitionConfig::new(k).with_seed(4));
+    let cut = edge_cut(&d.graph, &p.assignment);
+    // Random assignment cuts (k-1)/k of edges in expectation.
+    let random_expect = d.graph.num_edges() as f64 * (k as f64 - 1.0) / k as f64;
+    assert!(
+        (cut as f64) < random_expect,
+        "multilevel cut {cut} not better than random {random_expect:.0}"
+    );
+}

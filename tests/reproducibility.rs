@@ -1,0 +1,72 @@
+//! Determinism guarantees across the whole stack: every experiment result
+//! must be bit-reproducible from its seed, independent of worker count.
+
+use enhanced_soups::prelude::*;
+use enhanced_soups::soup::LearnedHyper;
+
+#[test]
+fn dataset_generation_is_reproducible() {
+    for kind in DatasetKind::ALL {
+        let a = kind.generate_scaled(7, 0.15);
+        let b = kind.generate_scaled(7, 0.15);
+        assert_eq!(a.labels, b.labels, "{}", kind.name());
+        assert_eq!(a.features, b.features, "{}", kind.name());
+        assert_eq!(a.splits, b.splits, "{}", kind.name());
+        assert_eq!(a.graph.indices(), b.graph.indices(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn full_pipeline_reproducible_across_worker_counts() {
+    let dataset = DatasetKind::Flickr.generate_scaled(9, 0.18);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(16);
+    let tc = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::quick()
+    };
+
+    let run = |workers: usize| {
+        let ingredients = train_ingredients(&dataset, &cfg, &tc, 4, workers, 11);
+        LearnedSouping::new(LearnedHyper {
+            epochs: 10,
+            ..Default::default()
+        })
+        .soup(&ingredients, &dataset, &cfg, 13)
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.val_accuracy, b.val_accuracy);
+    for (x, y) in a.params.flat().zip(b.params.flat()) {
+        assert_eq!(x, y, "soup parameters differ across worker counts");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_soups() {
+    let dataset = DatasetKind::Flickr.generate_scaled(10, 0.18);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(16);
+    let tc = TrainConfig {
+        epochs: 8,
+        ..TrainConfig::quick()
+    };
+    let a = train_ingredients(&dataset, &cfg, &tc, 3, 2, 1);
+    let b = train_ingredients(&dataset, &cfg, &tc, 3, 2, 2);
+    assert!(a[0].params.l2_distance(&b[0].params) > 1e-4);
+}
+
+#[test]
+fn partitioning_reproducible() {
+    use enhanced_soups::partition::{partition_val_balanced, PartitionConfig};
+    let dataset = DatasetKind::OgbnArxiv.generate_scaled(11, 0.2);
+    let p1 = partition_val_balanced(
+        &dataset.graph,
+        &dataset.splits,
+        &PartitionConfig::new(8).with_seed(3),
+    );
+    let p2 = partition_val_balanced(
+        &dataset.graph,
+        &dataset.splits,
+        &PartitionConfig::new(8).with_seed(3),
+    );
+    assert_eq!(p1.assignment, p2.assignment);
+}
