@@ -1,0 +1,76 @@
+//! Overhead guard for the soup-obs instrumentation: the SpMM kernel with
+//! metrics recording enabled versus disabled (`set_enabled(false)` reduces
+//! every counter update to a single relaxed atomic load).
+//!
+//! Besides the two Criterion groups, a direct A/B timing loop prints the
+//! measured relative overhead so `cargo bench --bench obs_overhead` leaves
+//! a one-line verdict in the log. The disabled path is expected to stay
+//! within 2% of the enabled path's throughput-neutral baseline — see
+//! `benches/README.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soup_graph::{CsrGraph, SbmConfig};
+use soup_tensor::Tensor;
+use std::time::Instant;
+
+fn test_graph(nodes: usize) -> (CsrGraph, Tensor) {
+    let synth = SbmConfig {
+        nodes,
+        classes: 8,
+        avg_degree: 16.0,
+        feature_dim: 64,
+        ..Default::default()
+    }
+    .generate(3);
+    (synth.graph, synth.features)
+}
+
+fn bench_spmm_instrumentation(c: &mut Criterion) {
+    let (graph, feats) = test_graph(4000);
+    let adj = graph.gcn_norm();
+
+    let mut group = c.benchmark_group("spmm_obs");
+    soup_obs::set_enabled(true);
+    group.bench_function("metrics_enabled", |b| {
+        b.iter(|| std::hint::black_box(adj.matvec_dense(&feats)));
+    });
+    soup_obs::set_enabled(false);
+    group.bench_function("metrics_disabled", |b| {
+        b.iter(|| std::hint::black_box(adj.matvec_dense(&feats)));
+    });
+    soup_obs::set_enabled(true);
+    group.finish();
+
+    // Direct A/B measurement: interleave enabled/disabled batches so both
+    // states see the same thermal/cache conditions, then report the ratio.
+    let batch = 20usize;
+    let rounds = 10usize;
+    let mut enabled_ns = 0u128;
+    let mut disabled_ns = 0u128;
+    for _ in 0..rounds {
+        soup_obs::set_enabled(true);
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(adj.matvec_dense(&feats));
+        }
+        enabled_ns += t.elapsed().as_nanos();
+        soup_obs::set_enabled(false);
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(adj.matvec_dense(&feats));
+        }
+        disabled_ns += t.elapsed().as_nanos();
+    }
+    soup_obs::set_enabled(true);
+    let overhead = enabled_ns as f64 / disabled_ns.max(1) as f64 - 1.0;
+    println!(
+        "spmm instrumentation overhead (enabled vs disabled): {:+.3}% \
+         (enabled {:.3} ms/iter, disabled {:.3} ms/iter)",
+        overhead * 100.0,
+        enabled_ns as f64 / 1e6 / (batch * rounds) as f64,
+        disabled_ns as f64 / 1e6 / (batch * rounds) as f64,
+    );
+}
+
+criterion_group!(benches, bench_spmm_instrumentation);
+criterion_main!(benches);

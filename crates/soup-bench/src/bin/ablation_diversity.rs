@@ -96,5 +96,6 @@ fn main() {
         "regime,weight_dist,disagreement,acc_std,us,gis,ls,winner",
         &rows,
     )
-    .map(|p| println!("wrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

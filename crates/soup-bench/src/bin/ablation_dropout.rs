@@ -103,5 +103,6 @@ fn main() {
     println!("The §VIII extensions narrow the gap: early stopping matches GIS-level accuracy");
     println!("in a fraction of the epochs, and pruning hard-drops the weak ingredients.");
     let _ = write_csv("ablation_dropout", "variant,val_acc,test_acc,epochs", &rows)
-        .map(|p| println!("wrote {}", p.display()));
+        .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

@@ -75,5 +75,6 @@ fn main() {
         "dataset,n,soup_acc,soup_time_s,soup_mem,soup_params,ens_acc,ens_time_s,ens_mem,ens_params",
         &rows,
     )
-    .map(|p| println!("wrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

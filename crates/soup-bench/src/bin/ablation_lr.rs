@@ -57,5 +57,6 @@ fn main() {
         rows.push(format!("{lr},{acc:.4},{:.4}", outcome.val_accuracy));
     }
     let _ = write_csv("ablation_lr", "base_lr,test_acc,val_acc", &rows)
-        .map(|p| println!("\nwrote {}", p.display()));
+        .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

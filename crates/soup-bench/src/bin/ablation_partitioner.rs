@@ -93,5 +93,6 @@ fn main() {
         "partitioner,val_acc,test_acc,time_s",
         &rows,
     )
-    .map(|p| println!("\nwrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

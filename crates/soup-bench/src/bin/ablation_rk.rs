@@ -75,5 +75,6 @@ fn main() {
         "r,k,ratio,combinations,test_acc,time_s,peak_mem_bytes",
         &rows,
     )
-    .map(|p| println!("\nwrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

@@ -57,5 +57,6 @@ fn main() {
         "workers,measured_s,eq1_s,simulated_s,imbalance",
         &rows,
     )
-    .map(|p| println!("wrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

@@ -104,7 +104,8 @@ fn main() {
         }
     }
     match write_csv("fig3", "dataset,model,series,test_acc", &rows) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+        Ok(path) => soup_obs::info!("wrote {}", path.display()),
+        Err(e) => soup_obs::warn!("csv write failed: {e}"),
     }
+    soup_bench::harness::finish_observability();
 }

@@ -89,11 +89,12 @@ fn main() {
         "model,dataset,us_speedup,ls_speedup,pls_speedup",
         &rows_a,
     )
-    .map(|p| println!("\nwrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
     let _ = write_csv(
         "fig4b",
         "model,dataset,ls_rel_mem,pls_rel_mem,gis_bytes,ls_bytes,pls_bytes",
         &rows_b,
     )
-    .map(|p| println!("wrote {}", p.display()));
+    .map(|p| soup_obs::info!("wrote {}", p.display()));
+    soup_bench::harness::finish_observability();
 }

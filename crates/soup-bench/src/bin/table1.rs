@@ -46,7 +46,8 @@ fn main() {
         "dataset,nodes,edges,classes,split,homophily,max_degree,degree_gini,clustering",
         &rows,
     ) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+        Ok(path) => soup_obs::info!("wrote {}", path.display()),
+        Err(e) => soup_obs::warn!("csv write failed: {e}"),
     }
+    soup_bench::harness::finish_observability();
 }

@@ -56,7 +56,8 @@ fn main() {
         "model,dataset,ing_mean,ing_std,us_mean,us_std,gis_mean,gis_std,ls_mean,ls_std,pls_mean,pls_std",
         &rows,
     ) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+        Ok(path) => soup_obs::info!("wrote {}", path.display()),
+        Err(e) => soup_obs::warn!("csv write failed: {e}"),
     }
+    soup_bench::harness::finish_observability();
 }

@@ -51,7 +51,8 @@ fn main() {
         ));
     }
     match write_csv("table3", "model,dataset,us_s,gis_s,ls_s,pls_s", &rows) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
+        Ok(path) => soup_obs::info!("wrote {}", path.display()),
+        Err(e) => soup_obs::warn!("csv write failed: {e}"),
     }
+    soup_bench::harness::finish_observability();
 }

@@ -91,17 +91,55 @@ impl ExperimentPreset {
         }
     }
 
-    /// Parse from a CLI argument, defaulting to `standard`.
+    /// Parse from the CLI, defaulting to `standard`. The first positional
+    /// argument selects the preset; `--trace-out FILE` opens a JSONL trace
+    /// sink and `--metrics-summary` prints the span/counter report in
+    /// [`finish_observability`].
     pub fn from_args() -> Self {
-        match std::env::args().nth(1).as_deref() {
-            Some("quick") => Self::quick(),
-            Some("full") => Self::full(),
-            Some("standard") | None => Self::standard(),
-            Some(other) => {
-                eprintln!("unknown preset '{other}', expected quick|standard|full");
-                std::process::exit(2);
+        let mut preset = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "quick" => preset = Some(Self::quick()),
+                "full" => preset = Some(Self::full()),
+                "standard" => preset = Some(Self::standard()),
+                "--trace-out" => {
+                    let Some(path) = args.next() else {
+                        eprintln!("--trace-out needs a file argument");
+                        std::process::exit(2);
+                    };
+                    if let Err(e) = soup_obs::trace::init(&path) {
+                        eprintln!("cannot open trace file {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                "--metrics-summary" => {
+                    METRICS_SUMMARY.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                other => {
+                    eprintln!(
+                        "unknown argument '{other}', expected \
+                         [quick|standard|full] [--trace-out FILE] [--metrics-summary]"
+                    );
+                    std::process::exit(2);
+                }
             }
         }
+        preset.unwrap_or_else(Self::standard)
+    }
+}
+
+static METRICS_SUMMARY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Finalize the observability options of [`ExperimentPreset::from_args`]:
+/// close the `--trace-out` sink (appending the final metrics record) and
+/// print the `--metrics-summary` report. Binaries call this last.
+pub fn finish_observability() {
+    if let Some(path) = soup_obs::trace::finish() {
+        soup_obs::info!("wrote trace {}", path.display());
+    }
+    if METRICS_SUMMARY.load(std::sync::atomic::Ordering::Relaxed) {
+        soup_obs::report::print_summary();
     }
 }
 
@@ -219,6 +257,14 @@ pub fn train_pool(
 /// Run one grid cell: train ingredients once, soup `preset.soups` times per
 /// strategy, aggregate.
 pub fn run_cell(cell: &CellConfig, preset: &ExperimentPreset) -> CellResult {
+    let _cell_span = soup_obs::span!("cell");
+    soup_obs::info!(
+        "cell {}/{}: training {} ingredients on {} workers",
+        cell.arch.name(),
+        cell.dataset.name(),
+        preset.ingredients,
+        preset.workers
+    );
     let dataset = cell
         .dataset
         .generate_scaled(cell.seed, preset.dataset_scale);
@@ -317,7 +363,9 @@ pub fn format_pm_secs(mean: f64, std: f64) -> String {
     format!("{mean:7.3} ± {std:.3}")
 }
 
-/// Write rows as CSV under `results/`.
+/// Write rows as CSV under `results/`, with a metrics sidecar
+/// (`results/{name}.metrics.json`) snapshotting every counter, gauge,
+/// histogram and span accumulated while the artefact was produced.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
@@ -329,6 +377,9 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<s
         contents.push('\n');
     }
     std::fs::write(&path, contents)?;
+    let metrics = serde_json::to_string(&soup_obs::registry::snapshot_value())
+        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+    std::fs::write(dir.join(format!("{name}.metrics.json")), metrics)?;
     Ok(path)
 }
 

@@ -61,6 +61,7 @@ impl SoupStrategy for GisSouping {
         validate_ingredients(ingredients);
         assert!(self.granularity >= 2, "granularity must be >= 2");
         measure_soup(dataset, cfg, || {
+            let _gis_span = soup_obs::span!("soup.gis");
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
             let order = sort_by_val_acc(ingredients);
             let mut soup = ingredients[order[0]].params.clone();
@@ -83,6 +84,7 @@ impl SoupStrategy for GisSouping {
                 for &alpha in &ratios[1..] {
                     let candidate = soup.interpolate(ingredient, alpha);
                     forwards += 1;
+                    soup_obs::counter!("soup.gis.candidate_evals").inc();
                     let acc = evaluate_accuracy(
                         cfg,
                         &ops,
@@ -99,6 +101,10 @@ impl SoupStrategy for GisSouping {
                     soup = soup.interpolate(ingredient, best.0);
                     soup_acc = best.1;
                 }
+                soup_obs::trace_event!("soup.gis.ingredient",
+                    "idx" => idx as u64,
+                    "best_alpha" => best.0,
+                    "best_acc" => best.1);
             }
             (soup, forwards, 0)
         })

@@ -162,14 +162,8 @@ pub(crate) fn materialize_soup(ingredients: &[Ingredient], alphas: &AlphaState) 
 /// alone cannot reach (§V-A). The best ingredient is always kept.
 #[allow(clippy::needless_range_loop)] // parallel-array walk over n ingredients
 pub(crate) fn prune_weak_ingredients(alphas: &mut AlphaState, threshold: f32) -> usize {
-    let num_layers = alphas.raw.len();
     let n = alphas.raw[0].rows();
-    let mut mean_ratio = vec![0.0f32; n];
-    for l in 0..num_layers {
-        for (i, r) in alphas.ratios(l).into_iter().enumerate() {
-            mean_ratio[i] += r / num_layers as f32;
-        }
-    }
+    let mean_ratio = mean_ratios(alphas);
     let best = mean_ratio
         .iter()
         .enumerate()
@@ -186,6 +180,20 @@ pub(crate) fn prune_weak_ingredients(alphas: &mut AlphaState, threshold: f32) ->
         }
     }
     pruned
+}
+
+/// Mean softmax ratio of each ingredient across layers — the per-epoch
+/// soup-weight telemetry emitted into traces by LS and PLS.
+pub(crate) fn mean_ratios(alphas: &AlphaState) -> Vec<f32> {
+    let num_layers = alphas.raw.len();
+    let n = alphas.raw[0].rows();
+    let mut mean = vec![0.0f32; n];
+    for l in 0..num_layers {
+        for (i, r) in alphas.ratios(l).into_iter().enumerate() {
+            mean[i] += r / num_layers as f32;
+        }
+    }
+    mean
 }
 
 /// One α-optimisation step on prepared epoch data. Returns the loss.
@@ -242,6 +250,7 @@ impl SoupStrategy for LearnedSouping {
         let h = self.hyper;
         assert!(h.epochs > 0, "LS needs at least one epoch");
         measure_soup(dataset, cfg, || {
+            let _ls_span = soup_obs::span!("soup.ls");
             let mut rng = SplitMix64::new(seed).derive(0x15);
             let mut alphas = AlphaState::init(
                 ingredients.len(),
@@ -273,7 +282,7 @@ impl SoupStrategy for LearnedSouping {
                     _ => fit_mask.clone(),
                 };
                 opt.lr = sched.lr(epoch).max(1e-6);
-                learned_step(
+                let loss = learned_step(
                     ingredients,
                     &mut alphas,
                     cfg,
@@ -284,6 +293,12 @@ impl SoupStrategy for LearnedSouping {
                     &mut opt,
                 );
                 forwards += 1;
+                soup_obs::counter!("soup.ls.epochs").inc();
+                soup_obs::trace_event!("soup.ls.epoch",
+                    "epoch" => epoch as u64,
+                    "loss" => loss,
+                    "lr" => opt.lr,
+                    "mean_ratios" => mean_ratios(&alphas));
                 // §VIII ingredient drop-out at the half-way point.
                 if let Some(threshold) = h.prune_threshold {
                     if epoch + 1 == h.epochs / 2 {

@@ -191,6 +191,7 @@ impl PartitionLearnedSouping {
     ) -> (soup_gnn::ParamSet, usize, usize) {
         let h = self.hyper;
         {
+            let _pls_span = soup_obs::span!("soup.pls");
             let mut rng = SplitMix64::new(seed).derive(0x915);
             let mut alphas = AlphaState::init(
                 ingredients.len(),
@@ -240,7 +241,7 @@ impl PartitionLearnedSouping {
                 let sub_x = sub.gather_features(&dataset.features);
                 let sub_labels = sub.gather_labels(&dataset.labels);
                 opt.lr = sched.lr(epoch).max(1e-6);
-                learned_step(
+                let loss = learned_step(
                     ingredients,
                     &mut alphas,
                     cfg,
@@ -251,6 +252,14 @@ impl PartitionLearnedSouping {
                     &mut opt,
                 );
                 epochs_run += 1;
+                soup_obs::counter!("soup.pls.epochs").inc();
+                soup_obs::trace_event!("soup.pls.epoch",
+                    "epoch" => epoch as u64,
+                    "loss" => loss,
+                    "lr" => opt.lr,
+                    "sub_nodes" => sub.local_to_global.len() as u64,
+                    "selected" => selected,
+                    "mean_ratios" => crate::learned::mean_ratios(&alphas));
                 // §VIII ingredient drop-out at the half-way point.
                 if let Some(threshold) = h.prune_threshold {
                     if epoch + 1 == h.epochs / 2 {

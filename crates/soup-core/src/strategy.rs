@@ -65,9 +65,19 @@ pub fn measure_soup(
 ) -> SoupOutcome {
     let scope = MemoryScope::start();
     let start = Instant::now();
-    let (params, forward_passes, epochs) = mix();
+    let (params, forward_passes, epochs) = {
+        let _mix_span = soup_obs::span!("soup.mix");
+        mix()
+    };
     let wall_time = start.elapsed();
     let mem = scope.finish();
+    soup_obs::counter!("soup.forward_passes").add(forward_passes as u64);
+    soup_obs::gauge!("soup.last_peak_mem_bytes").set(mem.peak_delta_bytes as f64);
+    soup_obs::trace_event!("soup.measured",
+        "wall_s" => wall_time.as_secs_f64(),
+        "peak_mem_bytes" => mem.peak_delta_bytes as u64,
+        "forward_passes" => forward_passes as u64,
+        "epochs" => epochs as u64);
 
     let ops = PropOps::prepare(cfg.arch, &dataset.graph);
     let val_accuracy = evaluate_accuracy(

@@ -62,6 +62,11 @@ pub fn train_ingredients_with_opts(
 ) -> TrainRun {
     assert!(n > 0, "need at least one ingredient");
     assert!(workers > 0, "need at least one worker");
+    let _phase_span = soup_obs::span!("distrib.phase1");
+    soup_obs::trace_event!("distrib.start",
+        "ingredients" => n as u64,
+        "workers" => workers as u64,
+        "exclusive_devices" => exclusive_devices);
     let start = Instant::now();
 
     // Shared initialisation, performed once before distribution.
@@ -89,9 +94,18 @@ pub fn train_ingredients_with_opts(
                         .build()
                         .expect("building worker device pool")
                 });
+                let _worker_span = soup_obs::span!("worker");
                 let mut trained = Vec::new();
                 let busy_start = Instant::now();
-                while let Some(task) = queue.claim() {
+                let mut task_time = Duration::ZERO;
+                loop {
+                    let claim_start = Instant::now();
+                    let Some(task) = queue.claim() else { break };
+                    soup_obs::histogram!("distrib.queue.claim_wait_ns")
+                        .record(claim_start.elapsed().as_nanos() as u64);
+                    let task_start = Instant::now();
+                    soup_obs::debug!("worker {worker_id} claimed ingredient {task}");
+                    let _task_span = soup_obs::span!("ingredient");
                     let train_seed = root.derive(task as u64 + 1).next_u64_peek();
                     let tm = match &device_pool {
                         Some(pool) => {
@@ -106,11 +120,28 @@ pub fn train_ingredients_with_opts(
                         train_seed,
                     ));
                     trained.push(task);
+                    task_time += task_start.elapsed();
+                    soup_obs::counter!("distrib.tasks_completed").inc();
                 }
+                let busy_time = busy_start.elapsed();
+                // Time inside the claim loop but not spent training is
+                // scheduling overhead / idle tail for this worker.
+                let idle = busy_time.saturating_sub(task_time);
+                soup_obs::registry::counter(&format!("distrib.worker.{worker_id}.tasks"))
+                    .add(trained.len() as u64);
+                soup_obs::registry::gauge(&format!("distrib.worker.{worker_id}.busy_s"))
+                    .set(task_time.as_secs_f64());
+                soup_obs::registry::gauge(&format!("distrib.worker.{worker_id}.idle_s"))
+                    .set(idle.as_secs_f64());
+                soup_obs::trace_event!("distrib.worker.done",
+                    "worker_id" => worker_id as u64,
+                    "tasks" => trained.len() as u64,
+                    "busy_s" => task_time.as_secs_f64(),
+                    "idle_s" => idle.as_secs_f64());
                 reports.lock().push(WorkerReport {
                     worker_id,
                     ingredients_trained: trained,
-                    busy_time: busy_start.elapsed(),
+                    busy_time,
                 });
             });
         }
@@ -123,10 +154,16 @@ pub fn train_ingredients_with_opts(
         .collect();
     let mut reports = reports.into_inner();
     reports.sort_by_key(|r| r.worker_id);
+    let wall_time = start.elapsed();
+    soup_obs::gauge!("distrib.phase1.wall_s").set(wall_time.as_secs_f64());
+    soup_obs::trace_event!("distrib.done",
+        "ingredients" => n as u64,
+        "workers" => workers as u64,
+        "wall_s" => wall_time.as_secs_f64());
     TrainRun {
         ingredients,
         reports,
-        wall_time: start.elapsed(),
+        wall_time,
     }
 }
 

@@ -29,7 +29,7 @@ pub struct MinibatchConfig {
 }
 
 /// Stochastic Weight Averaging (Izmailov et al. 2019 — the paper's
-/// reference [16]: "averaging weights leads to wider optima and better
+/// reference \[16\]: "averaging weights leads to wider optima and better
 /// generalization"). When enabled, the returned parameters are the running
 /// average of the checkpoints collected every `every` epochs from
 /// `start_epoch` on — a *temporal* soup over one trajectory, complementary
@@ -121,6 +121,11 @@ pub fn train_single(
 ) -> TrainedModel {
     assert!(tc.epochs > 0, "need at least one epoch");
     assert!(tc.eval_every > 0, "eval_every must be positive");
+    let _train_span = soup_obs::span!("train");
+    soup_obs::trace_event!("train.start",
+        "train_seed" => train_seed,
+        "epochs" => tc.epochs as u64,
+        "minibatch" => tc.minibatch.is_some());
     let root = SplitMix64::new(train_seed);
     let mut params: Vec<soup_tensor::Tensor> = init.flat().cloned().collect();
     let layout = init.clone(); // shapes + names for rebuilds
@@ -153,6 +158,10 @@ pub fn train_single(
 
     for epoch in 0..tc.epochs {
         epochs_run = epoch + 1;
+        let _epoch_span = soup_obs::span!("epoch");
+        let epoch_start = std::time::Instant::now();
+        soup_obs::counter!("gnn.epochs").inc();
+        let mut epoch_loss = 0.0f64;
         let mut drop_rng = root.derive(1000 + epoch as u64);
         match &tc.minibatch {
             None => {
@@ -163,6 +172,7 @@ pub fn train_single(
                 let logits = forward(&tape, cfg, &full_ops, x, &vars, true, &mut drop_rng);
                 let loss =
                     tape.cross_entropy_masked(logits, &dataset.labels, &dataset.splits.train);
+                epoch_loss = tape.value(loss).data()[0] as f64;
                 let grads = tape.backward(loss);
                 let flat_vars = vars.flat();
                 let grad_list: Vec<Option<soup_tensor::Tensor>> =
@@ -172,7 +182,9 @@ pub fn train_single(
             Some(mb) => {
                 let mut batch_rng = root.derive(2000 + epoch as u64);
                 let sampler = NeighborSampler::new(mb.fanouts.clone());
+                let mut batches = 0usize;
                 for batch in minibatches(&dataset.splits.train, mb.batch_size, &mut batch_rng) {
+                    soup_obs::counter!("gnn.minibatches").inc();
                     let sampled = sampler.sample(&dataset.graph, &batch, &mut batch_rng);
                     let sub_ops = PropOps::prepare(cfg.arch, &sampled.sub.graph);
                     let sub_x = sampled.sub.gather_features(&dataset.features);
@@ -183,14 +195,23 @@ pub fn train_single(
                     let x = tape.constant(sub_x);
                     let logits = forward(&tape, cfg, &sub_ops, x, &vars, true, &mut drop_rng);
                     let loss = tape.cross_entropy_masked(logits, &sub_labels, &sampled.seeds_local);
+                    epoch_loss += tape.value(loss).data()[0] as f64;
+                    batches += 1;
                     let grads = tape.backward(loss);
                     let flat_vars = vars.flat();
                     let grad_list: Vec<Option<soup_tensor::Tensor>> =
                         flat_vars.iter().map(|&v| grads.get(v).cloned()).collect();
                     opt.step(&mut params, &grad_list);
                 }
+                if batches > 0 {
+                    epoch_loss /= batches as f64;
+                }
             }
         }
+        soup_obs::trace_event!("train.epoch",
+            "epoch" => epoch as u64,
+            "loss" => epoch_loss,
+            "dur_us" => epoch_start.elapsed().as_micros() as u64);
 
         // SWA checkpoint collection.
         if let Some(swa) = &tc.swa {
@@ -212,6 +233,7 @@ pub fn train_single(
             .early_stop_patience
             .filter(|_| epoch % tc.eval_every == 0 || epoch + 1 == tc.epochs)
         {
+            let _eval_span = soup_obs::span!("eval");
             let set = rebuild(&params);
             let acc = evaluate_accuracy(
                 cfg,
@@ -221,6 +243,9 @@ pub fn train_single(
                 &dataset.labels,
                 &dataset.splits.val,
             );
+            soup_obs::trace_event!("train.eval",
+                "epoch" => epoch as u64,
+                "val_accuracy" => acc);
             match &best {
                 Some((b, _)) if acc <= *b => {
                     since_best += 1;
@@ -255,6 +280,10 @@ pub fn train_single(
         &dataset.labels,
         &dataset.splits.val,
     );
+    soup_obs::trace_event!("train.done",
+        "train_seed" => train_seed,
+        "epochs_run" => epochs_run as u64,
+        "val_accuracy" => val_accuracy);
     TrainedModel {
         params: set,
         val_accuracy,

@@ -1,0 +1,90 @@
+//! Leveled stderr logging with a `SOUP_LOG` environment filter.
+//!
+//! `SOUP_LOG=debug|info|warn|off` selects the minimum level printed
+//! (default `info`). Lines go to stderr so they never pollute machine-read
+//! stdout (CSV tables, JSON artifacts); when a trace sink is active each
+//! printed line is also appended to the trace as a `log` record.
+
+use std::sync::OnceLock;
+
+/// Log severity, lowest to highest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// Threshold parsed from `SOUP_LOG` once per process; 3 means everything off.
+fn threshold() -> u8 {
+    static THRESHOLD: OnceLock<u8> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        match std::env::var("SOUP_LOG").as_deref() {
+            Ok("debug") => 0,
+            Ok("info") => 1,
+            Ok("warn") => 2,
+            Ok("off") | Ok("none") => 3,
+            Ok(other) => {
+                eprintln!("[ warn] SOUP_LOG={other:?} not recognized (expected debug|info|warn|off); defaulting to info");
+                1
+            }
+            Err(_) => 1,
+        }
+    })
+}
+
+/// Whether a message at `level` would be printed.
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 >= threshold()
+}
+
+/// Print a log line to stderr (and mirror it into the active trace, if any).
+/// Prefer the [`crate::debug!`]/[`crate::info!`]/[`crate::warn!`] macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    let mirrored_to_trace = crate::trace::active();
+    if !log_enabled(level) && !mirrored_to_trace {
+        return;
+    }
+    let msg = args.to_string();
+    if mirrored_to_trace {
+        crate::trace::emit_log(level.name(), &msg);
+    }
+    if log_enabled(level) {
+        let elapsed = crate::trace::process_start().elapsed().as_secs_f64();
+        eprintln!("[{:>5} {elapsed:>9.3}s] {msg}", level.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert_eq!(Level::Warn.name(), "warn");
+    }
+
+    #[test]
+    fn default_threshold_allows_info() {
+        // SOUP_LOG is not set in the test environment, so the default (info)
+        // applies; this also exercises the full formatting path.
+        if std::env::var("SOUP_LOG").is_err() {
+            assert!(log_enabled(Level::Info));
+            assert!(log_enabled(Level::Warn));
+            assert!(!log_enabled(Level::Debug));
+        }
+        log(Level::Debug, format_args!("invisible by default"));
+    }
+}

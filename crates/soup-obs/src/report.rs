@@ -1,0 +1,225 @@
+//! End-of-run human-readable metrics summary.
+//!
+//! Renders the span tree (indented by nesting, ordered by total wall time)
+//! with call counts, total/mean time, and p50/p95/p99 latencies, followed by
+//! all counters, gauges, and user histograms. This is what
+//! `soupctl --metrics-summary` and the bench harness print.
+
+use crate::registry::{HistogramSummary, MetricsSnapshot};
+
+/// Format a nanosecond quantity with a human-friendly unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+struct Node {
+    label: String,
+    stat: Option<HistogramSummary>,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn new(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            stat: None,
+            children: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, segments: &[&str], stat: &HistogramSummary) {
+        let Some((head, rest)) = segments.split_first() else {
+            self.stat = Some(stat.clone());
+            return;
+        };
+        let child = match self.children.iter_mut().position(|c| c.label == *head) {
+            Some(i) => &mut self.children[i],
+            None => {
+                self.children.push(Node::new(head));
+                self.children.last_mut().unwrap()
+            }
+        };
+        child.insert(rest, stat);
+    }
+
+    /// Total time attributed to this node (own stat, or sum of children for
+    /// synthetic intermediate nodes).
+    fn total(&self) -> u64 {
+        self.stat
+            .as_ref()
+            .map(|s| s.sum)
+            .unwrap_or_else(|| self.children.iter().map(Node::total).sum())
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", self.label);
+        match &self.stat {
+            Some(s) => {
+                out.push_str(&format!(
+                    "{label:<44} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    s.count,
+                    fmt_ns(s.sum),
+                    fmt_ns(s.mean as u64),
+                    fmt_ns(s.p50),
+                    fmt_ns(s.p95),
+                    fmt_ns(s.p99),
+                ));
+            }
+            None => out.push_str(&format!("{label}\n")),
+        }
+        let mut children: Vec<&Node> = self.children.iter().collect();
+        children.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
+        for child in children {
+            child.render(depth + 1, out);
+        }
+    }
+}
+
+/// Render a snapshot as the summary table.
+pub fn render_snapshot(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    out.push_str("== metrics summary ==\n");
+    if snapshot.spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "SPAN", "CALLS", "TOTAL", "MEAN", "P50", "P95", "P99"
+        ));
+        let mut root = Node::new("");
+        for (path, stat) in &snapshot.spans {
+            let segments: Vec<&str> = path.split('/').collect();
+            root.insert(&segments, stat);
+        }
+        let mut top: Vec<&Node> = root.children.iter().collect();
+        top.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
+        for node in top {
+            node.render(0, &mut out);
+        }
+    }
+
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n-- counters --\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("{name:<52} {value:>14}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n-- gauges --\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("{name:<52} {value:>14.4}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n-- histograms --\n");
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "HISTOGRAM", "COUNT", "MEAN", "P50", "P95", "P99"
+        ));
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "{name:<44} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                h.count,
+                fmt_ns(h.mean as u64),
+                fmt_ns(h.p50),
+                fmt_ns(h.p95),
+                fmt_ns(h.p99),
+            ));
+        }
+    }
+    out
+}
+
+/// Render the current global registry state.
+pub fn render() -> String {
+    render_snapshot(&crate::registry::snapshot())
+}
+
+/// Print the current summary to stdout (used by `--metrics-summary`).
+pub fn print_summary() {
+    print!("{}", render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(count: u64, sum: u64) -> HistogramSummary {
+        HistogramSummary {
+            count,
+            sum,
+            min: 0,
+            max: sum,
+            mean: sum as f64 / count.max(1) as f64,
+            p50: sum / count.max(1),
+            p95: sum / count.max(1),
+            p99: sum / count.max(1),
+        }
+    }
+
+    #[test]
+    fn tree_indents_and_orders_by_total() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("c.x".into(), 7)],
+            gauges: vec![("g.y".into(), 0.5)],
+            histograms: vec![],
+            spans: vec![
+                ("a".into(), stat(1, 1_000_000)),
+                ("a/slow".into(), stat(2, 900_000)),
+                ("a/fast".into(), stat(2, 50_000)),
+                ("b".into(), stat(1, 5_000_000)),
+            ],
+        };
+        let rendered = render_snapshot(&snapshot);
+        let b_pos = rendered.find("\nb ").expect("b row");
+        let a_pos = rendered.find("\na ").expect("a row");
+        assert!(
+            b_pos < a_pos,
+            "b (larger total) should sort first:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("\n  slow"),
+            "children indented:\n{rendered}"
+        );
+        let slow_pos = rendered.find("  slow").unwrap();
+        let fast_pos = rendered.find("  fast").unwrap();
+        assert!(slow_pos < fast_pos, "slow child first:\n{rendered}");
+        assert!(rendered.contains("c.x"));
+        assert!(rendered.contains("g.y"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(512), "512ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn missing_parent_nodes_are_synthesized() {
+        let snapshot = MetricsSnapshot {
+            spans: vec![("root/only_child".into(), stat(3, 300))],
+            ..Default::default()
+        };
+        let rendered = render_snapshot(&snapshot);
+        assert!(
+            rendered.contains("\nroot\n")
+                || rendered.starts_with("root\n")
+                || rendered.contains("root\n  only_child"),
+            "synthetic parent rendered bare:\n{rendered}"
+        );
+        assert!(rendered.contains("  only_child"));
+    }
+}

@@ -1,0 +1,157 @@
+//! RAII timing spans with thread-local nesting.
+//!
+//! `Span::enter("a")` followed by `Span::enter("b")` on the same thread
+//! records the inner region under the path `a/b`; each thread has its own
+//! stack, so worker threads form independent span roots. Dropping a span
+//! records its wall time (nanoseconds) into the registry's per-path span
+//! histogram and, when a trace sink is active, appends a `span` record to
+//! the JSONL trace.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard for a timed region. Construct via [`Span::enter`] or the
+/// [`crate::span!`] macro and bind it to a local: `let _span = span!("x");`.
+///
+/// When metric recording is disabled ([`crate::set_enabled`]`(false)`) and no
+/// trace sink is active, entering a span is a no-op (two relaxed loads).
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::registry::enabled() && !crate::trace::active() {
+            return Span(None);
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        Span(Some(ActiveSpan {
+            path,
+            start: Instant::now(),
+        }))
+    }
+
+    /// Full `/`-separated path of this span, e.g. `"train/epoch"`.
+    /// Empty when the span is a disabled no-op.
+    pub fn path(&self) -> &str {
+        self.0.as_ref().map(|s| s.path.as_str()).unwrap_or("")
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let duration = active.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::registry::span_histogram(&active.path).record(duration.as_nanos() as u64);
+        if crate::trace::active() {
+            crate::trace::emit_span(&active.path, active.start, duration);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        let outer = Span::enter("test.span.outer");
+        assert_eq!(outer.path(), "test.span.outer");
+        {
+            let inner = Span::enter("test.span.inner");
+            assert_eq!(inner.path(), "test.span.outer/test.span.inner");
+            {
+                let deep = Span::enter("test.span.deep");
+                assert_eq!(
+                    deep.path(),
+                    "test.span.outer/test.span.inner/test.span.deep"
+                );
+            }
+        }
+        // Sibling after the inner spans closed nests directly under outer.
+        let sibling = Span::enter("test.span.sibling");
+        assert_eq!(sibling.path(), "test.span.outer/test.span.sibling");
+        drop(sibling);
+        drop(outer);
+
+        let snap = crate::registry::snapshot();
+        let count_of = |p: &str| {
+            snap.spans
+                .iter()
+                .find(|(k, _)| k == p)
+                .map(|(_, h)| h.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(count_of("test.span.outer"), 1);
+        assert_eq!(count_of("test.span.outer/test.span.inner"), 1);
+        assert_eq!(
+            count_of("test.span.outer/test.span.inner/test.span.deep"),
+            1
+        );
+        assert_eq!(count_of("test.span.outer/test.span.sibling"), 1);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_counts() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        for _ in 0..5 {
+            let _span = Span::enter("test.span.repeat");
+        }
+        let snap = crate::registry::snapshot();
+        let stat = snap
+            .spans
+            .iter()
+            .find(|(k, _)| k == "test.span.repeat")
+            .map(|(_, h)| h.clone())
+            .expect("span recorded");
+        assert_eq!(stat.count, 5);
+    }
+
+    #[test]
+    fn disabled_span_is_noop_and_does_not_leak_stack() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(false);
+        {
+            let span = Span::enter("test.span.disabled");
+            assert_eq!(span.path(), "");
+        }
+        crate::registry::set_enabled(true);
+        // A fresh span after re-enabling starts at the stack root.
+        let span = Span::enter("test.span.after_disable");
+        assert_eq!(span.path(), "test.span.after_disable");
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        let _outer = Span::enter("test.span.main_thread");
+        let child_path = std::thread::spawn(|| {
+            let span = Span::enter("test.span.worker");
+            span.path().to_string()
+        })
+        .join()
+        .unwrap();
+        // The worker thread's span does not nest under this thread's span.
+        assert_eq!(child_path, "test.span.worker");
+    }
+}

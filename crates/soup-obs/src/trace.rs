@@ -1,0 +1,392 @@
+//! Structured JSONL trace sink — one file per run, one JSON object per line.
+//!
+//! # Schema (`soup-trace/1`)
+//!
+//! Every line is a JSON object with a `type` field:
+//!
+//! | `type`    | required fields                                          |
+//! |-----------|----------------------------------------------------------|
+//! | `header`  | `schema` (= `"soup-trace/1"`), `pid`, `unix_time_s`      |
+//! | `span`    | `path`, `ts_us`, `dur_us`, `tid`                         |
+//! | `event`   | `name`, `ts_us`, `tid`, `fields` (object)                |
+//! | `log`     | `level` (`debug`/`info`/`warn`), `msg`, `ts_us`, `tid`   |
+//! | `metrics` | `ts_us`, `counters`, `gauges`, `histograms`, `spans`     |
+//!
+//! The first line is always the `header`; a `metrics` record (the full
+//! registry snapshot) is appended by [`finish`]. Timestamps (`ts_us`) are
+//! microseconds since process start; `tid` is a small per-process thread
+//! ordinal (the main thread is usually 0). Span records are written when the
+//! span *closes*, so they are not sorted by start time.
+//!
+//! [`validate_file`] checks all of the above and is wired into CI via
+//! `soupctl trace-validate`.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant, SystemTime};
+
+use parking_lot::Mutex;
+use serde::{Number, Value};
+
+/// Version tag written into (and required from) every trace header.
+pub const SCHEMA: &str = "soup-trace/1";
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+struct Sink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+/// Monotonic reference point for all `ts_us` timestamps. First caller wins,
+/// so timestamps are comparable across the whole process.
+pub(crate) fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+pub(crate) fn since_start_us(t: Instant) -> u64 {
+    t.saturating_duration_since(process_start()).as_micros() as u64
+}
+
+/// Small per-process thread ordinal (std's `ThreadId` has no stable integer).
+pub(crate) fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Whether a trace sink is currently open. A single relaxed load, safe on
+/// hot paths.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Relaxed)
+}
+
+/// Open a trace sink at `path` (truncating any existing file) and write the
+/// schema header. Replaces any previously active sink without finalizing it.
+pub fn init(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    process_start();
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    let unix_time_s = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let header = Value::Object(vec![
+        ("type".into(), Value::String("header".into())),
+        ("schema".into(), Value::String(SCHEMA.into())),
+        (
+            "pid".into(),
+            Value::Number(Number::PosInt(std::process::id() as u64)),
+        ),
+        (
+            "unix_time_s".into(),
+            Value::Number(Number::PosInt(unix_time_s)),
+        ),
+    ]);
+    let header = serde_json::to_string(&header).expect("header serializes");
+    writeln!(writer, "{header}")?;
+    *SINK.lock() = Some(Sink {
+        writer,
+        path: path.to_path_buf(),
+    });
+    ACTIVE.store(true, Relaxed);
+    Ok(())
+}
+
+fn write_record(record: Value) {
+    let Ok(line) = serde_json::to_string(&record) else {
+        return;
+    };
+    let mut sink = SINK.lock();
+    if let Some(sink) = sink.as_mut() {
+        // Trace output is best-effort; a full disk should not kill training.
+        let _ = writeln!(sink.writer, "{line}");
+    }
+}
+
+fn now_us() -> u64 {
+    since_start_us(Instant::now())
+}
+
+pub(crate) fn emit_span(path: &str, start: Instant, duration: Duration) {
+    write_record(Value::Object(vec![
+        ("type".into(), Value::String("span".into())),
+        ("path".into(), Value::String(path.to_string())),
+        (
+            "ts_us".into(),
+            Value::Number(Number::PosInt(since_start_us(start))),
+        ),
+        (
+            "dur_us".into(),
+            Value::Number(Number::PosInt(duration.as_micros() as u64)),
+        ),
+        (
+            "tid".into(),
+            Value::Number(Number::PosInt(thread_ordinal())),
+        ),
+    ]));
+}
+
+/// Append an `event` record. Prefer the [`crate::trace_event!`] macro, which
+/// skips field serialization entirely when no sink is active.
+pub fn emit_event(name: &str, fields: Vec<(String, Value)>) {
+    if !active() {
+        return;
+    }
+    write_record(Value::Object(vec![
+        ("type".into(), Value::String("event".into())),
+        ("name".into(), Value::String(name.to_string())),
+        ("ts_us".into(), Value::Number(Number::PosInt(now_us()))),
+        (
+            "tid".into(),
+            Value::Number(Number::PosInt(thread_ordinal())),
+        ),
+        ("fields".into(), Value::Object(fields)),
+    ]));
+}
+
+pub(crate) fn emit_log(level: &str, msg: &str) {
+    if !active() {
+        return;
+    }
+    write_record(Value::Object(vec![
+        ("type".into(), Value::String("log".into())),
+        ("level".into(), Value::String(level.to_string())),
+        ("msg".into(), Value::String(msg.to_string())),
+        ("ts_us".into(), Value::Number(Number::PosInt(now_us()))),
+        (
+            "tid".into(),
+            Value::Number(Number::PosInt(thread_ordinal())),
+        ),
+    ]));
+}
+
+/// Append the final `metrics` record (full registry snapshot), flush, and
+/// close the sink. Returns the trace path if a sink was active.
+pub fn finish() -> Option<PathBuf> {
+    if !active() {
+        return None;
+    }
+    let mut snapshot = crate::registry::snapshot_value();
+    if let Value::Object(fields) = &mut snapshot {
+        fields.insert(0, ("ts_us".into(), Value::Number(Number::PosInt(now_us()))));
+        fields.insert(0, ("type".into(), Value::String("metrics".into())));
+    }
+    write_record(snapshot);
+    ACTIVE.store(false, Relaxed);
+    let sink = SINK.lock().take();
+    sink.map(|mut sink| {
+        let _ = sink.writer.flush();
+        sink.path
+    })
+}
+
+/// Summary of a validated trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    pub lines: usize,
+    pub spans: usize,
+    pub events: usize,
+    pub logs: usize,
+    pub has_metrics: bool,
+    /// Distinct span paths seen, sorted.
+    pub span_paths: Vec<String>,
+    /// Distinct event names seen, sorted.
+    pub event_names: Vec<String>,
+}
+
+fn require_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer `{key}`"))
+}
+
+fn require_str<'a>(obj: &'a Value, key: &str, line_no: usize) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing or non-string `{key}`"))
+}
+
+fn require_object(obj: &Value, key: &str, line_no: usize) -> Result<(), String> {
+    match obj.get(key) {
+        Some(Value::Object(_)) => Ok(()),
+        Some(other) => Err(format!(
+            "line {line_no}: `{key}` must be an object, found {}",
+            other.kind_name()
+        )),
+        None => Err(format!("line {line_no}: missing `{key}` object")),
+    }
+}
+
+/// Validate a trace file against the `soup-trace/1` schema.
+///
+/// Checks that every line parses as a JSON object of a known record type
+/// with the documented required fields, that the first line is a `header`
+/// with the right schema tag, and that at most one `metrics` record exists.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats, String> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut stats = TraceStats::default();
+    let mut span_paths = std::collections::BTreeSet::new();
+    let mut event_names = std::collections::BTreeSet::new();
+    for (idx, line) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: empty line"));
+        }
+        let record: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {line_no}: invalid JSON: {e}"))?;
+        if !matches!(record, Value::Object(_)) {
+            return Err(format!("line {line_no}: not a JSON object"));
+        }
+        let kind = require_str(&record, "type", line_no)?.to_string();
+        if idx == 0 && kind != "header" {
+            return Err(format!(
+                "line 1: first record must be `header`, found `{kind}`"
+            ));
+        }
+        match kind.as_str() {
+            "header" => {
+                if idx != 0 {
+                    return Err(format!("line {line_no}: duplicate `header`"));
+                }
+                let schema = require_str(&record, "schema", line_no)?;
+                if schema != SCHEMA {
+                    return Err(format!(
+                        "line {line_no}: schema `{schema}` != expected `{SCHEMA}`"
+                    ));
+                }
+                require_u64(&record, "pid", line_no)?;
+                require_u64(&record, "unix_time_s", line_no)?;
+            }
+            "span" => {
+                let span_path = require_str(&record, "path", line_no)?;
+                if span_path.is_empty() {
+                    return Err(format!("line {line_no}: empty span path"));
+                }
+                require_u64(&record, "ts_us", line_no)?;
+                require_u64(&record, "dur_us", line_no)?;
+                require_u64(&record, "tid", line_no)?;
+                span_paths.insert(span_path.to_string());
+                stats.spans += 1;
+            }
+            "event" => {
+                let name = require_str(&record, "name", line_no)?;
+                require_u64(&record, "ts_us", line_no)?;
+                require_u64(&record, "tid", line_no)?;
+                require_object(&record, "fields", line_no)?;
+                event_names.insert(name.to_string());
+                stats.events += 1;
+            }
+            "log" => {
+                let level = require_str(&record, "level", line_no)?;
+                if !matches!(level, "debug" | "info" | "warn") {
+                    return Err(format!("line {line_no}: unknown log level `{level}`"));
+                }
+                require_str(&record, "msg", line_no)?;
+                require_u64(&record, "ts_us", line_no)?;
+                require_u64(&record, "tid", line_no)?;
+                stats.logs += 1;
+            }
+            "metrics" => {
+                if stats.has_metrics {
+                    return Err(format!("line {line_no}: duplicate `metrics` record"));
+                }
+                require_u64(&record, "ts_us", line_no)?;
+                require_object(&record, "counters", line_no)?;
+                require_object(&record, "gauges", line_no)?;
+                require_object(&record, "histograms", line_no)?;
+                require_object(&record, "spans", line_no)?;
+                stats.has_metrics = true;
+            }
+            other => {
+                return Err(format!("line {line_no}: unknown record type `{other}`"));
+            }
+        }
+        stats.lines = line_no;
+    }
+    if stats.lines == 0 {
+        return Err("trace file is empty".to_string());
+    }
+    stats.span_paths = span_paths.into_iter().collect();
+    stats.event_names = event_names.into_iter().collect();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_trace_validates() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        let path =
+            std::env::temp_dir().join(format!("soup_obs_trace_{}.jsonl", std::process::id()));
+        init(&path).unwrap();
+        assert!(active());
+        {
+            let _outer = crate::span::Span::enter("test.trace.outer");
+            let _inner = crate::span::Span::enter("test.trace.inner");
+        }
+        crate::trace_event!("test.trace.tick", "step" => 7_u64, "loss" => 0.5_f64);
+        crate::log::log(crate::log::Level::Warn, format_args!("trace test warning"));
+        let finished = finish().expect("sink was active");
+        assert_eq!(finished, path);
+        assert!(!active());
+
+        let stats = validate_file(&path).expect("trace validates");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.events, 1);
+        assert!(stats.logs >= 1);
+        assert!(stats.has_metrics);
+        assert!(stats
+            .span_paths
+            .contains(&"test.trace.outer/test.trace.inner".to_string()));
+        assert!(stats.event_names.contains(&"test.trace.tick".to_string()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("soup_obs_bad_{}.jsonl", std::process::id()));
+
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(validate_file(&bad).unwrap_err().contains("invalid JSON"));
+
+        std::fs::write(&bad, "{\"type\":\"span\"}\n").unwrap();
+        assert!(validate_file(&bad)
+            .unwrap_err()
+            .contains("first record must be `header`"));
+
+        std::fs::write(
+            &bad,
+            "{\"type\":\"header\",\"schema\":\"soup-trace/999\",\"pid\":1,\"unix_time_s\":1}\n",
+        )
+        .unwrap();
+        assert!(validate_file(&bad).unwrap_err().contains("schema"));
+
+        std::fs::write(
+            &bad,
+            "{\"type\":\"header\",\"schema\":\"soup-trace/1\",\"pid\":1,\"unix_time_s\":1}\n{\"type\":\"span\",\"path\":\"x\",\"ts_us\":0,\"tid\":0}\n",
+        )
+        .unwrap();
+        assert!(validate_file(&bad).unwrap_err().contains("dur_us"));
+
+        std::fs::write(&bad, "").unwrap();
+        assert!(validate_file(&bad).unwrap_err().contains("empty"));
+
+        std::fs::remove_file(&bad).ok();
+    }
+}

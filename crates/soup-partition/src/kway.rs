@@ -7,7 +7,7 @@
 use crate::coarsen::WGraph;
 use crate::initial::greedy_growing;
 use crate::matching::heavy_edge_matching;
-use crate::quality::balance_ratio;
+use crate::quality::{balance_ratio, edge_cut};
 use crate::refine::refine_boundary;
 use soup_graph::CsrGraph;
 use soup_tensor::SplitMix64;
@@ -89,54 +89,74 @@ pub fn partition_graph(graph: &CsrGraph, vweights: &[f32], cfg: &PartitionConfig
     // --- Coarsening phase.
     let mut levels: Vec<WGraph> = vec![WGraph::from_csr(graph, vweights.to_vec())];
     let mut maps: Vec<Vec<u32>> = Vec::new();
-    loop {
-        let top = levels.last().unwrap();
-        if top.num_nodes() <= cfg.coarsen_to * cfg.k {
-            break;
+    {
+        let _coarsen_span = soup_obs::span!("partition.coarsen");
+        loop {
+            let top = levels.last().unwrap();
+            if top.num_nodes() <= cfg.coarsen_to * cfg.k {
+                break;
+            }
+            let matching = heavy_edge_matching(top, &mut rng);
+            // Stalled coarsening (few contractions) -> stop to avoid looping.
+            if matching.n_coarse as f64 > top.num_nodes() as f64 * 0.95 {
+                break;
+            }
+            let coarse = top.contract(&matching.coarse_of, matching.n_coarse);
+            maps.push(matching.coarse_of);
+            levels.push(coarse);
         }
-        let matching = heavy_edge_matching(top, &mut rng);
-        // Stalled coarsening (few contractions) -> stop to avoid looping.
-        if matching.n_coarse as f64 > top.num_nodes() as f64 * 0.95 {
-            break;
-        }
-        let coarse = top.contract(&matching.coarse_of, matching.n_coarse);
-        maps.push(matching.coarse_of);
-        levels.push(coarse);
     }
 
     // --- Initial partition on the coarsest level.
     let coarsest = levels.last().unwrap();
-    let mut assignment = greedy_growing(coarsest, cfg.k, &mut rng);
-    let total = coarsest.total_vweight();
-    let max_load = cfg.imbalance * total / cfg.k as f64;
-    refine_boundary(
-        coarsest,
-        &mut assignment,
-        cfg.k,
-        max_load,
-        cfg.refine_passes,
-        &mut rng,
-    );
-
-    // --- Uncoarsening with refinement.
-    for level in (0..maps.len()).rev() {
-        let fine = &levels[level];
-        let map = &maps[level];
-        let mut fine_assignment = vec![0u32; fine.num_nodes()];
-        for v in 0..fine.num_nodes() {
-            fine_assignment[v] = assignment[map[v] as usize];
-        }
-        let max_load = cfg.imbalance * fine.total_vweight() / cfg.k as f64;
+    let mut assignment = {
+        let _initial_span = soup_obs::span!("partition.initial");
+        let mut assignment = greedy_growing(coarsest, cfg.k, &mut rng);
+        let total = coarsest.total_vweight();
+        let max_load = cfg.imbalance * total / cfg.k as f64;
         refine_boundary(
-            fine,
-            &mut fine_assignment,
+            coarsest,
+            &mut assignment,
             cfg.k,
             max_load,
             cfg.refine_passes,
             &mut rng,
         );
-        assignment = fine_assignment;
+        assignment
+    };
+
+    // --- Uncoarsening with refinement.
+    {
+        let _refine_span = soup_obs::span!("partition.refine");
+        for level in (0..maps.len()).rev() {
+            let fine = &levels[level];
+            let map = &maps[level];
+            let mut fine_assignment = vec![0u32; fine.num_nodes()];
+            for v in 0..fine.num_nodes() {
+                fine_assignment[v] = assignment[map[v] as usize];
+            }
+            let max_load = cfg.imbalance * fine.total_vweight() / cfg.k as f64;
+            refine_boundary(
+                fine,
+                &mut fine_assignment,
+                cfg.k,
+                max_load,
+                cfg.refine_passes,
+                &mut rng,
+            );
+            assignment = fine_assignment;
+        }
     }
+
+    let cut = edge_cut(graph, &assignment);
+    let balance = balance_ratio(vweights, &assignment, cfg.k);
+    soup_obs::gauge!("partition.cut").set(cut as f64);
+    soup_obs::gauge!("partition.balance").set(balance);
+    soup_obs::trace_event!("partition.done",
+        "k" => cfg.k as u64,
+        "levels" => levels.len() as u64,
+        "cut" => cut as u64,
+        "balance" => balance);
 
     debug_assert_eq!(assignment.len(), graph.num_nodes());
     debug_assert!(

@@ -149,6 +149,10 @@ impl Tape {
             xv.cols()
         );
         let dim = xv.cols() / heads;
+        soup_obs::counter!("tensor.attention.calls").inc();
+        soup_obs::counter!("tensor.attention.edges").add((m * heads) as u64);
+        soup_obs::counter!("tensor.attention.bytes")
+            .add(((m * heads * 2 + n * heads * (dim + 2)) * 4) as u64);
 
         // Forward: per-dst softmax + weighted sum. Stored for backward:
         // raw scores s and attention weights alpha, both (m, heads).
@@ -251,6 +255,7 @@ impl Tape {
             out_t,
             vec![x, al, ar],
             Box::new(move |g, parents, _| {
+                soup_obs::counter!("tensor.attention.backward_calls").inc();
                 let inner = &idx_b.inner;
                 let n = inner.n;
                 let m = inner.in_src.len();

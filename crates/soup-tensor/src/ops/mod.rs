@@ -12,7 +12,7 @@
 //! - [`softmax`] — row log-softmax and vector softmax (for soup alphas)
 //! - [`loss`] — masked negative log-likelihood / cross-entropy
 //! - [`dropout`] — inverted dropout
-//! - [`concat`] — column concatenation (GraphSAGE self‖neighbor)
+//! - [`mod@concat`] — column concatenation (GraphSAGE self‖neighbor)
 //! - [`reduce`] — sum / mean to scalar
 //! - [`sparse`] — CSR sparse×dense product (GCN/SAGE aggregation)
 //! - [`attention`] — GAT edge-softmax aggregation

@@ -228,6 +228,12 @@ impl SparseMat {
 
 fn spmm_kernel(csr: &Csr, rows: usize, x: &Tensor) -> Tensor {
     let c = x.cols();
+    let nnz = csr.indices.len();
+    soup_obs::counter!("tensor.spmm.calls").inc();
+    soup_obs::counter!("tensor.spmm.nnz").add(nnz as u64);
+    soup_obs::counter!("tensor.spmm.flops").add(2 * (nnz * c) as u64);
+    // CSR entry reads (value + index) plus gathered x rows plus the output.
+    soup_obs::counter!("tensor.spmm.bytes").add((nnz * 8 + nnz * c * 4 + rows * c * 4) as u64);
     let xs = x.data();
     let mut out = vec![0.0f32; rows * c];
     let row_work = |(r, orow): (usize, &mut [f32])| {

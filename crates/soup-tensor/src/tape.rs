@@ -1,6 +1,6 @@
 //! Define-by-run reverse-mode automatic differentiation.
 //!
-//! A [`Tape`] records every operation of one forward pass as a [`Node`]
+//! A [`Tape`] records every operation of one forward pass as a `Node`
 //! holding the output value, the parent variables, and a backward closure.
 //! [`Tape::backward`] then walks the nodes in reverse creation order —
 //! which is a valid reverse topological order because parents are always

@@ -22,6 +22,16 @@ use std::sync::Arc;
 /// below this, rayon's task overhead outweighs the win.
 const PAR_THRESHOLD: usize = 16 * 1024;
 
+/// One bump per GEMM-family call (`matmul`/`matmul_nt`/`matmul_tn`), with
+/// dims given as (output rows, inner, output cols).
+#[inline]
+fn record_matmul_metrics(m: usize, k: usize, n: usize) {
+    soup_obs::counter!("tensor.matmul.calls").inc();
+    soup_obs::counter!("tensor.matmul.flops").add(2 * (m * k * n) as u64);
+    soup_obs::counter!("tensor.matmul.bytes")
+        .add(((m * k + k * n + m * n) * std::mem::size_of::<f32>()) as u64);
+}
+
 /// A dense 2-D `f32` tensor with cheap clones.
 #[derive(Clone)]
 pub struct Tensor {
@@ -283,6 +293,7 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dims {} vs {}", self.shape, other.shape);
+        record_matmul_metrics(m, k, n);
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
@@ -322,6 +333,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        record_matmul_metrics(m, k, n);
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
@@ -354,6 +366,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        record_matmul_metrics(k, m, n);
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; k * n];

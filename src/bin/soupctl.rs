@@ -31,13 +31,23 @@ fn main() {
         usage();
         exit(2);
     };
-    let flags = parse_flags(rest);
+    let (flags, positional) = parse_flags(rest);
+    // Observability flags apply to every command: --trace-out streams a
+    // JSONL trace of the run, --metrics-summary prints the span/counter
+    // report at exit.
+    if let Some(path) = flags.get("trace-out") {
+        if let Err(e) = enhanced_soups::obs::trace::init(path) {
+            eprintln!("error: cannot open trace file {path}: {e}");
+            exit(1);
+        }
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "train" => cmd_train(&flags),
         "soup" => cmd_soup(&flags),
         "eval" => cmd_eval(&flags),
         "diversity" => cmd_diversity(&flags),
+        "trace-validate" => cmd_trace_validate(&flags, &positional),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -48,6 +58,12 @@ fn main() {
             exit(2);
         }
     };
+    if let Some(path) = enhanced_soups::obs::trace::finish() {
+        println!("wrote trace {}", path.display());
+    }
+    if flags.contains_key("metrics-summary") {
+        enhanced_soups::obs::report::print_summary();
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         exit(1);
@@ -65,14 +81,22 @@ fn usage() {
          \x20 soup      --data FILE --ckpt-dir DIR --strategy <us|greedy|gis|ls|pls>\n\
          \x20           [--epochs N] [--granularity N] [--pls-k N] [--pls-r N] [--seed N] [--out FILE]\n\
          \x20 eval      --data FILE --ckpt-dir DIR --params FILE [--split <train|val|test>]\n\
-         \x20 diversity --data FILE --ckpt-dir DIR"
+         \x20 diversity --data FILE --ckpt-dir DIR\n\
+         \x20 trace-validate FILE   check a --trace-out file against the soup-trace/1 schema\n\
+         \n\
+         global flags:\n\
+         \x20 --trace-out FILE      stream a structured JSONL trace of the run\n\
+         \x20 --metrics-summary     print the span/counter report when the command finishes\n\
+         \x20 (SOUP_LOG=debug|info|warn|off controls stderr log verbosity)"
     );
 }
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Flags {
+/// Split `--name value` / `--switch` style flags from positional arguments.
+fn parse_flags(args: &[String]) -> (Flags, Vec<String>) {
     let mut flags = Flags::new();
+    let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -85,11 +109,11 @@ fn parse_flags(args: &[String]) -> Flags {
                 i += 1;
             }
         } else {
-            eprintln!("ignoring stray argument '{arg}'");
+            positional.push(arg.clone());
             i += 1;
         }
     }
-    flags
+    (flags, positional)
 }
 
 fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
@@ -287,6 +311,28 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
         mask,
     );
     println!("{split} accuracy: {:.4} ({:.2}%)", acc, acc * 100.0);
+    Ok(())
+}
+
+fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<(), String> {
+    let file = positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| flags.get("file").map(String::as_str))
+        .ok_or("usage: soupctl trace-validate FILE")?;
+    let stats = enhanced_soups::obs::trace::validate_file(file)?;
+    println!(
+        "{file}: valid {} trace — {} lines, {} spans ({} distinct), {} events ({} distinct), \
+         {} logs, metrics record: {}",
+        enhanced_soups::obs::trace::SCHEMA,
+        stats.lines,
+        stats.spans,
+        stats.span_paths.len(),
+        stats.events,
+        stats.event_names.len(),
+        stats.logs,
+        if stats.has_metrics { "yes" } else { "no" },
+    );
     Ok(())
 }
 

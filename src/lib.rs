@@ -11,6 +11,7 @@
 //! - [`gnn`] — GCN / GraphSAGE / GAT models and training loops
 //! - [`soup`] — the souping algorithms: US, Greedy, GIS, **LS**, **PLS**
 //! - [`distrib`] — zero-communication distributed ingredient training
+//! - [`obs`] — metrics registry, timing spans, JSONL tracing, reporting
 //!
 //! ## Quickstart
 //!
@@ -34,6 +35,7 @@ pub use soup_core as soup;
 pub use soup_distrib as distrib;
 pub use soup_gnn as gnn;
 pub use soup_graph as graph;
+pub use soup_obs as obs;
 pub use soup_partition as partition;
 pub use soup_tensor as tensor;
 

@@ -1,0 +1,125 @@
+//! Golden-file test of the observability layer: drive the full pipeline
+//! (Phase-1 distributed training, then PLS souping) with a trace sink open
+//! and check the emitted JSONL against the documented `soup-trace/1`
+//! schema — record types, required fields, span paths and event names.
+
+use enhanced_soups::obs;
+use enhanced_soups::prelude::*;
+use soup_core::LearnedHyper;
+
+#[test]
+fn end_to_end_trace_matches_documented_schema() {
+    let dir = std::env::temp_dir().join(format!("soup_obs_golden_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("run.trace.jsonl");
+
+    obs::trace::init(&trace_path).unwrap();
+    let dataset = DatasetKind::Flickr.generate_scaled(11, 0.15);
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(8);
+    let tc = TrainConfig {
+        epochs: 4,
+        early_stop_patience: None,
+        ..TrainConfig::quick()
+    };
+    let ingredients = train_ingredients(&dataset, &cfg, &tc, 3, 2, 7);
+    let pls = PartitionLearnedSouping::new(
+        LearnedHyper {
+            epochs: 5,
+            ..Default::default()
+        },
+        4,
+        2,
+    );
+    let outcome = pls.soup(&ingredients, &dataset, &cfg, 3);
+    assert!((0.0..=1.0).contains(&outcome.val_accuracy));
+    obs::info!("golden run complete");
+    let written = obs::trace::finish().expect("sink was active");
+    assert_eq!(written, trace_path);
+
+    let stats = obs::trace::validate_file(&trace_path).expect("trace must be schema-valid");
+
+    // Phase 1 span tree: per-worker roots with per-task training spans.
+    for path in [
+        "distrib.phase1",
+        "worker",
+        "worker/ingredient",
+        "worker/ingredient/train",
+        "worker/ingredient/train/epoch",
+    ] {
+        assert!(
+            stats.span_paths.iter().any(|p| p == path),
+            "missing span path {path}"
+        );
+    }
+    // Phase 2 span tree: measured mixing with partitioner phases inside.
+    for path in [
+        "soup.mix",
+        "soup.mix/soup.pls",
+        "soup.mix/partition.coarsen",
+        "soup.mix/partition.initial",
+        "soup.mix/partition.refine",
+    ] {
+        assert!(
+            stats.span_paths.iter().any(|p| p == path),
+            "missing span path {path}"
+        );
+    }
+    // Structured events from both phases.
+    for name in [
+        "distrib.start",
+        "train.start",
+        "train.epoch",
+        "train.done",
+        "distrib.worker.done",
+        "distrib.done",
+        "partition.done",
+        "soup.pls.epoch",
+        "soup.measured",
+    ] {
+        assert!(
+            stats.event_names.iter().any(|e| e == name),
+            "missing event {name}"
+        );
+    }
+    // 3 ingredients × 4 epochs of per-epoch telemetry, 5 PLS epochs.
+    assert!(stats.events >= 12 + 5, "too few events: {}", stats.events);
+    assert!(stats.logs >= 1, "log line was not mirrored into the trace");
+    assert!(stats.has_metrics, "final metrics record missing");
+
+    // The final metrics record carries the kernel counters and the
+    // per-worker queue metrics accumulated during the run.
+    let metrics = obs::registry::snapshot();
+    let counter = |n: &str| {
+        metrics
+            .counters
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert!(counter("tensor.matmul.calls") > 0);
+    assert!(counter("tensor.spmm.calls") > 0);
+    assert_eq!(counter("distrib.tasks_completed"), 3);
+    assert_eq!(counter("soup.pls.epochs"), 5);
+    assert!(
+        metrics
+            .counters
+            .iter()
+            .any(|(n, _)| n.starts_with("distrib.worker.") && n.ends_with(".tasks")),
+        "per-worker task counters missing"
+    );
+    assert!(
+        metrics
+            .histograms
+            .iter()
+            .any(|(n, _)| n == "distrib.queue.claim_wait_ns"),
+        "queue wait histogram missing"
+    );
+
+    // The summary report renders the span tree with the latency columns.
+    let report = obs::report::render();
+    assert!(report.contains("soup.mix"));
+    assert!(report.contains("P95"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

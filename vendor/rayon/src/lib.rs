@@ -1,0 +1,156 @@
+//! Offline shim for `rayon`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the workspace's call sites compiling by mapping
+//! rayon's parallel-iterator entry points onto *sequential* std iterators:
+//! `par_iter()` is `iter()`, `par_chunks_mut(n)` is `chunks_mut(n)`, and so
+//! on. All downstream adaptors (`zip`, `enumerate`, `map`, `for_each`,
+//! `sum`) are the plain `std::iter::Iterator` methods, so chains written
+//! against rayon's prelude compile unchanged.
+//!
+//! Semantics are identical to rayon's (the kernels are data-parallel maps
+//! with no ordering sensitivity); only the execution is single-threaded.
+//! Worker-level parallelism in `soup-distrib` is unaffected — it uses
+//! `std::thread::scope` directly. When a real work-stealing pool lands
+//! (or network access appears), this shim can be deleted and call sites
+//! will keep working.
+
+/// Sequential stand-ins for `rayon::prelude::*`.
+pub mod prelude {
+    /// `par_iter` / `par_chunks` on shared slices.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+/// Number of threads the (sequential) shim pool uses.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that runs closures inline on the calling thread. Since kernel
+/// parallelism in this shim is sequential anyway, `install` is exactly the
+/// confinement the `exclusive_devices` trainer mode asks for.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes() {
+        let mut v = vec![0u32; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

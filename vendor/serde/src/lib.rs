@@ -1,0 +1,544 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the workspace's serde surface compiling and
+//! working by routing everything through an owned JSON-like [`Value`] tree
+//! (the miniserde design): `Serialize` renders into a `Value`,
+//! `Deserialize` reconstructs from one, and `serde_json` (its own shim)
+//! does text parsing/printing of `Value`s.
+//!
+//! Supported surface — exactly what the workspace uses:
+//! - `#[derive(Serialize, Deserialize)]` on named-field structs and
+//!   unit-variant enums (via the `serde_derive` shim);
+//! - hand-written impls against `Serializer`/`Deserializer` with
+//!   `de::Error::custom` (see `soup_tensor::Tensor`);
+//! - primitives, strings, `Vec<T>`, slices, `Option<T>` and tuples.
+//!
+//! Integers are preserved exactly (`u64`/`i64` payloads do not round-trip
+//! through `f64`), which matters for 64-bit training seeds in checkpoint
+//! manifests.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An exact integer or a float — mirrors `serde_json::Number` so 64-bit
+/// seeds survive round-trips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// Owned JSON-like data tree. Object fields keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when converting between `Value` and Rust types.
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+pub mod ser {
+    /// Error constraint for [`crate::Serializer`] implementations.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    /// Error constraint for [`crate::Deserializer`] implementations.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Sink a [`Value`] is rendered into. The shim's single method replaces
+/// serde's many `serialize_*` entry points: `Serialize` impls build the
+/// `Value` themselves and hand it over.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Source a [`Value`] is pulled from (the dual of [`Serializer`]).
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Serializer that just yields the built `Value`.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned `Value`.
+pub struct ValueDeserializer {
+    pub value: Value,
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.value)
+    }
+}
+
+/// Render any `Serialize` type into a `Value`. Infallible for the shim's
+/// own impls; a custom impl that invokes `Error::custom` during
+/// serialization would panic here (none in this workspace does).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value
+        .serialize(ValueSerializer)
+        .expect("serialization into Value is infallible")
+}
+
+/// Rebuild a `Deserialize` type from an owned `Value`.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer { value })
+}
+
+/// Remove `key` from an object's field list and deserialize it. Used by
+/// derived `Deserialize` impls.
+pub fn take_field<'de, T: Deserialize<'de>>(
+    fields: &mut Vec<(String, Value)>,
+    key: &str,
+) -> Result<T, ValueError> {
+    let idx = fields
+        .iter()
+        .position(|(k, _)| k == key)
+        .ok_or_else(|| ValueError(format!("missing field `{key}`")))?;
+    let (_, value) = fields.swap_remove(idx);
+    from_value(value).map_err(|e| ValueError(format!("field `{key}`: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(Number::PosInt(*self as u64)))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let n = if v >= 0 { Number::PosInt(v as u64) } else { Number::NegInt(v) };
+                s.serialize_value(Value::Number(n))
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(Number::Float(*self as f64)))
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Array(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = match &v {
+                    Value::Number(n) => n.as_u64(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = match &v {
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Number(n) => Ok(n.as_f64()),
+            // serde_json serializes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            v => Err(de::Error::custom(format!(
+                "expected f64, got {}",
+                v.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            v => Err(de::Error::custom(format!(
+                "expected bool, got {}",
+                v.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            v => Err(de::Error::custom(format!(
+                "expected string, got {}",
+                v.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            v => Err(de::Error::custom(format!(
+                "expected array, got {}",
+                v.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let v = d.take_value()?;
+                let items = match v {
+                    Value::Array(items) if items.len() == $len => items,
+                    Value::Array(items) => {
+                        return Err(de::Error::custom(format!(
+                            "expected array of {}, got {} elements", $len, items.len()
+                        )))
+                    }
+                    v => {
+                        return Err(de::Error::custom(format!(
+                            "expected array of {}, got {}", $len, v.kind_name()
+                        )))
+                    }
+                };
+                let mut it = items.into_iter();
+                Ok(($(
+                    from_value::<$name>(it.next().expect("length checked"))
+                        .map_err(de::Error::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let v = to_value(&42u64);
+        assert_eq!(from_value::<u64>(v).unwrap(), 42);
+        let v = to_value(&-7i32);
+        assert_eq!(from_value::<i32>(v).unwrap(), -7);
+        let v = to_value(&1.5f32);
+        assert_eq!(from_value::<f32>(v).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn u64_seeds_are_exact() {
+        let seed = u64::MAX - 12345;
+        let v = to_value(&seed);
+        assert_eq!(from_value::<u64>(v).unwrap(), seed);
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let v = to_value(&(1usize, 2usize, vec![1.0f32, 2.0]));
+        let (a, b, data): (usize, usize, Vec<f32>) = from_value(v).unwrap();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(data, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(from_value::<u32>(Value::String("x".into())).is_err());
+        assert!(from_value::<(u32, u32)>(Value::Array(vec![Value::Null])).is_err());
+        assert!(from_value::<Vec<u32>>(Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(
+            from_value::<Option<u32>>(to_value(&None::<u32>)).unwrap(),
+            None
+        );
+        assert_eq!(
+            from_value::<Option<u32>>(to_value(&Some(3u32))).unwrap(),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! The build environment cannot fetch crates, so this derive is written
+//! against `proc_macro` alone — no `syn`/`quote`. It supports exactly the
+//! shapes this workspace uses:
+//!
+//! - structs with named fields (serialized as a JSON object keyed by field
+//!   name, field order preserved);
+//! - enums whose variants are all unit variants (serialized as the variant
+//!   name string).
+//!
+//! Generics, tuple structs and data-carrying enum variants are rejected
+//! with a compile error naming the limitation, so a future change that
+//! needs them fails loudly instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parse the derive input into a struct/enum skeleton (names only — the
+/// generated code never needs the field types, inference fills them in).
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group (and `!` for inner).
+                if let Some(TokenTree::Punct(b)) = iter.peek() {
+                    if b.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(other) => return Err(format!("unexpected token `{other}` before item keyword")),
+            None => return Err("ran out of tokens before `struct`/`enum`".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ))
+        }
+        _ => {
+            return Err(format!(
+                "serde shim derive supports only brace-bodied structs/enums (`{name}`)"
+            ))
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        })
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in field list")),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let v = id.to_string();
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        iter.next();
+                    }
+                    _ => {
+                        return Err(format!(
+                            "serde shim derive supports only unit enum variants \
+                             (`{v}` carries data or a discriminant)"
+                        ));
+                    }
+                }
+                variants.push(v);
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!("fields.push(({f:?}.to_string(), ::serde::to_value(&self.{f})));\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Serializer::serialize_value(serializer, ::serde::Value::Object(fields))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let variant = match self {{ {arms} }};\n\
+                         ::serde::Serializer::serialize_value(\
+                             serializer, ::serde::Value::String(variant.to_string()))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let takes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::take_field(&mut fields, {f:?})\
+                             .map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                         let mut fields = match value {{\n\
+                             ::serde::Value::Object(fields) => fields,\n\
+                             other => return ::core::result::Result::Err(\
+                                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                     \"expected object for struct {name}, got {{}}\", other.kind_name()))),\n\
+                         }};\n\
+                         ::core::result::Result::Ok({name} {{\n{takes}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                         let s = match value {{\n\
+                             ::serde::Value::String(s) => s,\n\
+                             other => return ::core::result::Result::Err(\
+                                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                     \"expected variant string for enum {name}, got {{}}\", other.kind_name()))),\n\
+                         }};\n\
+                         match s.as_str() {{\n\
+                             {arms}\
+                             other => ::core::result::Result::Err(\
+                                 <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
