@@ -135,6 +135,9 @@ static METRICS_SUMMARY: std::sync::atomic::AtomicBool = std::sync::atomic::Atomi
 /// close the `--trace-out` sink (appending the final metrics record) and
 /// print the `--metrics-summary` report. Binaries call this last.
 pub fn finish_observability() {
+    // Final pool release: after this, `DEVICE_MEMORY` pooled accounting
+    // balances back to zero and only genuinely live tensors remain counted.
+    soup_tensor::pool::trim();
     if let Some(path) = soup_obs::trace::finish() {
         soup_obs::info!("wrote trace {}", path.display());
     }
@@ -291,6 +294,12 @@ pub fn run_cell(cell: &CellConfig, preset: &ExperimentPreset) -> CellResult {
     let strategies = StrategyKind::TABLE
         .iter()
         .map(|kind| {
+            // Release pooled workspace buffers before each strategy so its
+            // peak-memory measurement (Fig. 4b) starts from a clean
+            // allocator state and never inherits another experiment's idle
+            // buffers.
+            let trimmed = soup_tensor::pool::trim();
+            soup_obs::counter!("bench.pool.trimmed_bytes").add(trimmed as u64);
             let strategy = kind.build(preset);
             let mut accs = Vec::new();
             let mut times = Vec::new();

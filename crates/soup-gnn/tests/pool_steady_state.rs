@@ -1,0 +1,51 @@
+//! Steady-state allocation check: once the workspace pool is warm, a
+//! training run over the same graph/model shapes must perform **zero**
+//! fresh hot-path buffer allocations — every tensor, gradient and kernel
+//! workspace is recycled from the pool.
+//!
+//! The check reads the process-global `tensor.pool.misses` counter, so it
+//! lives alone in its own integration-test binary (own process, single
+//! test) where no other test churns the pool concurrently.
+
+use soup_gnn::model::init_params;
+use soup_gnn::{train_single, ModelConfig, TrainConfig};
+use soup_graph::DatasetKind;
+use soup_tensor::SplitMix64;
+
+#[test]
+fn warm_pool_training_epoch_allocates_nothing() {
+    let d = DatasetKind::Flickr.generate_scaled(11, 0.12);
+    let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(16);
+    let mut rng = SplitMix64::new(11);
+    let init = init_params(&cfg, &mut rng);
+    let tc = TrainConfig {
+        epochs: 3,
+        eval_every: 1,
+        ..TrainConfig::quick()
+    };
+
+    // Warm-up run: populates the pool with every buffer shape the training
+    // loop uses (activations, gradients, Adam state, GEMM/SpMM workspaces,
+    // eval buffers). Drop its result so held parameter buffers return too.
+    let warm = train_single(&d, &cfg, &tc, &init, 1);
+    drop(warm);
+
+    let misses_before = soup_obs::registry::counter("tensor.pool.misses").get();
+    let hits_before = soup_obs::registry::counter("tensor.pool.hits").get();
+
+    // Steady-state run: identical shapes, so every pooled take must hit.
+    let tm = train_single(&d, &cfg, &tc, &init, 2);
+    assert!(tm.val_accuracy.is_finite());
+
+    let misses = soup_obs::registry::counter("tensor.pool.misses").get() - misses_before;
+    let hits = soup_obs::registry::counter("tensor.pool.hits").get() - hits_before;
+    assert!(
+        hits > 0,
+        "steady-state run should recycle buffers from the pool"
+    );
+    assert_eq!(
+        misses, 0,
+        "warm-pool training run performed {misses} fresh hot-path \
+         allocations (hits: {hits}); some buffer shape is not recycling"
+    );
+}

@@ -10,7 +10,12 @@
 //! - **Dense 2-D `f32` tensors** ([`Tensor`]) backed by reference-counted,
 //!   allocation-tracked buffers. Every live buffer is accounted against a
 //!   global "device memory" meter ([`memory`]), which is how the
-//!   reproduction measures the peak-memory numbers behind Fig. 4b.
+//!   reproduction measures the peak-memory numbers behind Fig. 4b. Buffers
+//!   recycle through a workspace pool ([`pool`]) so steady-state training
+//!   epochs allocate nothing fresh on the hot path.
+//! - **Cache-blocked GEMM** ([`gemm`]): one register-blocked, panel-packed
+//!   kernel behind `matmul`/`matmul_nt`/`matmul_tn`, with transposition
+//!   absorbed into the packing gathers.
 //! - **Define-by-run autograd** ([`tape::Tape`]): each training step records
 //!   operations on a fresh tape and calls [`tape::Tape::backward`]. Kernels
 //!   are parallelised internally with rayon; tape construction itself is
@@ -28,10 +33,13 @@
 //! Determinism: all randomness flows through [`rng::SplitMix64`], seeded
 //! explicitly; no global RNG state exists anywhere in the workspace.
 
+pub mod gemm;
 pub mod init;
 pub mod memory;
 pub mod ops;
 pub mod optim;
+pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod storage;
@@ -39,6 +47,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use memory::{MemoryScope, DEVICE_MEMORY};
+pub use parallel::par_threshold;
 pub use rng::SplitMix64;
 pub use shape::Shape;
 pub use tape::{Grads, Tape, Var};

@@ -20,6 +20,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct MemoryMeter {
     current: AtomicUsize,
     peak: AtomicUsize,
+    /// Bytes held by the workspace pool ([`crate::pool`]) but owned by no
+    /// live tensor. Tracked separately from `current` so the paper's
+    /// Fig. 4b memory comparisons report live tensor bytes honestly:
+    /// pooled-but-idle memory is an allocator optimisation, not algorithm
+    /// working set. `current + pooled` is the total the process holds.
+    pooled: AtomicUsize,
 }
 
 /// The global meter tracking all tensor buffers in the process.
@@ -30,6 +36,7 @@ impl MemoryMeter {
         Self {
             current: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            pooled: AtomicUsize::new(0),
         }
     }
 
@@ -63,6 +70,28 @@ impl MemoryMeter {
     /// harness runs souping algorithms serially, so this holds).
     pub fn reset_peak(&self) {
         self.peak.store(self.current(), Ordering::Relaxed);
+    }
+
+    /// Register `bytes` as entering the idle workspace pool.
+    pub fn pool_add(&self, bytes: usize) {
+        self.pooled.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Register `bytes` as leaving the idle workspace pool (reused by a
+    /// tensor, or released by [`crate::pool::trim`]).
+    pub fn pool_sub(&self, bytes: usize) {
+        let prev = self.pooled.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(
+            prev >= bytes,
+            "pool accounting underflow: removing {bytes} of {prev}"
+        );
+    }
+
+    /// Bytes sitting idle in the workspace pool — held by the process but
+    /// owned by no live tensor. Not included in [`Self::current`] or
+    /// [`Self::peak`].
+    pub fn pooled(&self) -> usize {
+        self.pooled.load(Ordering::Relaxed)
     }
 }
 

@@ -156,9 +156,9 @@ impl Tape {
 
         // Forward: per-dst softmax + weighted sum. Stored for backward:
         // raw scores s and attention weights alpha, both (m, heads).
-        let mut s_buf = vec![0.0f32; m * heads];
-        let mut alpha_buf = vec![0.0f32; m * heads];
-        let mut out = vec![0.0f32; n * heads * dim];
+        let mut s_buf = crate::pool::take_zeroed(m * heads);
+        let mut alpha_buf = crate::pool::take_zeroed(m * heads);
+        let mut out = crate::pool::take_zeroed(n * heads * dim);
 
         let inner = idx.inner.clone();
         {
@@ -267,8 +267,8 @@ impl Tape {
                 let dim = xv.cols() / heads;
 
                 // Pass 1: dst-parallel. Compute grad_s per edge and grad_ar.
-                let mut grad_s = vec![0.0f32; m * heads];
-                let mut grad_ar = vec![0.0f32; n * heads];
+                let mut grad_s = crate::pool::take_zeroed(m * heads);
+                let mut grad_ar = crate::pool::take_zeroed(n * heads);
                 {
                     let mut gs_views: Vec<&mut [f32]> = Vec::with_capacity(n);
                     let mut rest: &mut [f32] = &mut grad_s;
@@ -293,7 +293,7 @@ impl Tape {
                                     &gs[v * heads * dim + h * dim..v * heads * dim + (h + 1) * dim];
                                 // grad wrt alpha, then softmax + leakyrelu backward.
                                 let mut dot_sum = 0.0f32;
-                                let mut galpha = vec![0.0f32; deg];
+                                let mut galpha = crate::pool::take_zeroed(deg);
                                 for k in 0..deg {
                                     let u = inner.in_src[e0 + k] as usize;
                                     let xrow = &xs[u * heads * dim + h * dim
@@ -317,8 +317,8 @@ impl Tape {
                 }
 
                 // Pass 2: src-parallel over the transposed index.
-                let mut grad_x = vec![0.0f32; n * heads * dim];
-                let mut grad_al = vec![0.0f32; n * heads];
+                let mut grad_x = crate::pool::take_zeroed(n * heads * dim);
+                let mut grad_al = crate::pool::take_zeroed(n * heads);
                 grad_x
                     .par_chunks_mut(heads * dim)
                     .zip(grad_al.par_chunks_mut(heads))

@@ -18,7 +18,7 @@ impl Tape {
             bv.rows()
         );
         let (n, ca, cb) = (av.rows(), av.cols(), bv.cols());
-        let mut out = vec![0.0f32; n * (ca + cb)];
+        let mut out = crate::pool::take_zeroed(n * (ca + cb));
         for r in 0..n {
             out[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(av.row(r));
             out[r * (ca + cb) + ca..(r + 1) * (ca + cb)].copy_from_slice(bv.row(r));
@@ -28,8 +28,8 @@ impl Tape {
             vec![a, b],
             Box::new(move |g, _, _| {
                 let n = g.rows();
-                let mut ga = vec![0.0f32; n * ca];
-                let mut gb = vec![0.0f32; n * cb];
+                let mut ga = crate::pool::take_zeroed(n * ca);
+                let mut gb = crate::pool::take_zeroed(n * cb);
                 for r in 0..n {
                     let grow = g.row(r);
                     ga[r * ca..(r + 1) * ca].copy_from_slice(&grow[..ca]);

@@ -79,7 +79,7 @@ impl Tape {
             xv.cols()
         );
         let (n, c) = (xv.rows(), xv.cols());
-        let mut out = vec![0.0f32; n * c];
+        let mut out = crate::pool::take_zeroed(n * c);
         let bs = bv.data();
         for (orow, xrow) in out.chunks_mut(c).zip(xv.data().chunks(c)) {
             for i in 0..c {
@@ -93,8 +93,8 @@ impl Tape {
                 let (n, c) = (g.rows(), g.cols());
                 let bs = parents[1].data();
                 let xs = parents[0].data();
-                let mut gx = vec![0.0f32; n * c];
-                let mut gb = vec![0.0f32; c];
+                let mut gx = crate::pool::take_zeroed(n * c);
+                let mut gb = crate::pool::take_zeroed(c);
                 for r in 0..n {
                     for i in 0..c {
                         let gv = g.data()[r * c + i];
@@ -123,7 +123,7 @@ impl Tape {
         );
         let width = c / blocks;
         let n = xv.rows();
-        let mut out = vec![0.0f32; n * blocks];
+        let mut out = crate::pool::take_zeroed(n * blocks);
         for r in 0..n {
             let row = xv.row(r);
             for b in 0..blocks {
@@ -136,7 +136,7 @@ impl Tape {
             Box::new(move |g, parents, _| {
                 let n = g.rows();
                 let c = parents[0].cols();
-                let mut gx = vec![0.0f32; n * c];
+                let mut gx = crate::pool::take_zeroed(n * c);
                 for r in 0..n {
                     for b in 0..blocks {
                         let gv = g.data()[r * blocks + b];
@@ -168,7 +168,7 @@ impl Tape {
             xv.cols()
         );
         let (n, c) = (xv.rows(), xv.cols());
-        let mut out = vec![0.0f32; n * c];
+        let mut out = crate::pool::take_zeroed(n * c);
         let bs = bv.data();
         for (orow, xrow) in out.chunks_mut(c).zip(xv.data().chunks(c)) {
             for i in 0..c {

@@ -35,7 +35,7 @@ impl Tape {
             Box::new(move |g, parents, _| {
                 let scale = -g.item() / mask.len() as f32;
                 let (n, c) = (parents[0].rows(), parents[0].cols());
-                let mut dx = vec![0.0f32; n * c];
+                let mut dx = crate::pool::take_zeroed(n * c);
                 for &i in &mask {
                     dx[i * c + labels[i] as usize] += scale;
                 }

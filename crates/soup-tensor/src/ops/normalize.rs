@@ -18,8 +18,8 @@ impl Tape {
         assert!(eps > 0.0, "eps must be positive");
         let xv = self.value(x);
         let (n, c) = (xv.rows(), xv.cols());
-        let mut out = vec![0.0f32; n * c];
-        let mut norms = vec![0.0f32; n];
+        let mut out = crate::pool::take_zeroed(n * c);
+        let mut norms = crate::pool::take_zeroed(n);
         for r in 0..n {
             let row = xv.row(r);
             let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
@@ -33,7 +33,7 @@ impl Tape {
             vec![x],
             Box::new(move |g, _, out| {
                 let (n, c) = (g.rows(), g.cols());
-                let mut gx = vec![0.0f32; n * c];
+                let mut gx = crate::pool::take_zeroed(n * c);
                 for r in 0..n {
                     let grow = g.row(r);
                     let yrow = out.row(r);

@@ -16,7 +16,7 @@ impl Tape {
     pub fn log_softmax(&self, x: Var) -> Var {
         let xv = self.value(x);
         let (n, c) = (xv.rows(), xv.cols());
-        let mut out = vec![0.0f32; n * c];
+        let mut out = crate::pool::take_zeroed(n * c);
         for (orow, xrow) in out.chunks_mut(c).zip(xv.data().chunks(c)) {
             let m = xrow.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             let lse = m + xrow.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
@@ -30,7 +30,7 @@ impl Tape {
             Box::new(|g, _, out| {
                 // dx = g - softmax(x) * rowsum(g)
                 let (n, c) = (g.rows(), g.cols());
-                let mut dx = vec![0.0f32; n * c];
+                let mut dx = crate::pool::take_zeroed(n * c);
                 for r in 0..n {
                     let grow = g.row(r);
                     let orow = out.row(r);

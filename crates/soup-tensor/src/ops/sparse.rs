@@ -8,21 +8,116 @@
 //! measurements do. Non-symmetric matrices eagerly build their transpose,
 //! which the backward pass needs (`∂L/∂X = Aᵀ G`); symmetric matrices
 //! (GCN's `D^{-1/2} A D^{-1/2}`) reuse the forward arrays.
+//!
+//! SpMM dispatch is *nnz-balanced*: each CSR caches a `ChunkPlan` cutting
+//! its rows into chunks of approximately equal nnz (binary search over
+//! `indptr`), built once per matrix and reused by every product — every
+//! training epoch and every souping candidate evaluation. Within a chunk,
+//! output rows are computed in register-resident column tiles
+//! (`spmm_row_tile`): the edge list streams once per tile while the
+//! output stays in accumulator registers, eliminating the per-edge
+//! output-row reload of the naive saxpy formulation.
 
 use crate::memory::MemGuard;
+use crate::parallel::par_threshold;
+use crate::pool;
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Row ranges of approximately equal nnz, built once per CSR and reused by
+/// every SpMM dispatch over that matrix (every epoch, every souping
+/// candidate evaluation). Power-law graphs (Reddit, ogbn-products) have hub
+/// vertices whose rows hold orders of magnitude more entries than the
+/// median; chunking rows by *count* would hand one rayon task the hub and
+/// stall the join, so chunks are cut at nnz quantiles instead, found by
+/// binary search over `indptr`.
+#[derive(Debug)]
+struct ChunkPlan {
+    /// Row boundaries: chunk `i` covers rows `bounds[i]..bounds[i+1]`.
+    bounds: Vec<usize>,
+    /// Largest per-chunk nnz, for the imbalance metric.
+    max_chunk_nnz: usize,
+    /// Total nnz of the matrix the plan was built for.
+    total_nnz: usize,
+}
+
+impl ChunkPlan {
+    fn build(indptr: &[usize]) -> Self {
+        let rows = indptr.len() - 1;
+        let nnz = *indptr.last().unwrap();
+        // Over-decompose relative to the worker count so the scheduler can
+        // even out residual imbalance; never more chunks than rows.
+        let target_chunks = (rayon::current_num_threads() * 4).clamp(1, rows.max(1));
+        let mut bounds = Vec::with_capacity(target_chunks + 1);
+        bounds.push(0usize);
+        for c in 1..target_chunks {
+            let target = nnz * c / target_chunks;
+            // First row whose prefix nnz reaches the quantile.
+            let row = indptr.partition_point(|&p| p < target).min(rows);
+            if row > *bounds.last().unwrap() && row < rows {
+                bounds.push(row);
+            }
+        }
+        if rows > 0 {
+            bounds.push(rows);
+        }
+        let max_chunk_nnz = bounds
+            .windows(2)
+            .map(|w| indptr[w[1]] - indptr[w[0]])
+            .max()
+            .unwrap_or(0);
+        let plan = Self {
+            bounds,
+            max_chunk_nnz,
+            total_nnz: nnz,
+        };
+        soup_obs::counter!("tensor.spmm.plan.builds").inc();
+        soup_obs::gauge!("tensor.spmm.plan.chunks").set(plan.chunks() as f64);
+        soup_obs::gauge!("tensor.spmm.plan.imbalance").set(plan.imbalance());
+        plan
+    }
+
+    fn chunks(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Max chunk nnz over the ideal (mean) chunk nnz; 1.0 is perfectly
+    /// balanced. Row-count chunking on a Zipf graph scores ≫ 1 here.
+    fn imbalance(&self) -> f64 {
+        let chunks = self.chunks();
+        if chunks == 0 || self.total_nnz == 0 {
+            return 1.0;
+        }
+        let mean = self.total_nnz as f64 / chunks as f64;
+        self.max_chunk_nnz as f64 / mean
+    }
+}
 
 #[derive(Debug)]
 struct Csr {
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    /// Lazily-built row-chunk plan, cached for the matrix lifetime.
+    plan: OnceLock<ChunkPlan>,
 }
 
 impl Csr {
+    fn new(indptr: Vec<usize>, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        Self {
+            indptr,
+            indices,
+            values,
+            plan: OnceLock::new(),
+        }
+    }
+
+    fn plan(&self) -> &ChunkPlan {
+        self.plan.get_or_init(|| ChunkPlan::build(&self.indptr))
+    }
+
     fn bytes(&self) -> usize {
         self.indptr.len() * std::mem::size_of::<usize>()
             + self.indices.len() * std::mem::size_of::<u32>()
@@ -51,11 +146,7 @@ impl Csr {
                 values[pos] = self.values[e];
             }
         }
-        Csr {
-            indptr,
-            indices,
-            values,
-        }
+        Csr::new(indptr, indices, values)
     }
 }
 
@@ -111,11 +202,7 @@ impl SparseMat {
         if symmetric {
             assert_eq!(rows, cols, "symmetric matrix must be square");
         }
-        let fwd = Csr {
-            indptr,
-            indices,
-            values,
-        };
+        let fwd = Csr::new(indptr, indices, values);
         let bwd = if symmetric {
             None
         } else {
@@ -172,7 +259,7 @@ impl SparseMat {
 
     /// Dense materialisation (tests / tiny matrices only).
     pub fn to_dense(&self) -> Tensor {
-        let mut out = vec![0.0f32; self.rows() * self.cols()];
+        let mut out = pool::take_zeroed(self.rows() * self.cols());
         for r in 0..self.rows() {
             for e in self.inner.fwd.indptr[r]..self.inner.fwd.indptr[r + 1] {
                 out[r * self.cols() + self.inner.fwd.indices[e] as usize] +=
@@ -226,16 +313,153 @@ impl SparseMat {
     }
 }
 
-fn spmm_kernel(csr: &Csr, rows: usize, x: &Tensor) -> Tensor {
-    let c = x.cols();
-    let nnz = csr.indices.len();
+fn record_spmm_metrics(nnz: usize, rows: usize, c: usize) {
     soup_obs::counter!("tensor.spmm.calls").inc();
     soup_obs::counter!("tensor.spmm.nnz").add(nnz as u64);
     soup_obs::counter!("tensor.spmm.flops").add(2 * (nnz * c) as u64);
     // CSR entry reads (value + index) plus gathered x rows plus the output.
     soup_obs::counter!("tensor.spmm.bytes").add((nnz * 8 + nnz * c * 4 + rows * c * 4) as u64);
+}
+
+/// One `T`-lane column tile of one output row: stream the row's whole edge
+/// list once, accumulating into a `T`-element register tile, then store.
+/// With `T = 64` the accumulator is eight 8-lane vectors — the entire
+/// output tile lives in registers across every edge, so the kernel does
+/// *zero* output-row loads (the naive saxpy reloads and restores the output
+/// row once per edge). Empty rows fall out naturally: the tile stays zero.
+#[inline(always)]
+fn spmm_row_tile<const T: usize>(
+    csr: &Csr,
+    row_beg: usize,
+    row_end: usize,
+    c: usize,
+    j0: usize,
+    xs: &[f32],
+    otile: &mut [f32],
+) {
+    let mut acc = [0.0f32; T];
+    for e in row_beg..row_end {
+        let col = csr.indices[e] as usize;
+        let v = csr.values[e];
+        let xrow = &xs[col * c + j0..][..T];
+        for j in 0..T {
+            acc[j] += v * xrow[j];
+        }
+    }
+    otile[..T].copy_from_slice(&acc);
+}
+
+/// Compute rows `r0..r1` of `A × X` into `out` (row `r0` of the product at
+/// `out[0..c]`). Every output element is written — `out` may hold stale
+/// pool contents, sparing the caller an up-front memset of the output.
+///
+/// Each output row is processed in register-resident column tiles
+/// ([`spmm_row_tile`]), 64 lanes at a time with narrower tiles for the
+/// remainder; sub-4-lane leftovers use per-lane scalar accumulators.
+#[inline(always)]
+fn spmm_rows_body(csr: &Csr, r0: usize, r1: usize, c: usize, xs: &[f32], out: &mut [f32]) {
+    for r in r0..r1 {
+        let orow = &mut out[(r - r0) * c..(r - r0 + 1) * c];
+        let row_beg = csr.indptr[r];
+        let row_end = csr.indptr[r + 1];
+        let mut j0 = 0;
+        while j0 + 64 <= c {
+            spmm_row_tile::<64>(csr, row_beg, row_end, c, j0, xs, &mut orow[j0..]);
+            j0 += 64;
+        }
+        if j0 + 32 <= c {
+            spmm_row_tile::<32>(csr, row_beg, row_end, c, j0, xs, &mut orow[j0..]);
+            j0 += 32;
+        }
+        if j0 + 16 <= c {
+            spmm_row_tile::<16>(csr, row_beg, row_end, c, j0, xs, &mut orow[j0..]);
+            j0 += 16;
+        }
+        if j0 + 8 <= c {
+            spmm_row_tile::<8>(csr, row_beg, row_end, c, j0, xs, &mut orow[j0..]);
+            j0 += 8;
+        }
+        if j0 + 4 <= c {
+            spmm_row_tile::<4>(csr, row_beg, row_end, c, j0, xs, &mut orow[j0..]);
+            j0 += 4;
+        }
+        for j in j0..c {
+            let mut a = 0.0f32;
+            for e in row_beg..row_end {
+                a += csr.values[e] * xs[csr.indices[e] as usize * c + j];
+            }
+            orow[j] = a;
+        }
+    }
+}
+
+/// Baseline-ISA compilation of [`spmm_rows_body`].
+fn spmm_rows_generic(csr: &Csr, r0: usize, r1: usize, c: usize, xs: &[f32], out: &mut [f32]) {
+    spmm_rows_body(csr, r0, r1, c, xs, out);
+}
+
+/// [`spmm_rows_body`] compiled with AVX2 + FMA codegen (runtime-selected
+/// via [`crate::parallel::cpu_has_avx2_fma`]): the 8-wide edge combine
+/// becomes fused multiply-adds over 8-lane vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn spmm_rows_avx2(csr: &Csr, r0: usize, r1: usize, c: usize, xs: &[f32], out: &mut [f32]) {
+    spmm_rows_body(csr, r0, r1, c, xs, out);
+}
+
+#[inline(always)]
+fn spmm_rows(csr: &Csr, r0: usize, r1: usize, c: usize, xs: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::parallel::cpu_has_avx2_fma() {
+        // SAFETY: the required target features were verified at runtime.
+        unsafe { spmm_rows_avx2(csr, r0, r1, c, xs, out) };
+        return;
+    }
+    spmm_rows_generic(csr, r0, r1, c, xs, out);
+}
+
+/// SpMM over the cached nnz-balanced chunk plan: the output is split into
+/// per-chunk row ranges (disjoint by construction) and chunks are
+/// dispatched as rayon tasks, so a hub vertex occupies one task instead of
+/// stalling a whole row-count chunk.
+fn spmm_kernel(csr: &Csr, rows: usize, x: &Tensor) -> Tensor {
+    let c = x.cols();
+    let nnz = csr.indices.len();
+    record_spmm_metrics(nnz, rows, c);
     let xs = x.data();
-    let mut out = vec![0.0f32; rows * c];
+    // Scratch, not zeroed: `spmm_rows` fully initialises every output row.
+    let mut out = pool::take_scratch(rows * c);
+    let parallel = rayon::current_num_threads() > 1 && (nnz + rows) * c >= par_threshold();
+    if parallel && csr.plan().chunks() > 1 {
+        let plan = csr.plan();
+        // Carve the output into disjoint per-chunk slices.
+        let mut slices: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(plan.chunks());
+        let mut rest = out.as_mut_slice();
+        for w in plan.bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut((w[1] - w[0]) * c);
+            slices.push((w[0], w[1], head));
+            rest = tail;
+        }
+        slices
+            .into_par_iter()
+            .for_each(|(r0, r1, slice)| spmm_rows(csr, r0, r1, c, xs, slice));
+    } else {
+        spmm_rows(csr, 0, rows, c, xs, &mut out);
+    }
+    Tensor::from_vec(rows, c, out)
+}
+
+/// The pre-plan row-parallel kernel (one saxpy per edge, rows chunked by
+/// count), kept as the baseline the `kernels` bench compares the
+/// nnz-balanced kernel against.
+#[doc(hidden)]
+pub fn spmm_rowpar_reference(a: &SparseMat, x: &Tensor) -> Tensor {
+    let csr = &a.inner.fwd;
+    let rows = a.rows();
+    let c = x.cols();
+    record_spmm_metrics(csr.indices.len(), rows, c);
+    let xs = x.data();
+    let mut out = pool::take_zeroed(rows * c);
     let row_work = |(r, orow): (usize, &mut [f32])| {
         for e in csr.indptr[r]..csr.indptr[r + 1] {
             let col = csr.indices[e] as usize;
@@ -246,7 +470,7 @@ fn spmm_kernel(csr: &Csr, rows: usize, x: &Tensor) -> Tensor {
             }
         }
     };
-    if rows * c >= 8192 {
+    if rows * c >= par_threshold() {
         out.par_chunks_mut(c).enumerate().for_each(row_work);
     } else {
         out.chunks_mut(c).enumerate().for_each(row_work);
@@ -391,6 +615,74 @@ mod tests {
         // dL/dX = A^T * ones(3,3) -> each column is A^T row-sums.
         let expect = at_dense.matmul(&Tensor::ones(3, 3));
         assert!(g.get(x).unwrap().allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn chunk_plan_balances_nnz_quantiles() {
+        // 8 rows: row 0 is a hub with 90 entries, the rest have 1–2.
+        let mut indptr = vec![0usize, 90];
+        for r in 1..8 {
+            indptr.push(indptr[r] + 1 + (r % 2));
+        }
+        let plan = ChunkPlan::build(&indptr);
+        assert!(plan.chunks() >= 1);
+        assert_eq!(*plan.bounds.first().unwrap(), 0);
+        assert_eq!(*plan.bounds.last().unwrap(), 8);
+        assert!(plan.bounds.windows(2).all(|w| w[0] < w[1]));
+        // The hub row cannot be split further, so it must sit alone in its
+        // chunk when there is more than one chunk.
+        if plan.chunks() > 1 {
+            assert_eq!(plan.bounds[1], 1, "hub row isolated in its own chunk");
+        }
+        assert!(plan.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn chunk_plan_handles_empty_and_uniform() {
+        let empty = ChunkPlan::build(&[0]);
+        assert_eq!(empty.chunks(), 0);
+        assert_eq!(empty.imbalance(), 1.0);
+        let uniform = ChunkPlan::build(&(0..=100).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(*uniform.bounds.last().unwrap(), 100);
+        assert!(uniform.imbalance() < 1.5);
+    }
+
+    #[test]
+    fn balanced_spmm_matches_dense_on_hub_graph() {
+        // Single hub row holding >90% of nnz, wide features to force the
+        // parallel chunked path.
+        let mut rng = SplitMix64::new(9);
+        let n = 64;
+        let hub_deg = 600;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..hub_deg {
+            indices.push(rng.next_below(n) as u32);
+            values.push(rng.normal());
+        }
+        indptr.push(indices.len());
+        for _ in 1..n {
+            indices.push(rng.next_below(n) as u32);
+            values.push(rng.normal());
+            indptr.push(indices.len());
+        }
+        let a = SparseMat::new(n, n, indptr, indices, values, false);
+        let x = Tensor::randn(n, 48, 1.0, &mut rng);
+        let got = a.matvec_dense(&x);
+        let want = a.to_dense().matmul(&x);
+        assert!(got.allclose(&want, 1e-3));
+        let reference = spmm_rowpar_reference(&a, &x);
+        assert!(got.allclose(&reference, 1e-4));
+    }
+
+    #[test]
+    fn plan_is_cached_per_matrix() {
+        let a = asym();
+        let p1 = a.inner.fwd.plan() as *const ChunkPlan;
+        let _ = a.matvec_dense(&Tensor::ones(3, 2));
+        let p2 = a.inner.fwd.plan() as *const ChunkPlan;
+        assert_eq!(p1, p2, "plan must be built once and cached");
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Shared kernel-dispatch tunables: the parallelism cutoff and the runtime
+//! SIMD capability probe.
+//!
+//! Every rayon-parallel kernel in this crate asks the same question:
+//! "is there enough work to amortise task spawning?" Historically the
+//! dense kernels used `16 * 1024` output elements while SpMM hardcoded
+//! `8192`; this module hoists one tunable used by both paths.
+//!
+//! The cutoff can be overridden per-process with the `SOUP_PAR_THRESHOLD`
+//! environment variable (a number of output elements; `0` means "always
+//! parallel"). The variable is read once, on first use — set it before the
+//! first kernel call.
+
+use std::sync::OnceLock;
+
+/// Whether this x86-64 CPU supports AVX2 and FMA, probed once. The hot
+/// kernels (GEMM microkernel, SpMM edge loop) carry `#[target_feature]`
+/// variants selected through this check, so portable baseline builds still
+/// use wide vectors on machines that have them. Override with
+/// `SOUP_NO_SIMD=1` to force the baseline-ISA kernels (useful for A/B
+/// measurements).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn cpu_has_avx2_fma() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if std::env::var("SOUP_NO_SIMD").is_ok_and(|v| v == "1") {
+            return false;
+        }
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    })
+}
+
+/// Non-x86-64 targets have no runtime-dispatched kernel variants.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn cpu_has_avx2_fma() -> bool {
+    false
+}
+
+/// Default minimum work (output elements) before a kernel goes parallel.
+pub const DEFAULT_PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Minimum work (output elements) before a kernel bothers going parallel;
+/// below this, rayon's task overhead outweighs the win. Honors the
+/// `SOUP_PAR_THRESHOLD` environment variable on first call.
+#[inline]
+pub fn par_threshold() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("SOUP_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_historic_dense_cutoff() {
+        // The env var is deliberately not set in the test environment, so
+        // the cached value must be the documented default.
+        assert_eq!(par_threshold(), DEFAULT_PAR_THRESHOLD);
+        assert_eq!(par_threshold(), 16 * 1024);
+    }
+}

@@ -1,0 +1,288 @@
+//! Workspace buffer pool: a thread-safe, size-bucketed free list for the
+//! `Vec<f32>` buffers behind tensors and kernel workspaces.
+//!
+//! Training is shape-periodic: every epoch allocates the same set of
+//! activation, gradient and packing buffers, drops them, and allocates them
+//! again. Without a pool each kernel call pays a fresh heap allocation (and,
+//! for large buffers, fresh page faults); with it, steady-state epochs
+//! recycle the previous epoch's buffers and the hot path performs zero
+//! fresh allocations.
+//!
+//! Design:
+//! - **Exact-size buckets.** Buffers are keyed by their `Vec` capacity.
+//!   Training workloads use a small, fixed set of shapes, so exact keys give
+//!   perfect reuse with *zero over-allocation* — important because tensor
+//!   memory accounting feeds the paper's Fig. 4b comparisons.
+//! - **Separate accounting.** Bytes sitting idle in the pool are tracked in
+//!   [`MemoryMeter`](crate::memory::MemoryMeter) via the `pooled` counter,
+//!   *not* in `current` (live bytes): a pooled buffer is memory the process
+//!   holds but no tensor owns. [`trim`] releases everything back to the
+//!   allocator, after which `DEVICE_MEMORY.pooled()` reads zero.
+//! - **Observability.** `tensor.pool.hits` / `misses` / `returns` /
+//!   `bypass` counters and the `tensor.pool.idle_bytes` gauge expose pool
+//!   behaviour; a steady-state epoch shows hits only.
+//!
+//! The pool can be disabled for honest no-pool baselines with `SOUP_POOL=0`
+//! (read once, at first use).
+
+use crate::memory::{MemGuard, DEVICE_MEMORY};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Buffers smaller than this (in elements) bypass the pool: the allocator
+/// handles tiny blocks faster than a lock + hash probe.
+const MIN_POOL_LEN: usize = 64;
+
+/// Free buffers retained per exact capacity; beyond this, returns fall
+/// through to the allocator. Bounded by peak live usage anyway (a buffer
+/// must have been live to be returned), this is a secondary backstop
+/// against pathological shape churn.
+const MAX_PER_BUCKET: usize = 256;
+
+fn pool_enabled() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| std::env::var("SOUP_POOL").map_or(true, |v| v != "0"))
+}
+
+fn buckets() -> &'static Mutex<HashMap<usize, Vec<Vec<f32>>>> {
+    static POOL: OnceLock<Mutex<HashMap<usize, Vec<Vec<f32>>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn bytes_of_cap(cap: usize) -> usize {
+    cap * std::mem::size_of::<f32>()
+}
+
+/// Pop a pooled buffer with capacity exactly `len`, adjusting the idle
+/// accounting. Contents are stale.
+fn pop(len: usize) -> Option<Vec<f32>> {
+    let mut map = buckets().lock().unwrap_or_else(|e| e.into_inner());
+    let bucket = map.get_mut(&len)?;
+    let v = bucket.pop()?;
+    DEVICE_MEMORY.pool_sub(bytes_of_cap(v.capacity()));
+    soup_obs::gauge!("tensor.pool.idle_bytes").set(DEVICE_MEMORY.pooled() as f64);
+    Some(v)
+}
+
+/// Take a zero-filled buffer of `len` elements (for accumulation outputs).
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    if len < MIN_POOL_LEN || !pool_enabled() {
+        soup_obs::counter!("tensor.pool.bypass").inc();
+        return vec![0.0; len];
+    }
+    match pop(len) {
+        Some(mut v) => {
+            soup_obs::counter!("tensor.pool.hits").inc();
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            soup_obs::counter!("tensor.pool.misses").inc();
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Take a buffer of `len` elements whose contents are arbitrary (but
+/// initialised). For workspaces that overwrite every slot before reading —
+/// packing buffers, `map`/`zip` outputs — this skips the zero fill.
+pub fn take_scratch(len: usize) -> Vec<f32> {
+    if len < MIN_POOL_LEN || !pool_enabled() {
+        soup_obs::counter!("tensor.pool.bypass").inc();
+        return vec![0.0; len];
+    }
+    match pop(len) {
+        Some(mut v) => {
+            soup_obs::counter!("tensor.pool.hits").inc();
+            // Capacity equals `len` (the bucket key), so this only adjusts
+            // the length; stale contents are deliberately kept.
+            v.resize(len, 0.0);
+            v.truncate(len);
+            v
+        }
+        None => {
+            soup_obs::counter!("tensor.pool.misses").inc();
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Take a buffer initialised as a copy of `src` (one pass, no zero fill).
+pub fn take_copy(src: &[f32]) -> Vec<f32> {
+    if src.len() < MIN_POOL_LEN || !pool_enabled() {
+        soup_obs::counter!("tensor.pool.bypass").inc();
+        return src.to_vec();
+    }
+    match pop(src.len()) {
+        Some(mut v) => {
+            soup_obs::counter!("tensor.pool.hits").inc();
+            v.clear();
+            v.extend_from_slice(src);
+            v
+        }
+        None => {
+            soup_obs::counter!("tensor.pool.misses").inc();
+            src.to_vec()
+        }
+    }
+}
+
+/// Return a buffer to the pool (or drop it if pooling is off, the buffer is
+/// tiny, or its bucket is full). Called by `Buf::drop` and workspace drops.
+pub fn put(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap < MIN_POOL_LEN || !pool_enabled() {
+        return;
+    }
+    let mut map = buckets().lock().unwrap_or_else(|e| e.into_inner());
+    let bucket = map.entry(cap).or_default();
+    if bucket.len() >= MAX_PER_BUCKET {
+        return; // lock drops, v deallocates normally
+    }
+    bucket.push(v);
+    DEVICE_MEMORY.pool_add(bytes_of_cap(cap));
+    soup_obs::counter!("tensor.pool.returns").inc();
+    soup_obs::gauge!("tensor.pool.idle_bytes").set(DEVICE_MEMORY.pooled() as f64);
+}
+
+/// Release every idle buffer back to the allocator, returning the number of
+/// bytes freed. The bench harness calls this between experiments so that
+/// memory comparisons (Fig. 4b) never attribute one experiment's pooled
+/// buffers to another, and `DEVICE_MEMORY` pooled accounting re-balances to
+/// zero.
+pub fn trim() -> usize {
+    let drained: Vec<Vec<f32>> = {
+        let mut map = buckets().lock().unwrap_or_else(|e| e.into_inner());
+        map.drain().flat_map(|(_, bucket)| bucket).collect()
+    };
+    let bytes: usize = drained.iter().map(|v| bytes_of_cap(v.capacity())).sum();
+    DEVICE_MEMORY.pool_sub(bytes);
+    soup_obs::counter!("tensor.pool.trimmed_bytes").add(bytes as u64);
+    soup_obs::gauge!("tensor.pool.idle_bytes").set(DEVICE_MEMORY.pooled() as f64);
+    bytes
+}
+
+/// Bytes currently sitting idle in the pool.
+pub fn idle_bytes() -> usize {
+    DEVICE_MEMORY.pooled()
+}
+
+/// RAII kernel workspace: a pooled `Vec<f32>` that counts as live device
+/// memory while held (via [`MemGuard`], like CSR arrays) and returns to the
+/// pool on drop. Used for GEMM packing buffers.
+#[derive(Debug)]
+pub struct Workspace {
+    data: Vec<f32>,
+    _mem: MemGuard,
+}
+
+impl Workspace {
+    /// Workspace with arbitrary (initialised) contents; the caller must
+    /// overwrite before reading.
+    pub fn scratch(len: usize) -> Self {
+        let data = take_scratch(len);
+        let bytes = bytes_of_cap(data.capacity());
+        Self {
+            data,
+            _mem: MemGuard::new(bytes),
+        }
+    }
+
+    /// Zero-filled workspace.
+    pub fn zeroed(len: usize) -> Self {
+        let data = take_zeroed(len);
+        let bytes = bytes_of_cap(data.capacity());
+        Self {
+            data,
+            _mem: MemGuard::new(bytes),
+        }
+    }
+}
+
+impl std::ops::Deref for Workspace {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for Workspace {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        put(std::mem::take(&mut self.data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pool state is process-global; tests in this module must tolerate
+    // other tests' buffers being present. They therefore assert relative
+    // behaviour (deltas, recycling of a marked buffer) rather than absolute
+    // pool contents.
+
+    #[test]
+    fn round_trip_recycles_buffer() {
+        let len = 1 << 14; // distinctive size, unlikely shared with others
+        let mut v = take_zeroed(len + 3);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v[0] = 42.0;
+        let cap = v.capacity();
+        put(v);
+        let w = take_scratch(len + 3);
+        assert_eq!(w.capacity(), cap, "exact-size bucket must recycle");
+        put(w);
+    }
+
+    #[test]
+    fn zeroed_take_clears_stale_contents() {
+        let len = (1 << 14) + 7;
+        let mut v = take_zeroed(len);
+        v.iter_mut().for_each(|x| *x = 1.5);
+        put(v);
+        let w = take_zeroed(len);
+        assert!(
+            w.iter().all(|&x| x == 0.0),
+            "recycled buffer must be zeroed"
+        );
+        put(w);
+    }
+
+    #[test]
+    fn copy_take_matches_source() {
+        let src: Vec<f32> = (0..12_347).map(|i| i as f32).collect();
+        let v = take_copy(&src);
+        assert_eq!(v, src);
+        put(v);
+        let w = take_copy(&src);
+        assert_eq!(w, src);
+        put(w);
+    }
+
+    #[test]
+    fn tiny_takes_are_fresh_and_zeroed() {
+        let v = take_scratch(MIN_POOL_LEN - 1);
+        assert!(v.iter().all(|&x| x == 0.0), "bypassed takes are fresh vecs");
+        let w = take_zeroed(MIN_POOL_LEN - 1);
+        assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn workspace_overwrites_and_reads_back() {
+        let mut ws = Workspace::scratch(1 << 13);
+        ws.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32);
+        assert_eq!(ws[17], 17.0);
+        assert_eq!(ws.len(), 1 << 13);
+    }
+
+    // Precise DEVICE_MEMORY / trim balance assertions live in the
+    // single-threaded integration test `tests/pool_accounting.rs` — they
+    // need a process where no other test is churning the global pool.
+}

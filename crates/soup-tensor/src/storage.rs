@@ -4,6 +4,12 @@
 //! [`crate::memory::DEVICE_MEMORY`] meter in sync across its whole
 //! lifecycle: construction registers the bytes, `Drop` releases them, and
 //! `Clone` (used by copy-on-write updates) registers the copy.
+//!
+//! Buffers are recycled through the workspace pool ([`crate::pool`]):
+//! `zeros` and `Clone` draw from it, and `Drop` returns the vector to it
+//! instead of deallocating, so shape-periodic workloads (training epochs)
+//! stop hitting the allocator once warm. Live bytes stay in
+//! `DEVICE_MEMORY.current`; idle pooled bytes are accounted separately.
 
 use crate::memory::DEVICE_MEMORY;
 
@@ -20,9 +26,9 @@ impl Buf {
         Self { data }
     }
 
-    /// Allocate a zero-filled buffer of `len` elements.
+    /// Allocate a zero-filled buffer of `len` elements (pool-recycled).
     pub fn zeros(len: usize) -> Self {
-        Self::from_vec(vec![0.0; len])
+        Self::from_vec(crate::pool::take_zeroed(len))
     }
 
     /// Allocate a buffer filled with `value`.
@@ -53,13 +59,14 @@ impl Buf {
 
 impl Clone for Buf {
     fn clone(&self) -> Self {
-        Self::from_vec(self.data.clone())
+        Self::from_vec(crate::pool::take_copy(&self.data))
     }
 }
 
 impl Drop for Buf {
     fn drop(&mut self) {
         DEVICE_MEMORY.free(Self::bytes_of(&self.data));
+        crate::pool::put(std::mem::take(&mut self.data));
     }
 }
 

@@ -5,10 +5,15 @@
 //! ([`Tensor::make_mut`]) so optimizer updates are in-place when the buffer
 //! is uniquely owned (the common case) and copy otherwise.
 //!
-//! Kernels that dominate runtime (matmul) are parallelised over rows with
-//! rayon, following the hpc-parallel guides: `par_chunks_mut` over the
-//! output keeps the parallelism data-race-free by construction.
+//! Kernels that dominate runtime are parallelised with rayon:
+//! `par_chunks_mut` over the output keeps the parallelism data-race-free by
+//! construction. The GEMM family (`matmul` / `matmul_nt` / `matmul_tn`) is
+//! a set of thin drivers over the shared cache-blocked kernel in
+//! [`crate::gemm`]; output buffers are recycled through [`crate::pool`].
 
+use crate::gemm::{self, Layout};
+use crate::parallel::par_threshold;
+use crate::pool;
 use crate::rng::SplitMix64;
 use crate::shape::Shape;
 use crate::storage::Buf;
@@ -17,10 +22,6 @@ use serde::de::Error as _;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::sync::Arc;
-
-/// Minimum work (output elements) before a kernel bothers going parallel;
-/// below this, rayon's task overhead outweighs the win.
-const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// One bump per GEMM-family call (`matmul`/`matmul_nt`/`matmul_tn`), with
 /// dims given as (output rows, inner, output cols).
@@ -168,8 +169,8 @@ impl Tensor {
 
     /// New tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
-        let mut out = vec![0.0f32; self.len()];
-        if self.len() >= PAR_THRESHOLD {
+        let mut out = pool::take_scratch(self.len());
+        if self.len() >= par_threshold() {
             out.par_iter_mut()
                 .zip(self.data().par_iter())
                 .for_each(|(o, &x)| *o = f(x));
@@ -188,8 +189,8 @@ impl Tensor {
             "zip shape mismatch {} vs {}",
             self.shape, other.shape
         );
-        let mut out = vec![0.0f32; self.len()];
-        if self.len() >= PAR_THRESHOLD {
+        let mut out = pool::take_scratch(self.len());
+        if self.len() >= par_threshold() {
             out.par_iter_mut()
                 .zip(self.data().par_iter().zip(other.data().par_iter()))
                 .for_each(|(o, (&a, &b))| *o = f(a, b));
@@ -235,7 +236,7 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        if self.len() >= PAR_THRESHOLD {
+        if self.len() >= par_threshold() {
             self.data().par_iter().sum()
         } else {
             self.data().iter().sum()
@@ -253,7 +254,7 @@ impl Tensor {
 
     /// Squared Frobenius norm.
     pub fn norm_sq(&self) -> f32 {
-        if self.len() >= PAR_THRESHOLD {
+        if self.len() >= par_threshold() {
             self.data().par_iter().map(|&x| x * x).sum()
         } else {
             self.data().iter().map(|&x| x * x).sum()
@@ -288,41 +289,34 @@ impl Tensor {
 
     // ---------------------------------------------------------- linear algebra
 
-    /// Dense matrix product `self × other`, row-parallel.
+    /// Dense matrix product `self × other` via the cache-blocked GEMM
+    /// ([`crate::gemm`]); tiny products fall back to [`Self::matmul_naive`].
     pub fn matmul(&self, other: &Tensor) -> Self {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dims {} vs {}", self.shape, other.shape);
         record_matmul_metrics(m, k, n);
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        let work = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &a[r * k..(r + 1) * k];
-            // k-outer loop keeps the inner loop a contiguous saxpy over the
-            // output row: good auto-vectorisation, B read row-wise.
-            for (kk, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        };
-        if m * n >= PAR_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(work);
-        } else {
-            out.chunks_mut(n).enumerate().for_each(work);
+        if m * n * k < gemm::SMALL_GEMM_MACS {
+            return self.matmul_naive(other);
         }
+        let mut out = pool::take_zeroed(m * n);
+        gemm::gemm(
+            m,
+            n,
+            k,
+            self.data(),
+            Layout::RowMajor,
+            other.data(),
+            Layout::RowMajor,
+            &mut out,
+        );
         Self::from_vec(m, n, out)
     }
 
     /// `self × otherᵀ` without materialising the transpose: out `(m, n)`
-    /// from `self (m, k)` and `other (n, k)`. Both operands are read
-    /// row-wise (dot products of contiguous rows), so this is the
-    /// cache-friendly form of the matmul backward's `g Bᵀ`.
+    /// from `self (m, k)` and `other (n, k)` — the matmul backward's
+    /// `g Bᵀ`. The transposition is absorbed into the GEMM's B-panel
+    /// packing gather, so the microkernel is the same as [`Self::matmul`].
     pub fn matmul_nt(&self, other: &Tensor) -> Self {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
@@ -334,28 +328,27 @@ impl Tensor {
             other.shape()
         );
         record_matmul_metrics(m, k, n);
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        let work = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &a[r * k..(r + 1) * k];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let b_row = &b[c * k..(c + 1) * k];
-                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
-            }
-        };
-        if m * n >= PAR_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(work);
-        } else {
-            out.chunks_mut(n).enumerate().for_each(work);
+        if m * n * k < gemm::SMALL_GEMM_MACS {
+            return self.matmul_nt_naive(other);
         }
+        let mut out = pool::take_zeroed(m * n);
+        gemm::gemm(
+            m,
+            n,
+            k,
+            self.data(),
+            Layout::RowMajor,
+            other.data(),
+            Layout::Transposed,
+            &mut out,
+        );
         Self::from_vec(m, n, out)
     }
 
     /// `selfᵀ × other` without materialising the transpose: out `(k, n)`
     /// from `self (m, k)` and `other (m, n)` — the matmul backward's
-    /// `Aᵀ g`. Parallelised over output rows; each output row `kk`
-    /// gathers column `kk` of `self` against the rows of `other`.
+    /// `Aᵀ g`. The transposition is absorbed into the GEMM's A-panel
+    /// packing gather.
     pub fn matmul_tn(&self, other: &Tensor) -> Self {
         let (m, k) = (self.rows(), self.cols());
         let (m2, n) = (other.rows(), other.cols());
@@ -367,22 +360,98 @@ impl Tensor {
             other.shape()
         );
         record_matmul_metrics(k, m, n);
+        if k * n * m < gemm::SMALL_GEMM_MACS {
+            return self.matmul_tn_naive(other);
+        }
+        let mut out = pool::take_zeroed(k * n);
+        gemm::gemm(
+            k,
+            n,
+            m,
+            self.data(),
+            Layout::Transposed,
+            other.data(),
+            Layout::RowMajor,
+            &mut out,
+        );
+        Self::from_vec(k, n, out)
+    }
+
+    /// Row-parallel saxpy matmul — the pre-tiling kernel, kept as the
+    /// small-product fast path and as the baseline the `kernels` bench
+    /// compares the blocked GEMM against. Shapes must already be checked.
+    #[doc(hidden)]
+    pub fn matmul_naive(&self, other: &Tensor) -> Self {
+        let (m, k) = (self.rows(), self.cols());
+        let n = other.cols();
+        debug_assert_eq!(k, other.rows());
         let a = self.data();
         let b = other.data();
-        let mut out = vec![0.0f32; k * n];
+        let mut out = pool::take_zeroed(m * n);
+        let work = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &a[r * k..(r + 1) * k];
+            // k-outer loop keeps the inner loop a contiguous saxpy over the
+            // output row: good auto-vectorisation, B read row-wise.
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        };
+        if m * n >= par_threshold() {
+            out.par_chunks_mut(n).enumerate().for_each(work);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(work);
+        }
+        Self::from_vec(m, n, out)
+    }
+
+    /// Row-dot-product `self × otherᵀ` — pre-tiling kernel, see
+    /// [`Self::matmul_naive`].
+    #[doc(hidden)]
+    pub fn matmul_nt_naive(&self, other: &Tensor) -> Self {
+        let (m, k) = (self.rows(), self.cols());
+        let n = other.rows();
+        debug_assert_eq!(k, other.cols());
+        let a = self.data();
+        let b = other.data();
+        let mut out = pool::take_scratch(m * n);
+        let work = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &a[r * k..(r + 1) * k];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[c * k..(c + 1) * k];
+                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            }
+        };
+        if m * n >= par_threshold() {
+            out.par_chunks_mut(n).enumerate().for_each(work);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(work);
+        }
+        Self::from_vec(m, n, out)
+    }
+
+    /// Column-gather `selfᵀ × other` — pre-tiling kernel, see
+    /// [`Self::matmul_naive`].
+    #[doc(hidden)]
+    pub fn matmul_tn_naive(&self, other: &Tensor) -> Self {
+        let (m, k) = (self.rows(), self.cols());
+        let n = other.cols();
+        debug_assert_eq!(m, other.rows());
+        let a = self.data();
+        let b = other.data();
+        let mut out = pool::take_zeroed(k * n);
         let work = |(kk, out_row): (usize, &mut [f32])| {
             for r in 0..m {
                 let av = a[r * k + kk];
-                if av == 0.0 {
-                    continue;
-                }
                 let b_row = &b[r * n..(r + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += av * bv;
                 }
             }
         };
-        if k * n >= PAR_THRESHOLD {
+        if k * n >= par_threshold() {
             out.par_chunks_mut(n).enumerate().for_each(work);
         } else {
             out.chunks_mut(n).enumerate().for_each(work);
@@ -394,7 +463,7 @@ impl Tensor {
     pub fn transpose(&self) -> Self {
         let (m, n) = (self.rows(), self.cols());
         let src = self.data();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_scratch(m * n);
         for r in 0..m {
             for c in 0..n {
                 out[c * m + r] = src[r * n + c];
@@ -406,7 +475,7 @@ impl Tensor {
     /// Gather rows by index into a new tensor.
     pub fn gather_rows(&self, idx: &[usize]) -> Self {
         let c = self.cols();
-        let mut out = vec![0.0f32; idx.len() * c];
+        let mut out = pool::take_scratch(idx.len() * c);
         for (o, &i) in out.chunks_mut(c).zip(idx) {
             o.copy_from_slice(self.row(i));
         }
@@ -416,7 +485,7 @@ impl Tensor {
     /// Column-wise sum, returning a `(1, cols)` row tensor.
     pub fn sum_rows(&self) -> Self {
         let c = self.cols();
-        let mut out = vec![0.0f32; c];
+        let mut out = pool::take_zeroed(c);
         for r in 0..self.rows() {
             for (o, &x) in out.iter_mut().zip(self.row(r)) {
                 *o += x;

@@ -1,0 +1,90 @@
+//! Precise pool / device-memory balance checks.
+//!
+//! These assertions need a process where nothing else churns the global
+//! pool or the `DEVICE_MEMORY` meter, so they live in their own
+//! integration-test binary as a single `#[test]` (cargo runs each
+//! integration test binary as its own process; a single test function
+//! avoids intra-binary thread races too).
+
+use soup_tensor::pool::{self, Workspace};
+use soup_tensor::{Tensor, DEVICE_MEMORY};
+
+#[test]
+fn pool_and_device_memory_balance() {
+    // --- Baseline: nothing pooled, nothing live beyond what this test sees.
+    pool::trim();
+    let live0 = DEVICE_MEMORY.current();
+    assert_eq!(DEVICE_MEMORY.pooled(), 0, "trim must zero pooled bytes");
+    assert_eq!(pool::idle_bytes(), 0);
+
+    // --- Tensor lifecycle: live while held, pooled (not live) after drop.
+    let t = Tensor::zeros(128, 96);
+    let t_bytes = 128 * 96 * std::mem::size_of::<f32>();
+    assert_eq!(DEVICE_MEMORY.current(), live0 + t_bytes);
+    assert_eq!(DEVICE_MEMORY.pooled(), 0, "held buffers are not pooled");
+    drop(t);
+    assert_eq!(DEVICE_MEMORY.current(), live0, "drop releases live bytes");
+    assert_eq!(
+        DEVICE_MEMORY.pooled(),
+        t_bytes,
+        "dropped buffer parks in the pool, accounted as idle"
+    );
+
+    // --- Reuse: an identically-shaped tensor recycles the pooled buffer.
+    let t2 = Tensor::zeros(128, 96);
+    assert_eq!(DEVICE_MEMORY.pooled(), 0, "reuse drains the idle bucket");
+    assert_eq!(DEVICE_MEMORY.current(), live0 + t_bytes);
+    assert!(
+        t2.data().iter().all(|&x| x == 0.0),
+        "recycled zeros must be cleared"
+    );
+    drop(t2);
+
+    // --- Workspace: counts as live via MemGuard while held, pooled after.
+    let pooled_before = DEVICE_MEMORY.pooled();
+    let ws_len = 4096;
+    let ws = Workspace::scratch(ws_len);
+    let ws_bytes = ws.len() * std::mem::size_of::<f32>();
+    assert_eq!(ws.len(), ws_len);
+    assert_eq!(
+        DEVICE_MEMORY.current(),
+        live0 + ws_bytes,
+        "workspace bytes are live while held"
+    );
+    drop(ws);
+    assert_eq!(DEVICE_MEMORY.current(), live0);
+    assert_eq!(
+        DEVICE_MEMORY.pooled(),
+        pooled_before + ws_bytes,
+        "workspace returns to the pool on drop"
+    );
+
+    // --- A matmul leaves only its result live; packing buffers all return.
+    let a = Tensor::zeros(70, 65).map(|_| 1.0);
+    let b = Tensor::zeros(65, 33).map(|_| 2.0);
+    let live_with_inputs = DEVICE_MEMORY.current();
+    let c = a.matmul(&b);
+    let c_bytes = 70 * 33 * std::mem::size_of::<f32>();
+    assert_eq!(
+        DEVICE_MEMORY.current(),
+        live_with_inputs + c_bytes,
+        "after matmul only the result adds live bytes (workspaces returned)"
+    );
+    assert_eq!(c.data()[0], 65.0 * 2.0);
+    drop((a, b, c));
+
+    // --- Trim balances everything back to zero (acceptance criterion:
+    // DEVICE_MEMORY balances after pool::trim()).
+    let trimmed = pool::trim();
+    assert!(trimmed > 0, "pool held idle buffers before trim");
+    assert_eq!(DEVICE_MEMORY.pooled(), 0);
+    assert_eq!(pool::idle_bytes(), 0);
+    assert_eq!(
+        DEVICE_MEMORY.current(),
+        live0,
+        "live accounting balances to the baseline after trim"
+    );
+
+    // --- Trim on an empty pool is a no-op.
+    assert_eq!(pool::trim(), 0);
+}
