@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p soup-bench --bin ablation_workers [preset]`
 
 use soup_bench::harness::{model_config, write_csv, ExperimentPreset};
-use soup_distrib::{predicted_total_time, simulate_schedule, train_ingredients_with_opts};
+use soup_distrib::{predicted_total_time, simulate_schedule, train_ingredients_opts, TrainOpts};
 use soup_gnn::{Arch, TrainConfig};
 use soup_graph::DatasetKind;
 
@@ -27,7 +27,14 @@ fn main() {
     );
 
     // Calibrate T_single with a single-worker run.
-    let single = train_ingredients_with_opts(&dataset, &cfg, &tc, 1, 1, 7, true);
+    let opts = |w: usize| {
+        TrainOpts::default()
+            .with_workers(w)
+            .with_seed(7)
+            .with_exclusive_devices(true)
+    };
+    let single = train_ingredients_opts(&dataset, &cfg, &tc, 1, &opts(1))
+        .expect("calibration run trains without a checkpoint dir");
     let t_single = single.wall_time.as_secs_f64();
     println!("calibrated T_single = {t_single:.3}s");
     println!(
@@ -36,7 +43,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for w in [1usize, 2, 4, 8] {
-        let run = train_ingredients_with_opts(&dataset, &cfg, &tc, n, w, 7, true);
+        let run = train_ingredients_opts(&dataset, &cfg, &tc, n, &opts(w))
+            .expect("ablation run trains without a checkpoint dir");
         let measured = run.wall_time.as_secs_f64();
         let predicted = predicted_total_time(n, w, t_single);
         let sim = simulate_schedule(&vec![t_single; n], w);

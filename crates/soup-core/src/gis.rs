@@ -60,7 +60,7 @@ impl SoupStrategy for GisSouping {
     ) -> SoupOutcome {
         validate_ingredients(ingredients);
         assert!(self.granularity >= 2, "granularity must be >= 2");
-        measure_soup(dataset, cfg, || {
+        measure_soup(ingredients, dataset, cfg, || {
             let _gis_span = soup_obs::span!("soup.gis");
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
             let order = sort_by_val_acc(ingredients);

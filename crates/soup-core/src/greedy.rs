@@ -28,7 +28,7 @@ impl SoupStrategy for GreedySouping {
         _seed: u64,
     ) -> SoupOutcome {
         validate_ingredients(ingredients);
-        measure_soup(dataset, cfg, || {
+        measure_soup(ingredients, dataset, cfg, || {
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
             let order = sort_by_val_acc(ingredients);
             let mut members: Vec<&ParamSet> = vec![&ingredients[order[0]].params];

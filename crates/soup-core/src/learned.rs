@@ -249,7 +249,9 @@ impl SoupStrategy for LearnedSouping {
         validate_ingredients(ingredients);
         let h = self.hyper;
         assert!(h.epochs > 0, "LS needs at least one epoch");
-        measure_soup(dataset, cfg, || {
+        // A partial pool needs no special handling: the softmax over the
+        // R' surviving ingredients renormalises the ratios by construction.
+        measure_soup(ingredients, dataset, cfg, || {
             let _ls_span = soup_obs::span!("soup.ls");
             let mut rng = SplitMix64::new(seed).derive(0x15);
             let mut alphas = AlphaState::init(

@@ -28,6 +28,13 @@ pub mod pls;
 pub mod strategy;
 pub mod uniform;
 
+/// The workspace-wide typed error enum, re-exported so downstream users can
+/// write `soup_core::SoupError` / `soup_core::Result<T>`.
+pub use soup_error::SoupError;
+
+/// Workspace-wide result alias over [`SoupError`].
+pub type Result<T> = std::result::Result<T, SoupError>;
+
 pub use diversity::{diversity_report, DiversityReport};
 pub use ensemble::{compare_soup_vs_ensemble, ensemble_accuracy, SoupVsEnsemble};
 pub use gis::GisSouping;
@@ -35,5 +42,5 @@ pub use greedy::GreedySouping;
 pub use ingredient::Ingredient;
 pub use learned::{LearnedHyper, LearnedSouping};
 pub use pls::{PartitionLearnedSouping, PartitionerKind};
-pub use strategy::{SoupOutcome, SoupStats, SoupStrategy};
+pub use strategy::{measure_soup, missing_ordinals, SoupOutcome, SoupStats, SoupStrategy};
 pub use uniform::UniformSouping;

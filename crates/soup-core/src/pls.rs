@@ -141,7 +141,7 @@ impl SoupStrategy for PartitionLearnedSouping {
         validate_ingredients(ingredients);
         let h = self.hyper;
         assert!(h.epochs > 0, "PLS needs at least one epoch");
-        measure_soup(dataset, cfg, || {
+        measure_soup(ingredients, dataset, cfg, || {
             // Preprocessing: K-way partitioning (Fig. 2 step 1). Included
             // in the measured time here; amortise it across repeated soups
             // with [`Self::soup_prepartitioned`].
@@ -175,7 +175,7 @@ impl PartitionLearnedSouping {
             "partitioning k != configured K"
         );
         assert!(self.hyper.epochs > 0, "PLS needs at least one epoch");
-        measure_soup(dataset, cfg, || {
+        measure_soup(ingredients, dataset, cfg, || {
             self.mix_loop(ingredients, dataset, cfg, seed, partitioning)
         })
     }
@@ -234,7 +234,11 @@ impl PartitionLearnedSouping {
                     .map(|(l, _)| l)
                     .collect();
                 if local_mask.is_empty() {
-                    // Degenerate draw (possible at tiny scales): skip.
+                    // Degenerate draw: the selected partitions hold no fit
+                    // nodes (possible at tiny scales or under aggressive
+                    // holdout). Drop the empty epoch rather than stepping
+                    // on a lossless subgraph.
+                    soup_obs::counter!("soup.pls.empty_partition_draws").inc();
                     continue;
                 }
                 let sub_ops = PropOps::prepare(cfg.arch, &sub.graph);

@@ -37,6 +37,30 @@ pub struct SoupOutcome {
     pub val_accuracy: f64,
     /// Resource usage of the mixing phase.
     pub stats: SoupStats,
+    /// Ordinals absent from the ingredient pool (gaps in `0..=max_id`) —
+    /// non-empty when a fault-degraded Phase 1 delivered only `R' < R`
+    /// ingredients and the soup was mixed from the survivors.
+    pub missing: Vec<usize>,
+}
+
+impl SoupOutcome {
+    /// Whether this soup was mixed from a partial ingredient set.
+    pub fn is_degraded(&self) -> bool {
+        !self.missing.is_empty()
+    }
+}
+
+/// Ordinals missing from an ingredient pool: the gaps in `0..=max_id`.
+/// A contiguous pool (the fault-free case) has none.
+pub fn missing_ordinals(ingredients: &[Ingredient]) -> Vec<usize> {
+    let Some(max_id) = ingredients.iter().map(|i| i.id).max() else {
+        return Vec::new();
+    };
+    let mut present = vec![false; max_id + 1];
+    for ing in ingredients {
+        present[ing.id] = true;
+    }
+    (0..=max_id).filter(|&id| !present[id]).collect()
 }
 
 /// A souping algorithm.
@@ -58,11 +82,25 @@ pub trait SoupStrategy {
 
 /// Run `mix` under time/memory measurement, then evaluate the resulting
 /// parameters on the full validation split.
+///
+/// `ingredients` is the pool being mixed; the outcome records which
+/// ordinals (if any) are missing from it, so degraded soups — mixed from
+/// the survivors of a faulty Phase 1 — carry that provenance.
 pub fn measure_soup(
+    ingredients: &[Ingredient],
     dataset: &Dataset,
     cfg: &ModelConfig,
     mix: impl FnOnce() -> (ParamSet, usize, usize),
 ) -> SoupOutcome {
+    let missing = missing_ordinals(ingredients);
+    if !missing.is_empty() {
+        soup_obs::counter!("soup.degraded_runs").inc();
+        soup_obs::warn!(
+            "souping a degraded ingredient set: {} of {} ordinals missing {missing:?}",
+            missing.len(),
+            ingredients.len() + missing.len()
+        );
+    }
     let scope = MemoryScope::start();
     let start = Instant::now();
     let (params, forward_passes, epochs) = {
@@ -77,7 +115,8 @@ pub fn measure_soup(
         "wall_s" => wall_time.as_secs_f64(),
         "peak_mem_bytes" => mem.peak_delta_bytes as u64,
         "forward_passes" => forward_passes as u64,
-        "epochs" => epochs as u64);
+        "epochs" => epochs as u64,
+        "missing" => missing.len() as u64);
 
     let ops = PropOps::prepare(cfg.arch, &dataset.graph);
     let val_accuracy = evaluate_accuracy(
@@ -97,6 +136,7 @@ pub fn measure_soup(
             forward_passes,
             epochs,
         },
+        missing,
     }
 }
 
@@ -127,7 +167,7 @@ mod tests {
         let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(8);
         let mut rng = SplitMix64::new(1);
         let params = init_params(&cfg, &mut rng);
-        let outcome = measure_soup(&d, &cfg, || {
+        let outcome = measure_soup(&[], &d, &cfg, || {
             // Simulate a mixing phase that allocates something measurable.
             let tmp = soup_tensor::Tensor::zeros(256, 256);
             drop(tmp);
@@ -137,6 +177,24 @@ mod tests {
         assert_eq!(outcome.stats.forward_passes, 3);
         assert_eq!(outcome.stats.epochs, 2);
         assert!((0.0..=1.0).contains(&outcome.val_accuracy));
+        assert!(!outcome.is_degraded());
+    }
+
+    #[test]
+    fn missing_ordinals_finds_gaps() {
+        let d = DatasetKind::Flickr.generate_scaled(3, 0.15);
+        let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(8);
+        let mut rng = SplitMix64::new(3);
+        let p = init_params(&cfg, &mut rng);
+        let pool: Vec<Ingredient> = [0usize, 1, 4]
+            .iter()
+            .map(|&id| Ingredient::new(id, p.clone(), 0.5, id as u64))
+            .collect();
+        assert_eq!(missing_ordinals(&pool), vec![2, 3]);
+        assert_eq!(missing_ordinals(&[]), Vec::<usize>::new());
+        let outcome = measure_soup(&pool, &d, &cfg, || (p.clone(), 0, 0));
+        assert_eq!(outcome.missing, vec![2, 3]);
+        assert!(outcome.is_degraded());
     }
 
     #[test]
@@ -145,7 +203,7 @@ mod tests {
         let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(8);
         let mut rng = SplitMix64::new(2);
         let params = init_params(&cfg, &mut rng);
-        let outcome = measure_soup(&d, &cfg, || (params, 0, 0));
+        let outcome = measure_soup(&[], &d, &cfg, || (params, 0, 0));
         let t = test_accuracy(&outcome, &d, &cfg);
         assert!((0.0..=1.0).contains(&t));
     }

@@ -27,7 +27,9 @@ impl SoupStrategy for UniformSouping {
         _seed: u64,
     ) -> SoupOutcome {
         validate_ingredients(ingredients);
-        measure_soup(dataset, cfg, || {
+        // Partial pools degrade gracefully: the average renormalises over
+        // however many ingredients survived (1/R' each).
+        measure_soup(ingredients, dataset, cfg, || {
             let sets: Vec<&ParamSet> = ingredients.iter().map(|i| &i.params).collect();
             (ParamSet::average(&sets), 0, 0)
         })

@@ -1,13 +1,220 @@
-//! Zero-communication ingredient training over a worker pool.
+//! Zero-communication ingredient training over a fault-tolerant worker pool.
+//!
+//! The paper's Phase 1 (Fig. 1) assumes flawless workers; this module does
+//! not. Each worker's training runs inside a panic boundary, failed or
+//! corrupted attempts are re-queued with a bounded retry budget, finished
+//! ingredients can be checkpointed to disk and resumed, and a deterministic
+//! fault-injection harness ([`FaultPlan`]) exists to prove the whole
+//! machinery preserves the paper's central determinism property: ingredient
+//! `i`'s training seed is keyed by its *ordinal* (never by worker identity
+//! or attempt number), so a run that survives faults produces ingredients
+//! bit-identical to a fault-free run.
 
-use crate::queue::TaskQueue;
+use crate::queue::{FailAction, TaskQueue};
 use parking_lot::Mutex;
 use soup_core::Ingredient;
+use soup_error::{Result, SoupError};
 use soup_gnn::model::init_params;
-use soup_gnn::{train_single, ModelConfig, TrainConfig};
+use soup_gnn::{
+    checkpoint_path, load_checkpoint, save_checkpoint, train_single, validate_checkpoint,
+    Checkpoint, ModelConfig, TrainConfig,
+};
 use soup_graph::Dataset;
 use soup_tensor::SplitMix64;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What a fault does to the attempt it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics mid-training (caught by the panic boundary).
+    Panic,
+    /// Training "succeeds" but the parameters come back poisoned with NaN
+    /// (caught by the acceptance scan).
+    Corrupt,
+    /// The attempt stalls for a few tens of milliseconds (exercises the
+    /// straggler deadline without failing anything).
+    Delay,
+}
+
+/// Deterministic, seeded fault schedule keyed by ingredient ordinal.
+///
+/// Faults strike only the *first* attempt of an ordinal — the transient-
+/// fault model — so any positive retry budget recovers every injected
+/// fault, and recovery is bit-identical because the training seed does not
+/// depend on the attempt number. Two plans with the same `(rate, seed)`
+/// inject exactly the same faults regardless of worker count or timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a given ordinal's first attempt faults.
+    pub rate: f64,
+    /// Seed of the fault schedule (independent of the training seed).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    pub fn new(rate: f64, seed: u64) -> Self {
+        Self { rate, seed }
+    }
+
+    /// The fault (if any) striking `ordinal`'s attempt number `attempt`.
+    pub fn fault_for(&self, ordinal: usize, attempt: u32) -> Option<FaultKind> {
+        if attempt != 0 || self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = SplitMix64::new(self.seed ^ 0xfa_17).derive(ordinal as u64 + 1);
+        let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.rate {
+            return None;
+        }
+        Some(match rng.next_u64() % 10 {
+            0..=4 => FaultKind::Panic,
+            5..=7 => FaultKind::Corrupt,
+            _ => FaultKind::Delay,
+        })
+    }
+}
+
+/// Panic payload marker for injected faults, so the quiet panic hook can
+/// distinguish them from genuine worker panics (which still print).
+struct InjectedFault;
+
+static QUIET_HOOK: OnceLock<()> = OnceLock::new();
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// [`InjectedFault`] payloads and defers to the previous hook otherwise.
+/// Without this, every injected panic would spray a backtrace over the
+/// fault-injection tests' output.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<InjectedFault>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if payload.is::<InjectedFault>() {
+        "injected fault".to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+/// Options for a Phase-1 run. Replaces the old seven-positional-argument
+/// `train_ingredients_with_opts`; construct with [`TrainOpts::default`] and
+/// chain `with_*` setters:
+///
+/// ```ignore
+/// let opts = TrainOpts::default()
+///     .with_workers(8)
+///     .with_seed(42)
+///     .with_checkpoint_dir("soup_out")
+///     .with_resume(true);
+/// let run = train_ingredients_opts(&dataset, &cfg, &tc, 30, &opts)?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainOpts {
+    /// Worker threads (the paper's GPU count). Must be ≥ 1.
+    pub workers: usize,
+    /// Root seed; ingredient `i` trains with `derive(i + 1)` of it.
+    pub seed: u64,
+    /// Give each worker a private single-threaded rayon pool, modelling
+    /// one-GPU-per-worker (see crate docs).
+    pub exclusive_devices: bool,
+    /// Re-tries allowed per ingredient after a failed attempt (0 = fail
+    /// permanently on the first error).
+    pub retry_budget: u32,
+    /// Directory to persist per-ingredient checkpoints into (created if
+    /// absent). `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// With `checkpoint_dir` set: validate existing checkpoints and train
+    /// only the missing or invalid ingredients.
+    pub resume: bool,
+    /// Deterministic fault-injection schedule (testing/chaos only).
+    pub fault_plan: Option<FaultPlan>,
+    /// Re-queue attempts running longer than this, letting an idle worker
+    /// race the straggler. `None` disables straggler detection.
+    pub straggler_deadline: Option<Duration>,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            seed: 42,
+            exclusive_devices: false,
+            retry_budget: 2,
+            checkpoint_dir: None,
+            resume: false,
+            fault_plan: None,
+            straggler_deadline: None,
+        }
+    }
+}
+
+impl TrainOpts {
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_exclusive_devices(mut self, exclusive: bool) -> Self {
+        self.exclusive_devices = exclusive;
+        self
+    }
+
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    pub fn with_straggler_deadline(mut self, deadline: Duration) -> Self {
+        self.straggler_deadline = Some(deadline);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
 
 /// Per-worker activity summary.
 #[derive(Debug, Clone)]
@@ -17,78 +224,164 @@ pub struct WorkerReport {
     pub busy_time: Duration,
 }
 
+/// An ingredient that permanently failed (retry budget exhausted).
+#[derive(Debug)]
+pub struct FailedTask {
+    pub ordinal: usize,
+    /// Attempts consumed, including the first.
+    pub attempts: u32,
+    /// The terminal [`SoupError::Exhausted`] chaining the last cause.
+    pub error: SoupError,
+}
+
 /// Result of one Phase-1 run.
 #[derive(Debug)]
 pub struct TrainRun {
-    /// Ingredients ordered by id.
+    /// Successfully trained (or resumed) ingredients, ordered by id. Under
+    /// failures this may hold fewer than the requested `n` — the soup
+    /// strategies accept such partial sets and degrade gracefully.
     pub ingredients: Vec<Ingredient>,
     pub reports: Vec<WorkerReport>,
     /// Wall-clock of the whole phase (the measured `T_total` of Eq. 1).
     pub wall_time: Duration,
+    /// Ordinals satisfied from validated checkpoints instead of training.
+    pub resumed: Vec<usize>,
+    /// Ordinals that exhausted their retry budget.
+    pub failed: Vec<FailedTask>,
+    /// Total requeues performed (failure retries + straggler requeues).
+    pub retries: u64,
 }
 
-/// Train `n` ingredients on `workers` threads with zero inter-worker
-/// communication. Results are bit-identical regardless of `workers`:
-/// ingredient `i` always derives its training seed as `seed ⊕ derive(i)`
-/// from the shared root, and all ingredients share one initialisation
-/// (created on the "CPU" before distribution, per Fig. 1).
-pub fn train_ingredients_detailed(
-    dataset: &Dataset,
-    cfg: &ModelConfig,
-    tc: &TrainConfig,
-    n: usize,
-    workers: usize,
-    seed: u64,
-) -> TrainRun {
-    train_ingredients_with_opts(dataset, cfg, tc, n, workers, seed, false)
+impl TrainRun {
+    /// Ordinals requested but not present in `ingredients`.
+    pub fn missing_ordinals(&self) -> Vec<usize> {
+        self.failed.iter().map(|f| f.ordinal).collect()
+    }
 }
 
-/// Like [`train_ingredients_detailed`], with a device model switch.
+// ---------------------------------------------------------------------------
+// Training
+// ---------------------------------------------------------------------------
+
+/// Train `n` ingredients on a fault-tolerant worker pool with zero
+/// inter-worker communication.
 ///
-/// `exclusive_devices = true` gives each worker its own single-threaded
-/// rayon pool, modelling the paper's one-GPU-per-worker setup: kernel
-/// parallelism is confined to the worker, so Phase-1 wall-clock follows
-/// Eq. (1) in the worker count. With `false` (the default elsewhere),
-/// kernels share the global rayon pool — fastest on one machine but
-/// worker-level scaling saturates once the cores are busy.
-pub fn train_ingredients_with_opts(
+/// Results are bit-identical regardless of worker count, retries, faults
+/// survived, or resume: ingredient `i` always derives its training seed as
+/// `derive(i + 1)` from the shared root, and all ingredients share one
+/// initialisation (created before distribution, per Fig. 1).
+///
+/// Fault handling per attempt: training runs inside a panic boundary;
+/// panics and non-finite parameters (the acceptance scan) fail the attempt
+/// and re-queue the ordinal until its retry budget is spent, after which it
+/// lands in [`TrainRun::failed`]. With `checkpoint_dir` set, every accepted
+/// ingredient is persisted; with `resume` also set, existing checkpoints
+/// are validated (format version, ordinal, seed, shape, NaN/Inf scan) and
+/// valid ones skip training entirely.
+///
+/// Errors are reserved for setup problems (e.g. an unusable checkpoint
+/// directory); per-ingredient failures degrade into `TrainRun::failed`.
+pub fn train_ingredients_opts(
     dataset: &Dataset,
     cfg: &ModelConfig,
     tc: &TrainConfig,
     n: usize,
-    workers: usize,
-    seed: u64,
-    exclusive_devices: bool,
-) -> TrainRun {
+    opts: &TrainOpts,
+) -> Result<TrainRun> {
     assert!(n > 0, "need at least one ingredient");
-    assert!(workers > 0, "need at least one worker");
+    assert!(opts.workers > 0, "need at least one worker");
+    if opts.fault_plan.is_some() {
+        install_quiet_panic_hook();
+    }
     let _phase_span = soup_obs::span!("distrib.phase1");
     soup_obs::trace_event!("distrib.start",
         "ingredients" => n as u64,
-        "workers" => workers as u64,
-        "exclusive_devices" => exclusive_devices);
+        "workers" => opts.workers as u64,
+        "retry_budget" => opts.retry_budget as u64,
+        "exclusive_devices" => opts.exclusive_devices,
+        "resume" => opts.resume,
+        "fault_injection" => opts.fault_plan.is_some());
     let start = Instant::now();
 
     // Shared initialisation, performed once before distribution.
-    let mut init_rng = SplitMix64::new(seed).derive(0x1417);
+    let mut init_rng = SplitMix64::new(opts.seed).derive(0x1417);
     let init = init_params(cfg, &mut init_rng);
 
-    let queue = TaskQueue::new(n);
+    let queue = TaskQueue::with_retry_budget(n, opts.retry_budget);
     let slots: Mutex<Vec<Option<Ingredient>>> = Mutex::new((0..n).map(|_| None).collect());
     let reports: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::new());
-    let root = SplitMix64::new(seed);
+    let failed_tasks: Mutex<Vec<FailedTask>> = Mutex::new(Vec::new());
+    let root = SplitMix64::new(opts.seed);
+
+    if let Some(dir) = &opts.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| SoupError::io_at(dir, e))?;
+    }
+
+    // Resume: satisfy ordinals from validated checkpoints before any worker
+    // starts, so the queue only hands out missing or invalid ones.
+    let mut resumed = Vec::new();
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            for id in 0..n {
+                let path = checkpoint_path(dir, id);
+                if !path.exists() {
+                    continue;
+                }
+                let expected_seed = root.derive(id as u64 + 1).next_u64_peek();
+                let valid = load_checkpoint(&path).and_then(|ck| {
+                    validate_checkpoint(&ck, id, Some(expected_seed), &init).map(|()| ck)
+                });
+                match valid {
+                    Ok(ck) => {
+                        slots.lock()[id] = Some(Ingredient::new(
+                            id,
+                            ck.params,
+                            ck.val_accuracy,
+                            ck.train_seed,
+                        ));
+                        queue.mark_done(id);
+                        resumed.push(id);
+                        soup_obs::counter!("distrib.resume.skipped").inc();
+                    }
+                    Err(err) => {
+                        soup_obs::warn!("ingredient {id}: checkpoint rejected ({err}); retraining");
+                        soup_obs::counter!("distrib.resume.invalid").inc();
+                    }
+                }
+            }
+            soup_obs::trace_event!("distrib.resume",
+                "skipped" => resumed.len() as u64,
+                "remaining" => (n - resumed.len()) as u64);
+        }
+    }
 
     std::thread::scope(|scope| {
-        for worker_id in 0..workers {
+        // Straggler monitor: periodically re-queue attempts running past
+        // the deadline so idle workers can race them.
+        if let Some(deadline) = opts.straggler_deadline {
+            let queue = &queue;
+            scope.spawn(move || {
+                let poll = (deadline / 4).max(Duration::from_millis(2));
+                while !queue.is_drained() {
+                    std::thread::sleep(poll);
+                    let requeued = queue.requeue_stragglers(deadline);
+                    if requeued > 0 {
+                        soup_obs::counter!("distrib.requeues").add(requeued as u64);
+                    }
+                }
+            });
+        }
+        for worker_id in 0..opts.workers {
             let queue = &queue;
             let slots = &slots;
             let reports = &reports;
+            let failed_tasks = &failed_tasks;
             let init = &init;
             let root = &root;
             scope.spawn(move || {
                 // Exclusive-device mode: a private 1-thread pool confines
                 // this worker's kernel parallelism to itself.
-                let device_pool = exclusive_devices.then(|| {
+                let device_pool = opts.exclusive_devices.then(|| {
                     rayon::ThreadPoolBuilder::new()
                         .num_threads(1)
                         .build()
@@ -104,24 +397,120 @@ pub fn train_ingredients_with_opts(
                     soup_obs::histogram!("distrib.queue.claim_wait_ns")
                         .record(claim_start.elapsed().as_nanos() as u64);
                     let task_start = Instant::now();
-                    soup_obs::debug!("worker {worker_id} claimed ingredient {task}");
+                    let ordinal = task.ordinal;
+                    soup_obs::debug!(
+                        "worker {worker_id} claimed ingredient {ordinal} (attempt {})",
+                        task.attempt
+                    );
                     let _task_span = soup_obs::span!("ingredient");
-                    let train_seed = root.derive(task as u64 + 1).next_u64_peek();
-                    let tm = match &device_pool {
-                        Some(pool) => {
-                            pool.install(|| train_single(dataset, cfg, tc, init, train_seed))
+                    // Seed keyed by ordinal only: retries and resumes
+                    // reproduce the exact same ingredient.
+                    let train_seed = root.derive(ordinal as u64 + 1).next_u64_peek();
+                    let fault = opts
+                        .fault_plan
+                        .and_then(|p| p.fault_for(ordinal, task.attempt));
+
+                    // Panic boundary: a panicking attempt (injected or
+                    // genuine) fails this task, never the worker.
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        match fault {
+                            Some(FaultKind::Panic) => std::panic::panic_any(InjectedFault),
+                            Some(FaultKind::Delay) => std::thread::sleep(Duration::from_millis(25)),
+                            _ => {}
                         }
-                        None => train_single(dataset, cfg, tc, init, train_seed),
+                        let mut tm = match &device_pool {
+                            Some(pool) => {
+                                pool.install(|| train_single(dataset, cfg, tc, init, train_seed))
+                            }
+                            None => train_single(dataset, cfg, tc, init, train_seed),
+                        };
+                        if let Some(FaultKind::Corrupt) = fault {
+                            tm.params.layers[0].tensors[0].make_mut()[0] = f32::NAN;
+                        }
+                        tm
+                    }));
+
+                    let error = match attempt {
+                        Err(payload) => {
+                            soup_obs::counter!("distrib.worker_panics").inc();
+                            Some(SoupError::WorkerPanic {
+                                ordinal,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
+                        Ok(tm) => {
+                            // Acceptance scan: reject non-finite results
+                            // before they can poison a soup or checkpoint.
+                            let finite = tm
+                                .params
+                                .flat()
+                                .all(|t| t.data().iter().all(|v| v.is_finite()));
+                            if !finite {
+                                Some(SoupError::corrupt(format!(
+                                    "ingredient {ordinal}: training produced non-finite \
+                                     parameters"
+                                )))
+                            } else {
+                                if let Some(dir) = &opts.checkpoint_dir {
+                                    let ck = Checkpoint::new(
+                                        ordinal,
+                                        train_seed,
+                                        tm.val_accuracy,
+                                        tm.params.clone(),
+                                    );
+                                    match save_checkpoint(&ck, checkpoint_path(dir, ordinal)) {
+                                        Ok(()) => {
+                                            soup_obs::counter!("distrib.checkpoints_written").inc();
+                                        }
+                                        Err(err) => soup_obs::warn!(
+                                            "ingredient {ordinal}: checkpoint write failed \
+                                             ({err}); continuing without"
+                                        ),
+                                    }
+                                }
+                                if queue.complete(ordinal) {
+                                    slots.lock()[ordinal] = Some(Ingredient::new(
+                                        ordinal,
+                                        tm.params,
+                                        tm.val_accuracy,
+                                        train_seed,
+                                    ));
+                                    trained.push(ordinal);
+                                    soup_obs::counter!("distrib.tasks_completed").inc();
+                                }
+                                None
+                            }
+                        }
                     };
-                    slots.lock()[task] = Some(Ingredient::new(
-                        task,
-                        tm.params,
-                        tm.val_accuracy,
-                        train_seed,
-                    ));
-                    trained.push(task);
+                    if let Some(err) = error {
+                        match queue.fail(ordinal) {
+                            FailAction::Requeued { next_attempt } => {
+                                soup_obs::counter!("distrib.retries").inc();
+                                soup_obs::warn!(
+                                    "ingredient {ordinal} attempt {} failed ({err}); \
+                                     requeued as attempt {next_attempt}",
+                                    task.attempt
+                                );
+                            }
+                            FailAction::Exhausted { attempts } => {
+                                soup_obs::counter!("distrib.tasks_failed").inc();
+                                soup_obs::warn!(
+                                    "ingredient {ordinal} failed permanently after \
+                                     {attempts} attempts ({err})"
+                                );
+                                failed_tasks.lock().push(FailedTask {
+                                    ordinal,
+                                    attempts,
+                                    error: SoupError::Exhausted {
+                                        ordinal,
+                                        attempts,
+                                        last: Box::new(err),
+                                    },
+                                });
+                            }
+                        }
+                    }
                     task_time += task_start.elapsed();
-                    soup_obs::counter!("distrib.tasks_completed").inc();
                 }
                 let busy_time = busy_start.elapsed();
                 // Time inside the claim loop but not spent training is
@@ -147,24 +536,91 @@ pub fn train_ingredients_with_opts(
         }
     });
 
-    let ingredients: Vec<Ingredient> = slots
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("worker pool left a task untrained"))
-        .collect();
+    let ingredients: Vec<Ingredient> = slots.into_inner().into_iter().flatten().collect();
+    let mut failed = failed_tasks.into_inner();
+    failed.sort_by_key(|f| f.ordinal);
     let mut reports = reports.into_inner();
     reports.sort_by_key(|r| r.worker_id);
+    let retries = queue.requeues();
     let wall_time = start.elapsed();
     soup_obs::gauge!("distrib.phase1.wall_s").set(wall_time.as_secs_f64());
     soup_obs::trace_event!("distrib.done",
-        "ingredients" => n as u64,
-        "workers" => workers as u64,
+        "ingredients" => ingredients.len() as u64,
+        "resumed" => resumed.len() as u64,
+        "failed" => failed.len() as u64,
+        "retries" => retries,
+        "workers" => opts.workers as u64,
         "wall_s" => wall_time.as_secs_f64());
-    TrainRun {
+    Ok(TrainRun {
         ingredients,
         reports,
         wall_time,
-    }
+        resumed,
+        failed,
+        retries,
+    })
+}
+
+/// Train `n` ingredients and return the detailed run record. Convenience
+/// over [`train_ingredients_opts`] for callers that only vary worker count
+/// and seed.
+pub fn train_ingredients_detailed(
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    tc: &TrainConfig,
+    n: usize,
+    workers: usize,
+    seed: u64,
+) -> TrainRun {
+    let opts = TrainOpts::default().with_workers(workers).with_seed(seed);
+    let run = train_ingredients_opts(dataset, cfg, tc, n, &opts)
+        .expect("phase-1 setup failed without a checkpoint directory");
+    assert!(
+        run.failed.is_empty(),
+        "worker pool left a task untrained: {:?}",
+        run.missing_ordinals()
+    );
+    run
+}
+
+/// Deprecated seven-positional-argument entry point. Use [`TrainOpts`] with
+/// [`train_ingredients_opts`] instead:
+///
+/// ```ignore
+/// // before
+/// train_ingredients_with_opts(&d, &cfg, &tc, n, workers, seed, true);
+/// // after
+/// let opts = TrainOpts::default()
+///     .with_workers(workers)
+///     .with_seed(seed)
+///     .with_exclusive_devices(true);
+/// train_ingredients_opts(&d, &cfg, &tc, n, &opts)?;
+/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use train_ingredients_opts with a TrainOpts struct"
+)]
+pub fn train_ingredients_with_opts(
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    tc: &TrainConfig,
+    n: usize,
+    workers: usize,
+    seed: u64,
+    exclusive_devices: bool,
+) -> TrainRun {
+    let opts = TrainOpts::default()
+        .with_workers(workers)
+        .with_seed(seed)
+        .with_exclusive_devices(exclusive_devices);
+    let run = train_ingredients_opts(dataset, cfg, tc, n, &opts)
+        .expect("phase-1 setup failed without a checkpoint directory");
+    assert!(
+        run.failed.is_empty(),
+        "worker pool left a task untrained: {:?}",
+        run.missing_ordinals()
+    );
+    run
 }
 
 /// Convenience wrapper returning just the ingredients.
@@ -206,6 +662,13 @@ mod tests {
         (d, cfg, tc)
     }
 
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("soup_distrib_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn trains_requested_count_in_id_order() {
         let (d, cfg, tc) = setup();
@@ -214,6 +677,8 @@ mod tests {
         for (i, ing) in run.ingredients.iter().enumerate() {
             assert_eq!(ing.id, i);
         }
+        assert!(run.failed.is_empty());
+        assert!(run.resumed.is_empty());
     }
 
     #[test]
@@ -277,5 +742,162 @@ mod tests {
     fn zero_workers_panics() {
         let (d, cfg, tc) = setup();
         train_ingredients(&d, &cfg, &tc, 2, 0, 1);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_first_attempt_only() {
+        let plan = FaultPlan::new(0.5, 7);
+        for ordinal in 0..64 {
+            assert_eq!(plan.fault_for(ordinal, 0), plan.fault_for(ordinal, 0));
+            assert_eq!(plan.fault_for(ordinal, 1), None);
+            assert_eq!(plan.fault_for(ordinal, 3), None);
+        }
+        let hit = (0..64).filter(|&o| plan.fault_for(o, 0).is_some()).count();
+        assert!(
+            (10..=54).contains(&hit),
+            "rate 0.5 over 64 ordinals hit {hit} faults"
+        );
+        assert_eq!(FaultPlan::new(0.0, 7).fault_for(3, 0), None);
+    }
+
+    #[test]
+    fn faults_recover_bit_identical() {
+        let (d, cfg, tc) = setup();
+        let clean = train_ingredients(&d, &cfg, &tc, 5, 2, 11);
+        let opts = TrainOpts::default()
+            .with_workers(2)
+            .with_seed(11)
+            .with_retry_budget(2)
+            .with_fault_plan(FaultPlan::new(1.0, 99));
+        let faulty = train_ingredients_opts(&d, &cfg, &tc, 5, &opts).unwrap();
+        assert!(
+            faulty.failed.is_empty(),
+            "budget 2 must recover every first-attempt fault"
+        );
+        assert!(
+            faulty.retries > 0,
+            "rate 1.0 must inject at least one fault"
+        );
+        assert_eq!(faulty.ingredients.len(), clean.len());
+        for (a, b) in clean.iter().zip(&faulty.ingredients) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.val_accuracy, b.val_accuracy, "ingredient {}", a.id);
+            for (x, y) in a.params.flat().zip(b.params.flat()) {
+                assert_eq!(x, y, "ingredient {} diverged under faults", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_into_failed_list() {
+        let (d, cfg, tc) = setup();
+        let opts = TrainOpts::default()
+            .with_workers(2)
+            .with_seed(12)
+            .with_retry_budget(0)
+            .with_fault_plan(FaultPlan::new(1.0, 5));
+        let run = train_ingredients_opts(&d, &cfg, &tc, 6, &opts).unwrap();
+        // Every ordinal faults on its only attempt; Panic and Corrupt kinds
+        // fail permanently, Delay ones still succeed.
+        assert_eq!(run.ingredients.len() + run.failed.len(), 6);
+        assert!(!run.failed.is_empty(), "seeded plan must hit a hard fault");
+        for f in &run.failed {
+            assert_eq!(f.attempts, 1);
+            assert_eq!(f.error.kind(), "exhausted");
+        }
+        // Survivors are still the canonical ingredients.
+        let clean = train_ingredients(&d, &cfg, &tc, 6, 2, 12);
+        for ing in &run.ingredients {
+            let reference = &clean[ing.id];
+            for (x, y) in ing.params.flat().zip(reference.params.flat()) {
+                assert_eq!(x, y, "survivor {} diverged", ing.id);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_resume_trains_only_missing() {
+        let (d, cfg, tc) = setup();
+        let dir = tmpdir("resume");
+        let opts = TrainOpts::default()
+            .with_workers(2)
+            .with_seed(21)
+            .with_checkpoint_dir(&dir);
+        let first = train_ingredients_opts(&d, &cfg, &tc, 4, &opts).unwrap();
+        assert_eq!(first.ingredients.len(), 4);
+        for id in 0..4 {
+            assert!(
+                checkpoint_path(&dir, id).exists(),
+                "missing checkpoint {id}"
+            );
+        }
+
+        // Simulate a killed run: one checkpoint missing, one corrupted.
+        std::fs::remove_file(checkpoint_path(&dir, 1)).unwrap();
+        std::fs::write(checkpoint_path(&dir, 3), "{truncated").unwrap();
+
+        let resumed =
+            train_ingredients_opts(&d, &cfg, &tc, 4, &opts.clone().with_resume(true)).unwrap();
+        assert_eq!(resumed.resumed, vec![0, 2]);
+        let trained: usize = resumed
+            .reports
+            .iter()
+            .map(|r| r.ingredients_trained.len())
+            .sum();
+        assert_eq!(trained, 2, "resume must train exactly the missing two");
+        assert_eq!(resumed.ingredients.len(), 4);
+        for (a, b) in first.ingredients.iter().zip(&resumed.ingredients) {
+            assert_eq!(a.val_accuracy, b.val_accuracy, "ingredient {}", a.id);
+            for (x, y) in a.params.flat().zip(b.params.flat()) {
+                assert_eq!(x, y, "ingredient {} diverged across resume", a.id);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_checkpoint_from_other_seed() {
+        let (d, cfg, tc) = setup();
+        let dir = tmpdir("seedswap");
+        let opts = TrainOpts::default()
+            .with_workers(1)
+            .with_seed(31)
+            .with_checkpoint_dir(&dir);
+        train_ingredients_opts(&d, &cfg, &tc, 2, &opts).unwrap();
+        // Same layout, different root seed: checkpoints must be rejected
+        // (their train seeds no longer match) and everything retrained.
+        let other = TrainOpts::default()
+            .with_workers(1)
+            .with_seed(32)
+            .with_checkpoint_dir(&dir)
+            .with_resume(true);
+        let run = train_ingredients_opts(&d, &cfg, &tc, 2, &other).unwrap();
+        assert!(
+            run.resumed.is_empty(),
+            "foreign checkpoints must not resume"
+        );
+        assert_eq!(run.ingredients.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn straggler_deadline_run_completes() {
+        // Delay faults + a tight straggler deadline: requeues happen, the
+        // duplicate-completion race resolves, results stay canonical.
+        let (d, cfg, tc) = setup();
+        let opts = TrainOpts::default()
+            .with_workers(3)
+            .with_seed(41)
+            .with_fault_plan(FaultPlan::new(1.0, 2))
+            .with_straggler_deadline(Duration::from_millis(10));
+        let run = train_ingredients_opts(&d, &cfg, &tc, 4, &opts).unwrap();
+        assert!(run.failed.is_empty());
+        assert_eq!(run.ingredients.len(), 4);
+        let clean = train_ingredients(&d, &cfg, &tc, 4, 1, 41);
+        for (a, b) in clean.iter().zip(&run.ingredients) {
+            for (x, y) in a.params.flat().zip(b.params.flat()) {
+                assert_eq!(x, y, "ingredient {} diverged under stragglers", a.id);
+            }
+        }
     }
 }

@@ -15,6 +15,7 @@
 //!   ([`model::PropOps`]), so the same code path serves full graphs,
 //!   PLS partition-union subgraphs and sampled minibatch subgraphs.
 
+pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod gat;
@@ -25,6 +26,9 @@ pub mod params;
 pub mod sage;
 pub mod train;
 
+pub use checkpoint::{
+    checkpoint_path, load_checkpoint, save_checkpoint, validate_checkpoint, Checkpoint,
+};
 pub use config::{Arch, ModelConfig};
 pub use eval::{evaluate_accuracy, predict, validation_loss};
 pub use model::{forward, init_params, PropOps};

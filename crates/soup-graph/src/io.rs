@@ -10,8 +10,8 @@ use crate::csr::CsrGraph;
 use crate::datasets::{Dataset, DatasetKind};
 use crate::splits::Splits;
 use serde::{Deserialize, Serialize};
+use soup_error::{Result, SoupError};
 use soup_tensor::Tensor;
-use std::io;
 use std::path::Path;
 
 impl Dataset {
@@ -74,7 +74,7 @@ struct DatasetFile {
 const FORMAT_VERSION: u32 = 1;
 
 /// Persist a dataset as JSON.
-pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
     let mut edges = Vec::with_capacity(dataset.graph.num_edges());
     for v in 0..dataset.num_nodes() {
         for &u in dataset.graph.neighbors(v) {
@@ -93,27 +93,27 @@ pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()>
         labels: dataset.labels.clone(),
         splits: dataset.splits.clone(),
     };
-    let json =
-        serde_json::to_string(&file).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, json)
+    let path = path.as_ref();
+    let json = serde_json::to_string(&file)
+        .map_err(|e| SoupError::parse(format!("serializing dataset {}: {e}", path.display())))?;
+    std::fs::write(path, json).map_err(|e| SoupError::io_at(path, e))
 }
 
 /// Load a dataset written by [`save_dataset`].
-pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
-    let json = std::fs::read_to_string(path)?;
-    let file: DatasetFile =
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset> {
+    let path = path.as_ref();
+    let json = std::fs::read_to_string(path).map_err(|e| SoupError::io_at(path, e))?;
+    let file: DatasetFile = serde_json::from_str(&json).map_err(|e| {
+        SoupError::corrupt(format!("dataset {} is not valid JSON: {e}", path.display()))
+    })?;
     if file.version != FORMAT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported dataset format version {}", file.version),
-        ));
+        return Err(SoupError::parse(format!(
+            "unsupported dataset format version {}",
+            file.version
+        )));
     }
     if file.labels.len() != file.num_nodes || file.features.rows() != file.num_nodes {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "inconsistent dataset payload",
-        ));
+        return Err(SoupError::corrupt("inconsistent dataset payload"));
     }
     let graph = CsrGraph::from_edges(file.num_nodes, &file.edges);
     let kind = DatasetKind::from_name(&file.name).unwrap_or(DatasetKind::Custom);

@@ -30,6 +30,7 @@ use std::time::{Duration, Instant, SystemTime};
 
 use parking_lot::Mutex;
 use serde::{Number, Value};
+use soup_error::{Result, SoupError};
 
 /// Version tag written into (and required from) every trace header.
 pub const SCHEMA: &str = "soup-trace/1";
@@ -204,26 +205,28 @@ pub struct TraceStats {
     pub event_names: Vec<String>,
 }
 
-fn require_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+fn require_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64> {
     obj.get(key)
         .and_then(Value::as_u64)
-        .ok_or_else(|| format!("line {line_no}: missing or non-integer `{key}`"))
+        .ok_or_else(|| SoupError::parse(format!("line {line_no}: missing or non-integer `{key}`")))
 }
 
-fn require_str<'a>(obj: &'a Value, key: &str, line_no: usize) -> Result<&'a str, String> {
+fn require_str<'a>(obj: &'a Value, key: &str, line_no: usize) -> Result<&'a str> {
     obj.get(key)
         .and_then(Value::as_str)
-        .ok_or_else(|| format!("line {line_no}: missing or non-string `{key}`"))
+        .ok_or_else(|| SoupError::parse(format!("line {line_no}: missing or non-string `{key}`")))
 }
 
-fn require_object(obj: &Value, key: &str, line_no: usize) -> Result<(), String> {
+fn require_object(obj: &Value, key: &str, line_no: usize) -> Result<()> {
     match obj.get(key) {
         Some(Value::Object(_)) => Ok(()),
-        Some(other) => Err(format!(
+        Some(other) => Err(SoupError::parse(format!(
             "line {line_no}: `{key}` must be an object, found {}",
             other.kind_name()
-        )),
-        None => Err(format!("line {line_no}: missing `{key}` object")),
+        ))),
+        None => Err(SoupError::parse(format!(
+            "line {line_no}: missing `{key}` object"
+        ))),
     }
 }
 
@@ -232,39 +235,42 @@ fn require_object(obj: &Value, key: &str, line_no: usize) -> Result<(), String> 
 /// Checks that every line parses as a JSON object of a known record type
 /// with the documented required fields, that the first line is a `header`
 /// with the right schema tag, and that at most one `metrics` record exists.
-pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats, String> {
+pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats> {
     let path = path.as_ref();
-    let content = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let content = std::fs::read_to_string(path).map_err(|e| SoupError::io_at(path, e))?;
     let mut stats = TraceStats::default();
     let mut span_paths = std::collections::BTreeSet::new();
     let mut event_names = std::collections::BTreeSet::new();
     for (idx, line) in content.lines().enumerate() {
         let line_no = idx + 1;
         if line.trim().is_empty() {
-            return Err(format!("line {line_no}: empty line"));
+            return Err(SoupError::parse(format!("line {line_no}: empty line")));
         }
-        let record: Value =
-            serde_json::from_str(line).map_err(|e| format!("line {line_no}: invalid JSON: {e}"))?;
+        let record: Value = serde_json::from_str(line)
+            .map_err(|e| SoupError::parse(format!("line {line_no}: invalid JSON: {e}")))?;
         if !matches!(record, Value::Object(_)) {
-            return Err(format!("line {line_no}: not a JSON object"));
+            return Err(SoupError::parse(format!(
+                "line {line_no}: not a JSON object"
+            )));
         }
         let kind = require_str(&record, "type", line_no)?.to_string();
         if idx == 0 && kind != "header" {
-            return Err(format!(
+            return Err(SoupError::parse(format!(
                 "line 1: first record must be `header`, found `{kind}`"
-            ));
+            )));
         }
         match kind.as_str() {
             "header" => {
                 if idx != 0 {
-                    return Err(format!("line {line_no}: duplicate `header`"));
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: duplicate `header`"
+                    )));
                 }
                 let schema = require_str(&record, "schema", line_no)?;
                 if schema != SCHEMA {
-                    return Err(format!(
+                    return Err(SoupError::parse(format!(
                         "line {line_no}: schema `{schema}` != expected `{SCHEMA}`"
-                    ));
+                    )));
                 }
                 require_u64(&record, "pid", line_no)?;
                 require_u64(&record, "unix_time_s", line_no)?;
@@ -272,7 +278,7 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats, String> {
             "span" => {
                 let span_path = require_str(&record, "path", line_no)?;
                 if span_path.is_empty() {
-                    return Err(format!("line {line_no}: empty span path"));
+                    return Err(SoupError::parse(format!("line {line_no}: empty span path")));
                 }
                 require_u64(&record, "ts_us", line_no)?;
                 require_u64(&record, "dur_us", line_no)?;
@@ -291,7 +297,9 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats, String> {
             "log" => {
                 let level = require_str(&record, "level", line_no)?;
                 if !matches!(level, "debug" | "info" | "warn") {
-                    return Err(format!("line {line_no}: unknown log level `{level}`"));
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: unknown log level `{level}`"
+                    )));
                 }
                 require_str(&record, "msg", line_no)?;
                 require_u64(&record, "ts_us", line_no)?;
@@ -300,7 +308,9 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats, String> {
             }
             "metrics" => {
                 if stats.has_metrics {
-                    return Err(format!("line {line_no}: duplicate `metrics` record"));
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: duplicate `metrics` record"
+                    )));
                 }
                 require_u64(&record, "ts_us", line_no)?;
                 require_object(&record, "counters", line_no)?;
@@ -310,13 +320,15 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats, String> {
                 stats.has_metrics = true;
             }
             other => {
-                return Err(format!("line {line_no}: unknown record type `{other}`"));
+                return Err(SoupError::parse(format!(
+                    "line {line_no}: unknown record type `{other}`"
+                )));
             }
         }
         stats.lines = line_no;
     }
     if stats.lines == 0 {
-        return Err("trace file is empty".to_string());
+        return Err(SoupError::parse("trace file is empty"));
     }
     stats.span_paths = span_paths.into_iter().collect();
     stats.event_names = event_names.into_iter().collect();
@@ -363,11 +375,15 @@ mod tests {
         let bad = dir.join(format!("soup_obs_bad_{}.jsonl", std::process::id()));
 
         std::fs::write(&bad, "not json\n").unwrap();
-        assert!(validate_file(&bad).unwrap_err().contains("invalid JSON"));
+        assert!(validate_file(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid JSON"));
 
         std::fs::write(&bad, "{\"type\":\"span\"}\n").unwrap();
         assert!(validate_file(&bad)
             .unwrap_err()
+            .to_string()
             .contains("first record must be `header`"));
 
         std::fs::write(
@@ -375,17 +391,26 @@ mod tests {
             "{\"type\":\"header\",\"schema\":\"soup-trace/999\",\"pid\":1,\"unix_time_s\":1}\n",
         )
         .unwrap();
-        assert!(validate_file(&bad).unwrap_err().contains("schema"));
+        assert!(validate_file(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("schema"));
 
         std::fs::write(
             &bad,
             "{\"type\":\"header\",\"schema\":\"soup-trace/1\",\"pid\":1,\"unix_time_s\":1}\n{\"type\":\"span\",\"path\":\"x\",\"ts_us\":0,\"tid\":0}\n",
         )
         .unwrap();
-        assert!(validate_file(&bad).unwrap_err().contains("dur_us"));
+        assert!(validate_file(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("dur_us"));
 
         std::fs::write(&bad, "").unwrap();
-        assert!(validate_file(&bad).unwrap_err().contains("empty"));
+        assert!(validate_file(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("empty"));
 
         std::fs::remove_file(&bad).ok();
     }

@@ -222,17 +222,17 @@ pub fn gradcheck(
     params: &[Tensor],
     eps: f32,
     tol: f32,
-) -> Result<(), String> {
+) -> soup_error::Result<()> {
     // Analytic gradients.
     let tape = Tape::new();
     let vars: Vec<Var> = params.iter().map(|p| tape.param(p.clone())).collect();
     let out = f(&tape, &vars);
     let out_val = tape.value(out);
     if !out_val.shape().is_scalar() {
-        return Err(format!(
+        return Err(soup_error::SoupError::shape(format!(
             "gradcheck requires scalar output, got {}",
             out_val.shape()
-        ));
+        )));
     }
     let grads = tape.backward(out);
 
@@ -263,9 +263,9 @@ pub fn gradcheck(
             let a = analytic.data()[i];
             let denom = 1.0f32.max(a.abs()).max(numeric.abs());
             if (a - numeric).abs() / denom > tol {
-                return Err(format!(
+                return Err(soup_error::SoupError::numeric(format!(
                     "param {pi} elem {i}: analytic {a} vs numeric {numeric}"
-                ));
+                )));
             }
         }
     }
@@ -342,7 +342,8 @@ mod tests {
     fn gradcheck_rejects_nonscalar() {
         let a = Tensor::ones(2, 2);
         let err = gradcheck(&|_, vs| vs[0], &[a], 1e-2, 1e-2).unwrap_err();
-        assert!(err.contains("scalar"));
+        assert_eq!(err.kind(), "shape");
+        assert!(err.to_string().contains("scalar"));
     }
 
     #[test]

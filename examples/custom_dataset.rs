@@ -11,9 +11,9 @@ use enhanced_soups::graph::stats::degree_stats;
 use enhanced_soups::graph::SbmConfig;
 use enhanced_soups::prelude::*;
 use enhanced_soups::soup::strategy::test_accuracy;
-use enhanced_soups::soup::{Ingredient, LearnedHyper};
+use enhanced_soups::soup::LearnedHyper;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<()> {
     // 1. Pretend these arrays came from the user's pipeline.
     let raw = SbmConfig {
         nodes: 1500,
@@ -45,33 +45,35 @@ fn main() -> std::io::Result<()> {
     let dataset = load_dataset(&ds_path)?;
     println!("round-tripped dataset through {}", ds_path.display());
 
-    // 3. Train SWA ingredients (temporal averaging per ref [16]) and
-    //    checkpoint them.
+    // 3. Train SWA ingredients (temporal averaging per ref [16]). The
+    //    trainer checkpoints each one into `dir` as it completes, so a
+    //    second run with `.with_resume(true)` would skip all of them.
     let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(24);
     let tc = TrainConfig {
         epochs: 25,
         swa: Some(SwaConfig::new(15, 2)),
         ..TrainConfig::quick()
     };
-    let ingredients = train_ingredients(&dataset, &cfg, &tc, 5, 4, 7);
-    for ing in &ingredients {
-        let path = dir.join(format!("ingredient_{}.json", ing.id));
-        ing.params.save_json(&path)?;
-    }
+    let opts = TrainOpts::default()
+        .with_workers(4)
+        .with_seed(7)
+        .with_checkpoint_dir(&dir);
+    let run = train_ingredients_opts(&dataset, &cfg, &tc, 5, &opts)?;
     println!(
         "trained + checkpointed {} SWA ingredients",
-        ingredients.len()
+        run.ingredients.len()
     );
 
     // 4. Reload the checkpoints and soup with the LS extensions.
-    let reloaded: Vec<Ingredient> = ingredients
+    let reloaded: Vec<Ingredient> = run
+        .ingredients
         .iter()
         .map(|ing| {
-            let params = enhanced_soups::gnn::ParamSet::load_json(
+            let ck = enhanced_soups::gnn::load_checkpoint(
                 dir.join(format!("ingredient_{}.json", ing.id)),
             )
             .expect("checkpoint readable");
-            Ingredient::new(ing.id, params, ing.val_accuracy, ing.train_seed)
+            Ingredient::new(ck.id, ck.params, ck.val_accuracy, ck.train_seed)
         })
         .collect();
     let hyper = LearnedHyper {

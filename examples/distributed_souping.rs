@@ -2,8 +2,9 @@
 //!
 //! Shows the dynamic task queue spreading N ingredients over W workers
 //! (§III-A), validates the measured makespan against the Eq. (1)/(2)
-//! schedule model, and performs the reduce-style gather onto the souping
-//! device before mixing.
+//! schedule model, demonstrates fault-injected retries producing
+//! bit-identical ingredients, and performs the reduce-style gather onto
+//! the souping device before mixing.
 //!
 //! Run: `cargo run --release --example distributed_souping`
 
@@ -51,6 +52,27 @@ fn main() {
         "list-scheduling simulation: {:.3}s, imbalance {:.3}",
         sim.makespan,
         sim.imbalance()
+    );
+
+    // Fault tolerance: rerun Phase 1 with deterministic fault injection.
+    // Each ingredient's training seed depends only on its ordinal, so a
+    // retried task reproduces its fault-free parameters bit for bit.
+    let faulty_opts = TrainOpts::default()
+        .with_workers(workers)
+        .with_seed(42)
+        .with_retry_budget(3)
+        .with_fault_plan(FaultPlan::new(0.4, 1234));
+    let faulty = train_ingredients_opts(&dataset, &cfg, &tc, n, &faulty_opts)
+        .expect("no checkpoint dir, so setup cannot fail");
+    let identical = faulty
+        .ingredients
+        .iter()
+        .zip(&run.ingredients)
+        .all(|(a, b)| a.params.flat().zip(b.params.flat()).all(|(x, y)| x == y));
+    println!(
+        "\nfault injection (rate 0.4): {} retries, {} permanent failures, survivors bit-identical: {identical}",
+        faulty.retries,
+        faulty.failed.len()
     );
 
     // Reduce-style gather: pretend each worker holds its own ingredients.

@@ -4,26 +4,33 @@
 //! soupctl generate  --dataset flickr --scale 0.5 --seed 42 --out ds.json
 //! soupctl train     --data ds.json --arch gcn --ingredients 8 --workers 4 \
 //!                   --epochs 30 --seed 42 --out-dir ckpts/
+//! soupctl train     --data ds.json --arch gcn --out-dir ckpts/ --resume
 //! soupctl soup      --data ds.json --ckpt-dir ckpts/ --strategy ls \
 //!                   --epochs 50 --seed 7 --out soup.json
 //! soupctl eval      --data ds.json --ckpt-dir ckpts/ --params soup.json --split test
 //! soupctl diversity --data ds.json --ckpt-dir ckpts/
 //! ```
 //!
-//! `train` writes a `manifest.json` beside the checkpoints recording the
-//! model configuration and per-ingredient metadata, which `soup`/`eval`/
-//! `diversity` read back so the architecture never has to be re-specified.
+//! `train` persists every ingredient as a validated checkpoint plus a
+//! `manifest.json` recording the model configuration and per-ingredient
+//! metadata, which `soup`/`eval`/`diversity` read back so the architecture
+//! never has to be re-specified. A killed run is picked up with `--resume`:
+//! existing checkpoints are validated (format version, ordinal, seed,
+//! shape, NaN/Inf scan) and only missing or corrupt ingredients retrain.
+//! `--fault-rate`/`--fault-seed` drive the deterministic fault-injection
+//! harness for chaos-testing the worker pool.
 
 use enhanced_soups::gnn::model::PropOps;
-use enhanced_soups::gnn::{evaluate_accuracy, ModelConfig, ParamSet, TrainConfig};
+use enhanced_soups::gnn::{evaluate_accuracy, load_checkpoint, ModelConfig, ParamSet, TrainConfig};
 use enhanced_soups::graph::io::{load_dataset, save_dataset};
 use enhanced_soups::prelude::*;
 use enhanced_soups::soup::strategy::test_accuracy;
-use enhanced_soups::soup::{diversity_report, GreedySouping, Ingredient, LearnedHyper};
+use enhanced_soups::soup::{diversity_report, GreedySouping, LearnedHyper};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,11 +85,20 @@ fn usage() {
          \x20 generate  --dataset <flickr|arxiv|reddit|products> [--scale F] [--seed N] --out FILE\n\
          \x20 train     --data FILE --arch <gcn|sage|gat|gin> [--ingredients N] [--workers N]\n\
          \x20           [--epochs N] [--hidden N] [--seed N] --out-dir DIR\n\
+         \x20           [--resume] [--retry-budget N] [--straggler-deadline-ms N]\n\
+         \x20           [--fault-rate F] [--fault-seed N]\n\
          \x20 soup      --data FILE --ckpt-dir DIR --strategy <us|greedy|gis|ls|pls>\n\
          \x20           [--epochs N] [--granularity N] [--pls-k N] [--pls-r N] [--seed N] [--out FILE]\n\
          \x20 eval      --data FILE --ckpt-dir DIR --params FILE [--split <train|val|test>]\n\
          \x20 diversity --data FILE --ckpt-dir DIR\n\
          \x20 trace-validate FILE   check a --trace-out file against the soup-trace/1 schema\n\
+         \n\
+         fault tolerance (train):\n\
+         \x20 --resume              validate checkpoints in --out-dir, retrain only missing/corrupt\n\
+         \x20 --retry-budget N      retries per ingredient before failing it permanently (default 2)\n\
+         \x20 --straggler-deadline-ms N   requeue attempts running longer than N ms\n\
+         \x20 --fault-rate F        inject deterministic faults into fraction F of first attempts\n\
+         \x20 --fault-seed N        seed of the fault schedule (default: --seed)\n\
          \n\
          global flags:\n\
          \x20 --trace-out FILE      stream a structured JSONL trace of the run\n\
@@ -116,19 +132,19 @@ fn parse_flags(args: &[String]) -> (Flags, Vec<String>) {
     (flags, positional)
 }
 
-fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str> {
     flags
         .get(name)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing --{name}"))
+        .ok_or_else(|| SoupError::usage(format!("missing --{name}")))
 }
 
-fn numeric<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+fn numeric<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            .map_err(|_| SoupError::usage(format!("--{name}: cannot parse '{v}'"))),
     }
 }
 
@@ -147,14 +163,15 @@ struct ManifestEntry {
     file: String,
 }
 
-fn cmd_generate(flags: &Flags) -> Result<(), String> {
+fn cmd_generate(flags: &Flags) -> Result<()> {
     let name = required(flags, "dataset")?;
-    let kind = DatasetKind::from_name(name).ok_or(format!("unknown dataset '{name}'"))?;
+    let kind = DatasetKind::from_name(name)
+        .ok_or_else(|| SoupError::usage(format!("unknown dataset '{name}'")))?;
     let scale: f64 = numeric(flags, "scale", 1.0)?;
     let seed: u64 = numeric(flags, "seed", 42)?;
     let out = required(flags, "out")?;
     let dataset = kind.generate_scaled(seed, scale);
-    save_dataset(&dataset, out).map_err(|e| e.to_string())?;
+    save_dataset(&dataset, out)?;
     println!(
         "wrote {} ({} nodes, {} edges, {} classes)",
         out,
@@ -165,11 +182,11 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(flags: &Flags) -> Result<(), String> {
-    let dataset = load_dataset(required(flags, "data")?).map_err(|e| e.to_string())?;
+fn cmd_train(flags: &Flags) -> Result<()> {
+    let dataset = load_dataset(required(flags, "data")?)?;
     let arch_name = required(flags, "arch")?;
     let arch = enhanced_soups::gnn::Arch::from_name(arch_name)
-        .ok_or(format!("unknown architecture '{arch_name}'"))?;
+        .ok_or_else(|| SoupError::usage(format!("unknown architecture '{arch_name}'")))?;
     let hidden: usize = numeric(flags, "hidden", 64)?;
     let cfg = match arch {
         enhanced_soups::gnn::Arch::Gcn => {
@@ -190,32 +207,67 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let workers: usize = numeric(flags, "workers", 4)?;
     let epochs: usize = numeric(flags, "epochs", 30)?;
     let seed: u64 = numeric(flags, "seed", 42)?;
+    let retry_budget: u32 = numeric(flags, "retry-budget", 2)?;
+    let fault_rate: f64 = numeric(flags, "fault-rate", 0.0)?;
+    let fault_seed: u64 = numeric(flags, "fault-seed", seed)?;
+    let straggler_ms: u64 = numeric(flags, "straggler-deadline-ms", 0)?;
+    let resume = flags.contains_key("resume");
     let out_dir = PathBuf::from(required(flags, "out-dir")?);
-    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
 
     let tc = TrainConfig {
         epochs,
         early_stop_patience: None,
         ..TrainConfig::quick()
     };
+    let mut opts = TrainOpts::default()
+        .with_workers(workers)
+        .with_seed(seed)
+        .with_retry_budget(retry_budget)
+        .with_checkpoint_dir(&out_dir)
+        .with_resume(resume);
+    if fault_rate > 0.0 {
+        opts = opts.with_fault_plan(FaultPlan::new(fault_rate, fault_seed));
+        println!("fault injection: rate {fault_rate}, seed {fault_seed}");
+    }
+    if straggler_ms > 0 {
+        opts = opts.with_straggler_deadline(Duration::from_millis(straggler_ms));
+    }
     println!(
-        "training {n} {} ingredients on {workers} workers ...",
-        cfg.arch.name()
+        "training {n} {} ingredients on {workers} workers{} ...",
+        cfg.arch.name(),
+        if resume { " (resuming)" } else { "" }
     );
-    let ingredients = train_ingredients(&dataset, &cfg, &tc, n, workers, seed);
+    let run = train_ingredients_opts(&dataset, &cfg, &tc, n, &opts)?;
+    for f in &run.failed {
+        eprintln!(
+            "warning: ingredient {} failed permanently after {} attempts: {}",
+            f.ordinal, f.attempts, f.error
+        );
+    }
+    if run.ingredients.is_empty() {
+        // Nothing survived: surface the first terminal failure.
+        return Err(run
+            .failed
+            .into_iter()
+            .next()
+            .map(|f| f.error)
+            .unwrap_or_else(|| SoupError::checkpoint("training produced no ingredients")));
+    }
     let mut manifest = Manifest {
         config: cfg,
         ingredients: Vec::new(),
     };
-    for ing in &ingredients {
+    for ing in &run.ingredients {
         let file = format!("ingredient_{}.json", ing.id);
-        ing.params
-            .save_json(out_dir.join(&file))
-            .map_err(|e| e.to_string())?;
         println!(
-            "  ingredient {} — val acc {:.2}% -> {file}",
+            "  ingredient {} — val acc {:.2}%{} -> {file}",
             ing.id,
-            ing.val_accuracy * 100.0
+            ing.val_accuracy * 100.0,
+            if run.resumed.contains(&ing.id) {
+                " (resumed)"
+            } else {
+                ""
+            }
         );
         manifest.ingredients.push(ManifestEntry {
             id: ing.id,
@@ -224,28 +276,84 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             file,
         });
     }
-    let json = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
-    std::fs::write(out_dir.join("manifest.json"), json).map_err(|e| e.to_string())?;
-    println!("wrote {}", out_dir.join("manifest.json").display());
+    let json = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| SoupError::parse(format!("serializing manifest: {e}")))?;
+    let manifest_path = out_dir.join("manifest.json");
+    std::fs::write(&manifest_path, json).map_err(|e| SoupError::io_at(&manifest_path, e))?;
+    println!(
+        "wrote {} ({} trained, {} resumed, {} failed, {} requeues)",
+        manifest_path.display(),
+        run.ingredients.len() - run.resumed.len(),
+        run.resumed.len(),
+        run.failed.len(),
+        run.retries,
+    );
     Ok(())
 }
 
-fn load_manifest(dir: &Path) -> Result<(ModelConfig, Vec<Ingredient>), String> {
-    let json = std::fs::read_to_string(dir.join("manifest.json")).map_err(|e| e.to_string())?;
-    let manifest: Manifest = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-    let ingredients = manifest
-        .ingredients
-        .iter()
-        .map(|e| {
-            let params = ParamSet::load_json(dir.join(&e.file)).map_err(|err| err.to_string())?;
-            Ok(Ingredient::new(e.id, params, e.val_accuracy, e.train_seed))
-        })
-        .collect::<Result<Vec<_>, String>>()?;
+/// Load the manifest and every usable ingredient checkpoint. Unreadable or
+/// corrupt checkpoints are skipped with a warning — souping degrades to the
+/// surviving pool — and only an entirely unusable directory is an error.
+fn load_manifest(dir: &Path) -> Result<(ModelConfig, Vec<Ingredient>)> {
+    let path = dir.join("manifest.json");
+    let json = std::fs::read_to_string(&path).map_err(|e| SoupError::io_at(&path, e))?;
+    let manifest: Manifest = serde_json::from_str(&json)
+        .map_err(|e| SoupError::parse(format!("manifest {}: {e}", path.display())))?;
+    let mut ingredients: Vec<Ingredient> = Vec::new();
+    let mut skipped = Vec::new();
+    for entry in &manifest.ingredients {
+        let usable = load_checkpoint(dir.join(&entry.file)).and_then(|ck| {
+            if ck.id != entry.id {
+                return Err(SoupError::checkpoint(format!(
+                    "{} holds ingredient {} but manifest says {}",
+                    entry.file, ck.id, entry.id
+                )));
+            }
+            if !ck
+                .params
+                .flat()
+                .all(|t| t.data().iter().all(|v| v.is_finite()))
+            {
+                return Err(SoupError::corrupt("non-finite parameters"));
+            }
+            if let Some(first) = ingredients.first() {
+                if !ck.params.same_shape(&first.params) {
+                    return Err(SoupError::shape("architecture mismatch within pool"));
+                }
+            }
+            Ok(ck)
+        });
+        match usable {
+            Ok(ck) => ingredients.push(Ingredient::new(
+                ck.id,
+                ck.params,
+                ck.val_accuracy,
+                ck.train_seed,
+            )),
+            Err(err) => {
+                eprintln!("warning: skipping ingredient {}: {err}", entry.id);
+                skipped.push(entry.id);
+            }
+        }
+    }
+    if ingredients.is_empty() {
+        return Err(SoupError::checkpoint(format!(
+            "no usable ingredient checkpoints in {}",
+            dir.display()
+        )));
+    }
+    if !skipped.is_empty() {
+        eprintln!(
+            "warning: degraded pool — {} of {} ingredients usable (missing {skipped:?})",
+            ingredients.len(),
+            manifest.ingredients.len()
+        );
+    }
     Ok((manifest.config, ingredients))
 }
 
-fn cmd_soup(flags: &Flags) -> Result<(), String> {
-    let dataset = load_dataset(required(flags, "data")?).map_err(|e| e.to_string())?;
+fn cmd_soup(flags: &Flags) -> Result<()> {
+    let dataset = load_dataset(required(flags, "data")?)?;
     let dir = PathBuf::from(required(flags, "ckpt-dir")?);
     let (cfg, ingredients) = load_manifest(&dir)?;
     let seed: u64 = numeric(flags, "seed", 7)?;
@@ -265,7 +373,7 @@ fn cmd_soup(flags: &Flags) -> Result<(), String> {
             numeric(flags, "pls-k", 16)?,
             numeric(flags, "pls-r", 4)?,
         )),
-        other => return Err(format!("unknown strategy '{other}'")),
+        other => return Err(SoupError::usage(format!("unknown strategy '{other}'"))),
     };
     println!(
         "souping {} ingredients with {} ...",
@@ -273,6 +381,12 @@ fn cmd_soup(flags: &Flags) -> Result<(), String> {
         strategy.name()
     );
     let outcome = strategy.soup(&ingredients, &dataset, &cfg, seed);
+    if outcome.is_degraded() {
+        println!(
+            "note: degraded soup — missing ordinals {:?}",
+            outcome.missing
+        );
+    }
     let test = test_accuracy(&outcome, &dataset, &cfg);
     println!(
         "{}: val {:.2}%  test {:.2}%  time {:.3}s  peak-mem {}",
@@ -283,23 +397,23 @@ fn cmd_soup(flags: &Flags) -> Result<(), String> {
         enhanced_soups::tensor::memory::format_bytes(outcome.stats.peak_mem_bytes),
     );
     if let Some(out) = flags.get("out") {
-        outcome.params.save_json(out).map_err(|e| e.to_string())?;
+        outcome.params.save_json(out)?;
         println!("wrote {out}");
     }
     Ok(())
 }
 
-fn cmd_eval(flags: &Flags) -> Result<(), String> {
-    let dataset = load_dataset(required(flags, "data")?).map_err(|e| e.to_string())?;
+fn cmd_eval(flags: &Flags) -> Result<()> {
+    let dataset = load_dataset(required(flags, "data")?)?;
     let dir = PathBuf::from(required(flags, "ckpt-dir")?);
     let (cfg, _) = load_manifest(&dir)?;
-    let params = ParamSet::load_json(required(flags, "params")?).map_err(|e| e.to_string())?;
+    let params = ParamSet::load_json(required(flags, "params")?)?;
     let split = flags.get("split").map(String::as_str).unwrap_or("test");
     let mask = match split {
         "train" => &dataset.splits.train,
         "val" => &dataset.splits.val,
         "test" => &dataset.splits.test,
-        other => return Err(format!("unknown split '{other}'")),
+        other => return Err(SoupError::usage(format!("unknown split '{other}'"))),
     };
     let ops = PropOps::prepare(cfg.arch, &dataset.graph);
     let acc = evaluate_accuracy(
@@ -314,12 +428,12 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<(), String> {
+fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<()> {
     let file = positional
         .first()
         .map(String::as_str)
         .or_else(|| flags.get("file").map(String::as_str))
-        .ok_or("usage: soupctl trace-validate FILE")?;
+        .ok_or_else(|| SoupError::usage("usage: soupctl trace-validate FILE"))?;
     let stats = enhanced_soups::obs::trace::validate_file(file)?;
     println!(
         "{file}: valid {} trace — {} lines, {} spans ({} distinct), {} events ({} distinct), \
@@ -336,8 +450,8 @@ fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<(), String
     Ok(())
 }
 
-fn cmd_diversity(flags: &Flags) -> Result<(), String> {
-    let dataset = load_dataset(required(flags, "data")?).map_err(|e| e.to_string())?;
+fn cmd_diversity(flags: &Flags) -> Result<()> {
+    let dataset = load_dataset(required(flags, "data")?)?;
     let dir = PathBuf::from(required(flags, "ckpt-dir")?);
     let (cfg, ingredients) = load_manifest(&dir)?;
     let report = diversity_report(&ingredients, &dataset, &cfg);

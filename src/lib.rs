@@ -39,13 +39,20 @@ pub use soup_obs as obs;
 pub use soup_partition as partition;
 pub use soup_tensor as tensor;
 
+/// The workspace-wide error type and result alias (also re-exported from
+/// [`soup_core`]).
+pub use soup_error::{Result, SoupError};
+
 /// Convenience re-exports covering the common end-to-end pipeline.
 pub mod prelude {
     pub use soup_core::{
-        GisSouping, GreedySouping, LearnedSouping, PartitionLearnedSouping, SoupOutcome,
-        SoupStrategy, UniformSouping,
+        GisSouping, GreedySouping, Ingredient, LearnedSouping, PartitionLearnedSouping,
+        SoupOutcome, SoupStrategy, UniformSouping,
     };
-    pub use soup_distrib::train_ingredients;
+    pub use soup_distrib::{
+        train_ingredients, train_ingredients_opts, FaultPlan, TrainOpts, TrainRun,
+    };
+    pub use soup_error::{Result, SoupError};
     pub use soup_gnn::{Arch, ModelConfig, TrainConfig};
     pub use soup_graph::{CsrGraph, Dataset, DatasetKind};
     pub use soup_partition::PartitionConfig;

@@ -3,7 +3,7 @@
 
 use enhanced_soups::prelude::*;
 use enhanced_soups::soup::strategy::test_accuracy;
-use enhanced_soups::soup::{GreedySouping, Ingredient, LearnedHyper};
+use enhanced_soups::soup::LearnedHyper;
 
 fn pipeline(seed: u64) -> (Dataset, ModelConfig, Vec<Ingredient>) {
     let dataset = DatasetKind::Flickr.generate_scaled(seed, 0.2);

@@ -8,7 +8,7 @@
 //! - GIS forward-pass count follows O(N·g) while LS follows O(e) (§III-E).
 
 use enhanced_soups::prelude::*;
-use enhanced_soups::soup::{Ingredient, LearnedHyper};
+use enhanced_soups::soup::LearnedHyper;
 
 fn pool(seed: u64, scale: f64, n: usize) -> (Dataset, ModelConfig, Vec<Ingredient>) {
     let dataset = DatasetKind::Reddit.generate_scaled(seed, scale);

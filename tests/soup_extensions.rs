@@ -7,7 +7,7 @@ use enhanced_soups::gnn::train::SwaConfig;
 use enhanced_soups::gnn::train_single;
 use enhanced_soups::prelude::*;
 use enhanced_soups::soup::ensemble::compare_soup_vs_ensemble;
-use enhanced_soups::soup::{diversity_report, Ingredient, LearnedHyper, PartitionerKind};
+use enhanced_soups::soup::{diversity_report, LearnedHyper, PartitionerKind};
 use enhanced_soups::tensor::SplitMix64;
 
 fn mixed_pool(seed: u64) -> (Dataset, ModelConfig, Vec<Ingredient>) {
