@@ -10,9 +10,11 @@
 //! — the inefficiency LS is designed to remove.
 
 use crate::ingredient::{sort_by_val_acc, validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use rayon::prelude::*;
+use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
-use soup_gnn::{evaluate_accuracy, ModelConfig};
+use soup_gnn::{evaluate_accuracy, evaluate_accuracy_cached, ModelConfig, ParamSet};
 use soup_graph::Dataset;
 
 /// GIS configuration.
@@ -21,11 +23,24 @@ pub struct GisSouping {
     /// Number of interpolation ratios searched per ingredient
     /// (`linspace(0, 1, granularity)`, endpoints included).
     pub granularity: usize,
+    /// Evaluate the α-grid candidates of each ingredient concurrently
+    /// under rayon. The accept decision reduces over the grid in
+    /// deterministic order, so the selected (α, accuracy) is identical to
+    /// the sequential search.
+    pub parallel: bool,
+    /// Reuse the weight-independent first-hop aggregation (`op·X`) across
+    /// all candidate evaluations via a [`PropCache`] — bit-identical
+    /// accuracies, one SpMM cheaper per forward (no-op for GAT).
+    pub cache: bool,
 }
 
 impl Default for GisSouping {
     fn default() -> Self {
-        Self { granularity: 20 }
+        Self {
+            granularity: 20,
+            parallel: true,
+            cache: true,
+        }
     }
 }
 
@@ -35,7 +50,22 @@ impl GisSouping {
             granularity >= 2,
             "granularity must be >= 2 to include both endpoints"
         );
-        Self { granularity }
+        Self {
+            granularity,
+            ..Self::default()
+        }
+    }
+
+    /// Toggle parallel candidate evaluation.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Toggle the aggregation cache.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// The searched interpolation ratios.
@@ -63,42 +93,74 @@ impl SoupStrategy for GisSouping {
         measure_soup(ingredients, dataset, cfg, || {
             let _gis_span = soup_obs::span!("soup.gis");
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+            let cache = self.cache.then(|| PropCache::new(&ops, &dataset.features));
+            let eval = |p: &ParamSet| -> f64 {
+                match &cache {
+                    Some(c) => evaluate_accuracy_cached(
+                        cfg,
+                        &ops,
+                        c,
+                        p,
+                        &dataset.labels,
+                        &dataset.splits.val,
+                    ),
+                    None => evaluate_accuracy(
+                        cfg,
+                        &ops,
+                        p,
+                        &dataset.features,
+                        &dataset.labels,
+                        &dataset.splits.val,
+                    ),
+                }
+            };
             let order = sort_by_val_acc(ingredients);
             let mut soup = ingredients[order[0]].params.clone();
             let mut forwards = 1usize;
-            let mut soup_acc = evaluate_accuracy(
-                cfg,
-                &ops,
-                &soup,
-                &dataset.features,
-                &dataset.labels,
-                &dataset.splits.val,
-            );
+            let mut soup_acc = eval(&soup);
             let ratios = self.ratios();
+            let grid = &ratios[1..];
             for &idx in &order[1..] {
                 let ingredient = &ingredients[idx].params;
                 // Exhaustive linear search over interpolation ratios
                 // (alpha = 0 leaves the soup unchanged, so accuracy can
-                // never regress).
-                let mut best: (f32, f64) = (0.0, soup_acc);
-                for &alpha in &ratios[1..] {
-                    let candidate = soup.interpolate(ingredient, alpha);
-                    forwards += 1;
+                // never regress). Candidates are independent, so their
+                // evaluations can fan out; each worker reuses a scratch
+                // ParamSet via the fused blend instead of allocating a
+                // fresh interpolation per ratio.
+                forwards += grid.len();
+                let evaluate_candidate = |scratch: &mut ParamSet, alpha: f32| -> f64 {
                     soup_obs::counter!("soup.gis.candidate_evals").inc();
-                    let acc = evaluate_accuracy(
-                        cfg,
-                        &ops,
-                        &candidate,
-                        &dataset.features,
-                        &dataset.labels,
-                        &dataset.splits.val,
-                    );
+                    ParamSet::blend_into(scratch, &[1.0 - alpha, alpha], &[&soup, ingredient]);
+                    eval(scratch)
+                };
+                let accs: Vec<f64> = if self.parallel && grid.len() > 1 {
+                    grid.par_iter()
+                        .map_init(
+                            || soup.clone(),
+                            |scratch, &alpha| evaluate_candidate(scratch, alpha),
+                        )
+                        .collect()
+                } else {
+                    let mut scratch = soup.clone();
+                    grid.iter()
+                        .map(|&alpha| evaluate_candidate(&mut scratch, alpha))
+                        .collect()
+                };
+                // First-improvement semantics: reduce over the grid in its
+                // original order (`>=` keeps the latest tied ratio), exactly
+                // as the sequential loop decided.
+                let mut best: (f32, f64) = (0.0, soup_acc);
+                for (&alpha, &acc) in grid.iter().zip(&accs) {
                     if acc >= best.1 {
                         best = (alpha, acc);
                     }
                 }
                 if best.0 > 0.0 {
-                    soup = soup.interpolate(ingredient, best.0);
+                    // Rebuild through the same fused blend the candidates
+                    // used, so the accepted soup is bitwise the evaluated
+                    // candidate.
+                    soup = ParamSet::blend(&[1.0 - best.0, best.0], &[&soup, ingredient]);
                     soup_acc = best.1;
                 }
                 soup_obs::trace_event!("soup.gis.ingredient",
@@ -106,7 +168,15 @@ impl SoupStrategy for GisSouping {
                     "best_alpha" => best.0,
                     "best_acc" => best.1);
             }
-            (soup, forwards, 0)
+            // Net savings: every cache-consuming forward skipped one SpMM,
+            // minus the one SpMM spent building the cache.
+            let spmm_saved = cache.as_ref().map_or(0, |c| c.hits().saturating_sub(1));
+            MixReport {
+                params: soup,
+                forward_passes: forwards,
+                epochs: 0,
+                spmm_saved,
+            }
         })
     }
 }
@@ -167,11 +237,36 @@ mod tests {
 
     #[test]
     fn forward_count_matches_complexity_model() {
-        // 1 (seed eval) + (N-1) * (g-1) searches.
+        // 1 (seed eval) + (N-1) * (g-1) searches — cached forwards still
+        // count as forwards (the complexity model charges work requested,
+        // not SpMMs executed).
         let (d, cfg, ingredients) = trained_ingredients(3);
         let g = 5;
         let outcome = GisSouping::new(g).soup(&ingredients, &d, &cfg, 0);
         assert_eq!(outcome.stats.forward_passes, 1 + 2 * (g - 1));
+        // Every forward consumed the cached aggregation; net savings
+        // subtract the single cache-building SpMM.
+        assert_eq!(outcome.stats.spmm_saved, 2 * (g - 1));
+        let uncached = GisSouping::new(g)
+            .with_cache(false)
+            .soup(&ingredients, &d, &cfg, 0);
+        assert_eq!(uncached.stats.forward_passes, 1 + 2 * (g - 1));
+        assert_eq!(uncached.stats.spmm_saved, 0);
+    }
+
+    #[test]
+    fn parallel_and_cached_match_sequential_uncached() {
+        let (d, cfg, ingredients) = trained_ingredients(3);
+        let fast = GisSouping::new(6).soup(&ingredients, &d, &cfg, 0);
+        let slow = GisSouping::new(6)
+            .with_parallel(false)
+            .with_cache(false)
+            .soup(&ingredients, &d, &cfg, 0);
+        // Same accept decisions -> bitwise identical soup and accuracy.
+        assert_eq!(fast.val_accuracy, slow.val_accuracy);
+        for (a, b) in fast.params.flat().zip(slow.params.flat()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! full-graph forward pass.
 
 use crate::ingredient::{sort_by_val_acc, validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
-use soup_gnn::{evaluate_accuracy, ModelConfig, ParamSet};
+use soup_gnn::{evaluate_accuracy_cached, ModelConfig, ParamSet};
 use soup_graph::Dataset;
 
 /// Greedy Souping configuration (none needed).
@@ -30,36 +31,33 @@ impl SoupStrategy for GreedySouping {
         validate_ingredients(ingredients);
         measure_soup(ingredients, dataset, cfg, || {
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+            // Every acceptance test evaluates on the same (graph, features),
+            // so the first-hop aggregation is shared across all of them.
+            let cache = PropCache::new(&ops, &dataset.features);
+            let eval = |p: &ParamSet| -> f64 {
+                evaluate_accuracy_cached(cfg, &ops, &cache, p, &dataset.labels, &dataset.splits.val)
+            };
             let order = sort_by_val_acc(ingredients);
             let mut members: Vec<&ParamSet> = vec![&ingredients[order[0]].params];
             let mut forwards = 1usize;
-            let mut best_acc = evaluate_accuracy(
-                cfg,
-                &ops,
-                &ingredients[order[0]].params,
-                &dataset.features,
-                &dataset.labels,
-                &dataset.splits.val,
-            );
+            let mut best_acc = eval(&ingredients[order[0]].params);
             for &idx in &order[1..] {
                 let mut candidate_members = members.clone();
                 candidate_members.push(&ingredients[idx].params);
                 let candidate = ParamSet::average(&candidate_members);
                 forwards += 1;
-                let acc = evaluate_accuracy(
-                    cfg,
-                    &ops,
-                    &candidate,
-                    &dataset.features,
-                    &dataset.labels,
-                    &dataset.splits.val,
-                );
+                let acc = eval(&candidate);
                 if acc >= best_acc {
                     members = candidate_members;
                     best_acc = acc;
                 }
             }
-            (ParamSet::average(&members), forwards, 0)
+            MixReport {
+                params: ParamSet::average(&members),
+                forward_passes: forwards,
+                epochs: 0,
+                spmm_saved: cache.hits().saturating_sub(1),
+            }
         })
     }
 }

@@ -12,7 +12,8 @@
 //! backward each, versus GIS's `N·g` forwards (§III-E).
 
 use crate::ingredient::{validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
 use soup_gnn::params::{LayerParams, ParamVars};
 use soup_gnn::{ModelConfig, ParamSet};
@@ -56,6 +57,11 @@ pub struct LearnedHyper {
     /// (raw α pushed to −∞ territory so softmax assigns ≈0, which the
     /// smooth optimisation cannot do on its own, §V-A).
     pub prune_threshold: Option<f32>,
+    /// Cache the weight-independent first-hop aggregation (`op·X`) across
+    /// epochs via a [`PropCache`] — every LS epoch (and PLS epoch, per
+    /// cached subgraph) saves one SpMM, with bit-identical results. GAT is
+    /// unaffected (its first hop is weight-dependent).
+    pub prop_cache: bool,
 }
 
 impl Default for LearnedHyper {
@@ -70,6 +76,7 @@ impl Default for LearnedHyper {
             early_stop_patience: None,
             val_batch: None,
             prune_threshold: None,
+            prop_cache: true,
         }
     }
 }
@@ -129,7 +136,8 @@ pub(crate) fn build_soup_on_tape(
     (ParamVars { layers }, raw_vars)
 }
 
-/// Materialise the soup parameters for the current α values (no tape).
+/// Materialise the soup parameters for the current α values (no tape) —
+/// one fused N-way blend per tensor instead of an axpy chain.
 pub(crate) fn materialize_soup(ingredients: &[Ingredient], alphas: &AlphaState) -> ParamSet {
     let template = &ingredients[0].params;
     let layers = template
@@ -142,12 +150,11 @@ pub(crate) fn materialize_soup(ingredients: &[Ingredient], alphas: &AlphaState) 
                 name: layer.name.clone(),
                 tensors: (0..layer.tensors.len())
                     .map(|t| {
-                        let mut acc =
-                            Tensor::zeros(layer.tensors[t].rows(), layer.tensors[t].cols());
-                        for (i, ing) in ingredients.iter().enumerate() {
-                            acc.axpy(ratios[i], &ing.params.layers[l].tensors[t]);
-                        }
-                        acc
+                        let parts: Vec<&Tensor> = ingredients
+                            .iter()
+                            .map(|i| &i.params.layers[l].tensors[t])
+                            .collect();
+                        soup_tensor::ops::soup::blend(&ratios, &parts)
                     })
                     .collect(),
             }
@@ -197,12 +204,19 @@ pub(crate) fn mean_ratios(alphas: &AlphaState) -> Vec<f32> {
 }
 
 /// One α-optimisation step on prepared epoch data. Returns the loss.
+///
+/// When `cache` is provided it must have been built from `features` — the
+/// forward consumes the cached first-hop aggregation (the soup evaluation
+/// runs in eval mode, where that hop is weight-independent; α gradients
+/// flow through the downstream transform only, so caching does not touch
+/// the backward pass).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn learned_step(
     ingredients: &[Ingredient],
     alphas: &mut AlphaState,
     cfg: &ModelConfig,
     ops: &PropOps,
+    cache: Option<&PropCache>,
     features: &Tensor,
     labels: &[u32],
     mask: &[usize],
@@ -213,7 +227,8 @@ pub(crate) fn learned_step(
     let x = tape.constant(features.clone());
     // Eval-mode forward: the soup evaluation of Alg. 3 has no dropout.
     let mut no_rng = SplitMix64::new(0);
-    let logits = soup_gnn::model::forward(&tape, cfg, ops, x, &soup_vars, false, &mut no_rng);
+    let logits =
+        soup_gnn::model::forward_cached(&tape, cfg, ops, cache, x, &soup_vars, false, &mut no_rng);
     let loss = tape.cross_entropy_masked(logits, labels, mask);
     let loss_val = tape.value(loss).item();
     let grads = tape.backward(loss);
@@ -266,6 +281,9 @@ impl SoupStrategy for LearnedSouping {
                 (dataset.splits.val.clone(), dataset.splits.val.clone())
             };
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+            let cache = h
+                .prop_cache
+                .then(|| PropCache::new(&ops, &dataset.features));
             let sched = CosineAnnealing::new(h.base_lr, h.eta_min, h.epochs);
             let mut opt = Sgd::new(sched.lr(0).max(h.eta_min), h.momentum, h.weight_decay);
             let mut best: Option<(f64, AlphaState)> = None;
@@ -289,6 +307,7 @@ impl SoupStrategy for LearnedSouping {
                     &mut alphas,
                     cfg,
                     &ops,
+                    cache.as_ref(),
                     &dataset.features,
                     &dataset.labels,
                     &epoch_fit,
@@ -311,14 +330,24 @@ impl SoupStrategy for LearnedSouping {
                 if let Some(patience) = h.early_stop_patience {
                     let soup = materialize_soup(ingredients, &alphas);
                     forwards += 1;
-                    let acc = soup_gnn::evaluate_accuracy(
-                        cfg,
-                        &ops,
-                        &soup,
-                        &dataset.features,
-                        &dataset.labels,
-                        &monitor_mask,
-                    );
+                    let acc = match &cache {
+                        Some(c) => soup_gnn::evaluate_accuracy_cached(
+                            cfg,
+                            &ops,
+                            c,
+                            &soup,
+                            &dataset.labels,
+                            &monitor_mask,
+                        ),
+                        None => soup_gnn::evaluate_accuracy(
+                            cfg,
+                            &ops,
+                            &soup,
+                            &dataset.features,
+                            &dataset.labels,
+                            &monitor_mask,
+                        ),
+                    };
                     match &best {
                         Some((b, _)) if acc <= *b => {
                             since_best += 1;
@@ -336,7 +365,13 @@ impl SoupStrategy for LearnedSouping {
             if let Some((_, a)) = best {
                 alphas = a;
             }
-            (materialize_soup(ingredients, &alphas), forwards, epochs_run)
+            let spmm_saved = cache.as_ref().map_or(0, |c| c.hits().saturating_sub(1));
+            MixReport {
+                params: materialize_soup(ingredients, &alphas),
+                forward_passes: forwards,
+                epochs: epochs_run,
+                spmm_saved,
+            }
         })
     }
 }
@@ -438,11 +473,13 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         let mut alphas = AlphaState::init(4, ingredients[0].params.num_layers(), &mut rng);
         let mut opt = Sgd::new(0.5, 0.9, 0.0);
+        let cache = PropCache::new(&ops, &d.features);
         let first = learned_step(
             &ingredients,
             &mut alphas,
             &cfg,
             &ops,
+            Some(&cache),
             &d.features,
             &d.labels,
             &d.splits.val,
@@ -455,6 +492,7 @@ mod tests {
                 &mut alphas,
                 &cfg,
                 &ops,
+                Some(&cache),
                 &d.features,
                 &d.labels,
                 &d.splits.val,
@@ -462,6 +500,43 @@ mod tests {
             );
         }
         assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert_eq!(cache.hits(), 21, "every step should consume the cache");
+    }
+
+    #[test]
+    fn cached_step_matches_uncached_bitwise() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 16);
+        let ops = PropOps::prepare(cfg.arch, &d.graph);
+        let cache = PropCache::new(&ops, &d.features);
+        let mut rng = SplitMix64::new(6);
+        let init = AlphaState::init(3, ingredients[0].params.num_layers(), &mut rng);
+        let run = |cache: Option<&PropCache>| {
+            let mut alphas = init.clone();
+            let mut opt = Sgd::new(0.5, 0.9, 0.0);
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                losses.push(learned_step(
+                    &ingredients,
+                    &mut alphas,
+                    &cfg,
+                    &ops,
+                    cache,
+                    &d.features,
+                    &d.labels,
+                    &d.splits.val,
+                    &mut opt,
+                ));
+            }
+            (losses, alphas)
+        };
+        let (la, aa) = run(Some(&cache));
+        let (lb, ab) = run(None);
+        for (x, y) in la.iter().zip(&lb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "losses diverge");
+        }
+        for (x, y) in aa.raw.iter().zip(&ab.raw) {
+            assert_eq!(x, y, "alpha trajectories diverge");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod ingredient;
 pub mod learned;
 pub mod pls;
 pub mod strategy;
+pub mod subcache;
 pub mod uniform;
 
 /// The workspace-wide typed error enum, re-exported so downstream users can
@@ -42,5 +43,8 @@ pub use greedy::GreedySouping;
 pub use ingredient::Ingredient;
 pub use learned::{LearnedHyper, LearnedSouping};
 pub use pls::{PartitionLearnedSouping, PartitionerKind};
-pub use strategy::{measure_soup, missing_ordinals, SoupOutcome, SoupStats, SoupStrategy};
+pub use strategy::{
+    measure_soup, missing_ordinals, MixReport, SoupOutcome, SoupStats, SoupStrategy,
+};
+pub use subcache::SubgraphCache;
 pub use uniform::UniformSouping;

@@ -18,9 +18,11 @@ use crate::ingredient::{validate_ingredients, Ingredient};
 use crate::learned::{
     learned_step, materialize_soup, prune_weak_ingredients, AlphaState, LearnedHyper,
 };
-use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use crate::subcache::{SubgraphCache, SubgraphEntry};
+use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
-use soup_gnn::ModelConfig;
+use soup_gnn::{Arch, ModelConfig};
 use soup_graph::subgraph::InducedSubgraph;
 use soup_graph::Dataset;
 use soup_partition::{
@@ -57,6 +59,13 @@ pub struct PartitionLearnedSouping {
     pub budget: usize,
     /// Partitioner preparing the pool.
     pub partitioner: PartitionerKind,
+    /// Capacity of the LRU subgraph cache memoising prepared epochs by
+    /// partition subset (0 disables). Memoisation only engages when every
+    /// distinct subset fits — `binom(K, R) <= capacity` — because with a
+    /// larger subset space the hit rate is ~`capacity / binom(K, R)` ~ 0
+    /// and retained entries would inflate the peak memory PLS exists to
+    /// reduce (sizing analysis in DESIGN.md §9).
+    pub subgraph_cache: usize,
 }
 
 impl Default for PartitionLearnedSouping {
@@ -67,6 +76,7 @@ impl Default for PartitionLearnedSouping {
             num_partitions: 32,
             budget: 8,
             partitioner: PartitionerKind::MultilevelValBalanced,
+            subgraph_cache: 32,
         }
     }
 }
@@ -82,13 +92,30 @@ impl PartitionLearnedSouping {
             hyper,
             num_partitions,
             budget,
-            partitioner: PartitionerKind::MultilevelValBalanced,
+            ..Self::default()
         }
     }
 
     pub fn with_partitioner(mut self, partitioner: PartitionerKind) -> Self {
         self.partitioner = partitioner;
         self
+    }
+
+    /// Set the LRU subgraph-cache capacity (0 disables memoisation).
+    pub fn with_subgraph_cache(mut self, capacity: usize) -> Self {
+        self.subgraph_cache = capacity;
+        self
+    }
+
+    /// The capacity the mixing loop actually hands the LRU: the
+    /// configured one when the whole subset space fits (guaranteed recurring
+    /// draws), 0 otherwise — see the [`Self::subgraph_cache`] field docs.
+    pub fn effective_subgraph_cache(&self) -> usize {
+        if self.num_possible_subgraphs() <= self.subgraph_cache as f64 {
+            self.subgraph_cache
+        } else {
+            0
+        }
     }
 
     fn run_partitioner(&self, dataset: &Dataset, seed: u64) -> Partitioning {
@@ -188,7 +215,7 @@ impl PartitionLearnedSouping {
         cfg: &ModelConfig,
         seed: u64,
         partitioning: &Partitioning,
-    ) -> (soup_gnn::ParamSet, usize, usize) {
+    ) -> MixReport {
         let h = self.hyper;
         {
             let _pls_span = soup_obs::span!("soup.pls");
@@ -212,28 +239,45 @@ impl PartitionLearnedSouping {
             };
             let sched = CosineAnnealing::new(h.base_lr, h.eta_min, h.epochs);
             let mut opt = Sgd::new(sched.lr(0).max(h.eta_min), h.momentum, h.weight_decay);
+            let mut subcache = SubgraphCache::new(self.effective_subgraph_cache());
             let mut epochs_run = 0usize;
             for epoch in 0..h.epochs {
                 // Select R random partitions (Alg. 4: partitionSelection).
+                // The draw happens before any cache lookup, so the rng
+                // stream — and hence the α trajectory — is byte-for-byte
+                // the same with and without memoisation.
                 let selected: Vec<u32> = rng
                     .sample_indices(self.num_partitions, self.budget)
                     .into_iter()
                     .map(|p| p as u32)
                     .collect();
-                let sub = InducedSubgraph::from_partitions(
-                    &dataset.graph,
-                    &partitioning.assignment,
-                    &selected,
-                );
-                // Validation nodes of the subgraph (local ids).
-                let local_mask: Vec<usize> = sub
-                    .local_to_global
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &g)| fit_is_val[g])
-                    .map(|(l, _)| l)
-                    .collect();
-                if local_mask.is_empty() {
+                let build = || {
+                    build_epoch(
+                        dataset,
+                        cfg,
+                        &partitioning.assignment,
+                        &selected,
+                        &fit_is_val,
+                        h.prop_cache,
+                    )
+                };
+                let owned;
+                let entry: &SubgraphEntry =
+                    match subcache.get_or_insert_with(soup_graph::subset_key(&selected), build) {
+                        Some(e) => e,
+                        None => {
+                            owned = build_epoch(
+                                dataset,
+                                cfg,
+                                &partitioning.assignment,
+                                &selected,
+                                &fit_is_val,
+                                h.prop_cache,
+                            );
+                            &owned
+                        }
+                    };
+                if entry.local_mask.is_empty() {
                     // Degenerate draw: the selected partitions hold no fit
                     // nodes (possible at tiny scales or under aggressive
                     // holdout). Drop the empty epoch rather than stepping
@@ -241,18 +285,16 @@ impl PartitionLearnedSouping {
                     soup_obs::counter!("soup.pls.empty_partition_draws").inc();
                     continue;
                 }
-                let sub_ops = PropOps::prepare(cfg.arch, &sub.graph);
-                let sub_x = sub.gather_features(&dataset.features);
-                let sub_labels = sub.gather_labels(&dataset.labels);
                 opt.lr = sched.lr(epoch).max(1e-6);
                 let loss = learned_step(
                     ingredients,
                     &mut alphas,
                     cfg,
-                    &sub_ops,
-                    &sub_x,
-                    &sub_labels,
-                    &local_mask,
+                    &entry.ops,
+                    entry.prop.as_ref(),
+                    &entry.features,
+                    &entry.labels,
+                    &entry.local_mask,
                     &mut opt,
                 );
                 epochs_run += 1;
@@ -261,7 +303,7 @@ impl PartitionLearnedSouping {
                     "epoch" => epoch as u64,
                     "loss" => loss,
                     "lr" => opt.lr,
-                    "sub_nodes" => sub.local_to_global.len() as u64,
+                    "sub_nodes" => entry.sub.local_to_global.len() as u64,
                     "selected" => selected,
                     "mean_ratios" => crate::learned::mean_ratios(&alphas));
                 // §VIII ingredient drop-out at the half-way point.
@@ -271,12 +313,53 @@ impl PartitionLearnedSouping {
                     }
                 }
             }
-            (
-                materialize_soup(ingredients, &alphas),
-                epochs_run,
-                epochs_run,
-            )
+            // Each subgraph-cache hit skipped rebuilding the entry's
+            // PropCache — one SpMM — when the propagation cache is on (GAT
+            // entries hold no aggregation, so hits save build work only).
+            let spmm_saved = if cfg.arch != Arch::Gat && h.prop_cache {
+                subcache.hits()
+            } else {
+                0
+            };
+            MixReport {
+                params: materialize_soup(ingredients, &alphas),
+                forward_passes: epochs_run,
+                epochs: epochs_run,
+                spmm_saved,
+            }
         }
+    }
+}
+
+/// Prepare everything one PLS epoch needs from a partition draw.
+fn build_epoch(
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    assignment: &[u32],
+    selected: &[u32],
+    fit_is_val: &[bool],
+    prop_cache: bool,
+) -> SubgraphEntry {
+    let sub = InducedSubgraph::from_partitions(&dataset.graph, assignment, selected);
+    // Validation nodes of the subgraph (local ids).
+    let local_mask: Vec<usize> = sub
+        .local_to_global
+        .iter()
+        .enumerate()
+        .filter(|&(_, &g)| fit_is_val[g])
+        .map(|(l, _)| l)
+        .collect();
+    let ops = PropOps::prepare(cfg.arch, &sub.graph);
+    let features = sub.gather_features(&dataset.features);
+    let labels = sub.gather_labels(&dataset.labels);
+    let prop = prop_cache.then(|| PropCache::new(&ops, &features));
+    SubgraphEntry {
+        sub,
+        ops,
+        features,
+        labels,
+        local_mask,
+        prop,
     }
 }
 
@@ -421,6 +504,52 @@ mod tests {
         let pls4 = PartitionLearnedSouping::new(hyper, 4, 2);
         let partitioning = pls4.run_partitioner(&d, 1);
         pls8.soup_prepartitioned(&ingredients, &d, &cfg, 1, &partitioning);
+    }
+
+    #[test]
+    fn cache_engages_only_when_subset_space_fits() {
+        // binom(5, 2) = 10 <= 32: memoisation on.
+        let small = PartitionLearnedSouping::new(LearnedHyper::default(), 5, 2);
+        assert_eq!(small.effective_subgraph_cache(), 32);
+        // binom(32, 8) > 10M: memoisation would never hit — off.
+        assert_eq!(
+            PartitionLearnedSouping::default().effective_subgraph_cache(),
+            0
+        );
+        assert_eq!(small.with_subgraph_cache(0).effective_subgraph_cache(), 0);
+    }
+
+    #[test]
+    fn subgraph_cache_reproduces_uncached_run() {
+        // K=5, R=2 -> binom(5,2)=10 distinct subsets; 40 epochs guarantee
+        // the LRU (default capacity 32 > 10) serves most draws from cache.
+        let (d, cfg, ingredients) = trained_ingredients(3, 26, 0.2);
+        let hyper = LearnedHyper {
+            epochs: 40,
+            ..Default::default()
+        };
+        let cached = PartitionLearnedSouping::new(hyper, 5, 2).soup(&ingredients, &d, &cfg, 11);
+        let uncached = PartitionLearnedSouping::new(
+            LearnedHyper {
+                prop_cache: false,
+                ..hyper
+            },
+            5,
+            2,
+        )
+        .with_subgraph_cache(0)
+        .soup(&ingredients, &d, &cfg, 11);
+        // The rng draw precedes the cache lookup, so memoisation leaves the
+        // epoch sequence — and hence the soup — byte-for-byte unchanged.
+        assert_eq!(cached.val_accuracy, uncached.val_accuracy);
+        for (a, b) in cached.params.flat().zip(uncached.params.flat()) {
+            assert_eq!(a, b);
+        }
+        assert!(
+            cached.stats.spmm_saved > 0,
+            "40 epochs over 10 subsets must hit the subgraph cache"
+        );
+        assert_eq!(uncached.stats.spmm_saved, 0);
     }
 
     #[test]

@@ -23,9 +23,27 @@ pub struct SoupStats {
     /// Peak device memory added during mixing (bytes above baseline).
     pub peak_mem_bytes: usize,
     /// Full-graph-equivalent forward passes performed (complexity model).
+    /// Forwards that consumed a cached aggregation still count — the
+    /// paper's `F_v` is a unit of work requested, not of SpMMs executed.
     pub forward_passes: usize,
     /// Optimisation epochs run (0 for search-based strategies).
     pub epochs: usize,
+    /// SpMMs avoided by the Phase-2 evaluation engine (aggregation /
+    /// subgraph caching), net of cache-build cost.
+    pub spmm_saved: usize,
+}
+
+/// What a strategy's mixing closure reports back to [`measure_soup`].
+#[derive(Debug, Clone)]
+pub struct MixReport {
+    /// The mixed parameters.
+    pub params: ParamSet,
+    /// Forward passes performed (cached ones included).
+    pub forward_passes: usize,
+    /// Optimisation epochs run.
+    pub epochs: usize,
+    /// Net SpMMs avoided via caching.
+    pub spmm_saved: usize,
 }
 
 /// The result of souping a set of ingredients.
@@ -90,7 +108,7 @@ pub fn measure_soup(
     ingredients: &[Ingredient],
     dataset: &Dataset,
     cfg: &ModelConfig,
-    mix: impl FnOnce() -> (ParamSet, usize, usize),
+    mix: impl FnOnce() -> MixReport,
 ) -> SoupOutcome {
     let missing = missing_ordinals(ingredients);
     if !missing.is_empty() {
@@ -103,19 +121,26 @@ pub fn measure_soup(
     }
     let scope = MemoryScope::start();
     let start = Instant::now();
-    let (params, forward_passes, epochs) = {
+    let MixReport {
+        params,
+        forward_passes,
+        epochs,
+        spmm_saved,
+    } = {
         let _mix_span = soup_obs::span!("soup.mix");
         mix()
     };
     let wall_time = start.elapsed();
     let mem = scope.finish();
     soup_obs::counter!("soup.forward_passes").add(forward_passes as u64);
+    soup_obs::counter!("soup.spmm_saved").add(spmm_saved as u64);
     soup_obs::gauge!("soup.last_peak_mem_bytes").set(mem.peak_delta_bytes as f64);
     soup_obs::trace_event!("soup.measured",
         "wall_s" => wall_time.as_secs_f64(),
         "peak_mem_bytes" => mem.peak_delta_bytes as u64,
         "forward_passes" => forward_passes as u64,
         "epochs" => epochs as u64,
+        "spmm_saved" => spmm_saved as u64,
         "missing" => missing.len() as u64);
 
     let ops = PropOps::prepare(cfg.arch, &dataset.graph);
@@ -135,6 +160,7 @@ pub fn measure_soup(
             peak_mem_bytes: mem.peak_delta_bytes,
             forward_passes,
             epochs,
+            spmm_saved,
         },
         missing,
     }
@@ -171,11 +197,17 @@ mod tests {
             // Simulate a mixing phase that allocates something measurable.
             let tmp = soup_tensor::Tensor::zeros(256, 256);
             drop(tmp);
-            (params.clone(), 3, 2)
+            MixReport {
+                params: params.clone(),
+                forward_passes: 3,
+                epochs: 2,
+                spmm_saved: 1,
+            }
         });
         assert!(outcome.stats.peak_mem_bytes >= 256 * 256 * 4);
         assert_eq!(outcome.stats.forward_passes, 3);
         assert_eq!(outcome.stats.epochs, 2);
+        assert_eq!(outcome.stats.spmm_saved, 1);
         assert!((0.0..=1.0).contains(&outcome.val_accuracy));
         assert!(!outcome.is_degraded());
     }
@@ -192,7 +224,12 @@ mod tests {
             .collect();
         assert_eq!(missing_ordinals(&pool), vec![2, 3]);
         assert_eq!(missing_ordinals(&[]), Vec::<usize>::new());
-        let outcome = measure_soup(&pool, &d, &cfg, || (p.clone(), 0, 0));
+        let outcome = measure_soup(&pool, &d, &cfg, || MixReport {
+            params: p.clone(),
+            forward_passes: 0,
+            epochs: 0,
+            spmm_saved: 0,
+        });
         assert_eq!(outcome.missing, vec![2, 3]);
         assert!(outcome.is_degraded());
     }
@@ -203,7 +240,12 @@ mod tests {
         let cfg = ModelConfig::gcn(d.num_features(), d.num_classes()).with_hidden(8);
         let mut rng = SplitMix64::new(2);
         let params = init_params(&cfg, &mut rng);
-        let outcome = measure_soup(&[], &d, &cfg, || (params, 0, 0));
+        let outcome = measure_soup(&[], &d, &cfg, || MixReport {
+            params,
+            forward_passes: 0,
+            epochs: 0,
+            spmm_saved: 0,
+        });
         let t = test_accuracy(&outcome, &d, &cfg);
         assert!((0.0..=1.0).contains(&t));
     }

@@ -1,0 +1,198 @@
+//! Bounded LRU memoisation of PLS epoch subgraphs.
+//!
+//! Every PLS epoch draws `R` of `K` partitions and rebuilds the induced
+//! subgraph, its propagation operator, its gathered features/labels and its
+//! local fit mask from scratch — yet only `binom(K, R)` distinct subsets
+//! exist (§VI-B), and at practical bench settings (small `K`, many epochs)
+//! the same subsets recur constantly. [`SubgraphCache`] keys prepared
+//! epochs by [`soup_graph::subset_key`] (sorted, deduplicated), which is
+//! valid because [`InducedSubgraph::from_partitions`] retains nodes in
+//! global-id order regardless of the draw's permutation — any two draws of
+//! the same subset produce bit-identical subgraphs.
+//!
+//! Each entry also carries a per-subgraph [`PropCache`], so a cache hit
+//! saves the subgraph construction, operator preparation, gathers *and* the
+//! first-hop SpMM of that epoch's forward. The build of a fresh entry costs
+//! exactly the SpMM the epoch's forward then consumes, so a miss is
+//! net-neutral and `spmm_saved` counts hits only.
+
+use soup_gnn::cache::PropCache;
+use soup_gnn::model::PropOps;
+use soup_graph::InducedSubgraph;
+use soup_tensor::Tensor;
+
+/// One fully prepared PLS epoch: everything `learned_step` needs.
+#[derive(Debug)]
+pub struct SubgraphEntry {
+    /// The induced partition-union subgraph.
+    pub sub: InducedSubgraph,
+    /// Propagation operator prepared on the subgraph.
+    pub ops: PropOps,
+    /// Features gathered into subgraph-local order.
+    pub features: Tensor,
+    /// Labels gathered into subgraph-local order.
+    pub labels: Vec<u32>,
+    /// Fit-mask nodes in subgraph-local ids.
+    pub local_mask: Vec<usize>,
+    /// First-hop aggregation cache over `features` — `None` when the run
+    /// has `prop_cache` disabled, so the baseline never pays a build SpMM
+    /// it won't consume.
+    pub prop: Option<PropCache>,
+}
+
+/// A bounded least-recently-used cache of [`SubgraphEntry`]s keyed by the
+/// canonical partition subset. Capacity 0 disables caching entirely.
+///
+/// Lookups are O(capacity) linear scans — capacities are small (tens of
+/// entries; sizing guidance vs. `binom(K, R)` in DESIGN.md §9), and each
+/// entry holds megabytes, so pointer-chasing map structures buy nothing.
+#[derive(Debug, Default)]
+pub struct SubgraphCache {
+    capacity: usize,
+    /// Most-recently-used last.
+    entries: Vec<(Vec<u32>, SubgraphEntry)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl SubgraphCache {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up the entry for `key` (a [`soup_graph::subset_key`] output),
+    /// building and inserting it via `build` on a miss. Returns `None`
+    /// only when the cache is disabled (capacity 0) — the caller then
+    /// builds the epoch itself without retaining it.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: Vec<u32>,
+        build: impl FnOnce() -> SubgraphEntry,
+    ) -> Option<&SubgraphEntry> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            soup_obs::counter!("soup.pls.subgraph_cache_hits").inc();
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+        } else {
+            self.misses += 1;
+            soup_obs::counter!("soup.pls.subgraph_cache_misses").inc();
+            if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+                soup_obs::counter!("soup.pls.subgraph_cache_evictions").inc();
+            }
+            self.entries.push((key, build()));
+        }
+        Some(&self.entries.last().expect("just pushed or promoted").1)
+    }
+
+    /// Cache hits so far — each one skipped a subgraph build and one SpMM.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses so far (entries built).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_gnn::Arch;
+    use soup_graph::CsrGraph;
+    use soup_tensor::SplitMix64;
+
+    fn entry_for(sub: InducedSubgraph, features: &Tensor, labels: &[u32]) -> SubgraphEntry {
+        let ops = PropOps::prepare(Arch::Gcn, &sub.graph);
+        let sub_x = sub.gather_features(features);
+        let sub_labels = sub.gather_labels(labels);
+        let prop = Some(PropCache::new(&ops, &sub_x));
+        SubgraphEntry {
+            sub,
+            ops,
+            features: sub_x,
+            labels: sub_labels,
+            local_mask: vec![0],
+            prop,
+        }
+    }
+
+    fn setup() -> (CsrGraph, Tensor, Vec<u32>, Vec<u32>) {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut rng = SplitMix64::new(1);
+        let x = Tensor::randn(6, 3, 1.0, &mut rng);
+        let labels = vec![0u32, 1, 0, 1, 0, 1];
+        let assignment = vec![0u32, 0, 1, 1, 2, 2];
+        (g, x, labels, assignment)
+    }
+
+    #[test]
+    fn hit_returns_same_entry_for_permuted_key() {
+        let (g, x, labels, assignment) = setup();
+        let mut cache = SubgraphCache::new(4);
+        let build = |sel: &[u32]| {
+            let sub = InducedSubgraph::from_partitions(&g, &assignment, sel);
+            entry_for(sub, &x, &labels)
+        };
+        let first = cache
+            .get_or_insert_with(soup_graph::subset_key(&[0, 1]), || build(&[0, 1]))
+            .unwrap()
+            .features
+            .clone();
+        let again = cache
+            .get_or_insert_with(soup_graph::subset_key(&[1, 0]), || build(&[1, 0]))
+            .unwrap()
+            .features
+            .clone();
+        assert_eq!(first, again);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (g, x, labels, assignment) = setup();
+        let mut cache = SubgraphCache::new(2);
+        for sel in [&[0u32][..], &[1u32][..], &[0u32][..], &[2u32][..]] {
+            cache.get_or_insert_with(soup_graph::subset_key(sel), || {
+                let sub = InducedSubgraph::from_partitions(&g, &assignment, sel);
+                entry_for(sub, &x, &labels)
+            });
+        }
+        // [0] was refreshed before [2] arrived, so [1] got evicted.
+        assert_eq!(cache.len(), 2);
+        cache.get_or_insert_with(soup_graph::subset_key(&[0]), || {
+            panic!("[0] should still be cached")
+        });
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut cache = SubgraphCache::new(0);
+        assert!(cache
+            .get_or_insert_with(vec![0], || panic!("must not build"))
+            .is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+}

@@ -6,7 +6,7 @@
 //! Table II.
 
 use crate::ingredient::{validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
 use soup_gnn::{ModelConfig, ParamSet};
 use soup_graph::Dataset;
 
@@ -31,7 +31,12 @@ impl SoupStrategy for UniformSouping {
         // however many ingredients survived (1/R' each).
         measure_soup(ingredients, dataset, cfg, || {
             let sets: Vec<&ParamSet> = ingredients.iter().map(|i| &i.params).collect();
-            (ParamSet::average(&sets), 0, 0)
+            MixReport {
+                params: ParamSet::average(&sets),
+                forward_passes: 0,
+                epochs: 0,
+                spmm_saved: 0,
+            }
         })
     }
 }

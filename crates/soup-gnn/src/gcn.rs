@@ -29,6 +29,18 @@ pub fn forward_layer(tape: &Tape, adj: &SparseMat, h: Var, params: &[Var]) -> Va
     tape.add_bias(agg, params[1])
 }
 
+/// One GCN layer forward with the propagation already applied
+/// (`agg = Â·H`). Used by the eval-mode aggregate-first path, where the
+/// first hop is weight-independent and may come from a
+/// [`crate::cache::PropCache`]. `Â(HW) = (ÂH)W` exactly in linear
+/// algebra, but not bitwise in f32 — so cached and uncached eval both go
+/// through this aggregate-first ordering.
+pub fn forward_layer_preagg(tape: &Tape, agg: Var, params: &[Var]) -> Var {
+    debug_assert_eq!(params.len(), 2, "GCN layer expects [W, b]");
+    let out = tape.matmul(agg, params[0]);
+    tape.add_bias(out, params[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

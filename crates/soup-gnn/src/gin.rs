@@ -29,8 +29,14 @@ pub fn init_layer(cfg: &ModelConfig, l: usize, rng: &mut SplitMix64) -> LayerPar
 
 /// One GIN layer forward. `sum` is the plain adjacency operator.
 pub fn forward_layer(tape: &Tape, sum: &SparseMat, h: Var, params: &[Var], epsilon: f32) -> Var {
-    debug_assert_eq!(params.len(), 4, "GIN layer expects [W1, b1, W2, b2]");
     let agg = tape.spmm(sum, h);
+    forward_layer_preagg(tape, h, agg, params, epsilon)
+}
+
+/// One GIN layer forward with the neighbor sum `agg = A·H` already
+/// computed (possibly by a [`crate::cache::PropCache`]).
+pub fn forward_layer_preagg(tape: &Tape, h: Var, agg: Var, params: &[Var], epsilon: f32) -> Var {
+    debug_assert_eq!(params.len(), 4, "GIN layer expects [W1, b1, W2, b2]");
     let self_term = tape.scale(h, 1.0 + epsilon);
     let combined = tape.add(self_term, agg);
     let hidden = tape.relu(tape.add_bias(tape.matmul(combined, params[0]), params[1]));

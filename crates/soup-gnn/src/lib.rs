@@ -15,6 +15,7 @@
 //!   ([`model::PropOps`]), so the same code path serves full graphs,
 //!   PLS partition-union subgraphs and sampled minibatch subgraphs.
 
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod eval;
@@ -26,11 +27,15 @@ pub mod params;
 pub mod sage;
 pub mod train;
 
+pub use cache::PropCache;
 pub use checkpoint::{
     checkpoint_path, load_checkpoint, save_checkpoint, validate_checkpoint, Checkpoint,
 };
 pub use config::{Arch, ModelConfig};
-pub use eval::{evaluate_accuracy, predict, validation_loss};
-pub use model::{forward, init_params, PropOps};
+pub use eval::{
+    evaluate_accuracy, evaluate_accuracy_cached, predict, predict_cached, validation_loss,
+    validation_loss_cached,
+};
+pub use model::{forward, forward_cached, init_params, PropOps};
 pub use params::{ParamSet, ParamVars};
 pub use train::{train_single, TrainConfig, TrainedModel};

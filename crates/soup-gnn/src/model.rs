@@ -1,6 +1,7 @@
 //! Architecture dispatch: parameter initialisation, propagation-operator
 //! preparation, and the full multi-layer forward pass.
 
+use crate::cache::PropCache;
 use crate::config::{Arch, ModelConfig};
 use crate::params::{ParamSet, ParamVars};
 use crate::{gat, gcn, gin, sage};
@@ -66,6 +67,30 @@ pub fn forward(
     training: bool,
     rng: &mut SplitMix64,
 ) -> Var {
+    forward_cached(tape, cfg, ops, None, x, params, training, rng)
+}
+
+/// [`forward`] with an optional [`PropCache`] supplying the eval-mode
+/// first-hop aggregation.
+///
+/// In eval mode (no dropout, so the layer-0 input *is* the raw feature
+/// tensor) GCN/SAGE/GIN run layer 0 aggregate-first: the weight-independent
+/// `op·X` is taken from the cache when one is provided, or computed by the
+/// same `spmm` op otherwise — the two are bit-identical because
+/// [`PropCache::new`] calls the exact kernel `spmm`'s forward uses. GAT's
+/// first hop is weight-dependent and always recomputes. In training mode
+/// the cache is ignored entirely (dropout perturbs the layer-0 input).
+#[allow(clippy::too_many_arguments)]
+pub fn forward_cached(
+    tape: &Tape,
+    cfg: &ModelConfig,
+    ops: &PropOps,
+    cache: Option<&PropCache>,
+    x: Var,
+    params: &ParamVars,
+    training: bool,
+    rng: &mut SplitMix64,
+) -> Var {
     assert_eq!(
         params.layers.len(),
         cfg.layers,
@@ -74,23 +99,29 @@ pub fn forward(
     let mut h = x;
     for l in 0..cfg.layers {
         h = tape.dropout(h, cfg.dropout, training, rng);
-        h = match (ops, cfg.arch) {
-            (PropOps::Gcn(adj), Arch::Gcn) => gcn::forward_layer(tape, adj, h, &params.layers[l]),
-            (PropOps::Sage(mean), Arch::Sage) => {
-                sage::forward_layer(tape, mean, h, &params.layers[l])
+        h = if l == 0 && !training && cfg.arch != Arch::Gat {
+            eval_first_hop(tape, cfg, ops, cache, h, &params.layers[0])
+        } else {
+            match (ops, cfg.arch) {
+                (PropOps::Gcn(adj), Arch::Gcn) => {
+                    gcn::forward_layer(tape, adj, h, &params.layers[l])
+                }
+                (PropOps::Sage(mean), Arch::Sage) => {
+                    sage::forward_layer(tape, mean, h, &params.layers[l])
+                }
+                (PropOps::Gat(idx), Arch::Gat) => gat::forward_layer(
+                    tape,
+                    idx,
+                    h,
+                    &params.layers[l],
+                    cfg.layer_heads(l),
+                    cfg.negative_slope,
+                ),
+                (PropOps::Gin(sum), Arch::Gin) => {
+                    gin::forward_layer(tape, sum, h, &params.layers[l], 0.0)
+                }
+                _ => panic!("PropOps does not match architecture {:?}", cfg.arch),
             }
-            (PropOps::Gat(idx), Arch::Gat) => gat::forward_layer(
-                tape,
-                idx,
-                h,
-                &params.layers[l],
-                cfg.layer_heads(l),
-                cfg.negative_slope,
-            ),
-            (PropOps::Gin(sum), Arch::Gin) => {
-                gin::forward_layer(tape, sum, h, &params.layers[l], 0.0)
-            }
-            _ => panic!("PropOps does not match architecture {:?}", cfg.arch),
         };
         if l + 1 < cfg.layers {
             h = match cfg.arch {
@@ -106,6 +137,39 @@ pub fn forward(
         }
     }
     h
+}
+
+/// Eval-mode layer 0 for the cacheable architectures, aggregate-first.
+fn eval_first_hop(
+    tape: &Tape,
+    cfg: &ModelConfig,
+    ops: &PropOps,
+    cache: Option<&PropCache>,
+    h: Var,
+    layer: &[Var],
+) -> Var {
+    let m = match (ops, cfg.arch) {
+        (PropOps::Gcn(m), Arch::Gcn)
+        | (PropOps::Sage(m), Arch::Sage)
+        | (PropOps::Gin(m), Arch::Gin) => m,
+        _ => panic!("PropOps does not match architecture {:?}", cfg.arch),
+    };
+    let agg = match cache {
+        Some(c) => {
+            let a = c
+                .cached_agg()
+                .expect("PropCache built for a cacheable architecture");
+            c.record_hit();
+            tape.constant(a.clone())
+        }
+        None => tape.spmm(m, h),
+    };
+    match cfg.arch {
+        Arch::Gcn => gcn::forward_layer_preagg(tape, agg, layer),
+        Arch::Sage => sage::forward_layer_preagg(tape, h, agg, layer),
+        Arch::Gin => gin::forward_layer_preagg(tape, h, agg, layer, 0.0),
+        Arch::Gat => unreachable!("GAT never takes the cached first-hop path"),
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,50 @@ impl ParamSet {
         ParamSet { layers }
     }
 
+    /// Fused R-way convex blend `Σ αᵢ·setsᵢ` via
+    /// [`soup_tensor::ops::soup::blend`] — one pass over each tensor
+    /// instead of GIS's chain of pairwise [`Self::interpolate`] calls.
+    pub fn blend(coeffs: &[f32], sets: &[&ParamSet]) -> ParamSet {
+        assert_eq!(coeffs.len(), sets.len(), "one coefficient per set");
+        assert!(!sets.is_empty(), "blend of zero parameter sets");
+        let first = sets[0];
+        for s in sets {
+            assert!(first.same_shape(s), "parameter sets differ in shape");
+        }
+        let layers = first
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(li, layer)| LayerParams {
+                name: layer.name.clone(),
+                tensors: (0..layer.tensors.len())
+                    .map(|ti| {
+                        let parts: Vec<&Tensor> =
+                            sets.iter().map(|s| &s.layers[li].tensors[ti]).collect();
+                        soup_tensor::ops::soup::blend(coeffs, &parts)
+                    })
+                    .collect(),
+            })
+            .collect();
+        ParamSet { layers }
+    }
+
+    /// [`Self::blend`] into an existing same-shaped set, reusing its tensor
+    /// buffers when they are not shared (GIS's per-candidate scratch soup).
+    pub fn blend_into(dst: &mut ParamSet, coeffs: &[f32], sets: &[&ParamSet]) {
+        assert_eq!(coeffs.len(), sets.len(), "one coefficient per set");
+        assert!(!sets.is_empty(), "blend of zero parameter sets");
+        for s in sets {
+            assert!(dst.same_shape(s), "parameter sets differ in shape");
+        }
+        for li in 0..dst.layers.len() {
+            for ti in 0..dst.layers[li].tensors.len() {
+                let parts: Vec<&Tensor> = sets.iter().map(|s| &s.layers[li].tensors[ti]).collect();
+                soup_tensor::ops::soup::blend_into(&mut dst.layers[li].tensors[ti], coeffs, &parts);
+            }
+        }
+    }
+
     /// Persist to a JSON file (checkpointing trained ingredients so soup
     /// experiments can be re-run without re-training Phase 1).
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
@@ -352,6 +396,45 @@ mod tests {
                 let ba = ParamSet::average(&[&b, &a]);
                 for (x, y) in ab.flat().zip(ba.flat()) {
                     prop_assert!(x.allclose(y, 1e-6));
+                }
+            }
+
+            #[test]
+            fn blend_matches_chained_interpolate(
+                seed in 0u64..50,
+                r in 2usize..=8,
+                alphas in proptest::collection::vec(0.05f32..0.95, 7),
+            ) {
+                // GIS builds its soup by chaining pairwise interpolations;
+                // the fused blend must reproduce that chain from the
+                // equivalent convex coefficients (ragged shapes: small_set
+                // mixes 3×4, 1×4 and 4×2 tensors).
+                let sets: Vec<ParamSet> = (0..r).map(|i| small_set(seed + i as u64)).collect();
+                let refs: Vec<&ParamSet> = sets.iter().collect();
+                let mut coeffs = vec![0.0f32; r];
+                coeffs[0] = 1.0;
+                let mut chained = sets[0].clone();
+                for i in 1..r {
+                    let a = alphas[i - 1];
+                    chained = chained.interpolate(&sets[i], a);
+                    for c in coeffs[..i].iter_mut() {
+                        *c *= 1.0 - a;
+                    }
+                    coeffs[i] = a;
+                }
+                let blended = ParamSet::blend(&coeffs, &refs);
+                for (x, y) in chained.flat().zip(blended.flat()) {
+                    prop_assert!(x.allclose(y, 1e-6));
+                }
+                // blend_into must agree with blend bitwise, and must not
+                // corrupt the aliased source (dst shares sets[0]'s Arcs).
+                let mut dst = sets[0].clone();
+                ParamSet::blend_into(&mut dst, &coeffs, &refs);
+                for (x, y) in dst.flat().zip(blended.flat()) {
+                    prop_assert!(x == y);
+                }
+                for (x, y) in sets[0].flat().zip(small_set(seed).flat()) {
+                    prop_assert!(x == y);
                 }
             }
 

@@ -22,8 +22,14 @@ pub fn init_layer(cfg: &ModelConfig, l: usize, rng: &mut SplitMix64) -> LayerPar
 
 /// One GraphSAGE layer forward. `mean` is the `D^{-1}A` operator.
 pub fn forward_layer(tape: &Tape, mean: &SparseMat, h: Var, params: &[Var]) -> Var {
-    debug_assert_eq!(params.len(), 2, "SAGE layer expects [W, b]");
     let agg = tape.spmm(mean, h);
+    forward_layer_preagg(tape, h, agg, params)
+}
+
+/// One GraphSAGE layer forward with the neighbor mean `agg = D^{-1}A·H`
+/// already computed (possibly by a [`crate::cache::PropCache`]).
+pub fn forward_layer_preagg(tape: &Tape, h: Var, agg: Var, params: &[Var]) -> Var {
+    debug_assert_eq!(params.len(), 2, "SAGE layer expects [W, b]");
     let cat = tape.concat_cols(h, agg);
     let out = tape.matmul(cat, params[0]);
     tape.add_bias(out, params[1])

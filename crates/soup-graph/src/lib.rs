@@ -28,5 +28,5 @@ pub use csr::CsrGraph;
 pub use datasets::{Dataset, DatasetKind};
 pub use sampling::{NeighborSampler, SampledSubgraph};
 pub use splits::Splits;
-pub use subgraph::InducedSubgraph;
+pub use subgraph::{subset_key, InducedSubgraph};
 pub use synth::SbmConfig;

@@ -88,6 +88,19 @@ impl InducedSubgraph {
     }
 }
 
+/// Canonical cache key for a partition subset: sorted, deduplicated.
+///
+/// [`InducedSubgraph::from_partitions`] retains nodes in *global-id* order
+/// regardless of the order (or multiplicity) of `selected`, so two draws of
+/// the same subset under different permutations produce identical
+/// subgraphs — a memoisation cache keyed by `subset_key` can reuse them.
+pub fn subset_key(selected: &[u32]) -> Vec<u32> {
+    let mut key = selected.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +191,29 @@ mod tests {
         assert_eq!(local.train, vec![1]); // node 2 -> local 1
         assert_eq!(local.val, vec![0, 2]); // nodes 1,3 -> local 0,2
         assert!(local.test.is_empty());
+    }
+
+    #[test]
+    fn subset_key_is_canonical() {
+        assert_eq!(subset_key(&[3, 1, 2]), vec![1, 2, 3]);
+        assert_eq!(subset_key(&[2, 1, 2]), vec![1, 2]);
+        assert_eq!(subset_key(&[3, 1, 2]), subset_key(&[2, 3, 1]));
+    }
+
+    #[test]
+    fn from_partitions_is_order_independent() {
+        // The invariant subset_key-based caches rely on: any permutation of
+        // the same subset yields a bit-identical subgraph and index maps.
+        let g = path5();
+        let assignment = vec![0u32, 0, 1, 1, 2];
+        let a = InducedSubgraph::from_partitions(&g, &assignment, &[0, 1]);
+        let b = InducedSubgraph::from_partitions(&g, &assignment, &[1, 0]);
+        assert_eq!(a.local_to_global, b.local_to_global);
+        assert_eq!(a.global_to_local, b.global_to_local);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for v in 0..a.num_nodes() {
+            assert_eq!(a.graph.neighbors(v), b.graph.neighbors(v));
+        }
     }
 
     #[test]

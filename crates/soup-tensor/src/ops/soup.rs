@@ -11,6 +11,139 @@
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 
+/// Per-element fused R-way combine: `dst[j] = Σ_i coeffs[i] · srcs[i][j]`.
+///
+/// One pass over `dst` with every source resident, instead of R axpy
+/// sweeps — the accumulation order over `i` matches the axpy chain
+/// (`0 + c₀x₀ + c₁x₁ + …`), so the baseline-ISA compilation is bit-identical
+/// to chained `axpy` while the AVX2+FMA compilation fuses each step into a
+/// multiply-add.
+#[inline(always)]
+fn blend_body(dst: &mut [f32], coeffs: &[f32], srcs: &[&[f32]]) {
+    match srcs {
+        [a] => {
+            let c0 = coeffs[0];
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = c0 * a[j];
+            }
+        }
+        [a, b] => {
+            let (c0, c1) = (coeffs[0], coeffs[1]);
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = c0 * a[j] + c1 * b[j];
+            }
+        }
+        _ => {
+            for (j, d) in dst.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (c, s) in coeffs.iter().zip(srcs) {
+                    acc += c * s[j];
+                }
+                *d = acc;
+            }
+        }
+    }
+}
+
+/// Baseline-ISA compilation of [`blend_body`].
+fn blend_range_generic(dst: &mut [f32], coeffs: &[f32], srcs: &[&[f32]]) {
+    blend_body(dst, coeffs, srcs);
+}
+
+/// [`blend_body`] compiled with AVX2 + FMA codegen (runtime-selected via
+/// [`crate::parallel::cpu_has_avx2_fma`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn blend_range_avx2(dst: &mut [f32], coeffs: &[f32], srcs: &[&[f32]]) {
+    blend_body(dst, coeffs, srcs);
+}
+
+#[inline(always)]
+fn blend_range(dst: &mut [f32], coeffs: &[f32], srcs: &[&[f32]]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::parallel::cpu_has_avx2_fma() {
+        // SAFETY: the required target features were verified at runtime.
+        unsafe { blend_range_avx2(dst, coeffs, srcs) };
+        return;
+    }
+    blend_range_generic(dst, coeffs, srcs);
+}
+
+/// Fused `Σ_i coeffs[i] · srcs[i]` into a raw slice, rayon-chunked above
+/// the parallel threshold. All slices must share `dst`'s length.
+pub fn blend_slices(dst: &mut [f32], coeffs: &[f32], srcs: &[&[f32]]) {
+    assert!(!srcs.is_empty(), "blend needs at least one source");
+    assert_eq!(
+        coeffs.len(),
+        srcs.len(),
+        "{} coefficients for {} sources",
+        coeffs.len(),
+        srcs.len()
+    );
+    for (i, s) in srcs.iter().enumerate() {
+        assert_eq!(
+            s.len(),
+            dst.len(),
+            "source {i} length {} != dst length {}",
+            s.len(),
+            dst.len()
+        );
+    }
+    let n = dst.len();
+    if n * srcs.len() >= crate::parallel::par_threshold() {
+        use rayon::prelude::*;
+        const CHUNK: usize = 16 * 1024;
+        dst.par_chunks_mut(CHUNK).enumerate().for_each(|(k, d)| {
+            let off = k * CHUNK;
+            let subs: Vec<&[f32]> = srcs.iter().map(|s| &s[off..off + d.len()]).collect();
+            blend_range(d, coeffs, &subs);
+        });
+    } else {
+        blend_range(dst, coeffs, srcs);
+    }
+    soup_obs::counter!("tensor.soup.blends_fused").inc();
+}
+
+/// Pool-backed fused blend `Σ_i coeffs[i] · parts[i]` into a fresh tensor.
+pub fn blend(coeffs: &[f32], parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "blend needs at least one ingredient");
+    let shape = parts[0].shape();
+    for (i, p) in parts.iter().enumerate() {
+        assert_eq!(
+            p.shape(),
+            shape,
+            "ingredient {i} shape {} != {shape}",
+            p.shape()
+        );
+    }
+    let mut out = crate::pool::take_scratch(shape.rows * shape.cols);
+    let srcs: Vec<&[f32]> = parts.iter().map(|p| p.data()).collect();
+    blend_slices(&mut out, coeffs, &srcs);
+    Tensor::from_vec(shape.rows, shape.cols, out)
+}
+
+/// Fused blend writing into an existing tensor, reusing its buffer when
+/// uniquely owned (the steady state of a candidate-evaluation loop: zero
+/// allocations after the first iteration).
+pub fn blend_into(dst: &mut Tensor, coeffs: &[f32], parts: &[&Tensor]) {
+    assert!(!parts.is_empty(), "blend needs at least one ingredient");
+    assert_eq!(
+        dst.shape(),
+        parts[0].shape(),
+        "blend destination shape {} != ingredient shape {}",
+        dst.shape(),
+        parts[0].shape()
+    );
+    if dst.ref_count() == 1 {
+        soup_obs::counter!("tensor.soup.blend_allocs_avoided").inc();
+    }
+    // `make_mut` copies-on-write when shared, so after this the destination
+    // buffer cannot alias any source buffer.
+    let out = dst.make_mut();
+    let srcs: Vec<&[f32]> = parts.iter().map(|p| p.data()).collect();
+    blend_slices(out, coeffs, &srcs);
+}
+
 impl Tape {
     /// `Σ_i alpha[i] · weights[i]` where `alpha` is an `(N, 1)` variable and
     /// `weights` are `N` equally-shaped constant tensors.
@@ -33,19 +166,8 @@ impl Tape {
             av.rows(),
             weights.len()
         );
-        let shape = weights[0].shape();
-        for (i, w) in weights.iter().enumerate() {
-            assert_eq!(
-                w.shape(),
-                shape,
-                "ingredient {i} shape {} != {shape}",
-                w.shape()
-            );
-        }
-        let mut out = Tensor::zeros(shape.rows, shape.cols);
-        for (i, w) in weights.iter().enumerate() {
-            out.axpy(av.data()[i], w);
-        }
+        let parts: Vec<&Tensor> = weights.iter().collect();
+        let out = blend(av.data(), &parts);
         let weights: Vec<Tensor> = weights.to_vec();
         self.push_op(
             out,
@@ -155,5 +277,76 @@ mod tests {
         let tape = Tape::new();
         let alpha = tape.param(Tensor::from_vec(2, 1, vec![0.5, 0.5]));
         tape.weighted_param_sum(&[Tensor::zeros(2, 2), Tensor::zeros(3, 2)], alpha);
+    }
+
+    #[test]
+    fn blend_matches_axpy_chain() {
+        let mut rng = SplitMix64::new(4);
+        for r in 1..=8 {
+            let parts: Vec<Tensor> = (0..r)
+                .map(|_| Tensor::randn(7, 13, 1.0, &mut rng))
+                .collect();
+            let coeffs: Vec<f32> = (0..r).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let mut expect = Tensor::zeros(7, 13);
+            for (c, p) in coeffs.iter().zip(&parts) {
+                expect.axpy(*c, p);
+            }
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            let got = blend(&coeffs, &refs);
+            assert!(got.allclose(&expect, 1e-5), "R={r}");
+        }
+    }
+
+    #[test]
+    fn blend_into_reuses_unique_buffer() {
+        let mut rng = SplitMix64::new(5);
+        let a = Tensor::randn(64, 64, 1.0, &mut rng);
+        let b = Tensor::randn(64, 64, 1.0, &mut rng);
+        let mut dst = Tensor::zeros(64, 64);
+        let before = dst.data().as_ptr();
+        blend_into(&mut dst, &[0.25, 0.75], &[&a, &b]);
+        assert_eq!(dst.data().as_ptr(), before, "unique buffer was reallocated");
+        let mut expect = a.scale(0.25);
+        expect.axpy(0.75, &b);
+        assert!(dst.allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn blend_into_copies_shared_buffer() {
+        let mut rng = SplitMix64::new(6);
+        let a = Tensor::randn(8, 8, 1.0, &mut rng);
+        let b = Tensor::randn(8, 8, 1.0, &mut rng);
+        // dst starts as a clone of `a`: the blend must not corrupt `a`.
+        let mut dst = a.clone();
+        let a_before = a.clone();
+        blend_into(&mut dst, &[0.5, 0.5], &[&a, &b]);
+        assert_eq!(a, a_before, "source corrupted by aliased blend");
+        let mut expect = a.scale(0.5);
+        expect.axpy(0.5, &b);
+        assert!(dst.allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn blend_parallel_path_matches_serial() {
+        // Large enough to cross the parallel threshold.
+        let mut rng = SplitMix64::new(7);
+        let parts: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(300, 200, 1.0, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let coeffs = [0.2f32, 0.3, 0.5];
+        let got = blend(&coeffs, &refs);
+        let mut expect = Tensor::zeros(300, 200);
+        for (c, p) in coeffs.iter().zip(&parts) {
+            expect.axpy(*c, p);
+        }
+        assert!(got.allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn blend_slices_length_mismatch_panics() {
+        let mut dst = vec![0.0f32; 4];
+        blend_slices(&mut dst, &[1.0], &[&[1.0, 2.0]]);
     }
 }

@@ -110,6 +110,43 @@ fn check_spmm(rows: usize, cols: usize, degrees: &[usize], c: usize, seed: u64) 
     assert_close(a.matvec_dense(&x).data(), &want, "spmm");
 }
 
+/// The pre-engine souping baseline: materialise `Σ_i coeffs[i]·parts[i]`
+/// as a chain of two-way interpolations, each step a fresh temporary —
+/// `acc_i = acc_{i-1} + coeffs[i]·parts[i]` in plain scalar f32.
+fn chained_interpolate_ref(coeffs: &[f32], parts: &[&Tensor]) -> Vec<f32> {
+    let mut acc = vec![0.0f32; parts[0].data().len()];
+    for (c, p) in coeffs.iter().zip(parts) {
+        let next: Vec<f32> = acc.iter().zip(p.data()).map(|(a, x)| a + c * x).collect();
+        acc = next;
+    }
+    acc
+}
+
+/// Fused R-way blend vs the chained-interpolation chain it replaced: the
+/// fused kernel accumulates in the same order, so only FMA contraction
+/// (AVX2 path) can perturb the result — bounded well inside 1e-6 relative.
+fn check_blend(rows: usize, cols: usize, r: usize, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let parts: Vec<Tensor> = (0..r)
+        .map(|_| Tensor::randn(rows, cols, 1.0, &mut rng))
+        .collect();
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    // Softmax-like convex coefficients, as GIS/LS produce.
+    let raw: Vec<f32> = (0..r).map(|_| rng.normal().abs() + 0.05).collect();
+    let total: f32 = raw.iter().sum();
+    let coeffs: Vec<f32> = raw.iter().map(|c| c / total).collect();
+    let want = chained_interpolate_ref(&coeffs, &refs);
+
+    let mut dst = Tensor::zeros(rows, cols);
+    soup_tensor::ops::soup::blend_into(&mut dst, &coeffs, &refs);
+    for (idx, (&g, &w)) in dst.data().iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-6 * (1.0 + w.abs()),
+            "blend r={r} idx {idx}: got {g}, want {w}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -139,6 +176,18 @@ proptest! {
         let mut rng = SplitMix64::new(seed ^ 0x9e37);
         let degrees: Vec<usize> = (0..rows).map(|_| rng.next_below(density + 1)).collect();
         check_spmm(rows, cols, &degrees, c, seed);
+    }
+
+    /// Fused soup blend vs chained interpolation for every soup size GIS
+    /// probes (R ∈ {2..8}), crossing the rayon parallel-chunk threshold.
+    #[test]
+    fn blend_into_matches_chained_interpolation(
+        rows in 1usize..80,
+        cols in 1usize..48,
+        r in 2usize..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        check_blend(rows, cols, r, seed);
     }
 }
 

@@ -288,6 +288,9 @@ fn cmd_train(flags: &Flags) -> Result<()> {
         run.failed.len(),
         run.retries,
     );
+    // Training is over; don't let its pooled buffers linger into whatever
+    // runs next in this process or distort an immediately following soup.
+    enhanced_soups::tensor::pool::trim();
     Ok(())
 }
 
@@ -356,6 +359,16 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
     let dataset = load_dataset(required(flags, "data")?)?;
     let dir = PathBuf::from(required(flags, "ckpt-dir")?);
     let (cfg, ingredients) = load_manifest(&dir)?;
+    // Phase-1 -> Phase-2 boundary: buffers pooled while loading/validating
+    // checkpoints would otherwise count against the souping phase's peak
+    // memory (the paper's Table III/Fig. 4 quantity).
+    let trimmed = enhanced_soups::tensor::pool::trim();
+    if trimmed > 0 {
+        println!(
+            "trimmed {} of pooled phase-1 buffers",
+            enhanced_soups::tensor::memory::format_bytes(trimmed)
+        );
+    }
     let seed: u64 = numeric(flags, "seed", 7)?;
     let epochs: usize = numeric(flags, "epochs", 50)?;
     let hyper = LearnedHyper {
@@ -389,12 +402,13 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
     }
     let test = test_accuracy(&outcome, &dataset, &cfg);
     println!(
-        "{}: val {:.2}%  test {:.2}%  time {:.3}s  peak-mem {}",
+        "{}: val {:.2}%  test {:.2}%  time {:.3}s  peak-mem {}  spmm-saved {}",
         strategy.name(),
         outcome.val_accuracy * 100.0,
         test * 100.0,
         outcome.stats.wall_time.as_secs_f64(),
         enhanced_soups::tensor::memory::format_bytes(outcome.stats.peak_mem_bytes),
+        outcome.stats.spmm_saved,
     );
     if let Some(out) = flags.get("out") {
         outcome.params.save_json(out)?;

@@ -59,6 +59,50 @@ pub mod prelude {
     }
 
     impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// Sequential stand-in for rayon's `map_init` adaptor.
+    pub struct MapInit<I, S, F> {
+        iter: I,
+        state: S,
+        op: F,
+    }
+
+    impl<I, S, R, F> Iterator for MapInit<I, S, F>
+    where
+        I: Iterator,
+        F: FnMut(&mut S, I::Item) -> R,
+    {
+        type Item = R;
+
+        fn next(&mut self) -> Option<R> {
+            let item = self.iter.next()?;
+            Some((self.op)(&mut self.state, item))
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.iter.size_hint()
+        }
+    }
+
+    /// rayon adaptors with no direct `std::iter::Iterator` equivalent.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// rayon's `map_init`: per-worker scratch state threaded through the
+        /// map. The shim has exactly one "worker", so `init` runs once and
+        /// the state is reused across every item — the same reuse pattern
+        /// call sites rely on for allocation avoidance.
+        fn map_init<S, R, F>(self, init: impl FnOnce() -> S, op: F) -> MapInit<Self, S, F>
+        where
+            F: FnMut(&mut S, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                op,
+            }
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
 }
 
 /// Number of threads the (sequential) shim pool uses.
@@ -143,6 +187,23 @@ mod tests {
             }
         });
         assert_eq!(v, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let v = [1u32, 2, 3];
+        let out: Vec<u32> = v
+            .par_iter()
+            .map_init(
+                || 0u32,
+                |acc, &x| {
+                    *acc += x;
+                    *acc
+                },
+            )
+            .collect();
+        // One worker, one state: the scratch accumulates across items.
+        assert_eq!(out, [1, 3, 6]);
     }
 
     #[test]
