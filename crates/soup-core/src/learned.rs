@@ -12,7 +12,9 @@
 //! backward each, versus GIS's `N·g` forwards (§III-E).
 
 use crate::ingredient::{validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use crate::resume::{Phase2Persist, Phase2Session, RunShape};
+use crate::strategy::{measure_soup_try, MixReport, SoupOutcome, SoupStrategy};
+use soup_error::SoupError;
 use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
 use soup_gnn::params::{LayerParams, ParamVars};
@@ -62,6 +64,16 @@ pub struct LearnedHyper {
     /// cached subgraph) saves one SpMM, with bit-identical results. GAT is
     /// unaffected (its first hop is weight-dependent).
     pub prop_cache: bool,
+    /// Numeric-watchdog retry budget: on a NaN/Inf epoch loss the loop
+    /// restores the pre-epoch α/optimizer/RNG snapshot, halves the
+    /// effective learning rate, and retries the epoch — at most this many
+    /// times per epoch before surfacing [`soup_error::SoupError::Numeric`]
+    /// through the fallible souping entry points.
+    pub nan_retry_budget: u32,
+    /// Chaos knob for the watchdog tests: `(epoch, times)` poisons the
+    /// loss (and the α state, as a diverged step would) on the first
+    /// `times` attempts of that epoch. `None` in production.
+    pub nan_inject: Option<(usize, u32)>,
 }
 
 impl Default for LearnedHyper {
@@ -77,6 +89,8 @@ impl Default for LearnedHyper {
             val_batch: None,
             prune_threshold: None,
             prop_cache: true,
+            nan_retry_budget: 4,
+            nan_inject: None,
         }
     }
 }
@@ -247,6 +261,234 @@ impl LearnedSouping {
     pub fn new(hyper: LearnedHyper) -> Self {
         Self { hyper }
     }
+
+    /// Fallible, resumable LS entry point. With `persist` set the loop
+    /// checkpoints its optimizer state through the crash-safe store and can
+    /// continue bit-identically from the last durable epoch
+    /// (`Ok(None)` reports a deliberate [`Phase2Persist::stop_after`]
+    /// kill). Numeric-watchdog exhaustion surfaces as
+    /// [`SoupError::Numeric`] instead of panicking.
+    pub fn try_soup(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        seed: u64,
+        persist: Option<&Phase2Persist>,
+    ) -> crate::Result<Option<SoupOutcome>> {
+        validate_ingredients(ingredients);
+        assert!(self.hyper.epochs > 0, "LS needs at least one epoch");
+        // A partial pool needs no special handling: the softmax over the
+        // R' surviving ingredients renormalises the ratios by construction.
+        measure_soup_try(ingredients, dataset, cfg, || {
+            self.mix_loop(ingredients, dataset, cfg, seed, persist)
+        })
+    }
+
+    /// The Alg. 3 epoch loop (full validation graph every epoch).
+    fn mix_loop(
+        &self,
+        ingredients: &[Ingredient],
+        dataset: &Dataset,
+        cfg: &ModelConfig,
+        seed: u64,
+        persist: Option<&Phase2Persist>,
+    ) -> crate::Result<Option<MixReport>> {
+        let h = self.hyper;
+        let _ls_span = soup_obs::span!("soup.ls");
+        let shape = RunShape {
+            strategy: "ls",
+            seed,
+            total_epochs: h.epochs,
+            num_ingredients: ingredients.len(),
+            partitions: 0,
+            budget: 0,
+        };
+        let mut session = Phase2Session::begin(persist, shape)?;
+        let mut rng = SplitMix64::new(seed).derive(0x15);
+        let mut alphas = AlphaState::init(
+            ingredients.len(),
+            ingredients[0].params.num_layers(),
+            &mut rng,
+        );
+        let (fit_mask, monitor_mask): (Vec<usize>, Vec<usize>) = if h.holdout_ratio > 0.0 {
+            let (fit, holdout) = dataset.splits.split_val(h.holdout_ratio, seed);
+            (fit, holdout)
+        } else {
+            (dataset.splits.val.clone(), dataset.splits.val.clone())
+        };
+        let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+        let cache = h
+            .prop_cache
+            .then(|| PropCache::new(&ops, &dataset.features));
+        let sched = CosineAnnealing::new(h.base_lr, h.eta_min, h.epochs);
+        let mut opt = Sgd::new(sched.lr(0).max(h.eta_min), h.momentum, h.weight_decay);
+        let mut best: Option<(f64, AlphaState)> = None;
+        let mut since_best = 0usize;
+        let mut forwards = 0usize;
+        let mut epochs_run = 0usize;
+        let mut lr_scale = 1.0f32;
+        let mut nan_retries = 0u64;
+        let mut epoch = 0usize;
+        if let Some(state) = session.take_resumed() {
+            epoch = state.next_epoch as usize;
+            epochs_run = state.epochs_run as usize;
+            forwards = state.forwards as usize;
+            rng = SplitMix64::from_snapshot(state.rng_state, state.rng_gauss_spare);
+            alphas = AlphaState { raw: state.alphas };
+            opt.set_velocity(state.velocity);
+            best = match (state.best_acc, state.best_alphas) {
+                (Some(acc), Some(raw)) => Some((acc, AlphaState { raw })),
+                _ => None,
+            };
+            since_best = state.since_best as usize;
+            lr_scale = state.lr_scale;
+            nan_retries = state.nan_retries;
+        }
+        let mut attempts = 0u32;
+        let mut stopped_early = false;
+        while epoch < h.epochs {
+            // Watchdog snapshot: taken before the epoch consumes any
+            // randomness, so a retry replays the epoch deterministically.
+            let snap_alphas = alphas.clone();
+            let snap_velocity = opt.velocity().to_vec();
+            let (snap_rng, snap_spare) = rng.snapshot();
+            // §VI-A minibatched validation: subsample the fit nodes.
+            let epoch_fit: Vec<usize> = match h.val_batch {
+                Some(b) if b < fit_mask.len() => rng
+                    .sample_indices(fit_mask.len(), b)
+                    .into_iter()
+                    .map(|k| fit_mask[k])
+                    .collect(),
+                _ => fit_mask.clone(),
+            };
+            opt.lr = (sched.lr(epoch) * lr_scale).max(1e-6);
+            let mut loss = learned_step(
+                ingredients,
+                &mut alphas,
+                cfg,
+                &ops,
+                cache.as_ref(),
+                &dataset.features,
+                &dataset.labels,
+                &epoch_fit,
+                &mut opt,
+            );
+            forwards += 1;
+            if let Some((e, times)) = h.nan_inject {
+                if epoch == e && attempts < times {
+                    // Poison both the loss and the α state, as a genuinely
+                    // diverged step would.
+                    loss = f32::NAN;
+                    alphas.raw[0].make_mut()[0] = f32::NAN;
+                }
+            }
+            if !loss.is_finite() {
+                if attempts >= h.nan_retry_budget {
+                    return Err(SoupError::numeric(format!(
+                        "LS epoch {epoch}: non-finite loss persisted after {attempts} \
+                         watchdog retries (lr_scale {lr_scale})"
+                    )));
+                }
+                attempts += 1;
+                nan_retries += 1;
+                alphas = snap_alphas;
+                opt.set_velocity(snap_velocity);
+                rng = SplitMix64::from_snapshot(snap_rng, snap_spare);
+                lr_scale *= 0.5;
+                soup_obs::counter!("soup.watchdog.retries").inc();
+                soup_obs::warn!(
+                    "LS epoch {epoch}: non-finite loss; restored last good α, \
+                     retrying with lr_scale {lr_scale} (attempt {attempts}/{})",
+                    h.nan_retry_budget
+                );
+                continue;
+            }
+            attempts = 0;
+            epochs_run += 1;
+            soup_obs::counter!("soup.ls.epochs").inc();
+            soup_obs::trace_event!("soup.ls.epoch",
+                "epoch" => epoch as u64,
+                "loss" => loss,
+                "lr" => opt.lr,
+                "mean_ratios" => mean_ratios(&alphas));
+            // §VIII ingredient drop-out at the half-way point.
+            if let Some(threshold) = h.prune_threshold {
+                if epoch + 1 == h.epochs / 2 {
+                    prune_weak_ingredients(&mut alphas, threshold);
+                }
+            }
+            // §VI-A early stopping on the monitored split.
+            if let Some(patience) = h.early_stop_patience {
+                let soup = materialize_soup(ingredients, &alphas);
+                forwards += 1;
+                let acc = match &cache {
+                    Some(c) => soup_gnn::evaluate_accuracy_cached(
+                        cfg,
+                        &ops,
+                        c,
+                        &soup,
+                        &dataset.labels,
+                        &monitor_mask,
+                    ),
+                    None => soup_gnn::evaluate_accuracy(
+                        cfg,
+                        &ops,
+                        &soup,
+                        &dataset.features,
+                        &dataset.labels,
+                        &monitor_mask,
+                    ),
+                };
+                match &best {
+                    Some((b, _)) if acc <= *b => {
+                        since_best += 1;
+                        if since_best >= patience {
+                            stopped_early = true;
+                        }
+                    }
+                    _ => {
+                        best = Some((acc, alphas.clone()));
+                        since_best = 0;
+                    }
+                }
+            }
+            epoch += 1;
+            let capture = |next_epoch: usize| {
+                shape.capture(
+                    next_epoch,
+                    epochs_run,
+                    forwards,
+                    &rng,
+                    &alphas.raw,
+                    opt.velocity(),
+                    best.as_ref().map(|(a, s)| (*a, s.raw.as_slice())),
+                    since_best,
+                    lr_scale,
+                    nan_retries,
+                )
+            };
+            if stopped_early {
+                // Mark the run complete so a later resume reproduces the
+                // restored-best soup without replaying the patience window.
+                session.save(h.epochs, capture(h.epochs))?;
+                break;
+            }
+            if session.after_epoch(epoch, || capture(epoch))? {
+                return Ok(None);
+            }
+        }
+        if let Some((_, a)) = best {
+            alphas = a;
+        }
+        let spmm_saved = cache.as_ref().map_or(0, |c| c.hits().saturating_sub(1));
+        Ok(Some(MixReport {
+            params: materialize_soup(ingredients, &alphas),
+            forward_passes: forwards,
+            epochs: epochs_run,
+            spmm_saved,
+        }))
+    }
 }
 
 impl SoupStrategy for LearnedSouping {
@@ -261,118 +503,9 @@ impl SoupStrategy for LearnedSouping {
         cfg: &ModelConfig,
         seed: u64,
     ) -> SoupOutcome {
-        validate_ingredients(ingredients);
-        let h = self.hyper;
-        assert!(h.epochs > 0, "LS needs at least one epoch");
-        // A partial pool needs no special handling: the softmax over the
-        // R' surviving ingredients renormalises the ratios by construction.
-        measure_soup(ingredients, dataset, cfg, || {
-            let _ls_span = soup_obs::span!("soup.ls");
-            let mut rng = SplitMix64::new(seed).derive(0x15);
-            let mut alphas = AlphaState::init(
-                ingredients.len(),
-                ingredients[0].params.num_layers(),
-                &mut rng,
-            );
-            let (fit_mask, monitor_mask): (Vec<usize>, Vec<usize>) = if h.holdout_ratio > 0.0 {
-                let (fit, holdout) = dataset.splits.split_val(h.holdout_ratio, seed);
-                (fit, holdout)
-            } else {
-                (dataset.splits.val.clone(), dataset.splits.val.clone())
-            };
-            let ops = PropOps::prepare(cfg.arch, &dataset.graph);
-            let cache = h
-                .prop_cache
-                .then(|| PropCache::new(&ops, &dataset.features));
-            let sched = CosineAnnealing::new(h.base_lr, h.eta_min, h.epochs);
-            let mut opt = Sgd::new(sched.lr(0).max(h.eta_min), h.momentum, h.weight_decay);
-            let mut best: Option<(f64, AlphaState)> = None;
-            let mut since_best = 0usize;
-            let mut forwards = 0usize;
-            let mut epochs_run = 0usize;
-            for epoch in 0..h.epochs {
-                epochs_run += 1;
-                // §VI-A minibatched validation: subsample the fit nodes.
-                let epoch_fit: Vec<usize> = match h.val_batch {
-                    Some(b) if b < fit_mask.len() => rng
-                        .sample_indices(fit_mask.len(), b)
-                        .into_iter()
-                        .map(|k| fit_mask[k])
-                        .collect(),
-                    _ => fit_mask.clone(),
-                };
-                opt.lr = sched.lr(epoch).max(1e-6);
-                let loss = learned_step(
-                    ingredients,
-                    &mut alphas,
-                    cfg,
-                    &ops,
-                    cache.as_ref(),
-                    &dataset.features,
-                    &dataset.labels,
-                    &epoch_fit,
-                    &mut opt,
-                );
-                forwards += 1;
-                soup_obs::counter!("soup.ls.epochs").inc();
-                soup_obs::trace_event!("soup.ls.epoch",
-                    "epoch" => epoch as u64,
-                    "loss" => loss,
-                    "lr" => opt.lr,
-                    "mean_ratios" => mean_ratios(&alphas));
-                // §VIII ingredient drop-out at the half-way point.
-                if let Some(threshold) = h.prune_threshold {
-                    if epoch + 1 == h.epochs / 2 {
-                        prune_weak_ingredients(&mut alphas, threshold);
-                    }
-                }
-                // §VI-A early stopping on the monitored split.
-                if let Some(patience) = h.early_stop_patience {
-                    let soup = materialize_soup(ingredients, &alphas);
-                    forwards += 1;
-                    let acc = match &cache {
-                        Some(c) => soup_gnn::evaluate_accuracy_cached(
-                            cfg,
-                            &ops,
-                            c,
-                            &soup,
-                            &dataset.labels,
-                            &monitor_mask,
-                        ),
-                        None => soup_gnn::evaluate_accuracy(
-                            cfg,
-                            &ops,
-                            &soup,
-                            &dataset.features,
-                            &dataset.labels,
-                            &monitor_mask,
-                        ),
-                    };
-                    match &best {
-                        Some((b, _)) if acc <= *b => {
-                            since_best += 1;
-                            if since_best >= patience {
-                                break;
-                            }
-                        }
-                        _ => {
-                            best = Some((acc, alphas.clone()));
-                            since_best = 0;
-                        }
-                    }
-                }
-            }
-            if let Some((_, a)) = best {
-                alphas = a;
-            }
-            let spmm_saved = cache.as_ref().map_or(0, |c| c.hits().saturating_sub(1));
-            MixReport {
-                params: materialize_soup(ingredients, &alphas),
-                forward_passes: forwards,
-                epochs: epochs_run,
-                spmm_saved,
-            }
-        })
+        self.try_soup(ingredients, dataset, cfg, seed, None)
+            .expect("LS without persistence cannot hit storage errors")
+            .expect("LS without persistence never stops early")
     }
 }
 
@@ -664,5 +797,71 @@ mod tests {
         };
         let outcome = LearnedSouping::new(h).soup(&ingredients, &d, &cfg, 2);
         assert!((0.0..=1.0).contains(&outcome.val_accuracy));
+    }
+
+    #[test]
+    fn watchdog_recovers_from_injected_nans() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 16);
+        let clean_h = LearnedHyper {
+            epochs: 8,
+            ..Default::default()
+        };
+        let clean = LearnedSouping::new(clean_h).soup(&ingredients, &d, &cfg, 6);
+        // Poison epoch 3 twice; the watchdog restores the snapshot and
+        // retries with a halved LR, so the run completes.
+        let chaotic_h = LearnedHyper {
+            nan_inject: Some((3, 2)),
+            ..clean_h
+        };
+        let chaotic = LearnedSouping::new(chaotic_h)
+            .try_soup(&ingredients, &d, &cfg, 6, None)
+            .unwrap()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&chaotic.val_accuracy));
+        // Retries cost extra forwards but epochs_run matches the schedule.
+        assert_eq!(chaotic.stats.epochs, clean.stats.epochs);
+        assert_eq!(chaotic.stats.forward_passes, clean.stats.forward_passes + 2);
+    }
+
+    #[test]
+    fn watchdog_exhaustion_is_numeric_error() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 17);
+        let h = LearnedHyper {
+            epochs: 6,
+            nan_retry_budget: 2,
+            nan_inject: Some((1, u32::MAX)), // never stops firing
+            ..Default::default()
+        };
+        let err = LearnedSouping::new(h)
+            .try_soup(&ingredients, &d, &cfg, 4, None)
+            .unwrap_err();
+        assert_eq!(err.kind(), "numeric");
+    }
+
+    #[test]
+    fn pls_watchdog_recovers_too() {
+        let (d, cfg, ingredients) = trained_ingredients(3, 18);
+        let h = LearnedHyper {
+            epochs: 8,
+            nan_inject: Some((2, 1)),
+            ..Default::default()
+        };
+        let outcome = crate::pls::PartitionLearnedSouping::new(h, 8, 3)
+            .try_soup(&ingredients, &d, &cfg, 7, None)
+            .unwrap()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&outcome.val_accuracy));
+        let clean = crate::pls::PartitionLearnedSouping::new(
+            LearnedHyper {
+                nan_inject: None,
+                ..h
+            },
+            8,
+            3,
+        )
+        .soup(&ingredients, &d, &cfg, 7);
+        // The retry replays the same draw with a scaled LR; apart from the
+        // watchdog detour the schedule is unchanged.
+        assert_eq!(outcome.stats.epochs, clean.stats.epochs);
     }
 }

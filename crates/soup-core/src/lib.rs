@@ -25,6 +25,7 @@ pub mod greedy;
 pub mod ingredient;
 pub mod learned;
 pub mod pls;
+pub mod resume;
 pub mod strategy;
 pub mod subcache;
 pub mod uniform;
@@ -43,8 +44,12 @@ pub use greedy::GreedySouping;
 pub use ingredient::Ingredient;
 pub use learned::{LearnedHyper, LearnedSouping};
 pub use pls::{PartitionLearnedSouping, PartitionerKind};
+pub use resume::{
+    load_state, Phase2Persist, Phase2Session, Phase2State, RunShape, PHASE2_STATE_VERSION,
+};
 pub use strategy::{
-    measure_soup, missing_ordinals, MixReport, SoupOutcome, SoupStats, SoupStrategy,
+    measure_soup, measure_soup_try, missing_ordinals, MixReport, SoupOutcome, SoupStats,
+    SoupStrategy,
 };
 pub use subcache::SubgraphCache;
 pub use uniform::UniformSouping;

@@ -110,6 +110,22 @@ pub fn measure_soup(
     cfg: &ModelConfig,
     mix: impl FnOnce() -> MixReport,
 ) -> SoupOutcome {
+    measure_soup_try(ingredients, dataset, cfg, || Ok(Some(mix())))
+        .expect("infallible mixing closure")
+        .expect("non-stopping mixing closure")
+}
+
+/// Fallible, stoppable variant of [`measure_soup`] for resumable mixing
+/// loops: the closure may fail (numeric watchdog exhausted, storage error)
+/// or report a deliberate mid-run stop (`Ok(None)`, the simulated-kill
+/// path of [`crate::resume::Phase2Persist::stop_after`]). Accuracy is only
+/// evaluated for completed mixes.
+pub fn measure_soup_try(
+    ingredients: &[Ingredient],
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    mix: impl FnOnce() -> crate::Result<Option<MixReport>>,
+) -> crate::Result<Option<SoupOutcome>> {
     let missing = missing_ordinals(ingredients);
     if !missing.is_empty() {
         soup_obs::counter!("soup.degraded_runs").inc();
@@ -121,14 +137,26 @@ pub fn measure_soup(
     }
     let scope = MemoryScope::start();
     let start = Instant::now();
+    let report = {
+        let _mix_span = soup_obs::span!("soup.mix");
+        mix()
+    };
     let MixReport {
         params,
         forward_passes,
         epochs,
         spmm_saved,
-    } = {
-        let _mix_span = soup_obs::span!("soup.mix");
-        mix()
+    } = match report {
+        Ok(Some(r)) => r,
+        Ok(None) => {
+            scope.finish();
+            soup_obs::counter!("soup.phase2.stopped_runs").inc();
+            return Ok(None);
+        }
+        Err(e) => {
+            scope.finish();
+            return Err(e);
+        }
     };
     let wall_time = start.elapsed();
     let mem = scope.finish();
@@ -152,7 +180,7 @@ pub fn measure_soup(
         &dataset.labels,
         &dataset.splits.val,
     );
-    SoupOutcome {
+    Ok(Some(SoupOutcome {
         params,
         val_accuracy,
         stats: SoupStats {
@@ -163,7 +191,7 @@ pub fn measure_soup(
             spmm_saved,
         },
         missing,
-    }
+    }))
 }
 
 /// Evaluate a finished soup on the test split (the number Table II

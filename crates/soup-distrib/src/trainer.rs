@@ -16,10 +16,11 @@ use soup_core::Ingredient;
 use soup_error::{Result, SoupError};
 use soup_gnn::model::init_params;
 use soup_gnn::{
-    checkpoint_path, load_checkpoint, save_checkpoint, train_single, validate_checkpoint,
-    Checkpoint, ModelConfig, TrainConfig,
+    checkpoint_name, encode_checkpoint, find_checkpoint, load_checkpoint, train_single,
+    validate_checkpoint, Checkpoint, ModelConfig, TrainConfig,
 };
 use soup_graph::Dataset;
+use soup_store::{update_journal, StorageFaultPlan, Store};
 use soup_tensor::SplitMix64;
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -55,11 +56,33 @@ pub struct FaultPlan {
     pub rate: f64,
     /// Seed of the fault schedule (independent of the training seed).
     pub seed: u64,
+    /// Probability in `[0, 1]` that an artifact's first write through the
+    /// store is struck by a storage fault (torn write or bit flip, chosen
+    /// deterministically per artifact id — see
+    /// [`soup_store::StorageFaultPlan`]). The store's read-back
+    /// verification detects and heals every strike, so recovery always
+    /// converges to the fault-free bytes.
+    pub storage_rate: f64,
 }
 
 impl FaultPlan {
     pub fn new(rate: f64, seed: u64) -> Self {
-        Self { rate, seed }
+        Self {
+            rate,
+            seed,
+            storage_rate: 0.0,
+        }
+    }
+
+    /// Enable storage faults at `rate` (same schedule seed).
+    pub fn with_storage_rate(mut self, rate: f64) -> Self {
+        self.storage_rate = rate;
+        self
+    }
+
+    /// The storage-fault schedule of this plan, if enabled.
+    pub fn storage_plan(&self) -> Option<StorageFaultPlan> {
+        (self.storage_rate > 0.0).then(|| StorageFaultPlan::new(self.storage_rate, self.seed))
     }
 
     /// The fault (if any) striking `ordinal`'s attempt number `attempt`.
@@ -313,9 +336,17 @@ pub fn train_ingredients_opts(
     let failed_tasks: Mutex<Vec<FailedTask>> = Mutex::new(Vec::new());
     let root = SplitMix64::new(opts.seed);
 
-    if let Some(dir) = &opts.checkpoint_dir {
-        std::fs::create_dir_all(dir).map_err(|e| SoupError::io_at(dir, e))?;
-    }
+    // All checkpoint writes flow through the crash-safe store: envelope
+    // sealing, atomic tmp+fsync+rename, optional fault injection with
+    // read-back healing, and the per-run manifest journal.
+    let store: Option<Store> = match &opts.checkpoint_dir {
+        Some(dir) => Some(
+            Store::open(dir)?.with_faults(opts.fault_plan.as_ref().and_then(|p| p.storage_plan())),
+        ),
+        None => None,
+    };
+    // The journal is read-modify-write; serialise updates across workers.
+    let journal_lock = Mutex::new(());
 
     // Resume: satisfy ordinals from validated checkpoints before any worker
     // starts, so the queue only hands out missing or invalid ones.
@@ -323,10 +354,9 @@ pub fn train_ingredients_opts(
     if opts.resume {
         if let Some(dir) = &opts.checkpoint_dir {
             for id in 0..n {
-                let path = checkpoint_path(dir, id);
-                if !path.exists() {
+                let Some(path) = find_checkpoint(dir, id) else {
                     continue;
-                }
+                };
                 let expected_seed = root.derive(id as u64 + 1).next_u64_peek();
                 let valid = load_checkpoint(&path).and_then(|ck| {
                     validate_checkpoint(&ck, id, Some(expected_seed), &init).map(|()| ck)
@@ -378,6 +408,8 @@ pub fn train_ingredients_opts(
             let failed_tasks = &failed_tasks;
             let init = &init;
             let root = &root;
+            let store = &store;
+            let journal_lock = &journal_lock;
             scope.spawn(move || {
                 // Exclusive-device mode: a private 1-thread pool confines
                 // this worker's kernel parallelism to itself.
@@ -451,16 +483,30 @@ pub fn train_ingredients_opts(
                                      parameters"
                                 )))
                             } else {
-                                if let Some(dir) = &opts.checkpoint_dir {
+                                if let Some(store) = &store {
                                     let ck = Checkpoint::new(
                                         ordinal,
                                         train_seed,
                                         tm.val_accuracy,
                                         tm.params.clone(),
                                     );
-                                    match save_checkpoint(&ck, checkpoint_path(dir, ordinal)) {
+                                    let written = encode_checkpoint(&ck).and_then(|payload| {
+                                        store.write_envelope(&checkpoint_name(ordinal), &payload)
+                                    });
+                                    match written {
                                         Ok(()) => {
                                             soup_obs::counter!("distrib.checkpoints_written").inc();
+                                            let _guard = journal_lock.lock();
+                                            if let Err(err) =
+                                                update_journal(store.root(), "phase1", |j| {
+                                                    j.record_completed(ordinal as u64);
+                                                })
+                                            {
+                                                soup_obs::warn!(
+                                                    "ingredient {ordinal}: journal update failed \
+                                                     ({err}); continuing"
+                                                );
+                                            }
                                         }
                                         Err(err) => soup_obs::warn!(
                                             "ingredient {ordinal}: checkpoint write failed \
@@ -650,6 +696,7 @@ impl PeekSeed for SplitMix64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soup_gnn::checkpoint_path;
     use soup_graph::DatasetKind;
 
     fn setup() -> (Dataset, ModelConfig, TrainConfig) {
@@ -878,6 +925,47 @@ mod tests {
         );
         assert_eq!(run.ingredients.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_faults_heal_to_fault_free_checkpoints() {
+        let (d, cfg, tc) = setup();
+        let clean_dir = tmpdir("store_clean");
+        let faulty_dir = tmpdir("store_faulty");
+        let base = TrainOpts::default().with_workers(2).with_seed(51);
+        train_ingredients_opts(
+            &d,
+            &cfg,
+            &tc,
+            4,
+            &base.clone().with_checkpoint_dir(&clean_dir),
+        )
+        .unwrap();
+        // Storage-only faults: every artifact's first write is struck, the
+        // store detects the damage on read-back and rewrites clean bytes.
+        let run = train_ingredients_opts(
+            &d,
+            &cfg,
+            &tc,
+            4,
+            &base
+                .clone()
+                .with_checkpoint_dir(&faulty_dir)
+                .with_fault_plan(FaultPlan::new(0.0, 77).with_storage_rate(1.0)),
+        )
+        .unwrap();
+        assert!(run.failed.is_empty());
+        for id in 0..4 {
+            let a = std::fs::read(checkpoint_path(&clean_dir, id)).unwrap();
+            let b = std::fs::read(checkpoint_path(&faulty_dir, id)).unwrap();
+            assert_eq!(a, b, "checkpoint {id} did not converge to fault-free bytes");
+        }
+        // The journal recorded every completed ordinal.
+        let j = soup_store::load_journal(&faulty_dir).unwrap().unwrap();
+        assert_eq!(j.completed, vec![0, 1, 2, 3]);
+        assert_eq!(j.phase, "phase1");
+        std::fs::remove_dir_all(&clean_dir).ok();
+        std::fs::remove_dir_all(&faulty_dir).ok();
     }
 
     #[test]

@@ -20,13 +20,24 @@
 //! harness exercises: format version, architecture shape (against a
 //! reference [`ParamSet`], usually the shared Phase-1 initialisation), and
 //! a NaN/Inf scan over every tensor.
+//!
+//! ## On-disk format and migration
+//!
+//! New checkpoints are written as `ingredient_{id}.ck`: the v1 JSON
+//! document wrapped in a crash-safe, CRC32-checksummed `soup-ckpt/2`
+//! envelope ([`soup_store::envelope`]) and replaced atomically with
+//! [`soup_store::write_durable`]. [`load_checkpoint`] sniffs the magic
+//! bytes and transparently reads both the envelope and bare v1 JSON files
+//! (`ingredient_{id}.json`) from pre-migration runs; [`find_checkpoint`]
+//! resolves whichever of the two exists, preferring the envelope.
 
 use crate::params::ParamSet;
 use serde::{Deserialize, Serialize};
 use soup_error::{Result, SoupError};
+use soup_store::{is_envelope, open_envelope, write_durable};
 use std::path::{Path, PathBuf};
 
-/// Version tag written into (and required from) every checkpoint file.
+/// Version tag written into (and required from) every checkpoint payload.
 pub const FORMAT_VERSION: u32 = 1;
 
 /// One trained ingredient, as persisted on disk.
@@ -54,39 +65,88 @@ impl Checkpoint {
     }
 }
 
-/// Canonical checkpoint filename for ingredient `id` inside `dir`.
+/// Canonical checkpoint filename (envelope format) for ingredient `id`.
 pub fn checkpoint_path(dir: impl AsRef<Path>, id: usize) -> PathBuf {
+    dir.as_ref().join(checkpoint_name(id))
+}
+
+/// Bare file name of the envelope checkpoint for ingredient `id` — the
+/// artifact id used by storage-fault plans and manifests.
+pub fn checkpoint_name(id: usize) -> String {
+    format!("ingredient_{id}.ck")
+}
+
+/// Filename of the pre-migration v1 JSON checkpoint for ingredient `id`.
+pub fn legacy_checkpoint_path(dir: impl AsRef<Path>, id: usize) -> PathBuf {
     dir.as_ref().join(format!("ingredient_{id}.json"))
 }
 
-/// Persist a checkpoint as JSON.
-pub fn save_checkpoint(ck: &Checkpoint, path: impl AsRef<Path>) -> Result<()> {
-    let path = path.as_ref();
-    let json = serde_json::to_string(ck)
-        .map_err(|e| SoupError::parse(format!("serializing checkpoint {}: {e}", path.display())))?;
-    std::fs::write(path, json).map_err(|e| SoupError::io_at(path, e))
+/// Resolve the on-disk checkpoint for ingredient `id`: the `soup-ckpt/2`
+/// envelope if present, else the legacy v1 JSON file, else `None`.
+pub fn find_checkpoint(dir: impl AsRef<Path>, id: usize) -> Option<PathBuf> {
+    let ck = checkpoint_path(&dir, id);
+    if ck.exists() {
+        return Some(ck);
+    }
+    let legacy = legacy_checkpoint_path(&dir, id);
+    legacy.exists().then_some(legacy)
 }
 
-/// Load a checkpoint written by [`save_checkpoint`]. Parses and checks the
-/// format version; run [`validate_checkpoint`] afterwards for the
-/// shape/finiteness checks that need run context.
-pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint> {
-    let path = path.as_ref();
-    let json = std::fs::read_to_string(path).map_err(|e| SoupError::io_at(path, e))?;
-    let ck: Checkpoint = serde_json::from_str(&json).map_err(|e| {
-        SoupError::corrupt(format!(
-            "checkpoint {} is not valid JSON: {e}",
-            path.display()
-        ))
-    })?;
+/// Serialize a checkpoint to its JSON payload (the envelope content).
+pub fn encode_checkpoint(ck: &Checkpoint) -> Result<Vec<u8>> {
+    serde_json::to_string(ck)
+        .map(String::into_bytes)
+        .map_err(|e| SoupError::parse(format!("serializing checkpoint {}: {e}", ck.id)))
+}
+
+/// Parse and version-check a checkpoint JSON payload. `context` names the
+/// source (file name) in error messages.
+pub fn decode_checkpoint(payload: &[u8], context: &str) -> Result<Checkpoint> {
+    let json = std::str::from_utf8(payload)
+        .map_err(|_| SoupError::corrupt(format!("checkpoint {context}: payload is not UTF-8")))?;
+    let ck: Checkpoint = serde_json::from_str(json)
+        .map_err(|e| SoupError::corrupt(format!("checkpoint {context} is not valid JSON: {e}")))?;
     if ck.version != FORMAT_VERSION {
         return Err(SoupError::checkpoint(format!(
-            "checkpoint {} has format version {} (expected {FORMAT_VERSION})",
-            path.display(),
+            "checkpoint {context} has format version {} (expected {FORMAT_VERSION})",
             ck.version
         )));
     }
     Ok(ck)
+}
+
+/// Durably persist a checkpoint as a `soup-ckpt/2` envelope (atomic
+/// replace + fsync; see [`soup_store::write_durable`]).
+pub fn save_checkpoint(ck: &Checkpoint, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let payload = encode_checkpoint(ck)?;
+    write_durable(path, &soup_store::seal_envelope(&payload))
+}
+
+/// Persist a checkpoint in the legacy v1 bare-JSON format — still written
+/// atomically and durably (tmp + fsync + rename), so even pre-migration
+/// consumers can never observe a torn file.
+pub fn save_checkpoint_v1(ck: &Checkpoint, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    write_durable(path, &encode_checkpoint(ck)?)
+}
+
+/// Load a checkpoint from either on-disk format. The first bytes are
+/// sniffed: a `soup-ckpt/2` magic means envelope (length + CRC verified
+/// before parsing), anything else is treated as a legacy v1 JSON document
+/// — the transparent read-side migration path. Run [`validate_checkpoint`]
+/// afterwards for the shape/finiteness checks that need run context.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SoupError::io_at(path, e))?;
+    let context = path.display().to_string();
+    if is_envelope(&bytes) {
+        let payload = open_envelope(&bytes, &context)?;
+        decode_checkpoint(payload, &context)
+    } else {
+        soup_obs::counter!("checkpoint.v1_migrations").inc();
+        decode_checkpoint(&bytes, &context)
+    }
 }
 
 /// Validate a checkpoint against its run: format version, ordinal, expected
@@ -178,6 +238,64 @@ mod tests {
         let err = load_checkpoint(&path).unwrap_err();
         assert_eq!(err.kind(), "checkpoint");
         assert!(err.to_string().contains("format version"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_json_still_loads_via_migration() {
+        let p = params(7);
+        let ck = Checkpoint::new(5, 77, 0.42, p.clone());
+        let path = legacy_checkpoint_path(tmpdir(), 5);
+        save_checkpoint_v1(&ck, &path).unwrap();
+        // The legacy file is bare JSON, not an envelope.
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(raw.first(), Some(&b'{'));
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.id, 5);
+        assert_eq!(back.train_seed, 77);
+        validate_checkpoint(&back, 5, Some(77), &p).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn find_checkpoint_prefers_envelope_over_legacy() {
+        let dir = tmpdir().join("find");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(find_checkpoint(&dir, 0), None);
+        let ck = Checkpoint::new(0, 1, 0.5, params(8));
+        save_checkpoint_v1(&ck, legacy_checkpoint_path(&dir, 0)).unwrap();
+        assert_eq!(
+            find_checkpoint(&dir, 0),
+            Some(legacy_checkpoint_path(&dir, 0))
+        );
+        save_checkpoint(&ck, checkpoint_path(&dir, 0)).unwrap();
+        assert_eq!(find_checkpoint(&dir, 0), Some(checkpoint_path(&dir, 0)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_envelope_is_corrupt() {
+        let dir = tmpdir();
+        let path = dir.join("ck_torn.ck");
+        let ck = Checkpoint::new(1, 2, 0.5, params(9));
+        save_checkpoint(&ck, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap_err().kind(), "corrupt");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flipped_envelope_is_corrupt() {
+        let dir = tmpdir();
+        let path = dir.join("ck_flip.ck");
+        let ck = Checkpoint::new(1, 2, 0.5, params(10));
+        save_checkpoint(&ck, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap_err().kind(), "corrupt");
         std::fs::remove_file(&path).ok();
     }
 

@@ -168,11 +168,14 @@ impl ParamSet {
     }
 
     /// Persist to a JSON file (checkpointing trained ingredients so soup
-    /// experiments can be re-run without re-training Phase 1).
+    /// experiments can be re-run without re-training Phase 1). The write is
+    /// atomic and durable (tmp + fsync + rename) so a crash never leaves a
+    /// torn file behind.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let json = serde_json::to_string(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        soup_store::write_durable(path.as_ref(), json.as_bytes())
+            .map_err(|e| std::io::Error::other(e.to_string()))
     }
 
     /// Load from a JSON file written by [`Self::save_json`].

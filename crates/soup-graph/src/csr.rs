@@ -11,6 +11,7 @@
 //! - [`CsrGraph::edge_index`] — directed edge list with self-loops for GAT
 //!   edge-softmax attention.
 
+use soup_error::SoupError;
 use soup_tensor::memory::MemGuard;
 use soup_tensor::ops::{EdgeIndex, SparseMat};
 use std::sync::Arc;
@@ -71,6 +72,35 @@ impl CsrGraph {
                 _mem: MemGuard::new(bytes),
             }),
         }
+    }
+
+    /// Build directly from CSR arrays, validating every invariant first —
+    /// the ingestion path for graphs deserialized from untrusted storage.
+    pub fn from_raw_parts(
+        n: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+    ) -> Result<Self, SoupError> {
+        validate_parts(n, &indptr, &indices)?;
+        let bytes = indptr.len() * std::mem::size_of::<usize>()
+            + indices.len() * std::mem::size_of::<u32>();
+        Ok(Self {
+            inner: Arc::new(Inner {
+                n,
+                indptr,
+                indices,
+                _mem: MemGuard::new(bytes),
+            }),
+        })
+    }
+
+    /// Check the CSR structural invariants: `indptr` length, monotonicity,
+    /// nnz agreement, and column indices in range. Every violation is a
+    /// [`SoupError::Corrupt`] — the graph came from damaged storage, not a
+    /// programming error. Construction via [`Self::from_edges`] upholds
+    /// these by design; load paths call this after deserializing.
+    pub fn validate(&self) -> Result<(), SoupError> {
+        validate_parts(self.inner.n, &self.inner.indptr, &self.inner.indices)
     }
 
     /// Number of nodes.
@@ -227,6 +257,55 @@ impl CsrGraph {
     }
 }
 
+/// The invariant checks behind [`CsrGraph::validate`] /
+/// [`CsrGraph::from_raw_parts`].
+pub(crate) fn validate_parts(n: usize, indptr: &[usize], indices: &[u32]) -> Result<(), SoupError> {
+    if indptr.len() != n + 1 {
+        return Err(SoupError::corrupt(format!(
+            "csr: row_ptr length {} != nodes + 1 ({})",
+            indptr.len(),
+            n + 1
+        )));
+    }
+    if indptr[0] != 0 {
+        return Err(SoupError::corrupt(format!(
+            "csr: row_ptr[0] is {}, expected 0",
+            indptr[0]
+        )));
+    }
+    if let Some(v) = indptr.windows(2).position(|w| w[0] > w[1]) {
+        return Err(SoupError::corrupt(format!(
+            "csr: row_ptr not monotone at node {v} ({} > {})",
+            indptr[v],
+            indptr[v + 1]
+        )));
+    }
+    if indptr[n] != indices.len() {
+        return Err(SoupError::corrupt(format!(
+            "csr: row_ptr end {} != nnz {}",
+            indptr[n],
+            indices.len()
+        )));
+    }
+    if let Some(pos) = indices.iter().position(|&c| c as usize >= n) {
+        return Err(SoupError::corrupt(format!(
+            "csr: column index {} at position {pos} out of range for {n} nodes",
+            indices[pos]
+        )));
+    }
+    // Sorted neighbor lists are part of the representation contract
+    // (`has_edge` binary-searches them).
+    for v in 0..n {
+        let row = &indices[indptr[v]..indptr[v + 1]];
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SoupError::corrupt(format!(
+                "csr: neighbor list of node {v} is not strictly sorted"
+            )));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +314,76 @@ mod tests {
     /// Triangle + pendant: 0-1, 1-2, 2-0, 2-3.
     fn small() -> CsrGraph {
         CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn validate_accepts_constructed_graphs() {
+        small().validate().unwrap();
+        CsrGraph::from_edges(0, &[]).validate().unwrap();
+        CsrGraph::from_edges(3, &[]).validate().unwrap();
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips() {
+        let g = small();
+        let back = CsrGraph::from_raw_parts(4, g.indptr().to_vec(), g.indices().to_vec()).unwrap();
+        for v in 0..4 {
+            assert_eq!(back.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_corruption() {
+        let g = small();
+        let indptr = g.indptr().to_vec();
+        let indices = g.indices().to_vec();
+        let cases: Vec<(&str, Vec<usize>, Vec<u32>)> = vec![
+            (
+                "row_ptr length",
+                indptr[..indptr.len() - 1].to_vec(),
+                indices.clone(),
+            ),
+            (
+                "row_ptr not monotone",
+                {
+                    let mut p = indptr.clone();
+                    p[2] = p[3] + 1;
+                    p
+                },
+                indices.clone(),
+            ),
+            (
+                "row_ptr end",
+                indptr.clone(),
+                indices[..indices.len() - 1].to_vec(),
+            ),
+            ("column index", indptr.clone(), {
+                let mut c = indices.clone();
+                c[0] = 99;
+                c
+            }),
+            (
+                "row_ptr[0]",
+                {
+                    let mut p = indptr.clone();
+                    p[0] = 1;
+                    p
+                },
+                indices.clone(),
+            ),
+            ("not strictly sorted", indptr.clone(), {
+                // Node 2 has degree 3: reverse its list.
+                let mut c = indices.clone();
+                let (s, e) = (indptr[2], indptr[3]);
+                c[s..e].reverse();
+                c
+            }),
+        ];
+        for (what, p, c) in cases {
+            let err = CsrGraph::from_raw_parts(4, p, c).unwrap_err();
+            assert_eq!(err.kind(), "corrupt", "{what}");
+            assert!(err.to_string().contains(what), "{what}: {err}");
+        }
     }
 
     #[test]
@@ -409,6 +558,37 @@ mod tests {
                             "entry ({v},{u}) = {} expected {expected}", dense.get(v, u)
                         );
                     }
+                }
+            }
+
+            #[test]
+            fn validate_accepts_every_generated_graph(seed in 0u64..500, n in 2usize..30, m in 0usize..60) {
+                let g = random_graph(seed, n, m);
+                prop_assert!(g.validate().is_ok());
+            }
+
+            #[test]
+            fn mutated_graphs_are_rejected(seed in 0u64..500, n in 2usize..30, m in 1usize..60, kind in 0u8..4) {
+                let g = random_graph(seed, n, m);
+                let mut indptr = g.indptr().to_vec();
+                let mut indices = g.indices().to_vec();
+                let nnz = indices.len();
+                let applied = match kind {
+                    // Out-of-range column index.
+                    0 if nnz > 0 => { indices[seed as usize % nnz] = n as u32; true }
+                    // Length/nnz mismatch: drop one index, keep row_ptr.
+                    1 if nnz > 0 => { indices.pop(); true }
+                    // Non-monotone (or end-mismatched) row_ptr.
+                    2 => { indptr[1] = indptr[n] + 1; true }
+                    // row_ptr does not start at zero.
+                    3 => { indptr[0] = 1; true }
+                    // Empty graph: index mutations not applicable.
+                    _ => false,
+                };
+                if applied {
+                    let err = CsrGraph::from_raw_parts(n, indptr, indices);
+                    prop_assert!(err.is_err(), "mutation kind {kind} slipped through");
+                    prop_assert_eq!(err.unwrap_err().kind(), "corrupt");
                 }
             }
 

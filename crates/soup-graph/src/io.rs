@@ -96,7 +96,7 @@ pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
     let path = path.as_ref();
     let json = serde_json::to_string(&file)
         .map_err(|e| SoupError::parse(format!("serializing dataset {}: {e}", path.display())))?;
-    std::fs::write(path, json).map_err(|e| SoupError::io_at(path, e))
+    soup_store::write_durable(path, json.as_bytes())
 }
 
 /// Load a dataset written by [`save_dataset`].
@@ -115,7 +115,19 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset> {
     if file.labels.len() != file.num_nodes || file.features.rows() != file.num_nodes {
         return Err(SoupError::corrupt("inconsistent dataset payload"));
     }
+    if let Some(&(a, b)) = file
+        .edges
+        .iter()
+        .find(|(a, b)| (*a as usize) >= file.num_nodes || (*b as usize) >= file.num_nodes)
+    {
+        return Err(SoupError::corrupt(format!(
+            "dataset {}: edge ({a}, {b}) references a node outside 0..{}",
+            path.display(),
+            file.num_nodes
+        )));
+    }
     let graph = CsrGraph::from_edges(file.num_nodes, &file.edges);
+    graph.validate()?;
     let kind = DatasetKind::from_name(&file.name).unwrap_or(DatasetKind::Custom);
     Ok(Dataset {
         kind,
@@ -222,6 +234,24 @@ mod tests {
         std::fs::write(&path, json).unwrap();
         let err = load_dataset(&path).unwrap_err();
         assert!(err.to_string().contains("version"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_out_of_range_edge_is_corrupt_not_panic() {
+        let path = tmp("bad_edge.json");
+        let d = DatasetKind::Flickr.generate_scaled(19, 0.05);
+        save_dataset(&d, &path).unwrap();
+        // Rewrite the first edge to point past the node range.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let needle = "\"edges\":[[";
+        let start = json.find(needle).unwrap() + needle.len();
+        let end = start + json[start..].find(']').unwrap();
+        let bad = format!("{}{}{}", &json[..start], "0,999999999", &json[end..]);
+        std::fs::write(&path, bad).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+        assert!(err.to_string().contains("outside"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

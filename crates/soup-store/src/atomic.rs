@@ -1,0 +1,139 @@
+//! Atomic, durable file replacement.
+//!
+//! `write_durable` guarantees that after it returns Ok, the destination
+//! holds exactly the new bytes even across a crash or power loss at any
+//! point during the call, and that a crash mid-call leaves the *old*
+//! content (or no file) — never a torn mix. The ordering is the classic
+//! four-step dance:
+//!
+//! 1. write the bytes to a fresh temp file in the **same directory**
+//!    (rename is only atomic within a filesystem),
+//! 2. `fsync` the temp file (data hits the platter before the name does),
+//! 3. `rename` over the destination (atomic replace on POSIX),
+//! 4. `fsync` the parent directory (the rename itself is durable).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use soup_error::SoupError;
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// Per-process counter so concurrent writers to the same destination get
+/// distinct temp names (the pid alone is not enough inside one process).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Durably replace `path` with `bytes` (tmp → write → fsync → rename →
+/// fsync dir). See the module docs for the crash-consistency argument.
+pub fn write_durable(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| SoupError::usage(format!("write_durable: bad path {}", path.display())))?;
+    let tmp = {
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp_name = format!(".{name}.tmp.{}.{seq}", std::process::id());
+        match dir {
+            Some(d) => d.join(tmp_name),
+            None => tmp_name.into(),
+        }
+    };
+
+    let write_steps = (|| -> std::io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        // Data must be on stable storage before the rename publishes it.
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write_steps {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SoupError::io_at(&tmp, e));
+    }
+
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SoupError::io_at(path, e));
+    }
+
+    // Make the rename itself durable: fsync the containing directory.
+    // Directory handles are only fsync-able on unix; elsewhere the rename
+    // is still atomic, just not guaranteed durable across power loss.
+    #[cfg(unix)]
+    if let Some(d) = dir {
+        let dirf = File::open(d).map_err(|e| SoupError::io_at(d, e))?;
+        dirf.sync_all().map_err(|e| SoupError::io_at(d, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+
+    soup_obs::counter!("store.durable_writes").inc();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("soup-store-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmpdir("replace");
+        let p = dir.join("x.bin");
+        write_durable(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        write_durable(&p, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second, longer payload");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+    }
+
+    #[test]
+    fn missing_parent_dir_is_io_error() {
+        let dir = tmpdir("noparent");
+        let p = dir.join("nope").join("x.bin");
+        let err = write_durable(&p, b"data").unwrap_err();
+        assert_eq!(err.kind(), "io");
+    }
+
+    #[test]
+    fn concurrent_writers_leave_one_intact_value() {
+        let dir = tmpdir("concurrent");
+        let p = dir.join("shared.bin");
+        let handles: Vec<_> = (0..8u8)
+            .map(|i| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let payload = vec![i; 1024];
+                    write_durable(&p, &payload).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = std::fs::read(&p).unwrap();
+        assert_eq!(got.len(), 1024);
+        assert!(got.iter().all(|&b| b == got[0]), "torn interleaving");
+    }
+}

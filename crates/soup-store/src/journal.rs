@@ -1,0 +1,208 @@
+//! The per-run journal embedded in `manifest.json`.
+//!
+//! The manifest written at the end of Phase-1 already describes the run's
+//! config and ingredient table; the journal adds a `"journal"` object
+//! recording *progress*: which phase the run is in, which ingredient
+//! ordinals have durable checkpoints, and how far Phase-2 has advanced.
+//! The journal is merged into the existing manifest object (foreign keys
+//! such as `config` / `ingredients` are preserved verbatim) and the whole
+//! file is replaced with [`write_durable`], so a crash never leaves a torn
+//! manifest.
+//!
+//! Concurrency: journal updates are read-modify-write on one file; callers
+//! with multiple writer threads (the Phase-1 trainer) must serialise their
+//! calls. There is intentionally no cross-process locking — one run owns
+//! one artifact directory.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use soup_error::SoupError;
+
+use crate::atomic::write_durable;
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// File name of the per-run manifest inside an artifact directory.
+pub const MANIFEST: &str = "manifest.json";
+
+/// Schema version of the `"journal"` object.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Phase-2 progress, present once souping has checkpointed at least once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase2Progress {
+    /// Strategy name (`"ls"` or `"pls"`).
+    pub strategy: String,
+    /// First epoch that has *not* yet run (resume point).
+    pub next_epoch: u64,
+    /// Total epochs the schedule was configured with.
+    pub total_epochs: u64,
+}
+
+/// The run journal: phase, completed Phase-1 ordinals, Phase-2 progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Journal {
+    /// Journal schema version.
+    pub version: u32,
+    /// Current phase: `"phase1"`, `"phase1-complete"`, `"phase2"`,
+    /// `"phase2-complete"`.
+    pub phase: String,
+    /// Ingredient ordinals with durable, validated checkpoints.
+    pub completed: Vec<u64>,
+    /// Phase-2 progress, if souping has started.
+    pub phase2: Option<Phase2Progress>,
+}
+
+impl Journal {
+    /// A fresh journal entering `phase`.
+    pub fn new(phase: &str) -> Self {
+        Self {
+            version: JOURNAL_VERSION,
+            phase: phase.to_string(),
+            completed: Vec::new(),
+            phase2: None,
+        }
+    }
+
+    /// Record ordinal `id` as durably checkpointed (idempotent, kept sorted).
+    pub fn record_completed(&mut self, id: u64) {
+        if let Err(pos) = self.completed.binary_search(&id) {
+            self.completed.insert(pos, id);
+        }
+    }
+}
+
+fn manifest_path(dir: &Path) -> std::path::PathBuf {
+    dir.join(MANIFEST)
+}
+
+/// Read the manifest as a JSON value, or an empty object when absent.
+fn load_manifest_value(dir: &Path) -> Result<serde::Value> {
+    let path = manifest_path(dir);
+    if !path.exists() {
+        return Ok(serde::Value::Object(Vec::new()));
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| SoupError::io_at(&path, e))?;
+    serde_json::from_str(&text).map_err(|e| SoupError::corrupt(format!("{}: {e}", path.display())))
+}
+
+/// Load the journal from `dir`'s manifest, if one has been written.
+pub fn load_journal(dir: impl AsRef<Path>) -> Result<Option<Journal>> {
+    let value = load_manifest_value(dir.as_ref())?;
+    match value.get("journal") {
+        None => Ok(None),
+        Some(j) => serde::from_value(j.clone())
+            .map(Some)
+            .map_err(|e| SoupError::corrupt(format!("manifest journal: {e}"))),
+    }
+}
+
+/// Read-modify-write the journal inside `dir`'s manifest, preserving every
+/// other manifest field, and persist the result durably.
+///
+/// When no journal exists yet, `f` receives a fresh one in `default_phase`.
+pub fn update_journal(
+    dir: impl AsRef<Path>,
+    default_phase: &str,
+    f: impl FnOnce(&mut Journal),
+) -> Result<Journal> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(|e| SoupError::io_at(dir, e))?;
+    let mut value = load_manifest_value(dir)?;
+    let mut journal = match value.get("journal") {
+        Some(j) => serde::from_value(j.clone())
+            .map_err(|e| SoupError::corrupt(format!("manifest journal: {e}")))?,
+        None => Journal::new(default_phase),
+    };
+    f(&mut journal);
+
+    let fields = match &mut value {
+        serde::Value::Object(fields) => fields,
+        other => {
+            return Err(SoupError::corrupt(format!(
+                "manifest.json root is {}, expected object",
+                other.kind_name()
+            )))
+        }
+    };
+    let rendered = serde::to_value(&journal);
+    match fields.iter_mut().find(|(k, _)| k == "journal") {
+        Some((_, slot)) => *slot = rendered,
+        None => fields.push(("journal".to_string(), rendered)),
+    }
+
+    let text = serde_json::to_string_pretty(&value)
+        .map_err(|e| SoupError::parse(format!("render manifest: {e}")))?;
+    write_durable(manifest_path(dir), text.as_bytes())?;
+    Ok(journal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("soup-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn journal_round_trip_and_idempotent_completion() {
+        let dir = tmpdir("rt");
+        assert_eq!(load_journal(&dir).unwrap(), None);
+        update_journal(&dir, "phase1", |j| {
+            j.record_completed(2);
+            j.record_completed(0);
+            j.record_completed(2);
+        })
+        .unwrap();
+        let j = load_journal(&dir).unwrap().unwrap();
+        assert_eq!(j.phase, "phase1");
+        assert_eq!(j.completed, vec![0, 2]);
+        assert_eq!(j.phase2, None);
+
+        update_journal(&dir, "phase1", |j| {
+            j.phase = "phase2".into();
+            j.phase2 = Some(Phase2Progress {
+                strategy: "ls".into(),
+                next_epoch: 7,
+                total_epochs: 30,
+            });
+        })
+        .unwrap();
+        let j = load_journal(&dir).unwrap().unwrap();
+        assert_eq!(j.phase, "phase2");
+        assert_eq!(j.phase2.unwrap().next_epoch, 7);
+    }
+
+    #[test]
+    fn preserves_foreign_manifest_fields() {
+        let dir = tmpdir("foreign");
+        std::fs::write(
+            dir.join(MANIFEST),
+            r#"{"config":{"arch":"gcn"},"ingredients":[{"id":0}]}"#,
+        )
+        .unwrap();
+        update_journal(&dir, "phase1", |j| j.record_completed(0)).unwrap();
+        let text = std::fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            v.get("config")
+                .and_then(|c| c.get("arch"))
+                .and_then(|a| a.as_str()),
+            Some("gcn")
+        );
+        assert!(v.get("ingredients").is_some());
+        assert!(v.get("journal").is_some());
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported() {
+        let dir = tmpdir("corrupt");
+        std::fs::write(dir.join(MANIFEST), "{not json").unwrap();
+        assert_eq!(load_journal(&dir).unwrap_err().kind(), "corrupt");
+    }
+}

@@ -1,0 +1,33 @@
+//! # soup-store
+//!
+//! The durable artifact layer under both pipeline phases: every checkpoint,
+//! manifest, and Phase-2 optimizer snapshot the system persists goes
+//! through this crate, and every read back validates integrity before a
+//! single byte is trusted.
+//!
+//! | Concern | Module |
+//! |---|---|
+//! | Atomic durable replace (tmp → fsync → rename → fsync dir) | [`atomic`] |
+//! | `soup-ckpt/2` checksummed envelope | [`envelope`] |
+//! | CRC32 (IEEE) | [`crc`] |
+//! | Deterministic torn-write / bit-flip injection | [`fault`] |
+//! | Verified envelope store with self-healing writes | [`store`] |
+//! | Per-run `manifest.json` progress journal | [`journal`] |
+//!
+//! Damage of any kind surfaces as [`soup_error::SoupError::Corrupt`] —
+//! never a panic, never a silently accepted partial read.
+
+pub mod atomic;
+pub mod crc;
+pub mod envelope;
+pub mod fault;
+pub mod journal;
+pub mod store;
+
+pub use atomic::write_durable;
+pub use envelope::{is_envelope, open as open_envelope, seal as seal_envelope, HEADER_LEN, MAGIC};
+pub use fault::{StorageFault, StorageFaultPlan};
+pub use journal::{
+    load_journal, update_journal, Journal, Phase2Progress, JOURNAL_VERSION, MANIFEST,
+};
+pub use store::{read_payload, Store};

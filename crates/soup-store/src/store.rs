@@ -1,0 +1,181 @@
+//! The artifact [`Store`]: a directory of `soup-ckpt/2` envelopes written
+//! durably, verified by read-back, and (in test/CI harnesses) struck by a
+//! deterministic [`StorageFaultPlan`].
+//!
+//! Every write follows *seal → (inject fault) → write durable → read back
+//! and verify → heal*. Because the clean payload is still in memory when a
+//! torn or flipped write is detected, recovery is a clean durable rewrite
+//! — which is exactly why every storage-fault run converges to the
+//! fault-free artifacts (asserted by `tests/durability.rs`).
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use soup_error::SoupError;
+
+use crate::atomic::write_durable;
+use crate::envelope;
+use crate::fault::{self, StorageFaultPlan};
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// A crash-safe envelope store rooted at one artifact directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    faults: Option<StorageFaultPlan>,
+    /// Artifacts already struck by this process — faults fire on the first
+    /// write only, mirroring Phase-1's first-attempt-only `FaultPlan`.
+    struck: Mutex<HashSet<String>>,
+}
+
+impl Store {
+    /// Open (creating if needed) the artifact directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| SoupError::io_at(&root, e))?;
+        Ok(Self {
+            root,
+            faults: None,
+            struck: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Attach a deterministic storage-fault schedule (None disables).
+    pub fn with_faults(mut self, faults: Option<StorageFaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The artifact directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path of the artifact named `name`.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Durably write `payload` as a sealed envelope under `name`.
+    ///
+    /// If a storage fault strikes the write (per the attached plan), the
+    /// damaged bytes land on disk first; the read-back verification then
+    /// detects the corruption and heals it with a clean durable rewrite.
+    pub fn write_envelope(&self, name: &str, payload: &[u8]) -> Result<()> {
+        let sealed = envelope::seal(payload);
+        let path = self.path(name);
+        soup_obs::counter!("store.writes").inc();
+
+        let mut on_disk = sealed.clone();
+        if let Some(plan) = &self.faults {
+            let first_write = self.struck.lock().unwrap().insert(name.to_string());
+            if first_write {
+                if let Some(f) = plan.fault_for(name, on_disk.len()) {
+                    fault::apply(f, &mut on_disk);
+                    soup_obs::counter!("store.faults_injected").inc();
+                    soup_obs::debug!("store: injected {f:?} into {name}");
+                }
+            }
+        }
+        write_durable(&path, &on_disk)?;
+
+        // Read-back verification: the write only counts once the bytes on
+        // disk open cleanly. A detected tear/flip is healed immediately —
+        // the clean payload is still in hand.
+        match std::fs::read(&path) {
+            Ok(bytes) if envelope::open(&bytes, name).is_ok() && bytes == sealed => Ok(()),
+            Ok(_) => {
+                soup_obs::counter!("store.corrupt_detected").inc();
+                soup_obs::warn!("store: {name} failed read-back verification; rewriting");
+                write_durable(&path, &sealed)?;
+                let healed = std::fs::read(&path).map_err(|e| SoupError::io_at(&path, e))?;
+                envelope::open(&healed, name)?;
+                soup_obs::counter!("store.rewrites").inc();
+                Ok(())
+            }
+            Err(e) => Err(SoupError::io_at(&path, e)),
+        }
+    }
+
+    /// Read and validate the envelope named `name`, returning its payload.
+    pub fn read_envelope(&self, name: &str) -> Result<Vec<u8>> {
+        read_payload(self.path(name))
+    }
+
+    /// True when the artifact exists on disk (no validation).
+    pub fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+}
+
+/// Read a `soup-ckpt/2` file and return its validated payload.
+pub fn read_payload(path: impl AsRef<Path>) -> Result<Vec<u8>> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SoupError::io_at(path, e))?;
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+    envelope::open(&bytes, name).map(|p| p.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> Store {
+        let d = std::env::temp_dir().join(format!("soup-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        Store::open(d).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = store("rt");
+        s.write_envelope("a.ck", b"{\"x\":1}").unwrap();
+        assert_eq!(s.read_envelope("a.ck").unwrap(), b"{\"x\":1}");
+        assert!(s.exists("a.ck"));
+        assert!(!s.exists("b.ck"));
+    }
+
+    #[test]
+    fn faulty_write_heals_to_clean_bytes() {
+        // rate 1.0: every first write is struck; read-back must heal all.
+        let s = store("heal").with_faults(Some(StorageFaultPlan::new(1.0, 13)));
+        for i in 0..16 {
+            let name = format!("ingredient_{i}.ck");
+            let payload = format!("{{\"id\":{i}}}").into_bytes();
+            s.write_envelope(&name, &payload).unwrap();
+            assert_eq!(
+                s.read_envelope(&name).unwrap(),
+                payload,
+                "{name} not healed"
+            );
+        }
+    }
+
+    #[test]
+    fn second_write_is_not_struck() {
+        let s = store("once").with_faults(Some(StorageFaultPlan::new(1.0, 99)));
+        s.write_envelope("x.ck", b"v1").unwrap();
+        s.write_envelope("x.ck", b"v2").unwrap();
+        assert_eq!(s.read_envelope("x.ck").unwrap(), b"v2");
+    }
+
+    #[test]
+    fn read_missing_is_io() {
+        let s = store("missing");
+        assert_eq!(s.read_envelope("nope.ck").unwrap_err().kind(), "io");
+    }
+
+    #[test]
+    fn read_corrupt_is_corrupt() {
+        let s = store("corrupt");
+        s.write_envelope("a.ck", b"payload").unwrap();
+        let p = s.path("a.ck");
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+        assert_eq!(s.read_envelope("a.ck").unwrap_err().kind(), "corrupt");
+    }
+}

@@ -37,6 +37,19 @@ impl Sgd {
         }
     }
 
+    /// Snapshot the momentum buffers (for optimizer-state checkpointing).
+    /// Lazily-unshaped state is an empty vec, matching a fresh optimizer.
+    pub fn velocity(&self) -> &[Option<Tensor>] {
+        &self.velocity
+    }
+
+    /// Restore momentum buffers captured by [`Self::velocity`]. Together
+    /// with `lr`/`momentum`/`weight_decay` this makes an [`Sgd`] resume
+    /// bit-identically from a serialized snapshot.
+    pub fn set_velocity(&mut self, velocity: Vec<Option<Tensor>>) {
+        self.velocity = velocity;
+    }
+
     /// One update step. `params[i]` is updated with `grads[i]`.
     pub fn step(&mut self, params: &mut [Tensor], grads: GradSlice) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");

@@ -43,6 +43,19 @@ impl SplitMix64 {
         Self::new(z ^ (z >> 31))
     }
 
+    /// Snapshot the full generator state: the Weyl counter plus the cached
+    /// Box-Muller spare. Restoring via [`Self::from_snapshot`] reproduces
+    /// the remaining stream bit-for-bit — the contract Phase-2 resume
+    /// checkpoints rely on.
+    pub fn snapshot(&self) -> (u64, Option<f32>) {
+        (self.state, self.gauss_spare)
+    }
+
+    /// Rebuild a generator from a [`Self::snapshot`] pair.
+    pub fn from_snapshot(state: u64, gauss_spare: Option<f32>) -> Self {
+        Self { state, gauss_spare }
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -156,6 +169,19 @@ fn mul_u64(a: u64, b: u64) -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_restores_stream_including_gauss_spare() {
+        let mut rng = SplitMix64::new(77);
+        rng.normal(); // populate gauss_spare
+        let (state, spare) = rng.snapshot();
+        assert!(spare.is_some());
+        let mut restored = SplitMix64::from_snapshot(state, spare);
+        for _ in 0..16 {
+            assert_eq!(rng.normal().to_bits(), restored.normal().to_bits());
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
 
     #[test]
     fn deterministic_for_same_seed() {

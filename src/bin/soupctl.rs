@@ -11,21 +11,30 @@
 //! soupctl diversity --data ds.json --ckpt-dir ckpts/
 //! ```
 //!
-//! `train` persists every ingredient as a validated checkpoint plus a
-//! `manifest.json` recording the model configuration and per-ingredient
-//! metadata, which `soup`/`eval`/`diversity` read back so the architecture
-//! never has to be re-specified. A killed run is picked up with `--resume`:
-//! existing checkpoints are validated (format version, ordinal, seed,
-//! shape, NaN/Inf scan) and only missing or corrupt ingredients retrain.
+//! `train` persists every ingredient as a checksummed `soup-ckpt/2`
+//! checkpoint (written atomically through the crash-safe store) plus a
+//! `manifest.json` recording the model configuration, per-ingredient
+//! metadata and the run journal, which `soup`/`eval`/`diversity` read back
+//! so the architecture never has to be re-specified. A killed run is
+//! picked up with `--resume`: existing checkpoints are validated (envelope
+//! checksum, format version, ordinal, seed, shape, NaN/Inf scan) and only
+//! missing or corrupt ingredients retrain. Phase 2 is resumable too:
+//! `soup --strategy ls --resume` continues the α-optimisation
+//! bit-identically from the last durable epoch checkpoint.
 //! `--fault-rate`/`--fault-seed` drive the deterministic fault-injection
-//! harness for chaos-testing the worker pool.
+//! harness for chaos-testing the worker pool and the storage layer, and
+//! `soupctl verify DIR` audits every artifact offline.
 
 use enhanced_soups::gnn::model::PropOps;
-use enhanced_soups::gnn::{evaluate_accuracy, load_checkpoint, ModelConfig, ParamSet, TrainConfig};
+use enhanced_soups::gnn::{
+    checkpoint_name, evaluate_accuracy, load_checkpoint, ModelConfig, ParamSet, TrainConfig,
+};
 use enhanced_soups::graph::io::{load_dataset, save_dataset};
 use enhanced_soups::prelude::*;
+use enhanced_soups::soup::resume::load_state;
 use enhanced_soups::soup::strategy::test_accuracy;
 use enhanced_soups::soup::{diversity_report, GreedySouping, LearnedHyper};
+use enhanced_soups::store::write_durable;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -54,6 +63,7 @@ fn main() {
         "soup" => cmd_soup(&flags),
         "eval" => cmd_eval(&flags),
         "diversity" => cmd_diversity(&flags),
+        "verify" => cmd_verify(&flags, &positional),
         "trace-validate" => cmd_trace_validate(&flags, &positional),
         "help" | "--help" | "-h" => {
             usage();
@@ -89,8 +99,12 @@ fn usage() {
          \x20           [--fault-rate F] [--fault-seed N]\n\
          \x20 soup      --data FILE --ckpt-dir DIR --strategy <us|greedy|gis|ls|pls>\n\
          \x20           [--epochs N] [--granularity N] [--pls-k N] [--pls-r N] [--seed N] [--out FILE]\n\
+         \x20           [--resume] [--ckpt-every N] [--stop-after-epoch N]\n\
          \x20 eval      --data FILE --ckpt-dir DIR --params FILE [--split <train|val|test>]\n\
          \x20 diversity --data FILE --ckpt-dir DIR\n\
+         \x20 verify    DIR         offline integrity audit of an artifact directory\n\
+         \x20                       (checksums, versions, manifest/journal consistency, NaN scan);\n\
+         \x20                       exits non-zero if any entry is corrupt\n\
          \x20 trace-validate FILE   check a --trace-out file against the soup-trace/1 schema\n\
          \n\
          fault tolerance (train):\n\
@@ -99,6 +113,14 @@ fn usage() {
          \x20 --straggler-deadline-ms N   requeue attempts running longer than N ms\n\
          \x20 --fault-rate F        inject deterministic faults into fraction F of first attempts\n\
          \x20 --fault-seed N        seed of the fault schedule (default: --seed)\n\
+         \x20 --storage-fault-rate F      strike fraction F of artifact writes with a torn write\n\
+         \x20                       or bit flip (the store detects and heals every strike)\n\
+         \n\
+         durability (soup, ls/pls only):\n\
+         \x20 --resume              continue bit-identically from the last durable epoch checkpoint\n\
+         \x20 --ckpt-every N        persist optimizer state every N epochs (default 1)\n\
+         \x20 --stop-after-epoch N  deterministic simulated kill right after epoch N's checkpoint\n\
+         \x20 --storage-fault-rate F      inject storage faults into phase-2 state writes\n\
          \n\
          global flags:\n\
          \x20 --trace-out FILE      stream a structured JSONL trace of the run\n\
@@ -209,6 +231,7 @@ fn cmd_train(flags: &Flags) -> Result<()> {
     let seed: u64 = numeric(flags, "seed", 42)?;
     let retry_budget: u32 = numeric(flags, "retry-budget", 2)?;
     let fault_rate: f64 = numeric(flags, "fault-rate", 0.0)?;
+    let storage_fault_rate: f64 = numeric(flags, "storage-fault-rate", 0.0)?;
     let fault_seed: u64 = numeric(flags, "fault-seed", seed)?;
     let straggler_ms: u64 = numeric(flags, "straggler-deadline-ms", 0)?;
     let resume = flags.contains_key("resume");
@@ -225,9 +248,14 @@ fn cmd_train(flags: &Flags) -> Result<()> {
         .with_retry_budget(retry_budget)
         .with_checkpoint_dir(&out_dir)
         .with_resume(resume);
-    if fault_rate > 0.0 {
-        opts = opts.with_fault_plan(FaultPlan::new(fault_rate, fault_seed));
-        println!("fault injection: rate {fault_rate}, seed {fault_seed}");
+    if fault_rate > 0.0 || storage_fault_rate > 0.0 {
+        opts = opts.with_fault_plan(
+            FaultPlan::new(fault_rate, fault_seed).with_storage_rate(storage_fault_rate),
+        );
+        println!(
+            "fault injection: rate {fault_rate}, storage rate {storage_fault_rate}, \
+             seed {fault_seed}"
+        );
     }
     if straggler_ms > 0 {
         opts = opts.with_straggler_deadline(Duration::from_millis(straggler_ms));
@@ -258,7 +286,7 @@ fn cmd_train(flags: &Flags) -> Result<()> {
         ingredients: Vec::new(),
     };
     for ing in &run.ingredients {
-        let file = format!("ingredient_{}.json", ing.id);
+        let file = checkpoint_name(ing.id);
         println!(
             "  ingredient {} — val acc {:.2}%{} -> {file}",
             ing.id,
@@ -276,10 +304,8 @@ fn cmd_train(flags: &Flags) -> Result<()> {
             file,
         });
     }
-    let json = serde_json::to_string_pretty(&manifest)
-        .map_err(|e| SoupError::parse(format!("serializing manifest: {e}")))?;
     let manifest_path = out_dir.join("manifest.json");
-    std::fs::write(&manifest_path, json).map_err(|e| SoupError::io_at(&manifest_path, e))?;
+    write_manifest(&manifest_path, &manifest)?;
     println!(
         "wrote {} ({} trained, {} resumed, {} failed, {} requeues)",
         manifest_path.display(),
@@ -292,6 +318,34 @@ fn cmd_train(flags: &Flags) -> Result<()> {
     // runs next in this process or distort an immediately following soup.
     enhanced_soups::tensor::pool::trim();
     Ok(())
+}
+
+/// Durably write the manifest while preserving any fields other writers
+/// (the store's run journal) keep in the same file: the `config` and
+/// `ingredients` keys are replaced, everything else is carried over.
+fn write_manifest(path: &Path, manifest: &Manifest) -> Result<()> {
+    let mut root = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+        .unwrap_or_else(|| serde::Value::Object(Vec::new()));
+    let serde::Value::Object(new_fields) = serde::to_value(manifest) else {
+        return Err(SoupError::parse("manifest did not serialize to an object"));
+    };
+    let serde::Value::Object(fields) = &mut root else {
+        return Err(SoupError::corrupt(format!(
+            "{} exists but is not a JSON object",
+            path.display()
+        )));
+    };
+    for (key, value) in new_fields {
+        match fields.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => *slot = value,
+            None => fields.push((key, value)),
+        }
+    }
+    let json = serde_json::to_string_pretty(&root)
+        .map_err(|e| SoupError::parse(format!("serializing manifest: {e}")))?;
+    write_durable(path, json.as_bytes())
 }
 
 /// Load the manifest and every usable ingredient checkpoint. Unreadable or
@@ -376,24 +430,64 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
         ..Default::default()
     };
     let strategy_name = required(flags, "strategy")?;
-    let strategy: Box<dyn SoupStrategy> = match strategy_name {
-        "us" => Box::new(UniformSouping),
-        "greedy" => Box::new(GreedySouping),
-        "gis" => Box::new(GisSouping::new(numeric(flags, "granularity", 20)?)),
-        "ls" => Box::new(LearnedSouping::new(hyper)),
-        "pls" => Box::new(PartitionLearnedSouping::new(
+    // Phase-2 durability (LS/PLS only): any of --resume / --ckpt-every /
+    // --stop-after-epoch turns on durable optimizer-state checkpoints in
+    // the checkpoint directory.
+    let resume = flags.contains_key("resume");
+    let ckpt_every: usize = numeric(flags, "ckpt-every", 1)?;
+    let stop_after: usize = numeric(flags, "stop-after-epoch", 0)?;
+    let storage_fault_rate: f64 = numeric(flags, "storage-fault-rate", 0.0)?;
+    let fault_seed: u64 = numeric(flags, "fault-seed", seed)?;
+    let persist = (resume || stop_after > 0 || flags.contains_key("ckpt-every")).then(|| {
+        Phase2Persist::new(&dir)
+            .every(ckpt_every)
+            .resume(resume)
+            .stop_after((stop_after > 0).then_some(stop_after))
+            .faults(
+                (storage_fault_rate > 0.0)
+                    .then(|| StorageFaultPlan::new(storage_fault_rate, fault_seed)),
+            )
+    });
+    if persist.is_some() && !matches!(strategy_name, "ls" | "pls") {
+        return Err(SoupError::usage(
+            "--resume/--ckpt-every/--stop-after-epoch apply to --strategy ls|pls only",
+        ));
+    }
+    println!(
+        "souping {} ingredients with {strategy_name} ...",
+        ingredients.len()
+    );
+    let mixed = match strategy_name {
+        "us" => Some(UniformSouping.soup(&ingredients, &dataset, &cfg, seed)),
+        "greedy" => Some(GreedySouping.soup(&ingredients, &dataset, &cfg, seed)),
+        "gis" => Some(GisSouping::new(numeric(flags, "granularity", 20)?).soup(
+            &ingredients,
+            &dataset,
+            &cfg,
+            seed,
+        )),
+        "ls" => LearnedSouping::new(hyper).try_soup(
+            &ingredients,
+            &dataset,
+            &cfg,
+            seed,
+            persist.as_ref(),
+        )?,
+        "pls" => PartitionLearnedSouping::new(
             hyper,
             numeric(flags, "pls-k", 16)?,
             numeric(flags, "pls-r", 4)?,
-        )),
+        )
+        .try_soup(&ingredients, &dataset, &cfg, seed, persist.as_ref())?,
         other => return Err(SoupError::usage(format!("unknown strategy '{other}'"))),
     };
-    println!(
-        "souping {} ingredients with {} ...",
-        ingredients.len(),
-        strategy.name()
-    );
-    let outcome = strategy.soup(&ingredients, &dataset, &cfg, seed);
+    let Some(outcome) = mixed else {
+        println!(
+            "stopped after epoch {stop_after} with a durable phase-2 checkpoint; \
+             continue with --resume"
+        );
+        return Ok(());
+    };
     if outcome.is_degraded() {
         println!(
             "note: degraded soup — missing ordinals {:?}",
@@ -403,7 +497,7 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
     let test = test_accuracy(&outcome, &dataset, &cfg);
     println!(
         "{}: val {:.2}%  test {:.2}%  time {:.3}s  peak-mem {}  spmm-saved {}",
-        strategy.name(),
+        strategy_name,
         outcome.val_accuracy * 100.0,
         test * 100.0,
         outcome.stats.wall_time.as_secs_f64(),
@@ -440,6 +534,159 @@ fn cmd_eval(flags: &Flags) -> Result<()> {
     );
     println!("{split} accuracy: {:.4} ({:.2}%)", acc, acc * 100.0);
     Ok(())
+}
+
+/// Offline integrity audit of an artifact directory: envelope checksums,
+/// format versions, manifest/journal consistency, NaN scans of every
+/// parameter payload, and the phase-2 optimizer states. Prints one line per
+/// artifact and fails (non-zero exit) if anything is corrupt.
+fn cmd_verify(flags: &Flags, positional: &[String]) -> Result<()> {
+    let dir = positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| flags.get("ckpt-dir").map(String::as_str))
+        .ok_or_else(|| SoupError::usage("usage: soupctl verify DIR"))?;
+    let dir = PathBuf::from(dir);
+    if !dir.is_dir() {
+        return Err(SoupError::usage(format!(
+            "{} is not a directory",
+            dir.display()
+        )));
+    }
+    let mut problems: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    let note = |ok: bool, what: String, problems: &mut Vec<String>| {
+        println!("  [{}] {what}", if ok { "ok" } else { "CORRUPT" });
+        if !ok {
+            problems.push(what);
+        }
+    };
+
+    // Manifest: must parse; its journal (if present) must decode.
+    let manifest_path = dir.join("manifest.json");
+    let mut manifest: Option<Manifest> = None;
+    if manifest_path.exists() {
+        checked += 1;
+        match std::fs::read_to_string(&manifest_path)
+            .map_err(|e| SoupError::io_at(&manifest_path, e))
+            .and_then(|json| {
+                serde_json::from_str::<Manifest>(&json)
+                    .map_err(|e| SoupError::parse(format!("manifest: {e}")))
+            }) {
+            Ok(m) => {
+                note(
+                    true,
+                    format!("manifest.json ({} entries)", m.ingredients.len()),
+                    &mut problems,
+                );
+                manifest = Some(m);
+            }
+            Err(e) => note(false, format!("manifest.json: {e}"), &mut problems),
+        }
+        match enhanced_soups::store::load_journal(&dir) {
+            Ok(Some(j)) => note(
+                true,
+                format!(
+                    "journal (phase {}, {} completed ordinals)",
+                    j.phase,
+                    j.completed.len()
+                ),
+                &mut problems,
+            ),
+            Ok(None) => {}
+            Err(e) => note(false, format!("journal: {e}"), &mut problems),
+        }
+    }
+
+    // Ingredient checkpoints: every manifest entry plus any stray
+    // ingredient_* file on disk. load_checkpoint verifies the envelope
+    // checksum and format version; the scan rejects non-finite parameters.
+    let mut files: Vec<String> = manifest
+        .as_ref()
+        .map(|m| m.ingredients.iter().map(|e| e.file.clone()).collect())
+        .unwrap_or_default();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("ingredient_") && !files.contains(&name) {
+                files.push(name);
+            }
+        }
+    }
+    files.sort();
+    for file in &files {
+        checked += 1;
+        let verdict = load_checkpoint(dir.join(file)).and_then(|ck| {
+            if ck
+                .params
+                .flat()
+                .all(|t| t.data().iter().all(|v| v.is_finite()))
+            {
+                Ok(ck)
+            } else {
+                Err(SoupError::corrupt("non-finite parameters"))
+            }
+        });
+        match verdict {
+            Ok(ck) => note(
+                true,
+                format!(
+                    "{file} (ingredient {}, val acc {:.4})",
+                    ck.id, ck.val_accuracy
+                ),
+                &mut problems,
+            ),
+            Err(e) => note(false, format!("{file}: {e}"), &mut problems),
+        }
+    }
+
+    // Phase-2 optimizer states.
+    for strategy in ["ls", "pls"] {
+        let path = enhanced_soups::soup::Phase2Persist::state_path(&dir, strategy);
+        match load_state(&path) {
+            Ok(None) => {}
+            Ok(Some(state)) => {
+                checked += 1;
+                let finite = state
+                    .alphas
+                    .iter()
+                    .chain(state.best_alphas.iter().flatten())
+                    .all(|t| t.data().iter().all(|v| v.is_finite()));
+                note(
+                    finite,
+                    format!(
+                        "phase2_{strategy}.ck (epoch {}/{}{})",
+                        state.next_epoch,
+                        state.total_epochs,
+                        if finite { "" } else { ": non-finite α" }
+                    ),
+                    &mut problems,
+                );
+            }
+            Err(e) => {
+                checked += 1;
+                note(false, format!("phase2_{strategy}.ck: {e}"), &mut problems);
+            }
+        }
+    }
+
+    if checked == 0 {
+        return Err(SoupError::usage(format!(
+            "{}: nothing to verify (no manifest, checkpoints, or phase-2 states)",
+            dir.display()
+        )));
+    }
+    if problems.is_empty() {
+        println!("{}: {checked} artifacts verified, all clean", dir.display());
+        Ok(())
+    } else {
+        Err(SoupError::corrupt(format!(
+            "{}: {} of {checked} artifacts corrupt: {}",
+            dir.display(),
+            problems.len(),
+            problems.join("; ")
+        )))
+    }
 }
 
 fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<()> {

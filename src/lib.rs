@@ -11,6 +11,8 @@
 //! - [`gnn`] — GCN / GraphSAGE / GAT models and training loops
 //! - [`soup`] — the souping algorithms: US, Greedy, GIS, **LS**, **PLS**
 //! - [`distrib`] — zero-communication distributed ingredient training
+//! - [`store`] — crash-safe artifact store: atomic durable writes,
+//!   checksummed envelopes, fault injection, the per-run journal
 //! - [`obs`] — metrics registry, timing spans, JSONL tracing, reporting
 //!
 //! ## Quickstart
@@ -37,6 +39,7 @@ pub use soup_gnn as gnn;
 pub use soup_graph as graph;
 pub use soup_obs as obs;
 pub use soup_partition as partition;
+pub use soup_store as store;
 pub use soup_tensor as tensor;
 
 /// The workspace-wide error type and result alias (also re-exported from
@@ -47,7 +50,7 @@ pub use soup_error::{Result, SoupError};
 pub mod prelude {
     pub use soup_core::{
         GisSouping, GreedySouping, Ingredient, LearnedSouping, PartitionLearnedSouping,
-        SoupOutcome, SoupStrategy, UniformSouping,
+        Phase2Persist, SoupOutcome, SoupStrategy, UniformSouping,
     };
     pub use soup_distrib::{
         train_ingredients, train_ingredients_opts, FaultPlan, TrainOpts, TrainRun,
@@ -56,5 +59,6 @@ pub mod prelude {
     pub use soup_gnn::{Arch, ModelConfig, TrainConfig};
     pub use soup_graph::{CsrGraph, Dataset, DatasetKind};
     pub use soup_partition::PartitionConfig;
+    pub use soup_store::{StorageFaultPlan, Store};
     pub use soup_tensor::{SplitMix64, Tensor};
 }

@@ -76,8 +76,9 @@ fn kill_then_resume_round_trip() {
 
     // Simulate the kill: ingredient 1 never got written, ingredient 3 was
     // truncated mid-write.
-    std::fs::remove_file(dir.join("ingredient_1.json")).unwrap();
-    std::fs::write(dir.join("ingredient_3.json"), "{\"version\":1,").unwrap();
+    std::fs::remove_file(dir.join("ingredient_1.ck")).unwrap();
+    let intact = std::fs::read(dir.join("ingredient_3.ck")).unwrap();
+    std::fs::write(dir.join("ingredient_3.ck"), &intact[..intact.len() / 2]).unwrap();
 
     let resumed_run =
         train_ingredients_opts(&dataset, &cfg, &tc, 5, &opts.clone().with_resume(true)).unwrap();
