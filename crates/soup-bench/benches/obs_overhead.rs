@@ -2,16 +2,17 @@
 //! metrics recording enabled versus disabled (`set_enabled(false)` reduces
 //! every counter update to a single relaxed atomic load).
 //!
-//! Besides the two Criterion groups, a direct A/B timing loop prints the
+//! Besides the two Criterion groups, direct A/B timing loops print the
 //! measured relative overhead so `cargo bench --bench obs_overhead` leaves
-//! a one-line verdict in the log. The disabled path is expected to stay
-//! within 2% of the enabled path's throughput-neutral baseline — see
+//! one-line verdicts in the log: counters alone, and the full soup-obs v2
+//! surface (100 ms metrics sampler + per-span CPU/alloc attribution)
+//! versus everything disabled. Both are expected to stay within 2% — see
 //! `benches/README.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soup_graph::{CsrGraph, SbmConfig};
 use soup_tensor::Tensor;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn test_graph(nodes: usize) -> (CsrGraph, Tensor) {
     let synth = SbmConfig {
@@ -72,5 +73,83 @@ fn bench_spmm_instrumentation(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_spmm_instrumentation);
+/// The acceptance guard for the full v2 observability surface: sampler at
+/// the default 100 ms tick, span attribution on, pool probes installed —
+/// versus everything off. The workload wraps each batch in a span so the
+/// attribution path (thread-CPU clock reads + alloc delta bookkeeping at
+/// span drop) is actually exercised, matching what `soupctl train` pays.
+fn bench_full_observability_overhead(c: &mut Criterion) {
+    let (graph, feats) = test_graph(4000);
+    let adj = graph.gcn_norm();
+    let workload = |label: &'static str| {
+        let _span = soup_obs::span!(label);
+        std::hint::black_box(adj.matvec_dense(&feats));
+    };
+
+    let mut group = c.benchmark_group("full_obs");
+    soup_obs::attrib::set_enabled(true);
+    group.bench_function("sampler_and_attribution", |b| {
+        let dir = std::env::temp_dir().join("obs_overhead_criterion.metrics.jsonl");
+        let sampler = soup_obs::series::start(&dir, Duration::from_millis(100)).ok();
+        b.iter(|| workload("bench.full_obs"));
+        if let Some(s) = sampler {
+            s.stop();
+        }
+        std::fs::remove_file(&dir).ok();
+    });
+    soup_obs::set_enabled(false);
+    soup_obs::attrib::set_enabled(false);
+    group.bench_function("all_disabled", |b| {
+        b.iter(|| workload("bench.full_obs"));
+    });
+    soup_obs::set_enabled(true);
+    group.finish();
+
+    // Direct interleaved A/B for the log verdict: the <2% acceptance bound
+    // on the fully instrumented configuration.
+    let batch = 20usize;
+    let rounds = 10usize;
+    let mut on_ns = 0u128;
+    let mut off_ns = 0u128;
+    let series_path = std::env::temp_dir().join("obs_overhead_ab.metrics.jsonl");
+    for _ in 0..rounds {
+        soup_obs::set_enabled(true);
+        soup_obs::attrib::set_enabled(true);
+        let sampler = soup_obs::series::start(&series_path, Duration::from_millis(100)).ok();
+        let t = Instant::now();
+        for _ in 0..batch {
+            workload("bench.full_obs.ab");
+        }
+        on_ns += t.elapsed().as_nanos();
+        if let Some(s) = sampler {
+            s.stop();
+        }
+        soup_obs::set_enabled(false);
+        soup_obs::attrib::set_enabled(false);
+        let t = Instant::now();
+        for _ in 0..batch {
+            workload("bench.full_obs.ab");
+        }
+        off_ns += t.elapsed().as_nanos();
+    }
+    std::fs::remove_file(&series_path).ok();
+    soup_obs::set_enabled(true);
+    soup_obs::attrib::set_enabled(true);
+    let overhead = on_ns as f64 / off_ns.max(1) as f64 - 1.0;
+    let verdict = if overhead < 0.02 { "PASS" } else { "FAIL" };
+    println!(
+        "full observability overhead (sampler@100ms + attribution vs disabled): \
+         {:+.3}% [{verdict}: bound 2%] \
+         (on {:.3} ms/iter, off {:.3} ms/iter)",
+        overhead * 100.0,
+        on_ns as f64 / 1e6 / (batch * rounds) as f64,
+        off_ns as f64 / 1e6 / (batch * rounds) as f64,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_spmm_instrumentation,
+    bench_full_observability_overhead
+);
 criterion_main!(benches);

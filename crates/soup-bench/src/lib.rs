@@ -12,6 +12,7 @@
 //! the paper's settings (50 ingredients, 4 soups).
 
 pub mod harness;
+pub mod regress;
 
 pub use harness::{
     format_pm, run_cell, CellConfig, CellResult, ExperimentPreset, StrategyKind, StrategyResult,

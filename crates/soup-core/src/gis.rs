@@ -120,7 +120,11 @@ impl SoupStrategy for GisSouping {
             let mut soup_acc = eval(&soup);
             let ratios = self.ratios();
             let grid = &ratios[1..];
-            for &idx in &order[1..] {
+            // α-grid progress for the metrics sampler: fraction of
+            // ingredients whose grid has been searched.
+            let grid_total = order.len().saturating_sub(1).max(1);
+            soup_obs::gauge!("soup.gis.progress").set(0.0);
+            for (done, &idx) in order[1..].iter().enumerate() {
                 let ingredient = &ingredients[idx].params;
                 // Exhaustive linear search over interpolation ratios
                 // (alpha = 0 leaves the soup unchanged, so accuracy can
@@ -167,6 +171,7 @@ impl SoupStrategy for GisSouping {
                     "idx" => idx as u64,
                     "best_alpha" => best.0,
                     "best_acc" => best.1);
+                soup_obs::gauge!("soup.gis.progress").set((done + 1) as f64 / grid_total as f64);
             }
             // Net savings: every cache-consuming forward skipped one SpMM,
             // minus the one SpMM spent building the cache.

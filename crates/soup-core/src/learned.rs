@@ -407,6 +407,7 @@ impl LearnedSouping {
             attempts = 0;
             epochs_run += 1;
             soup_obs::counter!("soup.ls.epochs").inc();
+            soup_obs::gauge!("soup.ls.epoch").set(epochs_run as f64);
             soup_obs::trace_event!("soup.ls.epoch",
                 "epoch" => epoch as u64,
                 "loss" => loss,

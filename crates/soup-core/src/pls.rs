@@ -409,6 +409,7 @@ impl PartitionLearnedSouping {
             attempts = 0;
             epochs_run += 1;
             soup_obs::counter!("soup.pls.epochs").inc();
+            soup_obs::gauge!("soup.pls.epoch").set(epochs_run as f64);
             soup_obs::trace_event!("soup.pls.epoch",
                 "epoch" => epoch as u64,
                 "loss" => loss,

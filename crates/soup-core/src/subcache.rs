@@ -91,6 +91,7 @@ impl SubgraphCache {
             }
             self.entries.push((key, build()));
         }
+        soup_obs::gauge!("soup.pls.subcache_occupancy").set(self.entries.len() as f64);
         Some(&self.entries.last().expect("just pushed or promoted").1)
     }
 

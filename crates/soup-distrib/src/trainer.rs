@@ -423,6 +423,22 @@ pub fn train_ingredients_opts(
                 let mut trained = Vec::new();
                 let busy_start = Instant::now();
                 let mut task_time = Duration::ZERO;
+                // Live heartbeat for the metrics sampler: when this worker
+                // last made progress, and which ingredient it holds (-1
+                // when idle). A stuck worker shows up as a frozen
+                // heartbeat_s in the `soup-metrics/1` series.
+                let heartbeat =
+                    soup_obs::registry::gauge(&format!("distrib.worker.{worker_id}.heartbeat_s"));
+                let current_task =
+                    soup_obs::registry::gauge(&format!("distrib.worker.{worker_id}.current_task"));
+                let unix_now_s = || {
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0)
+                };
+                heartbeat.set(unix_now_s());
+                current_task.set(-1.0);
                 loop {
                     let claim_start = Instant::now();
                     let Some(task) = queue.claim() else { break };
@@ -430,6 +446,8 @@ pub fn train_ingredients_opts(
                         .record(claim_start.elapsed().as_nanos() as u64);
                     let task_start = Instant::now();
                     let ordinal = task.ordinal;
+                    heartbeat.set(unix_now_s());
+                    current_task.set(ordinal as f64);
                     soup_obs::debug!(
                         "worker {worker_id} claimed ingredient {ordinal} (attempt {})",
                         task.attempt
@@ -557,6 +575,8 @@ pub fn train_ingredients_opts(
                         }
                     }
                     task_time += task_start.elapsed();
+                    heartbeat.set(unix_now_s());
+                    current_task.set(-1.0);
                 }
                 let busy_time = busy_start.elapsed();
                 // Time inside the claim loop but not spent training is

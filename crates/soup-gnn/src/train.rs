@@ -161,6 +161,9 @@ pub fn train_single(
         let _epoch_span = soup_obs::span!("epoch");
         let epoch_start = std::time::Instant::now();
         soup_obs::counter!("gnn.epochs").inc();
+        // Live progress for the metrics sampler (1-based; 0 = not started).
+        soup_obs::gauge!("train.epoch").set(epochs_run as f64);
+        soup_obs::gauge!("train.epochs_total").set(tc.epochs as f64);
         let mut epoch_loss = 0.0f64;
         let mut drop_rng = root.derive(1000 + epoch as u64);
         match &tc.minibatch {

@@ -1,0 +1,200 @@
+//! Per-span resource attribution: thread CPU time and allocation deltas.
+//!
+//! Wall time alone cannot distinguish a straggler that is *computing* from
+//! one that is blocked, nor a phase that is slow because it churns memory.
+//! This module supplies the two extra signals a [`crate::Span`] records on
+//! top of wall time:
+//!
+//! - **Thread CPU time** — `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` on
+//!   Linux, i.e. nanoseconds this thread actually spent on-core. A span
+//!   whose CPU time is far below its wall time was waiting (lock, queue,
+//!   I/O); one whose CPU time tracks wall time was compute-bound.
+//! - **Allocation bytes** — a per-thread byte counter fed by
+//!   `soup_tensor::memory::MemoryMeter::alloc` (every tensor buffer,
+//!   workspace and CSR guard registers there, pooled or fresh). The delta
+//!   over a span's lifetime attributes memory churn to pipeline phases.
+//!
+//! Both are captured on span enter and drop, recorded into per-path
+//! histograms next to the wall-time histogram, and surfaced as the CPU and
+//! ALLOC columns of the end-of-run report plus the `cpu_us`/`alloc_b`
+//! fields of `span` trace records. Attribution has its own master switch
+//! ([`set_enabled`], default on); the cost per span is two `clock_gettime`
+//! syscalls plus a thread-local add per tensor allocation, negligible at
+//! the epoch/phase granularity spans are used at (guarded by the
+//! `obs_overhead` bench, < 2%).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+/// Master switch for resource attribution (default on). Independent from
+/// the metrics switch so `set_enabled(false)` baselines can still keep
+/// wall-time spans.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable CPU/allocation attribution.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Relaxed);
+}
+
+/// Whether attribution is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+thread_local! {
+    /// Monotonic bytes-allocated counter for this thread. Only ever grows;
+    /// spans attribute by delta, so resets are never needed.
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credit `bytes` of allocation to the current thread. Called by
+/// `soup_tensor::memory::MemoryMeter::alloc` on every buffer registration;
+/// a no-op when attribution is disabled.
+#[inline]
+pub fn on_alloc(bytes: usize) {
+    if enabled() {
+        ALLOC_BYTES.with(|c| c.set(c.get().wrapping_add(bytes as u64)));
+    }
+}
+
+/// Total bytes this thread has allocated since it started (monotonic).
+pub fn thread_alloc_bytes() -> u64 {
+    ALLOC_BYTES.with(Cell::get)
+}
+
+/// Nanoseconds of CPU time consumed by the calling thread, or `None` where
+/// the platform offers no per-thread clock.
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> Option<u64> {
+    // std links libc on Linux, so the raw syscall wrapper is available
+    // without adding a libc dependency (the build environment is offline).
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable timespec and the clock id is a
+    // constant the kernel supports; the call writes `ts` and nothing else.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return None;
+    }
+    Some((ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64)
+}
+
+/// Fallback for platforms without `CLOCK_THREAD_CPUTIME_ID`.
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> Option<u64> {
+    None
+}
+
+/// Snapshot of both attribution clocks, taken at span enter.
+#[derive(Debug, Clone, Copy)]
+pub struct Mark {
+    pub cpu_ns: Option<u64>,
+    pub alloc_bytes: u64,
+}
+
+/// Capture the current thread's attribution clocks (`None`-free when
+/// disabled: returns a zero mark so spans skip the delta work).
+pub fn mark() -> Option<Mark> {
+    if !enabled() {
+        return None;
+    }
+    Some(Mark {
+        cpu_ns: thread_cpu_ns(),
+        alloc_bytes: thread_alloc_bytes(),
+    })
+}
+
+/// Deltas between two marks on the same thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deltas {
+    /// CPU nanoseconds spent between the marks (0 when unavailable).
+    pub cpu_ns: u64,
+    /// Bytes allocated between the marks.
+    pub alloc_bytes: u64,
+}
+
+impl Mark {
+    /// Deltas from this mark to the thread's current state.
+    pub fn since(&self) -> Deltas {
+        let cpu_ns = match (self.cpu_ns, thread_cpu_ns()) {
+            (Some(start), Some(end)) => end.saturating_sub(start),
+            _ => 0,
+        };
+        Deltas {
+            cpu_ns,
+            alloc_bytes: thread_alloc_bytes().saturating_sub(self.alloc_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_clock_advances_under_load() {
+        let Some(start) = thread_cpu_ns() else {
+            return; // platform without a per-thread clock
+        };
+        // Spin long enough for the clock to tick.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let end = thread_cpu_ns().unwrap();
+        assert!(end > start, "thread CPU clock did not advance");
+    }
+
+    #[test]
+    fn alloc_counter_is_monotonic_and_per_thread() {
+        let _serial = crate::test_serial();
+        set_enabled(true);
+        let before = thread_alloc_bytes();
+        on_alloc(4096);
+        on_alloc(1024);
+        assert_eq!(thread_alloc_bytes(), before + 5120);
+        // Another thread's counter starts independently.
+        let other = std::thread::spawn(|| {
+            on_alloc(1);
+            thread_alloc_bytes()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1);
+    }
+
+    #[test]
+    fn disabled_attribution_drops_allocs_and_marks() {
+        let _serial = crate::test_serial();
+        set_enabled(false);
+        let before = thread_alloc_bytes();
+        on_alloc(9999);
+        assert_eq!(thread_alloc_bytes(), before);
+        assert!(mark().is_none());
+        set_enabled(true);
+    }
+
+    #[test]
+    fn mark_deltas_capture_both_dimensions() {
+        let _serial = crate::test_serial();
+        set_enabled(true);
+        let m = mark().expect("attribution enabled");
+        on_alloc(1 << 20);
+        let d = m.since();
+        assert_eq!(d.alloc_bytes, 1 << 20);
+        // CPU delta is platform-dependent but never negative (u64).
+    }
+}

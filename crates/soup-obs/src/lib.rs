@@ -46,9 +46,13 @@
 //! [`trace::validate_file`], which CI runs against a real `soupctl train`
 //! trace.
 
+pub mod attrib;
+pub mod diff;
+pub mod flame;
 pub mod log;
 pub mod registry;
 pub mod report;
+pub mod series;
 pub mod span;
 pub mod trace;
 

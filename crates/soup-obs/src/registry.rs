@@ -265,6 +265,20 @@ pub struct HistogramSummary {
 }
 
 impl HistogramSummary {
+    /// Rebuild a summary from its [`Self::to_value`] JSON form.
+    pub fn from_value(value: &Value) -> Option<Self> {
+        Some(Self {
+            count: value.get("count")?.as_u64()?,
+            sum: value.get("sum")?.as_u64()?,
+            min: value.get("min")?.as_u64()?,
+            max: value.get("max")?.as_u64()?,
+            mean: value.get("mean")?.as_f64()?,
+            p50: value.get("p50")?.as_u64()?,
+            p95: value.get("p95")?.as_u64()?,
+            p99: value.get("p99")?.as_u64()?,
+        })
+    }
+
     pub fn to_value(&self) -> Value {
         Value::Object(vec![
             ("count".into(), Value::Number(Number::PosInt(self.count))),
@@ -287,6 +301,11 @@ struct Registry {
     /// Span wall-time histograms (nanoseconds), keyed by full span path.
     /// Kept separate from user histograms so the reporter can build the tree.
     spans: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Span thread-CPU-time histograms (nanoseconds), same keys as `spans`.
+    /// Populated only while [`crate::attrib`] is enabled.
+    span_cpu: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Span allocation-delta histograms (bytes), same keys as `spans`.
+    span_alloc: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -330,6 +349,24 @@ pub(crate) fn span_histogram(path: &str) -> Arc<Histogram> {
     )
 }
 
+/// Get or create the span thread-CPU histogram for this path (nanoseconds).
+pub(crate) fn span_cpu_histogram(path: &str) -> Arc<Histogram> {
+    let mut map = registry().span_cpu.lock();
+    Arc::clone(
+        map.entry(path.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new())),
+    )
+}
+
+/// Get or create the span allocation-delta histogram for this path (bytes).
+pub(crate) fn span_alloc_histogram(path: &str) -> Arc<Histogram> {
+    let mut map = registry().span_alloc.lock();
+    Arc::clone(
+        map.entry(path.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new())),
+    )
+}
+
 /// Zero every registered instrument (instruments stay registered, so cached
 /// `counter!` handles remain valid). Used between bench cells and in tests.
 pub fn reset() {
@@ -345,6 +382,12 @@ pub fn reset() {
     for h in registry().spans.lock().values() {
         h.reset();
     }
+    for h in registry().span_cpu.lock().values() {
+        h.reset();
+    }
+    for h in registry().span_alloc.lock().values() {
+        h.reset();
+    }
 }
 
 /// Point-in-time view of every registered instrument, sorted by name.
@@ -355,6 +398,11 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Span wall-time digests (nanoseconds), keyed by full span path.
     pub spans: Vec<(String, HistogramSummary)>,
+    /// Span thread-CPU digests (nanoseconds); present only for paths closed
+    /// while [`crate::attrib`] was enabled.
+    pub span_cpu: Vec<(String, HistogramSummary)>,
+    /// Span allocation-delta digests (bytes); same coverage as `span_cpu`.
+    pub span_alloc: Vec<(String, HistogramSummary)>,
 }
 
 impl MetricsSnapshot {
@@ -380,11 +428,23 @@ impl MetricsSnapshot {
             .iter()
             .map(|(k, h)| (k.clone(), h.to_value()))
             .collect();
+        let span_cpu = self
+            .span_cpu
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
+        let span_alloc = self
+            .span_alloc
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
         Value::Object(vec![
             ("counters".into(), Value::Object(counters)),
             ("gauges".into(), Value::Object(gauges)),
             ("histograms".into(), Value::Object(histograms)),
             ("spans".into(), Value::Object(spans)),
+            ("span_cpu".into(), Value::Object(span_cpu)),
+            ("span_alloc".into(), Value::Object(span_alloc)),
         ])
     }
 }
@@ -415,17 +475,67 @@ pub fn snapshot() -> MetricsSnapshot {
         .iter()
         .map(|(k, v)| (k.clone(), v.summary()))
         .collect();
+    let span_cpu = registry()
+        .span_cpu
+        .lock()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.summary()))
+        .collect();
+    let span_alloc = registry()
+        .span_alloc
+        .lock()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.summary()))
+        .collect();
     MetricsSnapshot {
         counters,
         gauges,
         histograms,
         spans,
+        span_cpu,
+        span_alloc,
     }
 }
 
 /// Snapshot the registry directly as a JSON value.
 pub fn snapshot_value() -> Value {
     snapshot().to_value()
+}
+
+/// Rebuild a [`MetricsSnapshot`] from its JSON form (a trace `metrics`
+/// record or a `soup-metrics/1` sample). Unknown keys are ignored; the
+/// `span_cpu`/`span_alloc` sections are optional for `soup-trace/1`
+/// compatibility with traces written before attribution existed.
+pub fn snapshot_from_value(value: &Value) -> Option<MetricsSnapshot> {
+    fn object<'a>(value: &'a Value, key: &str) -> Option<&'a [(String, Value)]> {
+        match value.get(key) {
+            Some(Value::Object(fields)) => Some(fields),
+            _ => None,
+        }
+    }
+    fn summaries(fields: Option<&[(String, Value)]>) -> Vec<(String, HistogramSummary)> {
+        fields
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), HistogramSummary::from_value(v)?)))
+            .collect()
+    }
+    let counters = object(value, "counters")?
+        .iter()
+        .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+        .collect();
+    let gauges = object(value, "gauges")?
+        .iter()
+        .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+        .collect();
+    Some(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms: summaries(object(value, "histograms")),
+        spans: summaries(object(value, "spans")),
+        span_cpu: summaries(object(value, "span_cpu")),
+        span_alloc: summaries(object(value, "span_alloc")),
+    })
 }
 
 #[cfg(test)]
@@ -476,6 +586,65 @@ mod tests {
         let p99 = h.quantile(0.99) as f64;
         assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50 = {p50}");
         assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_at_exact_bucket_boundaries() {
+        let _serial = crate::test_serial();
+        // Power-of-two values sit exactly on bucket lower bounds: the first
+        // value of each octave (mantissa 0). Quantiles must land in the
+        // bucket that contains the exact rank, and the clamp to [min, max]
+        // must keep the estimate inside the recorded range.
+        let h = Histogram::new();
+        for v in [8u64, 16, 32, 64, 128] {
+            h.record(v);
+        }
+        // Ranks: q=0.2 -> rank 1 -> value 8's bucket; the bucket mid for a
+        // boundary value must round-trip through bucket_index.
+        for (q, expect) in [(0.2, 8u64), (0.4, 16), (0.6, 32), (0.8, 64), (1.0, 128)] {
+            let got = h.quantile(q);
+            assert_eq!(
+                bucket_index(got),
+                bucket_index(expect),
+                "q={q}: estimate {got} left the exact bucket of {expect}"
+            );
+            assert!(
+                (h.min()..=h.max()).contains(&got),
+                "q={q}: {got} outside range"
+            );
+        }
+        // q=0 clamps to rank 1 (the minimum's bucket), never to bucket 0.
+        assert_eq!(bucket_index(h.quantile(0.0)), bucket_index(8));
+    }
+
+    #[test]
+    fn quantile_boundary_between_adjacent_buckets() {
+        let _serial = crate::test_serial();
+        // 100 samples in bucket A, 100 in the adjacent bucket B. The p50
+        // rank (100) is the *last* sample of A, p50+epsilon the first of B:
+        // the estimate must switch buckets exactly at that boundary.
+        let a = 1000u64;
+        let b = bucket_lower_bound(bucket_index(a) + 1); // first value of next bucket
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(a);
+        }
+        for _ in 0..100 {
+            h.record(b);
+        }
+        assert_eq!(bucket_index(h.quantile(0.50)), bucket_index(a));
+        assert_eq!(bucket_index(h.quantile(0.505)), bucket_index(b));
+        // Sub-8 values are exact unit buckets: the boundary is sharp.
+        let small = Histogram::new();
+        for _ in 0..50 {
+            small.record(3);
+        }
+        for _ in 0..50 {
+            small.record(4);
+        }
+        assert_eq!(small.quantile(0.50), 3);
+        assert_eq!(small.quantile(0.51), 4);
+        assert_eq!(small.quantile(1.0), 4);
     }
 
     #[test]

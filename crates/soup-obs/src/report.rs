@@ -1,9 +1,12 @@
 //! End-of-run human-readable metrics summary.
 //!
 //! Renders the span tree (indented by nesting, ordered by total wall time)
-//! with call counts, total/mean time, and p50/p95/p99 latencies, followed by
-//! all counters, gauges, and user histograms. This is what
-//! `soupctl --metrics-summary` and the bench harness print.
+//! with call counts, total/mean wall time, p50/p95/p99 latencies, and —
+//! when [`crate::attrib`] was enabled — total thread CPU time and tensor
+//! bytes allocated, so stragglers (wall ≫ CPU: waiting) and churny phases
+//! (large ALLOC) are visible per path. Counters, gauges, and user
+//! histograms follow. This is what `soupctl --metrics-summary` and the
+//! bench harness print.
 
 use crate::registry::{HistogramSummary, MetricsSnapshot};
 
@@ -21,9 +24,27 @@ pub fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Format a byte quantity with a human-friendly binary unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b < 1024.0 {
+        format!("{bytes}B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1}KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1}MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2}GiB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
 struct Node {
     label: String,
     stat: Option<HistogramSummary>,
+    /// Total thread CPU time (ns) attributed to this path, when recorded.
+    cpu_ns: Option<u64>,
+    /// Total tensor bytes allocated inside this path, when recorded.
+    alloc_b: Option<u64>,
     children: Vec<Node>,
 }
 
@@ -32,13 +53,23 @@ impl Node {
         Self {
             label: label.to_string(),
             stat: None,
+            cpu_ns: None,
+            alloc_b: None,
             children: Vec::new(),
         }
     }
 
-    fn insert(&mut self, segments: &[&str], stat: &HistogramSummary) {
+    fn insert(
+        &mut self,
+        segments: &[&str],
+        stat: &HistogramSummary,
+        cpu_ns: Option<u64>,
+        alloc_b: Option<u64>,
+    ) {
         let Some((head, rest)) = segments.split_first() else {
             self.stat = Some(stat.clone());
+            self.cpu_ns = cpu_ns;
+            self.alloc_b = alloc_b;
             return;
         };
         let child = match self.children.iter_mut().position(|c| c.label == *head) {
@@ -48,7 +79,7 @@ impl Node {
                 self.children.last_mut().unwrap()
             }
         };
-        child.insert(rest, stat);
+        child.insert(rest, stat, cpu_ns, alloc_b);
     }
 
     /// Total time attributed to this node (own stat, or sum of children for
@@ -66,9 +97,11 @@ impl Node {
         match &self.stat {
             Some(s) => {
                 out.push_str(&format!(
-                    "{label:<44} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    "{label:<44} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                     s.count,
                     fmt_ns(s.sum),
+                    self.cpu_ns.map(fmt_ns).unwrap_or_else(|| "-".into()),
+                    self.alloc_b.map(fmt_bytes).unwrap_or_else(|| "-".into()),
                     fmt_ns(s.mean as u64),
                     fmt_ns(s.p50),
                     fmt_ns(s.p95),
@@ -94,13 +127,21 @@ pub fn render_snapshot(snapshot: &MetricsSnapshot) -> String {
         out.push_str("(no spans recorded)\n");
     } else {
         out.push_str(&format!(
-            "{:<44} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-            "SPAN", "CALLS", "TOTAL", "MEAN", "P50", "P95", "P99"
+            "{:<44} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "SPAN", "CALLS", "WALL", "CPU", "ALLOC", "MEAN", "P50", "P95", "P99"
         ));
+        let sum_of = |entries: &[(String, HistogramSummary)], path: &str| {
+            entries.iter().find(|(k, _)| k == path).map(|(_, h)| h.sum)
+        };
         let mut root = Node::new("");
         for (path, stat) in &snapshot.spans {
             let segments: Vec<&str> = path.split('/').collect();
-            root.insert(&segments, stat);
+            root.insert(
+                &segments,
+                stat,
+                sum_of(&snapshot.span_cpu, path),
+                sum_of(&snapshot.span_alloc, path),
+            );
         }
         let mut top: Vec<&Node> = root.children.iter().collect();
         top.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
@@ -180,6 +221,7 @@ mod tests {
                 ("a/fast".into(), stat(2, 50_000)),
                 ("b".into(), stat(1, 5_000_000)),
             ],
+            ..Default::default()
         };
         let rendered = render_snapshot(&snapshot);
         let b_pos = rendered.find("\nb ").expect("b row");
@@ -197,6 +239,47 @@ mod tests {
         assert!(slow_pos < fast_pos, "slow child first:\n{rendered}");
         assert!(rendered.contains("c.x"));
         assert!(rendered.contains("g.y"));
+    }
+
+    #[test]
+    fn attribution_columns_render_wall_cpu_and_bytes() {
+        let snapshot = MetricsSnapshot {
+            spans: vec![("phase".into(), stat(4, 2_000_000_000))],
+            span_cpu: vec![("phase".into(), stat(4, 500_000_000))],
+            span_alloc: vec![("phase".into(), stat(4, 3 * 1024 * 1024))],
+            ..Default::default()
+        };
+        let rendered = render_snapshot(&snapshot);
+        assert!(rendered.contains("WALL"), "{rendered}");
+        assert!(rendered.contains("CPU"), "{rendered}");
+        assert!(rendered.contains("ALLOC"), "{rendered}");
+        // 2s wall, 500ms CPU, 3MiB allocated on one row.
+        let row = rendered
+            .lines()
+            .find(|l| l.starts_with("phase"))
+            .expect("phase row");
+        assert!(row.contains("2.00s"), "{row}");
+        assert!(row.contains("500.0ms"), "{row}");
+        assert!(row.contains("3.0MiB"), "{row}");
+        // Without attribution the columns degrade to `-`.
+        let bare = MetricsSnapshot {
+            spans: vec![("phase".into(), stat(1, 1_000))],
+            ..Default::default()
+        };
+        let rendered = render_snapshot(&bare);
+        let row = rendered
+            .lines()
+            .find(|l| l.starts_with("phase"))
+            .expect("phase row");
+        assert!(row.contains(" - "), "{row}");
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.00GiB");
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! Live time-series telemetry — the `soup-metrics/1` JSONL sampler.
+//!
+//! [`start`] spawns a background thread that snapshots the registry every
+//! `interval` and appends one JSON object per tick, so a long training or
+//! souping run can be watched live (`soupctl obs tail`) instead of only
+//! summarized at exit. The stream is schema-versioned and validated by
+//! [`validate_file`], mirroring the `soup-trace/1` discipline.
+//!
+//! # Schema (`soup-metrics/1`)
+//!
+//! | `type`   | required fields                                                |
+//! |----------|----------------------------------------------------------------|
+//! | `header` | `schema` (= `"soup-metrics/1"`), `pid`, `unix_time_s`, `interval_ms` |
+//! | `sample` | `seq`, `ts_us`, `rss_bytes`, `counters`, `gauges`, `histograms`, `spans` |
+//! | `footer` | `samples`                                                      |
+//!
+//! `seq` increments from 0; `ts_us` is microseconds since process start
+//! (same clock as `soup-trace/1`, so the two files line up). Each entry in
+//! `counters` is `{"total": u64, "delta": u64}` — the running value and the
+//! change since the previous tick (`total` of the first sample doubles as
+//! its delta), so rates fall out without post-processing. `gauges` are
+//! instantaneous values; `histograms` and `spans` are full summary digests
+//! per tick. `rss_bytes` is read from `/proc/self/status` (0 where absent).
+//! The footer is written on a clean [`SamplerHandle::stop`]; a crashed run
+//! simply lacks it, which [`validate_file`] reports via
+//! [`Series::complete`] rather than an error.
+//!
+//! External crates publish into the stream through [`register_probe`]: the
+//! sampler runs every probe immediately before each snapshot, so e.g.
+//! `soup-tensor` can refresh `tensor.mem.live_bytes`/`pooled`/`peak` gauges
+//! without `soup-obs` depending on it.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::{Duration, SystemTime};
+
+use parking_lot::Mutex;
+use serde::{Number, Value};
+use soup_error::{Result, SoupError};
+
+use crate::registry::HistogramSummary;
+
+/// Version tag written into (and required from) every series header.
+pub const SCHEMA: &str = "soup-metrics/1";
+
+type Probe = Box<dyn Fn() + Send>;
+
+/// Probes registered by other crates, run before every sample tick.
+fn probes() -> &'static Mutex<Vec<Probe>> {
+    static PROBES: std::sync::OnceLock<Mutex<Vec<Probe>>> = std::sync::OnceLock::new();
+    PROBES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a sampler probe: a closure the sampler thread calls immediately
+/// before each registry snapshot. Probes should refresh gauges from state
+/// the registry cannot see itself (e.g. pool occupancy); they must be cheap
+/// and must not block.
+pub fn register_probe(probe: impl Fn() + Send + 'static) {
+    probes().lock().push(Box::new(probe));
+}
+
+/// Run all registered probes (also used by one-shot snapshot paths so
+/// end-of-run reports include probe-fed gauges).
+pub fn run_probes() {
+    for probe in probes().lock().iter() {
+        probe();
+    }
+}
+
+/// Resident set size of this process in bytes, from `/proc/self/status`
+/// (`None` on platforms without procfs).
+pub fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Handle to a running sampler thread. Dropping it stops the thread and
+/// finalizes the file; prefer [`SamplerHandle::stop`] to also learn the
+/// output path.
+pub struct SamplerHandle {
+    stop_tx: mpsc::Sender<()>,
+    join: Option<std::thread::JoinHandle<PathBuf>>,
+}
+
+impl SamplerHandle {
+    /// Signal the sampler, wait for the final sample + footer to be
+    /// written, and return the series path.
+    pub fn stop(mut self) -> Option<PathBuf> {
+        let _ = self.stop_tx.send(());
+        self.join.take().and_then(|j| j.join().ok())
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Start a background sampler writing `soup-metrics/1` JSONL to `path`
+/// every `interval` (clamped to ≥ 1ms). The sampler emits one final sample
+/// on stop, so even runs shorter than one interval produce a usable series.
+pub fn start(path: impl AsRef<Path>, interval: Duration) -> std::io::Result<SamplerHandle> {
+    let path = path.as_ref().to_path_buf();
+    let interval = interval.max(Duration::from_millis(1));
+    crate::trace::process_start();
+    let file = File::create(&path)?;
+    let mut writer = BufWriter::new(file);
+    let unix_time_s = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let header = Value::Object(vec![
+        ("type".into(), Value::String("header".into())),
+        ("schema".into(), Value::String(SCHEMA.into())),
+        (
+            "pid".into(),
+            Value::Number(Number::PosInt(std::process::id() as u64)),
+        ),
+        (
+            "unix_time_s".into(),
+            Value::Number(Number::PosInt(unix_time_s)),
+        ),
+        (
+            "interval_ms".into(),
+            Value::Number(Number::PosInt(interval.as_millis() as u64)),
+        ),
+    ]);
+    writeln!(
+        writer,
+        "{}",
+        serde_json::to_string(&header).expect("header serializes")
+    )?;
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let join = std::thread::Builder::new()
+        .name("soup-metrics-sampler".into())
+        .spawn(move || {
+            let mut prev_counters: BTreeMap<String, u64> = BTreeMap::new();
+            let mut seq = 0u64;
+            loop {
+                let stopping = !matches!(
+                    stop_rx.recv_timeout(interval),
+                    Err(RecvTimeoutError::Timeout)
+                );
+                let line = sample_value(seq, &mut prev_counters);
+                if let Ok(line) = serde_json::to_string(&line) {
+                    // Telemetry is best-effort; a full disk must not kill
+                    // the run being observed.
+                    let _ = writeln!(writer, "{line}");
+                }
+                seq += 1;
+                if stopping {
+                    break;
+                }
+            }
+            let footer = Value::Object(vec![
+                ("type".into(), Value::String("footer".into())),
+                ("samples".into(), Value::Number(Number::PosInt(seq))),
+            ]);
+            if let Ok(line) = serde_json::to_string(&footer) {
+                let _ = writeln!(writer, "{line}");
+            }
+            let _ = writer.flush();
+            path
+        })?;
+    Ok(SamplerHandle {
+        stop_tx,
+        join: Some(join),
+    })
+}
+
+/// Build one `sample` record: run probes, snapshot the registry, compute
+/// counter deltas against `prev_counters` (updated in place).
+fn sample_value(seq: u64, prev_counters: &mut BTreeMap<String, u64>) -> Value {
+    run_probes();
+    let snap = crate::registry::snapshot();
+    let ts_us = crate::trace::since_start_us(std::time::Instant::now());
+    let counters: Vec<(String, Value)> = snap
+        .counters
+        .iter()
+        .map(|(name, total)| {
+            // saturating: a registry reset mid-run (bench cells) makes the
+            // total drop; the delta restarts from the new total.
+            let delta = total.saturating_sub(prev_counters.get(name).copied().unwrap_or(0));
+            prev_counters.insert(name.clone(), *total);
+            (
+                name.clone(),
+                Value::Object(vec![
+                    ("total".into(), Value::Number(Number::PosInt(*total))),
+                    ("delta".into(), Value::Number(Number::PosInt(delta))),
+                ]),
+            )
+        })
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.clone(), Value::Number(Number::Float(*v))))
+        .collect();
+    let digests = |entries: &[(String, HistogramSummary)]| {
+        Value::Object(
+            entries
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_value()))
+                .collect(),
+        )
+    };
+    Value::Object(vec![
+        ("type".into(), Value::String("sample".into())),
+        ("seq".into(), Value::Number(Number::PosInt(seq))),
+        ("ts_us".into(), Value::Number(Number::PosInt(ts_us))),
+        (
+            "rss_bytes".into(),
+            Value::Number(Number::PosInt(rss_bytes().unwrap_or(0))),
+        ),
+        ("counters".into(), Value::Object(counters)),
+        ("gauges".into(), Value::Object(gauges)),
+        ("histograms".into(), digests(&snap.histograms)),
+        ("spans".into(), digests(&snap.spans)),
+    ])
+}
+
+/// One parsed `sample` record.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub seq: u64,
+    pub ts_us: u64,
+    pub rss_bytes: u64,
+    /// `(name, total, delta)` per counter.
+    pub counters: Vec<(String, u64, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+    pub spans: Vec<(String, HistogramSummary)>,
+}
+
+impl Sample {
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, total, _)| *total)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// A parsed, validated `soup-metrics/1` series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub interval_ms: u64,
+    pub samples: Vec<Sample>,
+    /// Whether the footer was present (clean shutdown) — `false` for a
+    /// series cut short by a crash or kill.
+    pub complete: bool,
+}
+
+fn require_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SoupError::parse(format!("line {line_no}: missing or non-integer `{key}`")))
+}
+
+/// Parse and validate a `soup-metrics/1` file.
+///
+/// Checks the header schema tag, that `seq` increments from 0 and `ts_us`
+/// never goes backwards, that every counter entry's `delta` is consistent
+/// with the change in its `total` (modulo registry resets, which restart
+/// the delta), and that the footer — when present — is the final record
+/// with a matching sample count.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<Series> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path).map_err(|e| SoupError::io_at(path, e))?;
+    let mut series = Series {
+        interval_ms: 0,
+        samples: Vec::new(),
+        complete: false,
+    };
+    let mut prev_counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut prev_ts = 0u64;
+    for (idx, line) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        if series.complete {
+            return Err(SoupError::parse(format!(
+                "line {line_no}: record after `footer`"
+            )));
+        }
+        let record: Value = serde_json::from_str(line)
+            .map_err(|e| SoupError::parse(format!("line {line_no}: invalid JSON: {e}")))?;
+        let kind = record
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SoupError::parse(format!("line {line_no}: missing `type`")))?;
+        if idx == 0 {
+            if kind != "header" {
+                return Err(SoupError::parse(format!(
+                    "line 1: first record must be `header`, found `{kind}`"
+                )));
+            }
+            let schema = record
+                .get("schema")
+                .and_then(Value::as_str)
+                .unwrap_or_default();
+            if schema != SCHEMA {
+                return Err(SoupError::parse(format!(
+                    "line 1: schema `{schema}` != expected `{SCHEMA}`"
+                )));
+            }
+            require_u64(&record, "pid", line_no)?;
+            require_u64(&record, "unix_time_s", line_no)?;
+            series.interval_ms = require_u64(&record, "interval_ms", line_no)?;
+            continue;
+        }
+        match kind {
+            "header" => {
+                return Err(SoupError::parse(format!(
+                    "line {line_no}: duplicate `header`"
+                )));
+            }
+            "sample" => {
+                let seq = require_u64(&record, "seq", line_no)?;
+                if seq != series.samples.len() as u64 {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: seq {seq} != expected {}",
+                        series.samples.len()
+                    )));
+                }
+                let ts_us = require_u64(&record, "ts_us", line_no)?;
+                if ts_us < prev_ts {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: non-monotonic ts_us {ts_us} < {prev_ts}"
+                    )));
+                }
+                prev_ts = ts_us;
+                let rss = require_u64(&record, "rss_bytes", line_no)?;
+                let Some(Value::Object(counter_fields)) = record.get("counters") else {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: missing `counters` object"
+                    )));
+                };
+                let mut counters = Vec::with_capacity(counter_fields.len());
+                for (name, entry) in counter_fields {
+                    let total = require_u64(entry, "total", line_no)?;
+                    let delta = require_u64(entry, "delta", line_no)?;
+                    let expected =
+                        total.saturating_sub(prev_counters.get(name).copied().unwrap_or(0));
+                    if delta != expected {
+                        return Err(SoupError::parse(format!(
+                            "line {line_no}: counter `{name}` delta {delta} != total change {expected}"
+                        )));
+                    }
+                    prev_counters.insert(name.clone(), total);
+                    counters.push((name.clone(), total, delta));
+                }
+                let gauges = match record.get("gauges") {
+                    Some(Value::Object(fields)) => fields
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_f64().map(|v| (k.clone(), v)).ok_or_else(|| {
+                                SoupError::parse(format!(
+                                    "line {line_no}: gauge `{k}` is not a number"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                    _ => {
+                        return Err(SoupError::parse(format!(
+                            "line {line_no}: missing `gauges` object"
+                        )));
+                    }
+                };
+                let digests = |key: &str| -> Result<Vec<(String, HistogramSummary)>> {
+                    match record.get(key) {
+                        Some(Value::Object(fields)) => fields
+                            .iter()
+                            .map(|(k, v)| {
+                                HistogramSummary::from_value(v)
+                                    .map(|h| (k.clone(), h))
+                                    .ok_or_else(|| {
+                                        SoupError::parse(format!(
+                                            "line {line_no}: malformed digest `{key}.{k}`"
+                                        ))
+                                    })
+                            })
+                            .collect(),
+                        _ => Err(SoupError::parse(format!(
+                            "line {line_no}: missing `{key}` object"
+                        ))),
+                    }
+                };
+                series.samples.push(Sample {
+                    seq,
+                    ts_us,
+                    rss_bytes: rss,
+                    counters,
+                    gauges,
+                    histograms: digests("histograms")?,
+                    spans: digests("spans")?,
+                });
+            }
+            "footer" => {
+                let samples = require_u64(&record, "samples", line_no)?;
+                if samples != series.samples.len() as u64 {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: footer samples {samples} != seen {}",
+                        series.samples.len()
+                    )));
+                }
+                series.complete = true;
+            }
+            other => {
+                return Err(SoupError::parse(format!(
+                    "line {line_no}: unknown record type `{other}`"
+                )));
+            }
+        }
+    }
+    if content.lines().next().is_none() {
+        return Err(SoupError::parse("metrics file is empty"));
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("soup_series_{name}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn sampler_emits_valid_series_with_counter_deltas() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        let path = temp("roundtrip");
+        let counter = crate::registry::counter("test.series.ticks");
+        let before = counter.get();
+        let handle = start(&path, Duration::from_millis(2)).unwrap();
+        for _ in 0..10 {
+            counter.inc();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let finished = handle.stop().expect("sampler returns path");
+        assert_eq!(finished, path);
+
+        let series = validate_file(&path).expect("series validates");
+        assert!(series.complete, "footer missing");
+        assert_eq!(series.interval_ms, 2);
+        assert!(!series.samples.is_empty());
+        let last = series.samples.last().unwrap();
+        assert_eq!(last.counter_total("test.series.ticks"), Some(before + 10));
+        // Deltas across the series sum to the final total (first delta
+        // includes the pre-existing value).
+        let delta_sum: u64 = series
+            .samples
+            .iter()
+            .filter_map(|s| {
+                s.counters
+                    .iter()
+                    .find(|(n, _, _)| n == "test.series.ticks")
+                    .map(|(_, _, d)| *d)
+            })
+            .sum();
+        assert_eq!(delta_sum, before + 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn probes_feed_gauges_into_samples() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        register_probe(|| crate::registry::gauge("test.series.probe").set(42.5));
+        let path = temp("probe");
+        let handle = start(&path, Duration::from_millis(50)).unwrap();
+        // Stop immediately: the final forced sample still runs probes.
+        handle.stop();
+        let series = validate_file(&path).unwrap();
+        assert!(series
+            .samples
+            .iter()
+            .any(|s| s.gauge("test.series.probe") == Some(42.5)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_series() {
+        let path = temp("corrupt");
+        let header = format!(
+            "{{\"type\":\"header\",\"schema\":\"{SCHEMA}\",\"pid\":1,\"unix_time_s\":1,\"interval_ms\":100}}"
+        );
+        let sample = |seq: u64, total: u64, delta: u64| {
+            format!(
+                "{{\"type\":\"sample\",\"seq\":{seq},\"ts_us\":{},\"rss_bytes\":0,\
+                 \"counters\":{{\"c\":{{\"total\":{total},\"delta\":{delta}}}}},\
+                 \"gauges\":{{}},\"histograms\":{{}},\"spans\":{{}}}}",
+                seq * 1000
+            )
+        };
+
+        // Wrong schema tag.
+        std::fs::write(
+            &path,
+            "{\"type\":\"header\",\"schema\":\"soup-metrics/99\",\"pid\":1,\"unix_time_s\":1,\"interval_ms\":1}\n",
+        )
+        .unwrap();
+        assert!(validate_file(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("schema"));
+
+        // Sequence gap.
+        std::fs::write(
+            &path,
+            format!("{header}\n{}\n{}\n", sample(0, 1, 1), sample(2, 2, 1)),
+        )
+        .unwrap();
+        assert!(validate_file(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("seq"));
+
+        // Delta inconsistent with totals.
+        std::fs::write(
+            &path,
+            format!("{header}\n{}\n{}\n", sample(0, 5, 5), sample(1, 8, 1)),
+        )
+        .unwrap();
+        assert!(validate_file(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("delta"));
+
+        // Footer count mismatch.
+        std::fs::write(
+            &path,
+            format!(
+                "{header}\n{}\n{{\"type\":\"footer\",\"samples\":7}}\n",
+                sample(0, 1, 1)
+            ),
+        )
+        .unwrap();
+        assert!(validate_file(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("footer"));
+
+        // Missing footer is not an error, just incomplete.
+        std::fs::write(&path, format!("{header}\n{}\n", sample(0, 1, 1))).unwrap();
+        let series = validate_file(&path).unwrap();
+        assert!(!series.complete);
+        assert_eq!(series.samples.len(), 1);
+
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -17,6 +17,9 @@ thread_local! {
 struct ActiveSpan {
     path: String,
     start: Instant,
+    /// Attribution clocks at enter ([`crate::attrib`]); `None` when
+    /// attribution is disabled.
+    mark: Option<crate::attrib::Mark>,
 }
 
 /// RAII guard for a timed region. Construct via [`Span::enter`] or the
@@ -39,6 +42,7 @@ impl Span {
         Span(Some(ActiveSpan {
             path,
             start: Instant::now(),
+            mark: crate::attrib::mark(),
         }))
     }
 
@@ -59,8 +63,15 @@ impl Drop for Span {
             stack.borrow_mut().pop();
         });
         crate::registry::span_histogram(&active.path).record(duration.as_nanos() as u64);
+        // Resource attribution: how much of the wall time was on-core CPU,
+        // and how many tensor bytes this thread allocated inside the span.
+        let deltas = active.mark.map(|m| m.since());
+        if let Some(d) = deltas {
+            crate::registry::span_cpu_histogram(&active.path).record(d.cpu_ns);
+            crate::registry::span_alloc_histogram(&active.path).record(d.alloc_bytes);
+        }
         if crate::trace::active() {
-            crate::trace::emit_span(&active.path, active.start, duration);
+            crate::trace::emit_span(&active.path, active.start, duration, deltas);
         }
     }
 }
@@ -138,6 +149,60 @@ mod tests {
         // A fresh span after re-enabling starts at the stack root.
         let span = Span::enter("test.span.after_disable");
         assert_eq!(span.path(), "test.span.after_disable");
+    }
+
+    #[test]
+    fn spans_record_cpu_and_alloc_attribution() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        crate::attrib::set_enabled(true);
+        {
+            let _span = Span::enter("test.span.attrib");
+            crate::attrib::on_alloc(1 << 16);
+            // Enough work for the thread CPU clock to tick.
+            let mut acc = 0u64;
+            for i in 0..500_000u64 {
+                acc = acc.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        }
+        let snap = crate::registry::snapshot();
+        let alloc = snap
+            .span_alloc
+            .iter()
+            .find(|(k, _)| k == "test.span.attrib")
+            .map(|(_, h)| h.clone())
+            .expect("alloc attribution recorded");
+        assert_eq!(alloc.count, 1);
+        assert!(alloc.sum >= 1 << 16, "alloc sum {}", alloc.sum);
+        let cpu = snap
+            .span_cpu
+            .iter()
+            .find(|(k, _)| k == "test.span.attrib")
+            .map(|(_, h)| h.clone())
+            .expect("cpu attribution recorded");
+        assert_eq!(cpu.count, 1);
+        if crate::attrib::thread_cpu_ns().is_some() {
+            assert!(cpu.sum > 0, "cpu time did not advance");
+        }
+    }
+
+    #[test]
+    fn attribution_disabled_skips_resource_histograms() {
+        let _serial = crate::test_serial();
+        crate::registry::set_enabled(true);
+        crate::attrib::set_enabled(false);
+        {
+            let _span = Span::enter("test.span.no_attrib");
+        }
+        crate::attrib::set_enabled(true);
+        let snap = crate::registry::snapshot();
+        // Wall time is still recorded; the resource histograms are not.
+        assert!(snap.spans.iter().any(|(k, _)| k == "test.span.no_attrib"));
+        assert!(!snap
+            .span_cpu
+            .iter()
+            .any(|(k, _)| k == "test.span.no_attrib"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | `type`    | required fields                                          |
 //! |-----------|----------------------------------------------------------|
 //! | `header`  | `schema` (= `"soup-trace/1"`), `pid`, `unix_time_s`      |
-//! | `span`    | `path`, `ts_us`, `dur_us`, `tid`                         |
+//! | `span`    | `path`, `ts_us`, `dur_us`, `tid` (+ optional `cpu_us`, `alloc_b`) |
 //! | `event`   | `name`, `ts_us`, `tid`, `fields` (object)                |
 //! | `log`     | `level` (`debug`/`info`/`warn`), `msg`, `ts_us`, `tid`   |
 //! | `metrics` | `ts_us`, `counters`, `gauges`, `histograms`, `spans`     |
@@ -16,10 +16,20 @@
 //! registry snapshot) is appended by [`finish`]. Timestamps (`ts_us`) are
 //! microseconds since process start; `tid` is a small per-process thread
 //! ordinal (the main thread is usually 0). Span records are written when the
-//! span *closes*, so they are not sorted by start time.
+//! span *closes*, so they are not sorted by start time. When
+//! [`crate::attrib`] is enabled, span records additionally carry `cpu_us`
+//! (thread CPU time) and `alloc_b` (tensor bytes allocated by the thread
+//! inside the span).
 //!
 //! [`validate_file`] checks all of the above and is wired into CI via
-//! `soupctl trace-validate`.
+//! `soupctl trace-validate`. Beyond per-record shape it enforces the
+//! file-level invariants a real single-writer trace always satisfies:
+//! per-thread `ts_us` sequences are monotonic (event/log timestamps and
+//! span *end* times never go backwards within one `tid`), and span
+//! intervals nest — a span may not close after an ancestor has closed, and
+//! a parent's interval must contain every descendant's. Both catch the
+//! truncation/merge corruption shapes a crashed or concatenated trace
+//! produces.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -118,8 +128,13 @@ fn now_us() -> u64 {
     since_start_us(Instant::now())
 }
 
-pub(crate) fn emit_span(path: &str, start: Instant, duration: Duration) {
-    write_record(Value::Object(vec![
+pub(crate) fn emit_span(
+    path: &str,
+    start: Instant,
+    duration: Duration,
+    deltas: Option<crate::attrib::Deltas>,
+) {
+    let mut fields = vec![
         ("type".into(), Value::String("span".into())),
         ("path".into(), Value::String(path.to_string())),
         (
@@ -134,7 +149,20 @@ pub(crate) fn emit_span(path: &str, start: Instant, duration: Duration) {
             "tid".into(),
             Value::Number(Number::PosInt(thread_ordinal())),
         ),
-    ]));
+    ];
+    // Attribution (optional in the schema): on-core CPU time and tensor
+    // bytes allocated by this thread while the span was open.
+    if let Some(d) = deltas {
+        fields.push((
+            "cpu_us".into(),
+            Value::Number(Number::PosInt(d.cpu_ns / 1_000)),
+        ));
+        fields.push((
+            "alloc_b".into(),
+            Value::Number(Number::PosInt(d.alloc_bytes)),
+        ));
+    }
+    write_record(Value::Object(fields));
 }
 
 /// Append an `event` record. Prefer the [`crate::trace_event!`] macro, which
@@ -191,6 +219,67 @@ pub fn finish() -> Option<PathBuf> {
     })
 }
 
+/// One parsed `span` record from a trace file, as consumed by the
+/// flamegraph exporter ([`crate::flame`]) and run-diff ([`crate::diff`]).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub path: String,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+    /// Thread CPU time, present when attribution was enabled.
+    pub cpu_us: Option<u64>,
+    /// Tensor bytes allocated by the thread inside the span.
+    pub alloc_b: Option<u64>,
+}
+
+/// Read every `span` record from a trace file.
+///
+/// A light parse for offline tooling: the header's schema tag is checked,
+/// span records must carry their required fields, and all other record
+/// types are skipped without validation (run [`validate_file`] first for
+/// full integrity checks).
+pub fn read_spans(path: impl AsRef<Path>) -> Result<Vec<SpanRecord>> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path).map_err(|e| SoupError::io_at(path, e))?;
+    let mut spans = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let record: Value = serde_json::from_str(line)
+            .map_err(|e| SoupError::parse(format!("line {line_no}: invalid JSON: {e}")))?;
+        let kind = require_str(&record, "type", line_no)?;
+        if idx == 0 {
+            if kind != "header" {
+                return Err(SoupError::parse(format!(
+                    "line 1: first record must be `header`, found `{kind}`"
+                )));
+            }
+            let schema = require_str(&record, "schema", line_no)?;
+            if schema != SCHEMA {
+                return Err(SoupError::parse(format!(
+                    "line 1: schema `{schema}` != expected `{SCHEMA}`"
+                )));
+            }
+            continue;
+        }
+        if kind != "span" {
+            continue;
+        }
+        spans.push(SpanRecord {
+            path: require_str(&record, "path", line_no)?.to_string(),
+            ts_us: require_u64(&record, "ts_us", line_no)?,
+            dur_us: require_u64(&record, "dur_us", line_no)?,
+            tid: require_u64(&record, "tid", line_no)?,
+            cpu_us: record.get("cpu_us").and_then(Value::as_u64),
+            alloc_b: record.get("alloc_b").and_then(Value::as_u64),
+        });
+    }
+    if content.lines().next().is_none() {
+        return Err(SoupError::parse("trace file is empty"));
+    }
+    Ok(spans)
+}
+
 /// Summary of a validated trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStats {
@@ -241,6 +330,23 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats> {
     let mut stats = TraceStats::default();
     let mut span_paths = std::collections::BTreeSet::new();
     let mut event_names = std::collections::BTreeSet::new();
+    // Per-tid monotonicity state: last event/log timestamp and last span
+    // end time. Records are written in per-thread temporal order (each
+    // thread computes its timestamp before taking the sink lock), so any
+    // backwards step within a tid is corruption.
+    let mut last_flat_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut last_span_end: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    // Per-tid closed-span stack for nesting checks: spans are appended when
+    // they *close*, innermost first, so a later record whose path extends a
+    // pending one means a child outlived its parent.
+    struct ClosedSpan {
+        path: String,
+        start: u64,
+        end: u64,
+        line_no: usize,
+    }
+    let mut pending: std::collections::BTreeMap<u64, Vec<ClosedSpan>> =
+        std::collections::BTreeMap::new();
     for (idx, line) in content.lines().enumerate() {
         let line_no = idx + 1;
         if line.trim().is_empty() {
@@ -276,21 +382,85 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats> {
                 require_u64(&record, "unix_time_s", line_no)?;
             }
             "span" => {
-                let span_path = require_str(&record, "path", line_no)?;
+                let span_path = require_str(&record, "path", line_no)?.to_string();
                 if span_path.is_empty() {
                     return Err(SoupError::parse(format!("line {line_no}: empty span path")));
                 }
-                require_u64(&record, "ts_us", line_no)?;
-                require_u64(&record, "dur_us", line_no)?;
-                require_u64(&record, "tid", line_no)?;
-                span_paths.insert(span_path.to_string());
+                let ts = require_u64(&record, "ts_us", line_no)?;
+                let dur = require_u64(&record, "dur_us", line_no)?;
+                let tid = require_u64(&record, "tid", line_no)?;
+                for optional in ["cpu_us", "alloc_b"] {
+                    if record.get(optional).is_some() {
+                        require_u64(&record, optional, line_no)?;
+                    }
+                }
+                let end = ts.saturating_add(dur);
+                // Span records close in temporal order within a thread.
+                // `ts_us` and `dur_us` truncate independently, so recorded
+                // ends of back-to-back spans can disagree by up to 2µs —
+                // anything beyond that is corruption, not rounding.
+                const TRUNC_SLACK_US: u64 = 2;
+                let prev_end = last_span_end.entry(tid).or_insert(0);
+                if end + TRUNC_SLACK_US < *prev_end {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: non-monotonic span end {end}us < {prev_end}us (tid {tid})"
+                    )));
+                }
+                *prev_end = (*prev_end).max(end);
+                // Nesting: this span must not be a descendant of an
+                // already-closed span, and must contain every pending
+                // descendant of its own.
+                let stack = pending.entry(tid).or_default();
+                let prefix = format!("{span_path}/");
+                for closed in stack.iter() {
+                    // A descendant of an already-closed span is legitimate
+                    // only as a *fresh instance* of the subtree (started at
+                    // or after that ancestor's end); one that started while
+                    // the ancestor was open yet closed after it means the
+                    // enter/exit pairing is broken.
+                    if span_path.starts_with(&format!("{}/", closed.path)) && ts < closed.end {
+                        return Err(SoupError::parse(format!(
+                            "line {line_no}: unbalanced nesting — span `{span_path}` \
+                             ([{ts}, {end}]us) closed after its ancestor `{}` \
+                             ([{}, {}]us, line {})",
+                            closed.path, closed.start, closed.end, closed.line_no
+                        )));
+                    }
+                }
+                for closed in stack.iter().filter(|c| c.path.starts_with(&prefix)) {
+                    if closed.start < ts || closed.end > end {
+                        return Err(SoupError::parse(format!(
+                            "line {line_no}: unbalanced nesting — child `{}` \
+                             ([{}, {}]us, line {}) not contained in parent `{span_path}` \
+                             ([{ts}, {end}]us)",
+                            closed.path, closed.start, closed.end, closed.line_no
+                        )));
+                    }
+                }
+                // Contained descendants are absorbed; the closed span now
+                // stands for its whole subtree.
+                stack.retain(|c| !c.path.starts_with(&prefix));
+                stack.push(ClosedSpan {
+                    path: span_path.clone(),
+                    start: ts,
+                    end,
+                    line_no,
+                });
+                span_paths.insert(span_path);
                 stats.spans += 1;
             }
             "event" => {
                 let name = require_str(&record, "name", line_no)?;
-                require_u64(&record, "ts_us", line_no)?;
-                require_u64(&record, "tid", line_no)?;
+                let ts = require_u64(&record, "ts_us", line_no)?;
+                let tid = require_u64(&record, "tid", line_no)?;
                 require_object(&record, "fields", line_no)?;
+                let prev = last_flat_ts.entry(tid).or_insert(0);
+                if ts < *prev {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: non-monotonic ts_us {ts} < {prev} (tid {tid})"
+                    )));
+                }
+                *prev = ts;
                 event_names.insert(name.to_string());
                 stats.events += 1;
             }
@@ -302,8 +472,15 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<TraceStats> {
                     )));
                 }
                 require_str(&record, "msg", line_no)?;
-                require_u64(&record, "ts_us", line_no)?;
-                require_u64(&record, "tid", line_no)?;
+                let ts = require_u64(&record, "ts_us", line_no)?;
+                let tid = require_u64(&record, "tid", line_no)?;
+                let prev = last_flat_ts.entry(tid).or_insert(0);
+                if ts < *prev {
+                    return Err(SoupError::parse(format!(
+                        "line {line_no}: non-monotonic ts_us {ts} < {prev} (tid {tid})"
+                    )));
+                }
+                *prev = ts;
                 stats.logs += 1;
             }
             "metrics" => {
@@ -413,5 +590,87 @@ mod tests {
             .contains("empty"));
 
         std::fs::remove_file(&bad).ok();
+    }
+
+    const HEADER: &str =
+        "{\"type\":\"header\",\"schema\":\"soup-trace/1\",\"pid\":1,\"unix_time_s\":1}\n";
+
+    fn write_case(name: &str, body: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("soup_obs_{name}_{}.jsonl", std::process::id()));
+        std::fs::write(&path, format!("{HEADER}{body}")).unwrap();
+        path
+    }
+
+    #[test]
+    fn validate_rejects_non_monotonic_ts() {
+        // Events on one thread running backwards in time: corruption (e.g.
+        // two concatenated traces, or a rewound file).
+        let path = write_case(
+            "backwards",
+            "{\"type\":\"event\",\"name\":\"a\",\"ts_us\":500,\"tid\":0,\"fields\":{}}\n\
+             {\"type\":\"event\",\"name\":\"b\",\"ts_us\":100,\"tid\":0,\"fields\":{}}\n",
+        );
+        let err = validate_file(&path).unwrap_err().to_string();
+        assert!(err.contains("non-monotonic ts_us"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // The same timestamps on *different* threads are fine: each thread
+        // computes its timestamp before taking the sink lock, so cross-tid
+        // inversions are expected in real traces.
+        let path = write_case(
+            "cross_tid",
+            "{\"type\":\"event\",\"name\":\"a\",\"ts_us\":500,\"tid\":0,\"fields\":{}}\n\
+             {\"type\":\"log\",\"level\":\"info\",\"msg\":\"m\",\"ts_us\":100,\"tid\":1}\n",
+        );
+        validate_file(&path).expect("per-tid ordering only");
+        std::fs::remove_file(&path).ok();
+
+        // Span *end* times going backwards on one thread by more than the
+        // 2us truncation slack are also corruption.
+        let path = write_case(
+            "span_backwards",
+            "{\"type\":\"span\",\"path\":\"a\",\"ts_us\":0,\"dur_us\":900,\"tid\":0}\n\
+             {\"type\":\"span\",\"path\":\"b\",\"ts_us\":100,\"dur_us\":200,\"tid\":0}\n",
+        );
+        let err = validate_file(&path).unwrap_err().to_string();
+        assert!(err.contains("non-monotonic span end"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_nesting() {
+        // Child closes *after* its parent while overlapping it: the RAII
+        // enter/exit pairing can never produce this.
+        let path = write_case(
+            "child_after_parent",
+            "{\"type\":\"span\",\"path\":\"a\",\"ts_us\":0,\"dur_us\":100,\"tid\":0}\n\
+             {\"type\":\"span\",\"path\":\"a/b\",\"ts_us\":50,\"dur_us\":100,\"tid\":0}\n",
+        );
+        let err = validate_file(&path).unwrap_err().to_string();
+        assert!(err.contains("unbalanced nesting"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // Child interval escapes the parent's: parent closed at 100 but the
+        // already-closed child ran [0, 150].
+        let path = write_case(
+            "child_escapes_parent",
+            "{\"type\":\"span\",\"path\":\"a/b\",\"ts_us\":0,\"dur_us\":150,\"tid\":0}\n\
+             {\"type\":\"span\",\"path\":\"a\",\"ts_us\":10,\"dur_us\":140,\"tid\":0}\n",
+        );
+        let err = validate_file(&path).unwrap_err().to_string();
+        assert!(err.contains("not contained in parent"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // A fresh instance of a subtree after the previous one closed is
+        // legitimate (e.g. a second `worker/ingredient` iteration).
+        let path = write_case(
+            "fresh_instance",
+            "{\"type\":\"span\",\"path\":\"w/i\",\"ts_us\":0,\"dur_us\":50,\"tid\":0}\n\
+             {\"type\":\"span\",\"path\":\"w/i\",\"ts_us\":60,\"dur_us\":40,\"tid\":0}\n\
+             {\"type\":\"span\",\"path\":\"w\",\"ts_us\":0,\"dur_us\":120,\"tid\":0}\n",
+        );
+        validate_file(&path).expect("repeated subtree instances are balanced");
+        std::fs::remove_file(&path).ok();
     }
 }

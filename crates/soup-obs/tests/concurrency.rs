@@ -93,6 +93,88 @@ fn gauges_settle_on_a_written_value() {
 }
 
 #[test]
+fn snapshots_stay_consistent_while_writers_and_sampler_race() {
+    // Satellite: registry `snapshot()` must return internally consistent
+    // digests while writer threads hammer the instruments *and* the
+    // `soup-metrics/1` sampler thread snapshots on its own cadence.
+    let counter = soup_obs::registry::counter("test.concurrency.snap.counter");
+    counter.reset();
+    let hist = soup_obs::registry::histogram("test.concurrency.snap.hist");
+    hist.reset();
+    let series_path = std::env::temp_dir().join(format!(
+        "soup_concurrency_series_{}.jsonl",
+        std::process::id()
+    ));
+    let sampler =
+        soup_obs::series::start(&series_path, std::time::Duration::from_millis(2)).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let counter = soup_obs::registry::counter("test.concurrency.snap.counter");
+                let hist = soup_obs::registry::histogram("test.concurrency.snap.hist");
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    counter.inc();
+                    hist.record((t as u64 * 13 + ops) % 1_000);
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+
+    // Foreground snapshots race with both the writers and the sampler.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(50);
+    let mut prev_count = 0u64;
+    while std::time::Instant::now() < deadline {
+        let snap = soup_obs::registry::snapshot();
+        let c = snap
+            .counters
+            .iter()
+            .find(|(k, _)| k == "test.concurrency.snap.counter")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(c >= prev_count, "counter went backwards across snapshots");
+        prev_count = c;
+        if let Some((_, h)) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "test.concurrency.snap.hist")
+        {
+            // Digest invariants hold at every instant, not just at rest.
+            assert!(h.min <= h.p50 && h.p50 <= h.p95 && h.p95 <= h.p99);
+            assert!(h.p99 <= h.max.max(h.p99));
+            if h.count > 0 {
+                assert!(h.mean >= h.min as f64 && h.mean <= h.max as f64);
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total_ops: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    sampler.stop();
+
+    // Nothing was lost despite the three-way race…
+    assert_eq!(counter.get(), total_ops);
+    assert_eq!(hist.summary().count, total_ops);
+    // …and the sampler's own view was a valid, monotonic series.
+    let series = soup_obs::series::validate_file(&series_path).expect("series validates");
+    assert!(series.complete);
+    let totals: Vec<u64> = series
+        .samples
+        .iter()
+        .filter_map(|s| s.counter_total("test.concurrency.snap.counter"))
+        .collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] <= w[1]),
+        "sampler saw counter regress"
+    );
+    std::fs::remove_file(&series_path).ok();
+}
+
+#[test]
 fn registry_lookup_races_return_the_same_instrument() {
     let barrier = Arc::new(std::sync::Barrier::new(THREADS));
     let handles: Vec<_> = (0..THREADS)

@@ -44,6 +44,9 @@ impl MemoryMeter {
     pub fn alloc(&self, bytes: usize) {
         let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak.fetch_max(now, Ordering::Relaxed);
+        // Credit the allocating thread so spans can attribute memory churn
+        // to pipeline phases (a thread-local add; no-op when disabled).
+        soup_obs::attrib::on_alloc(bytes);
     }
 
     /// Register a deallocation of `bytes`.
@@ -174,6 +177,23 @@ impl Drop for MemGuard {
     }
 }
 
+/// Register a `soup-metrics/1` sampler probe publishing [`DEVICE_MEMORY`]
+/// as `tensor.mem.live_bytes` / `tensor.mem.peak_bytes` /
+/// `tensor.mem.pooled_bytes` gauges. The probe runs on the sampler thread
+/// before every tick, so live series carry pool occupancy without
+/// `soup-obs` depending on this crate. Idempotent — safe to call from
+/// every entry point that might start a sampler.
+pub fn install_obs_probe() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        soup_obs::series::register_probe(|| {
+            soup_obs::gauge!("tensor.mem.live_bytes").set(DEVICE_MEMORY.current() as f64);
+            soup_obs::gauge!("tensor.mem.peak_bytes").set(DEVICE_MEMORY.peak() as f64);
+            soup_obs::gauge!("tensor.mem.pooled_bytes").set(DEVICE_MEMORY.pooled() as f64);
+        });
+    });
+}
+
 /// Pretty-print a byte count (for harness tables).
 pub fn format_bytes(bytes: usize) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
@@ -239,6 +259,36 @@ mod tests {
         assert_eq!(format_bytes(512), "512 B");
         assert_eq!(format_bytes(2048), "2.00 KiB");
         assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+
+    #[test]
+    fn alloc_credits_thread_attribution() {
+        soup_obs::attrib::set_enabled(true);
+        // Run on a fresh thread so other tests' allocations can't interfere
+        // with the per-thread counter.
+        std::thread::spawn(|| {
+            let before = soup_obs::attrib::thread_alloc_bytes();
+            let _t = Tensor::zeros(64, 64);
+            let delta = soup_obs::attrib::thread_alloc_bytes() - before;
+            assert!(
+                delta >= 64 * 64 * 4,
+                "tensor alloc not attributed: delta={delta}"
+            );
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn obs_probe_publishes_memory_gauges() {
+        install_obs_probe();
+        install_obs_probe(); // idempotent
+        let _t = Tensor::zeros(16, 16);
+        soup_obs::series::run_probes();
+        let live = soup_obs::registry::gauge("tensor.mem.live_bytes").get();
+        assert!(live >= (16 * 16 * 4) as f64, "live gauge {live}");
+        let peak = soup_obs::registry::gauge("tensor.mem.peak_bytes").get();
+        assert!(peak >= live, "peak {peak} < live {live}");
     }
 
     #[test]

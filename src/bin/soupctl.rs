@@ -49,14 +49,35 @@ fn main() {
     };
     let (flags, positional) = parse_flags(rest);
     // Observability flags apply to every command: --trace-out streams a
-    // JSONL trace of the run, --metrics-summary prints the span/counter
-    // report at exit.
+    // JSONL trace of the run, --metrics-out a live soup-metrics/1 time
+    // series, --metrics-summary prints the span/counter report at exit.
     if let Some(path) = flags.get("trace-out") {
         if let Err(e) = enhanced_soups::obs::trace::init(path) {
             eprintln!("error: cannot open trace file {path}: {e}");
             exit(1);
         }
     }
+    let sampler = flags.get("metrics-out").map(|path| {
+        let interval: u64 = flags
+            .get("metrics-interval-ms")
+            .map(|v| match v.parse() {
+                Ok(ms) => ms,
+                Err(_) => {
+                    eprintln!("error: --metrics-interval-ms: cannot parse '{v}'");
+                    exit(2);
+                }
+            })
+            .unwrap_or(100);
+        // Pool/memory gauges ride the sampler via the probe hook.
+        enhanced_soups::tensor::memory::install_obs_probe();
+        match enhanced_soups::obs::series::start(path, Duration::from_millis(interval)) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("error: cannot open metrics file {path}: {e}");
+                exit(1);
+            }
+        }
+    });
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "train" => cmd_train(&flags),
@@ -65,6 +86,7 @@ fn main() {
         "diversity" => cmd_diversity(&flags),
         "verify" => cmd_verify(&flags, &positional),
         "trace-validate" => cmd_trace_validate(&flags, &positional),
+        "obs" => cmd_obs(&flags, &positional),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -75,8 +97,13 @@ fn main() {
             exit(2);
         }
     };
+    if let Some(handle) = sampler {
+        if let Some(path) = handle.stop() {
+            soup_obs::info!("wrote metrics series {}", path.display());
+        }
+    }
     if let Some(path) = enhanced_soups::obs::trace::finish() {
-        println!("wrote trace {}", path.display());
+        soup_obs::info!("wrote trace {}", path.display());
     }
     if flags.contains_key("metrics-summary") {
         enhanced_soups::obs::report::print_summary();
@@ -106,6 +133,13 @@ fn usage() {
          \x20                       (checksums, versions, manifest/journal consistency, NaN scan);\n\
          \x20                       exits non-zero if any entry is corrupt\n\
          \x20 trace-validate FILE   check a --trace-out file against the soup-trace/1 schema\n\
+         \x20 obs report FILE       render the end-of-run report from a trace's metrics record\n\
+         \x20 obs tail FILE         show the last samples of a --metrics-out time series\n\
+         \x20           [--last N]\n\
+         \x20 obs diff BASE NEW     compare two traces span-by-span with a noise band\n\
+         \x20           [--noise F] [--fail-on-regress]\n\
+         \x20 obs flame FILE        export a trace as an inferno-compatible folded-stack file\n\
+         \x20           [--out FILE]   (default: flame.folded)\n\
          \n\
          fault tolerance (train):\n\
          \x20 --resume              validate checkpoints in --out-dir, retrain only missing/corrupt\n\
@@ -124,8 +158,11 @@ fn usage() {
          \n\
          global flags:\n\
          \x20 --trace-out FILE      stream a structured JSONL trace of the run\n\
+         \x20 --metrics-out FILE    stream a live soup-metrics/1 time series (JSONL)\n\
+         \x20 --metrics-interval-ms N   sampler tick interval (default 100)\n\
          \x20 --metrics-summary     print the span/counter report when the command finishes\n\
-         \x20 (SOUP_LOG=debug|info|warn|off controls stderr log verbosity)"
+         \x20 (SOUP_LOG=debug|info|warn|off controls stderr log verbosity;\n\
+         \x20  SOUP_LOG=off yields silent machine-readable runs)"
     );
 }
 
@@ -194,7 +231,7 @@ fn cmd_generate(flags: &Flags) -> Result<()> {
     let out = required(flags, "out")?;
     let dataset = kind.generate_scaled(seed, scale);
     save_dataset(&dataset, out)?;
-    println!(
+    soup_obs::info!(
         "wrote {} ({} nodes, {} edges, {} classes)",
         out,
         dataset.num_nodes(),
@@ -252,7 +289,7 @@ fn cmd_train(flags: &Flags) -> Result<()> {
         opts = opts.with_fault_plan(
             FaultPlan::new(fault_rate, fault_seed).with_storage_rate(storage_fault_rate),
         );
-        println!(
+        soup_obs::info!(
             "fault injection: rate {fault_rate}, storage rate {storage_fault_rate}, \
              seed {fault_seed}"
         );
@@ -260,16 +297,18 @@ fn cmd_train(flags: &Flags) -> Result<()> {
     if straggler_ms > 0 {
         opts = opts.with_straggler_deadline(Duration::from_millis(straggler_ms));
     }
-    println!(
+    soup_obs::info!(
         "training {n} {} ingredients on {workers} workers{} ...",
         cfg.arch.name(),
         if resume { " (resuming)" } else { "" }
     );
     let run = train_ingredients_opts(&dataset, &cfg, &tc, n, &opts)?;
     for f in &run.failed {
-        eprintln!(
-            "warning: ingredient {} failed permanently after {} attempts: {}",
-            f.ordinal, f.attempts, f.error
+        soup_obs::warn!(
+            "ingredient {} failed permanently after {} attempts: {}",
+            f.ordinal,
+            f.attempts,
+            f.error
         );
     }
     if run.ingredients.is_empty() {
@@ -287,7 +326,7 @@ fn cmd_train(flags: &Flags) -> Result<()> {
     };
     for ing in &run.ingredients {
         let file = checkpoint_name(ing.id);
-        println!(
+        soup_obs::info!(
             "  ingredient {} — val acc {:.2}%{} -> {file}",
             ing.id,
             ing.val_accuracy * 100.0,
@@ -306,7 +345,7 @@ fn cmd_train(flags: &Flags) -> Result<()> {
     }
     let manifest_path = out_dir.join("manifest.json");
     write_manifest(&manifest_path, &manifest)?;
-    println!(
+    soup_obs::info!(
         "wrote {} ({} trained, {} resumed, {} failed, {} requeues)",
         manifest_path.display(),
         run.ingredients.len() - run.resumed.len(),
@@ -388,7 +427,7 @@ fn load_manifest(dir: &Path) -> Result<(ModelConfig, Vec<Ingredient>)> {
                 ck.train_seed,
             )),
             Err(err) => {
-                eprintln!("warning: skipping ingredient {}: {err}", entry.id);
+                soup_obs::warn!("skipping ingredient {}: {err}", entry.id);
                 skipped.push(entry.id);
             }
         }
@@ -400,8 +439,8 @@ fn load_manifest(dir: &Path) -> Result<(ModelConfig, Vec<Ingredient>)> {
         )));
     }
     if !skipped.is_empty() {
-        eprintln!(
-            "warning: degraded pool — {} of {} ingredients usable (missing {skipped:?})",
+        soup_obs::warn!(
+            "degraded pool — {} of {} ingredients usable (missing {skipped:?})",
             ingredients.len(),
             manifest.ingredients.len()
         );
@@ -418,7 +457,7 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
     // memory (the paper's Table III/Fig. 4 quantity).
     let trimmed = enhanced_soups::tensor::pool::trim();
     if trimmed > 0 {
-        println!(
+        soup_obs::info!(
             "trimmed {} of pooled phase-1 buffers",
             enhanced_soups::tensor::memory::format_bytes(trimmed)
         );
@@ -453,7 +492,7 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
             "--resume/--ckpt-every/--stop-after-epoch apply to --strategy ls|pls only",
         ));
     }
-    println!(
+    soup_obs::info!(
         "souping {} ingredients with {strategy_name} ...",
         ingredients.len()
     );
@@ -482,20 +521,17 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
         other => return Err(SoupError::usage(format!("unknown strategy '{other}'"))),
     };
     let Some(outcome) = mixed else {
-        println!(
+        soup_obs::info!(
             "stopped after epoch {stop_after} with a durable phase-2 checkpoint; \
              continue with --resume"
         );
         return Ok(());
     };
     if outcome.is_degraded() {
-        println!(
-            "note: degraded soup — missing ordinals {:?}",
-            outcome.missing
-        );
+        soup_obs::warn!("degraded soup — missing ordinals {:?}", outcome.missing);
     }
     let test = test_accuracy(&outcome, &dataset, &cfg);
-    println!(
+    soup_obs::info!(
         "{}: val {:.2}%  test {:.2}%  time {:.3}s  peak-mem {}  spmm-saved {}",
         strategy_name,
         outcome.val_accuracy * 100.0,
@@ -506,7 +542,7 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
     );
     if let Some(out) = flags.get("out") {
         outcome.params.save_json(out)?;
-        println!("wrote {out}");
+        soup_obs::info!("wrote {out}");
     }
     Ok(())
 }
@@ -709,6 +745,125 @@ fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<()> {
         if stats.has_metrics { "yes" } else { "no" },
     );
     Ok(())
+}
+
+/// Offline observability tooling over `--trace-out` / `--metrics-out`
+/// artifacts: `report` re-renders the end-of-run summary from a trace,
+/// `tail` inspects a live time series, `diff` compares two runs with a
+/// noise band, and `flame` exports an inferno-compatible folded-stack
+/// file. The rendered output is the command's product, so it goes to
+/// stdout unconditionally (not through `SOUP_LOG`).
+fn cmd_obs(flags: &Flags, positional: &[String]) -> Result<()> {
+    let usage = "usage: soupctl obs <report|tail|diff|flame> FILE...";
+    let Some((sub, files)) = positional.split_first() else {
+        return Err(SoupError::usage(usage));
+    };
+    match sub.as_str() {
+        "report" => {
+            let file = files
+                .first()
+                .ok_or_else(|| SoupError::usage("usage: soupctl obs report <trace.jsonl>"))?;
+            let content =
+                std::fs::read_to_string(file).map_err(|e| SoupError::io_at(Path::new(file), e))?;
+            // The metrics record is the registry snapshot `finish()` wrote.
+            let snapshot = content
+                .lines()
+                .filter_map(|line| serde_json::from_str::<serde::Value>(line).ok())
+                .find(|v| v.get("type").and_then(serde::Value::as_str) == Some("metrics"))
+                .and_then(|v| enhanced_soups::obs::registry::snapshot_from_value(&v))
+                .ok_or_else(|| {
+                    SoupError::parse(format!("{file}: no parseable `metrics` record"))
+                })?;
+            print!(
+                "{}",
+                enhanced_soups::obs::report::render_snapshot(&snapshot)
+            );
+            Ok(())
+        }
+        "tail" => {
+            let file = files.first().ok_or_else(|| {
+                SoupError::usage("usage: soupctl obs tail <metrics.jsonl> [--last N]")
+            })?;
+            let last: usize = numeric(flags, "last", 5)?;
+            let series = enhanced_soups::obs::series::validate_file(file)?;
+            println!(
+                "{file}: {} samples at {}ms{}",
+                series.samples.len(),
+                series.interval_ms,
+                if series.complete {
+                    ""
+                } else {
+                    " (no footer: run still live or crashed)"
+                }
+            );
+            let skip = series.samples.len().saturating_sub(last);
+            for sample in &series.samples[skip..] {
+                // The busiest counters this tick tell you what the run is
+                // actually doing right now.
+                let mut deltas: Vec<(&str, u64)> = sample
+                    .counters
+                    .iter()
+                    .filter(|(_, _, d)| *d > 0)
+                    .map(|(n, _, d)| (n.as_str(), *d))
+                    .collect();
+                deltas.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+                let top: Vec<String> = deltas
+                    .iter()
+                    .take(3)
+                    .map(|(n, d)| format!("{n}+{d}"))
+                    .collect();
+                println!(
+                    "  #{:<5} t={:>9.3}s rss={:>10} {}",
+                    sample.seq,
+                    sample.ts_us as f64 / 1e6,
+                    enhanced_soups::obs::report::fmt_bytes(sample.rss_bytes),
+                    top.join(" ")
+                );
+            }
+            if let Some(sample) = series.samples.last() {
+                for (name, value) in &sample.gauges {
+                    println!("  {name:<52} {value:>14.4}");
+                }
+            }
+            Ok(())
+        }
+        "diff" => {
+            let (base, new) = match files {
+                [base, new, ..] => (base, new),
+                _ => {
+                    return Err(SoupError::usage(
+                        "usage: soupctl obs diff <base.jsonl> <new.jsonl> [--noise F]",
+                    ))
+                }
+            };
+            let noise: f64 = numeric(flags, "noise", enhanced_soups::obs::diff::DEFAULT_NOISE)?;
+            let report = enhanced_soups::obs::diff::diff_traces(base, new, noise)?;
+            print!("{}", report.render());
+            if report.has_regressions() && flags.contains_key("fail-on-regress") {
+                return Err(SoupError::corrupt(format!(
+                    "{} span(s) regressed beyond the ±{:.0}% noise band",
+                    report.regressions().count(),
+                    noise * 100.0
+                )));
+            }
+            Ok(())
+        }
+        "flame" => {
+            let file = files.first().ok_or_else(|| {
+                SoupError::usage("usage: soupctl obs flame <trace.jsonl> [--out FILE]")
+            })?;
+            let out = flags
+                .get("out")
+                .map(String::as_str)
+                .unwrap_or("flame.folded");
+            let stacks = enhanced_soups::obs::flame::write_folded(file, out)?;
+            println!("wrote {out} ({stacks} stacks)");
+            Ok(())
+        }
+        other => Err(SoupError::usage(format!(
+            "unknown obs subcommand '{other}' — {usage}"
+        ))),
+    }
 }
 
 fn cmd_diversity(flags: &Flags) -> Result<()> {

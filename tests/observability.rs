@@ -1,7 +1,9 @@
 //! Golden-file test of the observability layer: drive the full pipeline
 //! (Phase-1 distributed training, then PLS souping) with a trace sink open
-//! and check the emitted JSONL against the documented `soup-trace/1`
-//! schema — record types, required fields, span paths and event names.
+//! and a `soup-metrics/1` sampler running, then check the emitted JSONL
+//! against the documented schemas — record types, required fields, span
+//! paths, event names, per-span resource attribution, the time series, the
+//! folded-stack flamegraph export and the span diff.
 
 use enhanced_soups::obs;
 use enhanced_soups::prelude::*;
@@ -12,8 +14,11 @@ fn end_to_end_trace_matches_documented_schema() {
     let dir = std::env::temp_dir().join(format!("soup_obs_golden_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let trace_path = dir.join("run.trace.jsonl");
+    let series_path = dir.join("run.metrics.jsonl");
 
     obs::trace::init(&trace_path).unwrap();
+    enhanced_soups::tensor::memory::install_obs_probe();
+    let sampler = obs::series::start(&series_path, std::time::Duration::from_millis(5)).unwrap();
     let dataset = DatasetKind::Flickr.generate_scaled(11, 0.15);
     let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(8);
     let tc = TrainConfig {
@@ -33,6 +38,8 @@ fn end_to_end_trace_matches_documented_schema() {
     let outcome = pls.soup(&ingredients, &dataset, &cfg, 3);
     assert!((0.0..=1.0).contains(&outcome.val_accuracy));
     obs::info!("golden run complete");
+    let sampled = sampler.stop().expect("sampler was running");
+    assert_eq!(sampled, series_path);
     let written = obs::trace::finish().expect("sink was active");
     assert_eq!(written, trace_path);
 
@@ -116,10 +123,68 @@ fn end_to_end_trace_matches_documented_schema() {
         "queue wait histogram missing"
     );
 
-    // The summary report renders the span tree with the latency columns.
+    // The summary report renders the span tree with the latency and
+    // resource-attribution columns.
     let report = obs::report::render();
     assert!(report.contains("soup.mix"));
     assert!(report.contains("P95"));
+    assert!(report.contains("CPU"));
+    assert!(report.contains("ALLOC"));
+
+    // Per-span resource attribution made it into the trace: training spans
+    // carry thread-CPU and tensor-allocation deltas alongside wall time.
+    let spans = obs::trace::read_spans(&trace_path).expect("span records parse");
+    let train_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.path == "worker/ingredient/train")
+        .collect();
+    assert_eq!(train_spans.len(), 3, "one train span per ingredient");
+    assert!(
+        train_spans.iter().all(|s| s.cpu_us.is_some()),
+        "train spans missing CPU attribution"
+    );
+    assert!(
+        train_spans.iter().all(|s| s.alloc_b.is_some_and(|b| b > 0)),
+        "train spans allocated tensors, attribution must be non-zero"
+    );
+
+    // The live time series is schema-valid, complete, and saw the kernels:
+    // summed matmul counter deltas equal the final counter total.
+    let series = obs::series::validate_file(&series_path).expect("metrics series valid");
+    assert!(series.complete, "sampler stop must write the footer");
+    assert!(!series.samples.is_empty());
+    let delta_sum: u64 = series
+        .samples
+        .iter()
+        .flat_map(|s| &s.counters)
+        .filter(|(n, _, _)| n == "tensor.matmul.calls")
+        .map(|(_, _, delta)| delta)
+        .sum();
+    assert_eq!(delta_sum, counter("tensor.matmul.calls"));
+    let last = series.samples.last().unwrap();
+    assert!(last.rss_bytes > 0, "RSS gauge missing");
+    assert!(
+        last.gauge("tensor.mem.peak_bytes").is_some_and(|v| v > 0.0),
+        "pool probe gauges missing from the series"
+    );
+
+    // The trace folds into a validator-clean flamegraph whose stacks cover
+    // both phases.
+    let folded_path = dir.join("run.folded");
+    let stacks = obs::flame::write_folded(&trace_path, &folded_path).expect("flame export");
+    assert!(stacks > 0);
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    let flame_stats = obs::flame::validate_folded(&folded).expect("folded output round-trips");
+    assert_eq!(flame_stats.stacks, stacks);
+    assert!(folded.contains("worker;ingredient;train;epoch"));
+    assert!(folded.contains("soup.mix;soup.pls"));
+
+    // A self-diff of the trace is all-noise: nothing regresses against
+    // itself.
+    let diff = obs::diff::diff_traces(&trace_path, &trace_path, obs::diff::DEFAULT_NOISE)
+        .expect("diff parses both traces");
+    assert!(!diff.has_regressions());
+    assert!(diff.entries.iter().all(|e| e.ratio == 1.0));
 
     std::fs::remove_dir_all(&dir).ok();
 }
