@@ -24,6 +24,7 @@ pub mod gcn;
 pub mod gin;
 pub mod model;
 pub mod params;
+pub mod quant;
 pub mod sage;
 pub mod train;
 
@@ -40,4 +41,7 @@ pub use eval::{
 };
 pub use model::{forward, forward_cached, init_params, PropOps};
 pub use params::{ParamSet, ParamVars};
+pub use quant::{
+    evaluate_accuracy_quant, forward_quant, predict_quant, QuantLayer, QuantParamSet, QuantSlot,
+};
 pub use train::{train_single, TrainConfig, TrainedModel};

@@ -11,18 +11,24 @@
 //! - **KC-depth panel packing**: both operands are repacked into
 //!   microkernel-ready panels ([`KC`] elements deep) held in pooled
 //!   workspaces, so the innermost loops read contiguous, transpose-free
-//!   memory regardless of which operand was logically transposed;
+//!   memory regardless of the operand's strides;
 //! - **MC row-blocking** with rayon parallelism over row blocks ([`MC`]
 //!   rows each) rather than single rows: the packed B slab is shared
 //!   read-only across all row blocks of a KC slab, which is where packing
-//!   pays for itself (each B panel is reused `m / MC` times).
+//!   pays for itself (each B panel is reused `m / MC` times). B-panel
+//!   packing itself also goes parallel on large slabs
+//!   ([`gemm_views`]), so the pack phase no longer serialises the rayon
+//!   workers that are about to consume the slab.
 //!
-//! The three public `Tensor` entry points are thin drivers over [`gemm`]:
-//! transposition is absorbed into the packing gather ([`Layout`]), so no
-//! operand is ever materialised transposed and the microkernel is shared.
+//! Operands arrive as borrowed strided views ([`MatRef`]): the packing
+//! gathers read straight through `(row_stride, col_stride)`, so logical
+//! transposes (`A·Bᵀ`, `Aᵀ·B`) and row/column slices feed the kernel with
+//! zero copies. The legacy [`Layout`]-based [`gemm`] entry point wraps
+//! [`gemm_views`] for callers holding plain slices.
 
 use crate::parallel::par_threshold;
 use crate::pool::Workspace;
+use crate::view::MatRef;
 use rayon::prelude::*;
 
 /// Microkernel rows: independent accumulator chains, enough to hide FMA
@@ -43,7 +49,8 @@ pub const SMALL_GEMM_MACS: usize = 32 * 1024;
 
 /// Storage orientation of an operand relative to its logical shape: a
 /// logical `(r, c)` matrix is stored either row-major (`r*cols + c`) or as
-/// its transpose (`c*rows + r`).
+/// its transpose (`c*rows + r`). Kept as a thin compatibility wrapper over
+/// the strided-view entry point ([`gemm_views`]), which subsumes both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layout {
     RowMajor,
@@ -52,7 +59,8 @@ pub enum Layout {
 
 /// `out += A(m×k) · B(k×n)`, with `out` row-major `m×n` (caller zeroes it
 /// for a plain product). `la`/`lb` give the storage orientation of the
-/// logical operands.
+/// logical operands. Thin wrapper building strided views for
+/// [`gemm_views`].
 #[allow(clippy::too_many_arguments)] // BLAS-style signature: dims + operands
 pub fn gemm(
     m: usize,
@@ -64,9 +72,31 @@ pub fn gemm(
     lb: Layout,
     out: &mut [f32],
 ) {
-    debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let av = match la {
+        Layout::RowMajor => MatRef::from_row_major(a, m, k),
+        Layout::Transposed => MatRef::from_row_major(a, k, m).transposed(),
+    };
+    let bv = match lb {
+        Layout::RowMajor => MatRef::from_row_major(b, k, n),
+        Layout::Transposed => MatRef::from_row_major(b, n, k).transposed(),
+    };
+    gemm_views(av, bv, out);
+}
+
+/// `out += A · B` where both operands are strided views; `out` is
+/// row-major `a.rows() × b.cols()`. Strides are absorbed by the packing
+/// gathers, so the microkernel (and therefore the result, bitwise) is
+/// identical for every storage orientation of the inputs.
+pub fn gemm_views(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    debug_assert_eq!(k, b.rows(), "gemm_views inner dims");
+    debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -80,13 +110,31 @@ pub fn gemm(
     let parallel = m * n >= par_threshold() && row_blocks > 1;
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
-        pack_b(&mut bpack, b, lb, n, k, pc, kc);
+        // Pack the B slab panel-parallel when the slab itself is big
+        // enough to amortise the fork: each NR-column panel is a disjoint
+        // chunk of the workspace, so the packed bytes are identical to the
+        // serial gather.
+        let pack_parallel = parallel && n_panels > 1 && kc * n >= par_threshold();
+        if pack_parallel {
+            soup_obs::counter!("tensor.matmul.parallel_packs").inc();
+            bpack
+                .par_chunks_mut(kc * NR)
+                .take(n_panels)
+                .enumerate()
+                .for_each(|(jp, panel)| pack_b_panel(panel, b, jp, pc, kc));
+        } else {
+            bpack
+                .chunks_exact_mut(kc * NR)
+                .take(n_panels)
+                .enumerate()
+                .for_each(|(jp, panel)| pack_b_panel(panel, b, jp, pc, kc));
+        }
         let bpack = &*bpack;
         let row_block = |(blk, out_block): (usize, &mut [f32])| {
             let ic = blk * MC;
             let mc = MC.min(m - ic);
             let mut apack = Workspace::scratch(mc.div_ceil(MR) * MR * kc);
-            pack_a(&mut apack, a, la, m, k, ic, mc, pc, kc);
+            pack_a(&mut apack, a, ic, mc, pc, kc);
             for jp in 0..n_panels {
                 let jc = jp * NR;
                 let nr = NR.min(n - jc);
@@ -157,92 +205,81 @@ fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
     microkernel_generic(ap, bp, acc);
 }
 
-/// Pack the `mc`-row, `kc`-deep block of logical A starting at `(ic, pc)`
-/// into MR-row panels: `apack[ip*kc*MR + kk*MR + i] = A(ic+ip*MR+i, pc+kk)`,
+/// Pack the `mc`-row, `kc`-deep block of A starting at `(ic, pc)` into
+/// MR-row panels: `apack[ip*kc*MR + kk*MR + i] = A(ic+ip*MR+i, pc+kk)`,
 /// zero-padding rows past `mc` so the microkernel always sees full panels.
-#[allow(clippy::too_many_arguments)] // block coordinates + dims, BLAS-style
-fn pack_a(
-    apack: &mut [f32],
-    a: &[f32],
-    la: Layout,
-    m: usize,
-    k: usize,
-    ic: usize,
-    mc: usize,
-    pc: usize,
-    kc: usize,
-) {
-    debug_assert!(ic + mc <= m);
-    debug_assert!(pc + kc <= k);
+/// Reads through the view's strides: unit *row* stride (a transposed
+/// row-major operand) packs with contiguous `copy_from_slice` runs, every
+/// other geometry takes the generic strided gather.
+fn pack_a(apack: &mut [f32], a: MatRef<'_>, ic: usize, mc: usize, pc: usize, kc: usize) {
+    debug_assert!(ic + mc <= a.rows());
+    debug_assert!(pc + kc <= a.cols());
+    let src = a.raw();
     for (ip, panel) in apack.chunks_exact_mut(kc * MR).enumerate() {
         let row0 = ic + ip * MR;
         let mr = MR.min(mc.saturating_sub(ip * MR));
-        match la {
-            Layout::RowMajor => {
-                // Rows of A are contiguous; gather column-of-panel strided.
-                for kk in 0..kc {
-                    let dst = &mut panel[kk * MR..kk * MR + MR];
-                    for (i, d) in dst.iter_mut().enumerate() {
-                        *d = if i < mr {
-                            a[(row0 + i) * k + pc + kk]
-                        } else {
-                            0.0
-                        };
-                    }
-                }
+        if a.row_stride() == 1 {
+            // Each depth step is a contiguous run of MR logical rows.
+            for kk in 0..kc {
+                let src_base = a.index(row0, pc + kk);
+                let dst = &mut panel[kk * MR..kk * MR + MR];
+                dst[..mr].copy_from_slice(&src[src_base..src_base + mr]);
+                dst[mr..].fill(0.0);
             }
-            Layout::Transposed => {
-                // A is stored (k, m): each depth step is a contiguous run of
-                // MR logical rows.
-                for kk in 0..kc {
-                    let src_base = (pc + kk) * m + row0;
-                    let dst = &mut panel[kk * MR..kk * MR + MR];
-                    dst[..mr].copy_from_slice(&a[src_base..src_base + mr]);
-                    dst[mr..].fill(0.0);
+        } else {
+            for kk in 0..kc {
+                let dst = &mut panel[kk * MR..kk * MR + MR];
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = if i < mr {
+                        src[a.index(row0 + i, pc + kk)]
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
     }
 }
 
-/// Pack the full-width, `kc`-deep slab of logical B starting at depth `pc`
-/// into NR-column panels: `bpack[jp*kc*NR + kk*NR + j] = B(pc+kk, jp*NR+j)`,
-/// zero-padding columns past `n`.
-fn pack_b(bpack: &mut [f32], b: &[f32], lb: Layout, n: usize, k: usize, pc: usize, kc: usize) {
-    debug_assert!(pc + kc <= k);
-    for (jp, panel) in bpack
-        .chunks_exact_mut(kc * NR)
-        .take(n.div_ceil(NR))
-        .enumerate()
-    {
-        let col0 = jp * NR;
-        let nr = NR.min(n - col0);
-        match lb {
-            Layout::RowMajor => {
-                // B is stored (k, n): each depth step is a contiguous run of
-                // NR logical columns.
+/// Pack one NR-column, `kc`-deep panel of B starting at depth `pc`:
+/// `panel[kk*NR + j] = B(pc+kk, jp*NR+j)`, zero-padding columns past
+/// `b.cols()`. Unit *column* stride copies row-runs contiguously, unit
+/// *row* stride copies depth-runs column by column, anything else gathers
+/// element-wise — all three produce identical panel bytes.
+fn pack_b_panel(panel: &mut [f32], b: MatRef<'_>, jp: usize, pc: usize, kc: usize) {
+    let n = b.cols();
+    let col0 = jp * NR;
+    let nr = NR.min(n - col0);
+    let src = b.raw();
+    if b.col_stride() == 1 {
+        for kk in 0..kc {
+            let src_base = b.index(pc + kk, col0);
+            let dst = &mut panel[kk * NR..kk * NR + NR];
+            dst[..nr].copy_from_slice(&src[src_base..src_base + nr]);
+            dst[nr..].fill(0.0);
+        }
+    } else if b.row_stride() == 1 {
+        for j in 0..NR {
+            if j < nr {
+                let src_base = b.index(pc, col0 + j);
                 for kk in 0..kc {
-                    let src_base = (pc + kk) * n + col0;
-                    let dst = &mut panel[kk * NR..kk * NR + NR];
-                    dst[..nr].copy_from_slice(&b[src_base..src_base + nr]);
-                    dst[nr..].fill(0.0);
+                    panel[kk * NR + j] = src[src_base + kk];
+                }
+            } else {
+                for kk in 0..kc {
+                    panel[kk * NR + j] = 0.0;
                 }
             }
-            Layout::Transposed => {
-                // B is stored (n, k): logical columns are contiguous rows of
-                // the storage, so copy depth-runs column by column.
-                for j in 0..NR {
-                    if j < nr {
-                        let src_base = (col0 + j) * k + pc;
-                        for kk in 0..kc {
-                            panel[kk * NR + j] = b[src_base + kk];
-                        }
-                    } else {
-                        for kk in 0..kc {
-                            panel[kk * NR + j] = 0.0;
-                        }
-                    }
-                }
+        }
+    } else {
+        for kk in 0..kc {
+            let dst = &mut panel[kk * NR..kk * NR + NR];
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = if j < nr {
+                    src[b.index(pc + kk, col0 + j)]
+                } else {
+                    0.0
+                };
             }
         }
     }
@@ -358,5 +395,39 @@ mod tests {
             &mut out,
         );
         assert_eq!(out, vec![7.0; 6], "k=0 leaves out untouched");
+    }
+
+    #[test]
+    fn strided_views_match_layout_wrapper_bitwise() {
+        // A sliced, transposed view must produce exactly the bytes the
+        // Layout-based entry produces for the equivalent dense operands.
+        let (m, n, k) = (70, 40, KC + 9);
+        let mut rng = crate::rng::SplitMix64::new(99);
+        let big: Vec<f32> = (0..(m + 3) * (k + 5)).map(|_| rng.normal()).collect();
+        let a = MatRef::from_row_major(&big, m + 3, k + 5)
+            .slice_rows(2, 2 + m)
+            .slice_cols(5, 5 + k);
+        let b: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+        let bv = MatRef::from_row_major(&b, n, k).t();
+
+        let mut out_view = vec![0.0f32; m * n];
+        gemm_views(a, bv, &mut out_view);
+
+        let a_dense: Vec<f32> = (0..m)
+            .flat_map(|r| (0..k).map(move |c| (r, c)))
+            .map(|(r, c)| a.get(r, c))
+            .collect();
+        let mut out_ref = vec![0.0f32; m * n];
+        gemm(
+            m,
+            n,
+            k,
+            &a_dense,
+            Layout::RowMajor,
+            &b,
+            Layout::Transposed,
+            &mut out_ref,
+        );
+        assert_eq!(out_view, out_ref);
     }
 }

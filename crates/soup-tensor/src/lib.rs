@@ -40,18 +40,22 @@ pub mod ops;
 pub mod optim;
 pub mod parallel;
 pub mod pool;
+pub mod quant;
 pub mod rng;
 pub mod shape;
 pub mod storage;
 pub mod tape;
 pub mod tensor;
+pub mod view;
 
 pub use memory::{MemoryScope, DEVICE_MEMORY};
 pub use parallel::par_threshold;
+pub use quant::QuantMat;
 pub use rng::SplitMix64;
 pub use shape::Shape;
 pub use tape::{Grads, Tape, Var};
 pub use tensor::Tensor;
+pub use view::{MatMut, MatRef};
 
 /// Crate-wide numeric tolerance used by tests and debug assertions.
 pub const EPS: f32 = 1e-6;

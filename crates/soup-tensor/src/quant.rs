@@ -1,0 +1,572 @@
+//! Low-precision weight storage and the quantized inference GEMM.
+//!
+//! [`QuantMat`] holds a weight matrix `(k × n)` in one of two reduced
+//! formats, quantized **once** (post-soup) and then reused across every
+//! forward pass:
+//!
+//! - **int8 with per-channel scales**: each output column `j` gets
+//!   `scale_j = max|W[:,j]| / 127`; weights are stored as
+//!   `round(w / scale_j)` in `i8`. Dequantisation error is bounded by
+//!   `scale_j / 2` per element (round-to-nearest, and the clamp never
+//!   binds because `|w| ≤ 127·scale_j` by construction).
+//! - **bf16**: the top 16 bits of the `f32` representation with
+//!   round-to-nearest-even — relative error ≤ 2⁻⁸ per element, no scales.
+//!
+//! Either way the activations stay `f32` and the GEMM accumulates in
+//! `f32`: the kernel widens each weight lane on the fly
+//! (`i8 → f32` / `u16<<16 → f32`), multiplies by the broadcast activation
+//! and applies the per-channel scale once per output element at the end.
+//!
+//! Unlike the f32 blocked GEMM, the weight matrix is **pre-packed at
+//! quantisation time** into full-depth, [`QNR`]-column panels (a panel is
+//! `k × QNR` int8 = 16·k bytes, ¼ the f32 footprint), so the inference
+//! path never packs per call, runs a single full-depth pass with the
+//! accumulator tile in registers, and writes each output element exactly
+//! once — no zero-fill of the destination, no KC-slab re-reads.
+//!
+//! The microkernel follows the repo-wide SIMD idiom: a safe shared body,
+//! a baseline-ISA build, and an AVX2+FMA `#[target_feature]` build picked
+//! at runtime by [`crate::parallel::cpu_has_avx2_fma`] (`SOUP_NO_SIMD=1`
+//! forces the baseline).
+
+use crate::parallel::par_threshold;
+use crate::pool;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Quantized panel width (output columns per panel): two 8-lane vectors.
+pub const QNR: usize = 16;
+/// Activation rows per register tile.
+pub const QMR: usize = 4;
+
+/// Relative round-trip error bound for bf16 storage (8 significand bits).
+pub const BF16_REL_BOUND: f32 = 1.0 / 256.0;
+
+/// Convert `f32` to bf16 bits with round-to-nearest-even.
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Preserve sign + top payload bits, force a quiet NaN.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = ((bits >> 16) & 1) + 0x7FFF;
+    ((bits.wrapping_add(round)) >> 16) as u16
+}
+
+/// Widen bf16 bits back to `f32` (exact).
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Which reduced format a [`QuantMat`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantKind {
+    Int8,
+    Bf16,
+}
+
+impl std::fmt::Display for QuantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantKind::Int8 => write!(f, "int8"),
+            QuantKind::Bf16 => write!(f, "bf16"),
+        }
+    }
+}
+
+/// A weight matrix `(k × n)` stored in a reduced precision, pre-packed for
+/// the quantized GEMM ([`qmatmul`]).
+///
+/// The backing store is panel-packed:
+/// `data[jp·k·QNR + kk·QNR + j] = W(kk, jp·QNR + j)`, columns past `n`
+/// zero-padded. Exactly one of `int8`/`bf16` is populated, per `kind`
+/// (kept flat rather than as a data-carrying enum so the derive-serde
+/// shim can serialize it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantMat {
+    rows: usize,
+    cols: usize,
+    kind: QuantKind,
+    int8: Vec<i8>,
+    scales: Vec<f32>,
+    bf16: Vec<u16>,
+}
+
+impl QuantMat {
+    /// Quantize to int8 with per-output-column scales.
+    pub fn quantize_int8(w: &Tensor) -> Self {
+        let (k, n) = (w.rows(), w.cols());
+        let mut amax = vec![0.0f32; n];
+        for r in 0..k {
+            for (m, &x) in amax.iter_mut().zip(w.row(r)) {
+                *m = m.max(x.abs());
+            }
+        }
+        let scales: Vec<f32> = amax
+            .iter()
+            .map(|&m| if m > 0.0 { m / 127.0 } else { 1.0 })
+            .collect();
+        let n_panels = n.div_ceil(QNR);
+        let mut data = vec![0i8; n_panels * k * QNR];
+        for (jp, panel) in data.chunks_exact_mut(k * QNR).enumerate() {
+            let col0 = jp * QNR;
+            let nr = QNR.min(n - col0);
+            for kk in 0..k {
+                let row = w.row(kk);
+                for j in 0..nr {
+                    let col = col0 + j;
+                    let q = (row[col] / scales[col]).round().clamp(-127.0, 127.0);
+                    panel[kk * QNR + j] = q as i8;
+                }
+            }
+        }
+        record_quantize(k * n, 3 * k * n);
+        Self {
+            rows: k,
+            cols: n,
+            kind: QuantKind::Int8,
+            int8: data,
+            scales,
+            bf16: Vec::new(),
+        }
+    }
+
+    /// Quantize to bf16 storage (no scales).
+    pub fn quantize_bf16(w: &Tensor) -> Self {
+        let (k, n) = (w.rows(), w.cols());
+        let n_panels = n.div_ceil(QNR);
+        let mut data = vec![0u16; n_panels * k * QNR];
+        for (jp, panel) in data.chunks_exact_mut(k * QNR).enumerate() {
+            let col0 = jp * QNR;
+            let nr = QNR.min(n - col0);
+            for kk in 0..k {
+                let row = w.row(kk);
+                for j in 0..nr {
+                    panel[kk * QNR + j] = f32_to_bf16(row[col0 + j]);
+                }
+            }
+        }
+        record_quantize(k * n, 2 * k * n);
+        Self {
+            rows: k,
+            cols: n,
+            kind: QuantKind::Bf16,
+            int8: Vec::new(),
+            scales: Vec::new(),
+            bf16: data,
+        }
+    }
+
+    /// Quantize with the given target format.
+    pub fn quantize(w: &Tensor, kind: QuantKind) -> Self {
+        match kind {
+            QuantKind::Int8 => Self::quantize_int8(w),
+            QuantKind::Bf16 => Self::quantize_bf16(w),
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn kind(&self) -> QuantKind {
+        self.kind
+    }
+
+    /// Per-output-column scales (int8 storage only).
+    pub fn scales(&self) -> Option<&[f32]> {
+        match self.kind {
+            QuantKind::Int8 => Some(&self.scales),
+            QuantKind::Bf16 => None,
+        }
+    }
+
+    /// Worst-case absolute round-trip error for column `col`:
+    /// `scale/2` for int8; `NaN`-free conservative bound only exists
+    /// relative to magnitude for bf16, so callers should use
+    /// [`BF16_REL_BOUND`] there.
+    pub fn roundtrip_abs_bound(&self, col: usize) -> Option<f32> {
+        self.scales().map(|s| 0.5 * s[col])
+    }
+
+    /// Bytes of reduced-precision storage (panels + scales).
+    pub fn memory_bytes(&self) -> usize {
+        self.int8.len() + 4 * self.scales.len() + 2 * self.bf16.len()
+    }
+
+    /// Reconstruct the (lossy) `f32` matrix.
+    pub fn dequantize(&self) -> Tensor {
+        let (k, n) = (self.rows, self.cols);
+        let mut out = pool::take_scratch(k * n);
+        if k == 0 || n == 0 {
+            return Tensor::from_vec(k, n, out);
+        }
+        match self.kind {
+            QuantKind::Int8 => {
+                for (jp, panel) in self.int8.chunks_exact(k * QNR).enumerate() {
+                    let col0 = jp * QNR;
+                    let nr = QNR.min(n - col0);
+                    for kk in 0..k {
+                        for j in 0..nr {
+                            out[kk * n + col0 + j] =
+                                panel[kk * QNR + j] as f32 * self.scales[col0 + j];
+                        }
+                    }
+                }
+            }
+            QuantKind::Bf16 => {
+                for (jp, panel) in self.bf16.chunks_exact(k * QNR).enumerate() {
+                    let col0 = jp * QNR;
+                    let nr = QNR.min(n - col0);
+                    for kk in 0..k {
+                        for j in 0..nr {
+                            out[kk * n + col0 + j] = bf16_to_f32(panel[kk * QNR + j]);
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(k, n, out)
+    }
+}
+
+fn record_quantize(elements: usize, bytes_saved: usize) {
+    soup_obs::counter!("tensor.quant.quantize_calls").inc();
+    soup_obs::counter!("tensor.quant.elements").add(elements as u64);
+    soup_obs::counter!("tensor.quant.bytes_saved").add(bytes_saved as u64);
+}
+
+/// `a (m×k, f32) × W (k×n, quantized)` with f32 accumulation — the
+/// inference GEMM. Weights stream from the pre-packed panels (no per-call
+/// packing), the accumulator tile covers the full depth in one pass, and
+/// each output element is written exactly once (scratch destination, no
+/// zero fill).
+pub fn qmatmul(a: &Tensor, w: &QuantMat) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(
+        k,
+        w.rows(),
+        "qmatmul inner dims {} vs {}",
+        a.shape(),
+        w.rows()
+    );
+    let n = w.cols();
+    soup_obs::counter!("tensor.quant.matmuls").inc();
+    soup_obs::counter!("tensor.quant.flops").add(2 * (m * k * n) as u64);
+    let mut out = pool::take_scratch(m * n);
+    if m == 0 || n == 0 {
+        return Tensor::from_vec(m, n, out);
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return Tensor::from_vec(m, n, out);
+    }
+    let adata = a.data();
+    let n_panels = n.div_ceil(QNR);
+    let tile = |(t, out_tile): (usize, &mut [f32])| {
+        let r0 = t * QMR;
+        let mr = QMR.min(m - r0);
+        // Duplicate the last valid row into unused kernel lanes: the tile
+        // stays branch-free and only rows < mr are written back.
+        let arow = |i: usize| {
+            let r = r0 + i.min(mr - 1);
+            &adata[r * k..(r + 1) * k]
+        };
+        let arows = [arow(0), arow(1), arow(2), arow(3)];
+        match w.kind {
+            QuantKind::Int8 => {
+                for (jp, panel) in w.int8.chunks_exact(k * QNR).enumerate().take(n_panels) {
+                    let col0 = jp * QNR;
+                    let nr = QNR.min(n - col0);
+                    let mut acc = [[0.0f32; QNR]; QMR];
+                    qkernel_i8(arows, panel, &mut acc);
+                    for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                        let orow = &mut out_tile[i * n + col0..i * n + col0 + nr];
+                        let sc = &w.scales[col0..col0 + nr];
+                        for ((o, &v), &s) in orow.iter_mut().zip(acc_row).zip(sc) {
+                            *o = v * s;
+                        }
+                    }
+                }
+            }
+            QuantKind::Bf16 => {
+                for (jp, panel) in w.bf16.chunks_exact(k * QNR).enumerate().take(n_panels) {
+                    let col0 = jp * QNR;
+                    let nr = QNR.min(n - col0);
+                    let mut acc = [[0.0f32; QNR]; QMR];
+                    qkernel_bf16(arows, panel, &mut acc);
+                    for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                        let orow = &mut out_tile[i * n + col0..i * n + col0 + nr];
+                        for (o, &v) in orow.iter_mut().zip(acc_row) {
+                            *o = v;
+                        }
+                    }
+                }
+            }
+        }
+    };
+    if m * n >= par_threshold() {
+        out.par_chunks_mut(QMR * n).enumerate().for_each(tile);
+    } else {
+        out.chunks_mut(QMR * n).enumerate().for_each(tile);
+    }
+    Tensor::from_vec(m, n, out)
+}
+
+/// Shared int8 kernel body: `acc[QMR][QNR] += a · widen(panel)` over the
+/// full packed depth. Widening (`i8 as f32`) vectorises to
+/// `vpmovsxbd + vcvtdq2ps` under AVX2; the iterator zip keeps every access
+/// branch- and bounds-check-free.
+#[inline(always)]
+fn qkernel_i8_body(arows: [&[f32]; QMR], panel: &[i8], acc: &mut [[f32; QNR]; QMR]) {
+    let k = panel.len() / QNR;
+    let (a0, a1) = (&arows[0][..k], &arows[1][..k]);
+    let (a2, a3) = (&arows[2][..k], &arows[3][..k]);
+    for ((((brow, &v0), &v1), &v2), &v3) in panel.chunks_exact(QNR).zip(a0).zip(a1).zip(a2).zip(a3)
+    {
+        let mut bf = [0.0f32; QNR];
+        for (d, &q) in bf.iter_mut().zip(brow) {
+            *d = q as f32;
+        }
+        let av = [v0, v1, v2, v3];
+        for (acc_row, &ai) in acc.iter_mut().zip(&av) {
+            for (c, &bv) in acc_row.iter_mut().zip(&bf) {
+                *c += ai * bv;
+            }
+        }
+    }
+}
+
+fn qkernel_i8_generic(arows: [&[f32]; QMR], panel: &[i8], acc: &mut [[f32; QNR]; QMR]) {
+    qkernel_i8_body(arows, panel, acc);
+}
+
+/// Hand-scheduled AVX2 build: the 4×16 accumulator tile lives in eight YMM
+/// registers across the whole depth; each k-step is one 16-byte weight
+/// load, two `vpmovsxbd`+`vcvtdq2ps` widenings shared by all four rows, and
+/// eight FMAs. The autovectorized body re-materialises the widened weights
+/// per row, which caps it well below the FMA ports — explicit scheduling is
+/// what buys the ≥2× over the f32 blocked kernel on one core.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn qkernel_i8_avx2(arows: [&[f32]; QMR], panel: &[i8], acc: &mut [[f32; QNR]; QMR]) {
+    use std::arch::x86_64::*;
+    let k = panel.len() / QNR;
+    let (a0, a1) = (&arows[0][..k], &arows[1][..k]);
+    let (a2, a3) = (&arows[2][..k], &arows[3][..k]);
+    unsafe {
+        let mut lo = [_mm256_setzero_ps(); QMR];
+        let mut hi = [_mm256_setzero_ps(); QMR];
+        for i in 0..QMR {
+            lo[i] = _mm256_loadu_ps(acc[i].as_ptr());
+            hi[i] = _mm256_loadu_ps(acc[i].as_ptr().add(8));
+        }
+        for kk in 0..k {
+            let bq = _mm_loadu_si128(panel.as_ptr().add(kk * QNR) as *const __m128i);
+            let blo = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bq));
+            let bhi = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_unpackhi_epi64(bq, bq)));
+            let av = [
+                _mm256_set1_ps(*a0.get_unchecked(kk)),
+                _mm256_set1_ps(*a1.get_unchecked(kk)),
+                _mm256_set1_ps(*a2.get_unchecked(kk)),
+                _mm256_set1_ps(*a3.get_unchecked(kk)),
+            ];
+            for i in 0..QMR {
+                lo[i] = _mm256_fmadd_ps(av[i], blo, lo[i]);
+                hi[i] = _mm256_fmadd_ps(av[i], bhi, hi[i]);
+            }
+        }
+        for i in 0..QMR {
+            _mm256_storeu_ps(acc[i].as_mut_ptr(), lo[i]);
+            _mm256_storeu_ps(acc[i].as_mut_ptr().add(8), hi[i]);
+        }
+    }
+}
+
+#[inline(always)]
+fn qkernel_i8(arows: [&[f32]; QMR], panel: &[i8], acc: &mut [[f32; QNR]; QMR]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::parallel::cpu_has_avx2_fma() {
+        // SAFETY: the required target features were verified at runtime.
+        unsafe { qkernel_i8_avx2(arows, panel, acc) };
+        return;
+    }
+    qkernel_i8_generic(arows, panel, acc);
+}
+
+/// Shared bf16 kernel body: widening is a 16-bit shift into the exponent
+/// (`(u16 as u32) << 16` reinterpreted), exact by construction.
+#[inline(always)]
+fn qkernel_bf16_body(arows: [&[f32]; QMR], panel: &[u16], acc: &mut [[f32; QNR]; QMR]) {
+    let k = panel.len() / QNR;
+    let (a0, a1) = (&arows[0][..k], &arows[1][..k]);
+    let (a2, a3) = (&arows[2][..k], &arows[3][..k]);
+    for ((((brow, &v0), &v1), &v2), &v3) in panel.chunks_exact(QNR).zip(a0).zip(a1).zip(a2).zip(a3)
+    {
+        let mut bf = [0.0f32; QNR];
+        for (d, &q) in bf.iter_mut().zip(brow) {
+            *d = f32::from_bits((q as u32) << 16);
+        }
+        let av = [v0, v1, v2, v3];
+        for (acc_row, &ai) in acc.iter_mut().zip(&av) {
+            for (c, &bv) in acc_row.iter_mut().zip(&bf) {
+                *c += ai * bv;
+            }
+        }
+    }
+}
+
+fn qkernel_bf16_generic(arows: [&[f32]; QMR], panel: &[u16], acc: &mut [[f32; QNR]; QMR]) {
+    qkernel_bf16_body(arows, panel, acc);
+}
+
+/// Hand-scheduled AVX2 build, same tile shape as the int8 kernel; widening
+/// is `vpmovzxwd` + a 16-bit left shift reinterpreted as `f32` (exact).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn qkernel_bf16_avx2(arows: [&[f32]; QMR], panel: &[u16], acc: &mut [[f32; QNR]; QMR]) {
+    use std::arch::x86_64::*;
+    let k = panel.len() / QNR;
+    let (a0, a1) = (&arows[0][..k], &arows[1][..k]);
+    let (a2, a3) = (&arows[2][..k], &arows[3][..k]);
+    unsafe {
+        let mut lo = [_mm256_setzero_ps(); QMR];
+        let mut hi = [_mm256_setzero_ps(); QMR];
+        for i in 0..QMR {
+            lo[i] = _mm256_loadu_ps(acc[i].as_ptr());
+            hi[i] = _mm256_loadu_ps(acc[i].as_ptr().add(8));
+        }
+        for kk in 0..k {
+            let bq = _mm256_loadu_si256(panel.as_ptr().add(kk * QNR) as *const __m256i);
+            let wlo = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(bq));
+            let whi = _mm256_cvtepu16_epi32(_mm256_extracti128_si256(bq, 1));
+            let blo = _mm256_castsi256_ps(_mm256_slli_epi32(wlo, 16));
+            let bhi = _mm256_castsi256_ps(_mm256_slli_epi32(whi, 16));
+            let av = [
+                _mm256_set1_ps(*a0.get_unchecked(kk)),
+                _mm256_set1_ps(*a1.get_unchecked(kk)),
+                _mm256_set1_ps(*a2.get_unchecked(kk)),
+                _mm256_set1_ps(*a3.get_unchecked(kk)),
+            ];
+            for i in 0..QMR {
+                lo[i] = _mm256_fmadd_ps(av[i], blo, lo[i]);
+                hi[i] = _mm256_fmadd_ps(av[i], bhi, hi[i]);
+            }
+        }
+        for i in 0..QMR {
+            _mm256_storeu_ps(acc[i].as_mut_ptr(), lo[i]);
+            _mm256_storeu_ps(acc[i].as_mut_ptr().add(8), hi[i]);
+        }
+    }
+}
+
+#[inline(always)]
+fn qkernel_bf16(arows: [&[f32]; QMR], panel: &[u16], acc: &mut [[f32; QNR]; QMR]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::parallel::cpu_has_avx2_fma() {
+        // SAFETY: the required target features were verified at runtime.
+        unsafe { qkernel_bf16_avx2(arows, panel, acc) };
+        return;
+    }
+    qkernel_bf16_generic(arows, panel, acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = SplitMix64::new(seed);
+        Tensor::randn(rows, cols, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn int8_roundtrip_within_per_channel_bound() {
+        let w = tensor(37, 21, 1);
+        let q = QuantMat::quantize_int8(&w);
+        let deq = q.dequantize();
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let bound = q.roundtrip_abs_bound(c).unwrap();
+                let err = (w.get(r, c) - deq.get(r, c)).abs();
+                assert!(
+                    err <= bound * (1.0 + 1e-5) + f32::EPSILON,
+                    "({r},{c}): err {err} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_within_relative_bound() {
+        let w = tensor(19, 33, 2);
+        let q = QuantMat::quantize_bf16(&w);
+        let deq = q.dequantize();
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let x = w.get(r, c);
+                let err = (x - deq.get(r, c)).abs();
+                assert!(
+                    err <= x.abs() * BF16_REL_BOUND,
+                    "({r},{c}): err {err} vs {x}"
+                );
+            }
+        }
+        // Values with ≤ 8 significant bits are exact.
+        let exact = Tensor::from_vec(1, 4, vec![1.0, -0.5, 3.25, 0.0]);
+        let q = QuantMat::quantize_bf16(&exact);
+        assert_eq!(q.dequantize(), exact);
+    }
+
+    #[test]
+    fn zero_column_quantizes_without_nan() {
+        let mut data = vec![1.0f32; 12];
+        data[1] = 0.0;
+        data[5] = 0.0;
+        data[9] = 0.0; // column 1 all zero
+        let w = Tensor::from_vec(3, 4, data);
+        let q = QuantMat::quantize_int8(&w);
+        let deq = q.dequantize();
+        assert!(deq.data().iter().all(|v| v.is_finite()));
+        assert_eq!(deq.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn qmatmul_matches_dequantized_matmul() {
+        for kind in [QuantKind::Int8, QuantKind::Bf16] {
+            // Cover QMR/QNR remainders and a multi-tile parallel-ish shape.
+            for &(m, k, n) in &[(1usize, 7usize, 5usize), (9, 40, 33), (70, 64, 48)] {
+                let a = tensor(m, k, 10 + m as u64);
+                let w = tensor(k, n, 20 + n as u64);
+                let q = QuantMat::quantize(&w, kind);
+                let got = qmatmul(&a, &q);
+                let want = a.matmul(&q.dequantize());
+                assert!(
+                    got.allclose(&want, 1e-3),
+                    "{kind:?} {m}x{k}x{n} diverges from dequantized reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_records_counters() {
+        let before = soup_obs::counter!("tensor.quant.quantize_calls").get();
+        let _ = QuantMat::quantize_int8(&tensor(8, 8, 3));
+        assert!(soup_obs::counter!("tensor.quant.quantize_calls").get() > before);
+    }
+
+    #[test]
+    fn memory_bytes_reflect_compression() {
+        let w = tensor(64, 64, 4);
+        let f32_bytes = 4 * 64 * 64;
+        assert!(QuantMat::quantize_int8(&w).memory_bytes() < f32_bytes / 3);
+        assert!(QuantMat::quantize_bf16(&w).memory_bytes() <= f32_bytes / 2);
+    }
+}

@@ -11,12 +11,13 @@
 //! a set of thin drivers over the shared cache-blocked kernel in
 //! [`crate::gemm`]; output buffers are recycled through [`crate::pool`].
 
-use crate::gemm::{self, Layout};
+use crate::gemm;
 use crate::parallel::par_threshold;
 use crate::pool;
 use crate::rng::SplitMix64;
 use crate::shape::Shape;
 use crate::storage::Buf;
+use crate::view::{MatMut, MatRef};
 use rayon::prelude::*;
 use serde::de::Error as _;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -26,7 +27,7 @@ use std::sync::Arc;
 /// One bump per GEMM-family call (`matmul`/`matmul_nt`/`matmul_tn`), with
 /// dims given as (output rows, inner, output cols).
 #[inline]
-fn record_matmul_metrics(m: usize, k: usize, n: usize) {
+pub(crate) fn record_matmul_metrics(m: usize, k: usize, n: usize) {
     soup_obs::counter!("tensor.matmul.calls").inc();
     soup_obs::counter!("tensor.matmul.flops").add(2 * (m * k * n) as u64);
     soup_obs::counter!("tensor.matmul.bytes")
@@ -300,16 +301,7 @@ impl Tensor {
             return self.matmul_naive(other);
         }
         let mut out = pool::take_zeroed(m * n);
-        gemm::gemm(
-            m,
-            n,
-            k,
-            self.data(),
-            Layout::RowMajor,
-            other.data(),
-            Layout::RowMajor,
-            &mut out,
-        );
+        gemm::gemm_views(self.view(), other.view(), &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -332,16 +324,7 @@ impl Tensor {
             return self.matmul_nt_naive(other);
         }
         let mut out = pool::take_zeroed(m * n);
-        gemm::gemm(
-            m,
-            n,
-            k,
-            self.data(),
-            Layout::RowMajor,
-            other.data(),
-            Layout::Transposed,
-            &mut out,
-        );
+        gemm::gemm_views(self.view(), other.view().t(), &mut out);
         Self::from_vec(m, n, out)
     }
 
@@ -364,16 +347,7 @@ impl Tensor {
             return self.matmul_tn_naive(other);
         }
         let mut out = pool::take_zeroed(k * n);
-        gemm::gemm(
-            k,
-            n,
-            m,
-            self.data(),
-            Layout::Transposed,
-            other.data(),
-            Layout::RowMajor,
-            &mut out,
-        );
+        gemm::gemm_views(self.view().t(), other.view(), &mut out);
         Self::from_vec(k, n, out)
     }
 
@@ -459,7 +433,43 @@ impl Tensor {
         Self::from_vec(k, n, out)
     }
 
-    /// Transpose (materialised).
+    // ------------------------------------------------------------- views
+
+    /// Borrow this tensor as a strided view — the zero-copy entry point
+    /// for transpose/slice chains and the view-fed GEMM
+    /// ([`crate::view::MatRef::matmul`]).
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::from_row_major(self.data(), self.rows(), self.cols())
+    }
+
+    /// Alias for [`Self::view`], matching faer's `as_ref` idiom.
+    pub fn as_ref(&self) -> MatRef<'_> {
+        self.view()
+    }
+
+    /// O(1) transposed view of this tensor — the zero-copy replacement
+    /// for [`Self::transpose`] wherever the consumer accepts a view.
+    pub fn t(&self) -> MatRef<'_> {
+        self.view().t()
+    }
+
+    /// O(1) view of rows `[start, end)` — the zero-copy replacement for
+    /// contiguous-range [`Self::gather_rows`] calls.
+    pub fn slice_rows(&self, start: usize, end: usize) -> MatRef<'_> {
+        self.view().slice_rows(start, end)
+    }
+
+    /// Mutable strided view. Goes through copy-on-write
+    /// ([`Self::make_mut`]), so a shared buffer is copied once up front
+    /// and writes then land in place.
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        let (rows, cols) = (self.rows(), self.cols());
+        MatMut::from_row_major(self.make_mut(), rows, cols)
+    }
+
+    /// Transpose (materialised). Hot paths should prefer the O(1)
+    /// [`Self::t`] view; this remains for callers that need an owned
+    /// result.
     pub fn transpose(&self) -> Self {
         let (m, n) = (self.rows(), self.cols());
         let src = self.data();

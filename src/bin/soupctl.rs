@@ -126,7 +126,7 @@ fn usage() {
          \x20           [--fault-rate F] [--fault-seed N]\n\
          \x20 soup      --data FILE --ckpt-dir DIR --strategy <us|greedy|gis|ls|pls>\n\
          \x20           [--epochs N] [--granularity N] [--pls-k N] [--pls-r N] [--seed N] [--out FILE]\n\
-         \x20           [--resume] [--ckpt-every N] [--stop-after-epoch N]\n\
+         \x20           [--resume] [--ckpt-every N] [--stop-after-epoch N] [--quant-check]\n\
          \x20 eval      --data FILE --ckpt-dir DIR --params FILE [--split <train|val|test>]\n\
          \x20 diversity --data FILE --ckpt-dir DIR\n\
          \x20 verify    DIR         offline integrity audit of an artifact directory\n\
@@ -540,9 +540,54 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
         enhanced_soups::tensor::memory::format_bytes(outcome.stats.peak_mem_bytes),
         outcome.stats.spmm_saved,
     );
+    if flags.contains_key("quant-check") {
+        quant_check(&cfg, &dataset, &outcome.params, test)?;
+    }
     if let Some(out) = flags.get("out") {
         outcome.params.save_json(out)?;
         soup_obs::info!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `--quant-check`: quantize the souped weights (int8 and bf16) and gate
+/// the test-accuracy delta of the quantized forward path at 0.5 pp — the
+/// acceptance bound for post-soup quantized inference. Non-zero exit on
+/// breach, which is what the CI smoke keys off.
+fn quant_check(
+    cfg: &ModelConfig,
+    dataset: &enhanced_soups::graph::Dataset,
+    params: &ParamSet,
+    f32_acc: f64,
+) -> Result<()> {
+    use enhanced_soups::gnn::quant::{evaluate_accuracy_quant, QuantParamSet};
+    use enhanced_soups::tensor::quant::QuantKind;
+    let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+    for kind in [QuantKind::Int8, QuantKind::Bf16] {
+        let qp = QuantParamSet::quantize(cfg, params, kind);
+        let acc = evaluate_accuracy_quant(
+            cfg,
+            &ops,
+            None,
+            &qp,
+            &dataset.features,
+            &dataset.labels,
+            &dataset.splits.test,
+        );
+        let delta_pp = (f32_acc - acc) * 100.0;
+        soup_obs::info!(
+            "quant-check {kind}: test {:.2}% vs f32 {:.2}% (Δ {:+.3} pp), weights {} -> {}",
+            acc * 100.0,
+            f32_acc * 100.0,
+            delta_pp,
+            enhanced_soups::tensor::memory::format_bytes(qp.f32_bytes()),
+            enhanced_soups::tensor::memory::format_bytes(qp.memory_bytes()),
+        );
+        if delta_pp.abs() > 0.5 {
+            return Err(SoupError::usage(format!(
+                "quant-check failed: {kind} accuracy delta {delta_pp:+.3} pp exceeds 0.5 pp"
+            )));
+        }
     }
     Ok(())
 }
