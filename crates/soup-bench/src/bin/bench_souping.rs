@@ -14,7 +14,7 @@
 
 use serde::Serialize;
 use soup_bench::harness::{finish_observability, train_pool, ExperimentPreset};
-use soup_core::strategy::SoupStrategy;
+use soup_core::strategy::{SoupCtx, SoupStrategy};
 use soup_core::{
     GisSouping, Ingredient, LearnedHyper, LearnedSouping, PartitionLearnedSouping, SoupOutcome,
 };
@@ -185,28 +185,30 @@ fn pls_comparison(
         epochs,
         ..Default::default()
     };
-    // `soup_prepartitioned` keeps the (shared) partitioning out of both
-    // timings, so the ratio isolates the epoch loop the engine accelerates.
+    // Passing the (shared) partitioning through the context keeps it out of
+    // both timings, so the ratio isolates the epoch loop the engine
+    // accelerates.
+    let ctx = SoupCtx::new(ingredients, dataset, cfg, seed).with_partitioning(partitioning);
+    let soup = |pls: PartitionLearnedSouping| {
+        SoupStrategy::try_soup(&pls, &ctx)
+            .expect("bench souping is not persisted")
+            .expect("bench souping never stops early")
+    };
     let baseline = best_outcome(reps, || {
-        PartitionLearnedSouping::new(
-            LearnedHyper {
-                prop_cache: false,
-                ..hyper
-            },
-            PLS_K,
-            PLS_R,
+        soup(
+            PartitionLearnedSouping::new(
+                LearnedHyper {
+                    prop_cache: false,
+                    ..hyper
+                },
+                PLS_K,
+                PLS_R,
+            )
+            .with_subgraph_cache(0),
         )
-        .with_subgraph_cache(0)
-        .soup_prepartitioned(ingredients, dataset, cfg, seed, partitioning)
     });
     let engine = best_outcome(reps, || {
-        PartitionLearnedSouping::new(hyper, PLS_K, PLS_R).soup_prepartitioned(
-            ingredients,
-            dataset,
-            cfg,
-            seed,
-            partitioning,
-        )
+        soup(PartitionLearnedSouping::new(hyper, PLS_K, PLS_R))
     });
     compare(baseline, engine)
 }

@@ -33,7 +33,7 @@ pub const DEFAULT_TOLERANCE: f64 = 0.25;
 pub enum Direction {
     /// Timings: `*_ms` (also `*_ns`, `*_us`, `*_bytes` totals).
     LowerIsBetter,
-    /// Rates and quality: `*speedup*`, `*gflops*`, `*accuracy*`.
+    /// Rates and quality: `*speedup*`, `*gflops*`, `*accuracy*`, `*_rps`.
     HigherIsBetter,
     /// Structural metadata — compared informationally, never regresses.
     Informational,
@@ -44,7 +44,11 @@ pub fn classify(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
     if leaf.ends_with("_ms") || leaf.ends_with("_ns") || leaf.ends_with("_us") {
         Direction::LowerIsBetter
-    } else if leaf.contains("speedup") || leaf.contains("gflops") || leaf.contains("accuracy") {
+    } else if leaf.contains("speedup")
+        || leaf.contains("gflops")
+        || leaf.contains("accuracy")
+        || leaf.ends_with("_rps")
+    {
         Direction::HigherIsBetter
     } else {
         Direction::Informational
@@ -270,6 +274,11 @@ mod tests {
         assert_eq!(classify("spmm.balanced_gflops"), Direction::HigherIsBetter);
         assert_eq!(classify("gis.speedup"), Direction::HigherIsBetter);
         assert_eq!(classify("ls.val_accuracy"), Direction::HigherIsBetter);
+        assert_eq!(
+            classify("serve.c4.throughput_rps"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(classify("serve.c4.p99_us"), Direction::LowerIsBetter);
         assert_eq!(classify("pool.hits"), Direction::Informational);
         assert_eq!(classify("gemm.shape.0"), Direction::Informational);
     }

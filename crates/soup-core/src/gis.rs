@@ -9,13 +9,14 @@
 //! full-graph forward pass, so the total cost is `O(N · g · F_v)` (§III-E)
 //! — the inefficiency LS is designed to remove.
 
-use crate::ingredient::{sort_by_val_acc, validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use crate::ingredient::{sort_by_val_acc, validate_ingredients};
+use crate::strategy::{
+    measure_soup_try, reject_persist, MixReport, SoupCtx, SoupOutcome, SoupStrategy,
+};
 use rayon::prelude::*;
 use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
-use soup_gnn::{evaluate_accuracy, evaluate_accuracy_cached, ModelConfig, ParamSet};
-use soup_graph::Dataset;
+use soup_gnn::{evaluate_accuracy, evaluate_accuracy_cached, ParamSet};
 
 /// GIS configuration.
 #[derive(Debug, Clone, Copy)]
@@ -81,16 +82,12 @@ impl SoupStrategy for GisSouping {
         "GIS"
     }
 
-    fn soup(
-        &self,
-        ingredients: &[Ingredient],
-        dataset: &Dataset,
-        cfg: &ModelConfig,
-        _seed: u64,
-    ) -> SoupOutcome {
+    fn try_soup(&self, ctx: &SoupCtx<'_>) -> crate::Result<Option<SoupOutcome>> {
+        reject_persist(ctx, self.name())?;
+        let (ingredients, dataset, cfg) = (ctx.ingredients, ctx.dataset, ctx.cfg);
         validate_ingredients(ingredients);
         assert!(self.granularity >= 2, "granularity must be >= 2");
-        measure_soup(ingredients, dataset, cfg, || {
+        measure_soup_try(ingredients, dataset, cfg, || {
             let _gis_span = soup_obs::span!("soup.gis");
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
             let cache = self.cache.then(|| PropCache::new(&ops, &dataset.features));
@@ -176,12 +173,12 @@ impl SoupStrategy for GisSouping {
             // Net savings: every cache-consuming forward skipped one SpMM,
             // minus the one SpMM spent building the cache.
             let spmm_saved = cache.as_ref().map_or(0, |c| c.hits().saturating_sub(1));
-            MixReport {
+            Ok(Some(MixReport {
                 params: soup,
                 forward_passes: forwards,
                 epochs: 0,
                 spmm_saved,
-            }
+            }))
         })
     }
 }
@@ -189,9 +186,10 @@ impl SoupStrategy for GisSouping {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ingredient::Ingredient;
     use soup_gnn::model::init_params;
-    use soup_gnn::{train_single, TrainConfig};
-    use soup_graph::DatasetKind;
+    use soup_gnn::{train_single, ModelConfig, TrainConfig};
+    use soup_graph::{Dataset, DatasetKind};
     use soup_tensor::SplitMix64;
 
     fn trained_ingredients(n: usize) -> (Dataset, ModelConfig, Vec<Ingredient>) {

@@ -5,12 +5,13 @@
 //! average's validation accuracy does not drop. Each acceptance test is one
 //! full-graph forward pass.
 
-use crate::ingredient::{sort_by_val_acc, validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
+use crate::ingredient::{sort_by_val_acc, validate_ingredients};
+use crate::strategy::{
+    measure_soup_try, reject_persist, MixReport, SoupCtx, SoupOutcome, SoupStrategy,
+};
 use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
-use soup_gnn::{evaluate_accuracy_cached, ModelConfig, ParamSet};
-use soup_graph::Dataset;
+use soup_gnn::{evaluate_accuracy_cached, ParamSet};
 
 /// Greedy Souping configuration (none needed).
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,15 +22,11 @@ impl SoupStrategy for GreedySouping {
         "Greedy"
     }
 
-    fn soup(
-        &self,
-        ingredients: &[Ingredient],
-        dataset: &Dataset,
-        cfg: &ModelConfig,
-        _seed: u64,
-    ) -> SoupOutcome {
+    fn try_soup(&self, ctx: &SoupCtx<'_>) -> crate::Result<Option<SoupOutcome>> {
+        reject_persist(ctx, self.name())?;
+        let (ingredients, dataset, cfg) = (ctx.ingredients, ctx.dataset, ctx.cfg);
         validate_ingredients(ingredients);
-        measure_soup(ingredients, dataset, cfg, || {
+        measure_soup_try(ingredients, dataset, cfg, || {
             let ops = PropOps::prepare(cfg.arch, &dataset.graph);
             // Every acceptance test evaluates on the same (graph, features),
             // so the first-hop aggregation is shared across all of them.
@@ -52,12 +49,12 @@ impl SoupStrategy for GreedySouping {
                     best_acc = acc;
                 }
             }
-            MixReport {
+            Ok(Some(MixReport {
                 params: ParamSet::average(&members),
                 forward_passes: forwards,
                 epochs: 0,
                 spmm_saved: cache.hits().saturating_sub(1),
-            }
+            }))
         })
     }
 }
@@ -65,10 +62,10 @@ impl SoupStrategy for GreedySouping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::SoupStrategy;
+    use crate::ingredient::Ingredient;
     use soup_gnn::model::init_params;
-    use soup_gnn::{train_single, TrainConfig};
-    use soup_graph::DatasetKind;
+    use soup_gnn::{train_single, ModelConfig, TrainConfig};
+    use soup_graph::{Dataset, DatasetKind};
     use soup_tensor::SplitMix64;
 
     fn trained_ingredients(n: usize) -> (Dataset, ModelConfig, Vec<Ingredient>) {

@@ -13,7 +13,7 @@
 
 use crate::ingredient::{validate_ingredients, Ingredient};
 use crate::resume::{Phase2Persist, Phase2Session, RunShape};
-use crate::strategy::{measure_soup_try, MixReport, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup_try, MixReport, SoupCtx, SoupOutcome, SoupStrategy};
 use soup_error::SoupError;
 use soup_gnn::cache::PropCache;
 use soup_gnn::model::PropOps;
@@ -262,12 +262,12 @@ impl LearnedSouping {
         Self { hyper }
     }
 
-    /// Fallible, resumable LS entry point. With `persist` set the loop
-    /// checkpoints its optimizer state through the crash-safe store and can
-    /// continue bit-identically from the last durable epoch
-    /// (`Ok(None)` reports a deliberate [`Phase2Persist::stop_after`]
-    /// kill). Numeric-watchdog exhaustion surfaces as
-    /// [`SoupError::Numeric`] instead of panicking.
+    /// Positional shim for the pre-[`SoupCtx`] entry point; equivalent to
+    /// `SoupStrategy::try_soup` with `with_persist_opt(persist)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoupStrategy::try_soup with a SoupCtx (with_persist for durability)"
+    )]
     pub fn try_soup(
         &self,
         ingredients: &[Ingredient],
@@ -276,13 +276,10 @@ impl LearnedSouping {
         seed: u64,
         persist: Option<&Phase2Persist>,
     ) -> crate::Result<Option<SoupOutcome>> {
-        validate_ingredients(ingredients);
-        assert!(self.hyper.epochs > 0, "LS needs at least one epoch");
-        // A partial pool needs no special handling: the softmax over the
-        // R' surviving ingredients renormalises the ratios by construction.
-        measure_soup_try(ingredients, dataset, cfg, || {
-            self.mix_loop(ingredients, dataset, cfg, seed, persist)
-        })
+        SoupStrategy::try_soup(
+            self,
+            &SoupCtx::new(ingredients, dataset, cfg, seed).with_persist_opt(persist),
+        )
     }
 
     /// The Alg. 3 epoch loop (full validation graph every epoch).
@@ -497,16 +494,22 @@ impl SoupStrategy for LearnedSouping {
         "LS"
     }
 
-    fn soup(
-        &self,
-        ingredients: &[Ingredient],
-        dataset: &Dataset,
-        cfg: &ModelConfig,
-        seed: u64,
-    ) -> SoupOutcome {
-        self.try_soup(ingredients, dataset, cfg, seed, None)
-            .expect("LS without persistence cannot hit storage errors")
-            .expect("LS without persistence never stops early")
+    /// Fallible, resumable LS entry point. With `ctx.persist` set the loop
+    /// checkpoints its optimizer state through the crash-safe store and can
+    /// continue bit-identically from the last durable epoch
+    /// (`Ok(None)` reports a deliberate [`Phase2Persist::stop_after`]
+    /// kill). Numeric-watchdog exhaustion surfaces as
+    /// [`SoupError::Numeric`] instead of panicking. A precomputed
+    /// `ctx.partitioning` is PLS preprocessing and ignored here.
+    fn try_soup(&self, ctx: &SoupCtx<'_>) -> crate::Result<Option<SoupOutcome>> {
+        let (ingredients, dataset, cfg) = (ctx.ingredients, ctx.dataset, ctx.cfg);
+        validate_ingredients(ingredients);
+        assert!(self.hyper.epochs > 0, "LS needs at least one epoch");
+        // A partial pool needs no special handling: the softmax over the
+        // R' surviving ingredients renormalises the ratios by construction.
+        measure_soup_try(ingredients, dataset, cfg, || {
+            self.mix_loop(ingredients, dataset, cfg, ctx.seed, ctx.persist)
+        })
     }
 }
 
@@ -814,10 +817,12 @@ mod tests {
             nan_inject: Some((3, 2)),
             ..clean_h
         };
-        let chaotic = LearnedSouping::new(chaotic_h)
-            .try_soup(&ingredients, &d, &cfg, 6, None)
-            .unwrap()
-            .unwrap();
+        let chaotic = SoupStrategy::try_soup(
+            &LearnedSouping::new(chaotic_h),
+            &SoupCtx::new(&ingredients, &d, &cfg, 6),
+        )
+        .unwrap()
+        .unwrap();
         assert!((0.0..=1.0).contains(&chaotic.val_accuracy));
         // Retries cost extra forwards but epochs_run matches the schedule.
         assert_eq!(chaotic.stats.epochs, clean.stats.epochs);
@@ -833,9 +838,11 @@ mod tests {
             nan_inject: Some((1, u32::MAX)), // never stops firing
             ..Default::default()
         };
-        let err = LearnedSouping::new(h)
-            .try_soup(&ingredients, &d, &cfg, 4, None)
-            .unwrap_err();
+        let err = SoupStrategy::try_soup(
+            &LearnedSouping::new(h),
+            &SoupCtx::new(&ingredients, &d, &cfg, 4),
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), "numeric");
     }
 
@@ -847,10 +854,12 @@ mod tests {
             nan_inject: Some((2, 1)),
             ..Default::default()
         };
-        let outcome = crate::pls::PartitionLearnedSouping::new(h, 8, 3)
-            .try_soup(&ingredients, &d, &cfg, 7, None)
-            .unwrap()
-            .unwrap();
+        let outcome = SoupStrategy::try_soup(
+            &crate::pls::PartitionLearnedSouping::new(h, 8, 3),
+            &SoupCtx::new(&ingredients, &d, &cfg, 7),
+        )
+        .unwrap()
+        .unwrap();
         assert!((0.0..=1.0).contains(&outcome.val_accuracy));
         let clean = crate::pls::PartitionLearnedSouping::new(
             LearnedHyper {

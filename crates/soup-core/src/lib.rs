@@ -25,6 +25,7 @@ pub mod greedy;
 pub mod ingredient;
 pub mod learned;
 pub mod pls;
+pub mod pool;
 pub mod resume;
 pub mod strategy;
 pub mod subcache;
@@ -44,12 +45,13 @@ pub use greedy::GreedySouping;
 pub use ingredient::Ingredient;
 pub use learned::{LearnedHyper, LearnedSouping};
 pub use pls::{PartitionLearnedSouping, PartitionerKind};
+pub use pool::{load_manifest, write_manifest, Manifest, ManifestEntry};
 pub use resume::{
     load_state, Phase2Persist, Phase2Session, Phase2State, RunShape, PHASE2_STATE_VERSION,
 };
 pub use strategy::{
-    measure_soup, measure_soup_try, missing_ordinals, MixReport, SoupOutcome, SoupStats,
-    SoupStrategy,
+    measure_soup, measure_soup_try, missing_ordinals, MixReport, SoupCtx, SoupOutcome, SoupStats,
+    SoupStrategy, StrategySpec,
 };
 pub use subcache::SubgraphCache;
 pub use uniform::UniformSouping;

@@ -19,7 +19,7 @@ use crate::learned::{
     learned_step, materialize_soup, prune_weak_ingredients, AlphaState, LearnedHyper,
 };
 use crate::resume::{Phase2Persist, Phase2Session, RunShape};
-use crate::strategy::{measure_soup_try, MixReport, SoupOutcome, SoupStrategy};
+use crate::strategy::{measure_soup_try, MixReport, SoupCtx, SoupOutcome, SoupStrategy};
 use crate::subcache::{SubgraphCache, SubgraphEntry};
 use soup_error::SoupError;
 use soup_gnn::cache::PropCache;
@@ -160,24 +160,61 @@ impl SoupStrategy for PartitionLearnedSouping {
         "PLS"
     }
 
-    fn soup(
-        &self,
-        ingredients: &[Ingredient],
-        dataset: &Dataset,
-        cfg: &ModelConfig,
-        seed: u64,
-    ) -> SoupOutcome {
-        self.try_soup(ingredients, dataset, cfg, seed, None)
-            .expect("PLS without persistence cannot hit storage errors")
-            .expect("PLS without persistence never stops early")
+    /// Fallible, resumable PLS entry point. With `ctx.persist` set, the
+    /// loop checkpoints through the crash-safe store and `Ok(None)` reports
+    /// a deliberate [`Phase2Persist::stop_after`] kill. When
+    /// `ctx.partitioning` is provided the K-way preprocessing (Fig. 2
+    /// step 1) is taken as given — partitioning is "a preprocessing step",
+    /// so repeated soups from one dataset amortise it — and the measured
+    /// souping time covers only the α-optimisation epochs; otherwise the
+    /// configured partitioner runs inside the measured region.
+    fn try_soup(&self, ctx: &SoupCtx<'_>) -> crate::Result<Option<SoupOutcome>> {
+        let (ingredients, dataset, cfg) = (ctx.ingredients, ctx.dataset, ctx.cfg);
+        validate_ingredients(ingredients);
+        assert!(self.hyper.epochs > 0, "PLS needs at least one epoch");
+        if let Some(partitioning) = ctx.partitioning {
+            assert_eq!(
+                partitioning.assignment.len(),
+                dataset.num_nodes(),
+                "partitioning does not match dataset"
+            );
+            assert_eq!(
+                partitioning.k, self.num_partitions,
+                "partitioning k != configured K"
+            );
+            measure_soup_try(ingredients, dataset, cfg, || {
+                self.mix_loop(
+                    ingredients,
+                    dataset,
+                    cfg,
+                    ctx.seed,
+                    partitioning,
+                    ctx.persist,
+                )
+            })
+        } else {
+            measure_soup_try(ingredients, dataset, cfg, || {
+                let partitioning = self.run_partitioner(dataset, ctx.seed);
+                self.mix_loop(
+                    ingredients,
+                    dataset,
+                    cfg,
+                    ctx.seed,
+                    &partitioning,
+                    ctx.persist,
+                )
+            })
+        }
     }
 }
 
 impl PartitionLearnedSouping {
-    /// Fallible, resumable PLS entry point — the [`SoupStrategy::soup`]
-    /// analogue of [`crate::learned::LearnedSouping::try_soup`]. With
-    /// `persist` set, the loop checkpoints through the crash-safe store and
-    /// `Ok(None)` reports a deliberate [`Phase2Persist::stop_after`] kill.
+    /// Positional shim for the pre-[`SoupCtx`] entry point; equivalent to
+    /// `SoupStrategy::try_soup` with `with_persist_opt(persist)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoupStrategy::try_soup with a SoupCtx (with_persist for durability)"
+    )]
     pub fn try_soup(
         &self,
         ingredients: &[Ingredient],
@@ -186,21 +223,18 @@ impl PartitionLearnedSouping {
         seed: u64,
         persist: Option<&Phase2Persist>,
     ) -> crate::Result<Option<SoupOutcome>> {
-        validate_ingredients(ingredients);
-        assert!(self.hyper.epochs > 0, "PLS needs at least one epoch");
-        measure_soup_try(ingredients, dataset, cfg, || {
-            // Preprocessing: K-way partitioning (Fig. 2 step 1). Included
-            // in the measured time here; amortise it across repeated soups
-            // with [`Self::soup_prepartitioned`].
-            let partitioning = self.run_partitioner(dataset, seed);
-            self.mix_loop(ingredients, dataset, cfg, seed, &partitioning, persist)
-        })
+        SoupStrategy::try_soup(
+            self,
+            &SoupCtx::new(ingredients, dataset, cfg, seed).with_persist_opt(persist),
+        )
     }
 
-    /// Soup against a partitioning computed ahead of time — Fig. 2 calls
-    /// partitioning "a preprocessing step", so when many soups are mixed
-    /// from one dataset the partition pool is built once and reused; the
-    /// measured souping time then covers only the α-optimisation epochs.
+    /// Positional shim for souping against a precomputed partitioning;
+    /// equivalent to `SoupStrategy::try_soup` with `with_partitioning`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoupStrategy::try_soup with SoupCtx::with_partitioning"
+    )]
     pub fn soup_prepartitioned(
         &self,
         ingredients: &[Ingredient],
@@ -209,12 +243,21 @@ impl PartitionLearnedSouping {
         seed: u64,
         partitioning: &Partitioning,
     ) -> SoupOutcome {
-        self.try_soup_prepartitioned(ingredients, dataset, cfg, seed, partitioning, None)
-            .expect("PLS without persistence cannot hit storage errors")
-            .expect("PLS without persistence never stops early")
+        SoupStrategy::try_soup(
+            self,
+            &SoupCtx::new(ingredients, dataset, cfg, seed).with_partitioning(partitioning),
+        )
+        .expect("PLS without persistence cannot hit storage errors")
+        .expect("PLS without persistence never stops early")
     }
 
-    /// Fallible, resumable variant of [`Self::soup_prepartitioned`].
+    /// Positional shim for the fallible prepartitioned entry point;
+    /// equivalent to `SoupStrategy::try_soup` with `with_partitioning` +
+    /// `with_persist_opt`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoupStrategy::try_soup with SoupCtx::with_partitioning"
+    )]
     pub fn try_soup_prepartitioned(
         &self,
         ingredients: &[Ingredient],
@@ -224,20 +267,12 @@ impl PartitionLearnedSouping {
         partitioning: &Partitioning,
         persist: Option<&Phase2Persist>,
     ) -> crate::Result<Option<SoupOutcome>> {
-        validate_ingredients(ingredients);
-        assert_eq!(
-            partitioning.assignment.len(),
-            dataset.num_nodes(),
-            "partitioning does not match dataset"
-        );
-        assert_eq!(
-            partitioning.k, self.num_partitions,
-            "partitioning k != configured K"
-        );
-        assert!(self.hyper.epochs > 0, "PLS needs at least one epoch");
-        measure_soup_try(ingredients, dataset, cfg, || {
-            self.mix_loop(ingredients, dataset, cfg, seed, partitioning, persist)
-        })
+        SoupStrategy::try_soup(
+            self,
+            &SoupCtx::new(ingredients, dataset, cfg, seed)
+                .with_partitioning(partitioning)
+                .with_persist_opt(persist),
+        )
     }
 
     /// The Alg. 4 epoch loop over a fixed partition pool.
@@ -608,7 +643,12 @@ mod tests {
         };
         let pls = PartitionLearnedSouping::new(hyper, 8, 3);
         let partitioning = pls.run_partitioner(&d, 6);
-        let pre = pls.soup_prepartitioned(&ingredients, &d, &cfg, 6, &partitioning);
+        let pre = SoupStrategy::try_soup(
+            &pls,
+            &SoupCtx::new(&ingredients, &d, &cfg, 6).with_partitioning(&partitioning),
+        )
+        .unwrap()
+        .unwrap();
         let full = pls.soup(&ingredients, &d, &cfg, 6);
         // Same seed + same partitioning path => identical soup.
         assert_eq!(pre.val_accuracy, full.val_accuracy);
@@ -633,7 +673,10 @@ mod tests {
         let pls8 = PartitionLearnedSouping::new(hyper, 8, 2);
         let pls4 = PartitionLearnedSouping::new(hyper, 4, 2);
         let partitioning = pls4.run_partitioner(&d, 1);
-        pls8.soup_prepartitioned(&ingredients, &d, &cfg, 1, &partitioning);
+        let _ = SoupStrategy::try_soup(
+            &pls8,
+            &SoupCtx::new(&ingredients, &d, &cfg, 1).with_partitioning(&partitioning),
+        );
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! Fig. 4b because it needs no forward passes at all, §V-C).
 
 use crate::ingredient::Ingredient;
+use crate::resume::Phase2Persist;
 use soup_gnn::model::PropOps;
 use soup_gnn::{evaluate_accuracy, ModelConfig, ParamSet};
 use soup_graph::Dataset;
+use soup_partition::Partitioning;
 use soup_tensor::memory::MemoryScope;
 use std::time::{Duration, Instant};
 
@@ -81,21 +83,188 @@ pub fn missing_ordinals(ingredients: &[Ingredient]) -> Vec<usize> {
     (0..=max_id).filter(|&id| !present[id]).collect()
 }
 
+/// Everything a souping run consumes, bundled so every strategy exposes
+/// one uniform entry point ([`SoupStrategy::try_soup`]) instead of the
+/// divergent inherent signatures LS and PLS historically grew.
+///
+/// The required fields come from [`SoupCtx::new`]; the optional extras —
+/// Phase-2 durability and a precomputed partitioning — are layered on with
+/// the builder methods. Strategies that cannot honour an extra reject it
+/// with [`soup_error::SoupError::Usage`] rather than silently dropping it
+/// (except `partitioning`, which is documented as PLS-only preprocessing
+/// and ignored by the full-graph strategies).
+pub struct SoupCtx<'a> {
+    /// The ingredient pool to mix.
+    pub ingredients: &'a [Ingredient],
+    /// Dataset supplying the validation signal (and test split later).
+    pub dataset: &'a Dataset,
+    /// Architecture the ingredients were trained with.
+    pub cfg: &'a ModelConfig,
+    /// Seed driving all of the strategy's internal randomness.
+    pub seed: u64,
+    /// Phase-2 durability: checkpoint the optimizer state through the
+    /// crash-safe store and/or resume from it (LS/PLS only).
+    pub persist: Option<&'a Phase2Persist>,
+    /// A partitioning computed ahead of time, so repeated PLS soups on one
+    /// dataset can amortise the preprocessing (PLS only; other strategies
+    /// never consume it).
+    pub partitioning: Option<&'a Partitioning>,
+}
+
+impl<'a> SoupCtx<'a> {
+    /// A context with no optional extras — what [`SoupStrategy::soup`]
+    /// builds internally.
+    pub fn new(
+        ingredients: &'a [Ingredient],
+        dataset: &'a Dataset,
+        cfg: &'a ModelConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            ingredients,
+            dataset,
+            cfg,
+            seed,
+            persist: None,
+            partitioning: None,
+        }
+    }
+
+    /// Attach Phase-2 durability (LS/PLS).
+    pub fn with_persist(mut self, persist: &'a Phase2Persist) -> Self {
+        self.persist = Some(persist);
+        self
+    }
+
+    /// Attach an optional persistence handle (convenience for callers that
+    /// already hold an `Option`).
+    pub fn with_persist_opt(mut self, persist: Option<&'a Phase2Persist>) -> Self {
+        self.persist = persist;
+        self
+    }
+
+    /// Attach a precomputed partitioning (PLS).
+    pub fn with_partitioning(mut self, partitioning: &'a Partitioning) -> Self {
+        self.partitioning = Some(partitioning);
+        self
+    }
+}
+
 /// A souping algorithm.
+///
+/// [`Self::try_soup`] is the single fallible entry point every strategy
+/// implements; [`Self::soup`] is the infallible convenience wrapper for
+/// plain, non-persistent runs and keeps the historical 4-argument shape.
 pub trait SoupStrategy {
     /// Short display name ("US", "GIS", "LS", "PLS", ...).
     fn name(&self) -> &'static str;
 
-    /// Mix `ingredients` into a single model using `dataset` for whatever
-    /// validation signal the strategy consumes. `seed` drives all of the
-    /// strategy's internal randomness.
+    /// Mix `ctx.ingredients` into a single model. Returns `Ok(None)` only
+    /// for a deliberate mid-run stop requested through
+    /// [`Phase2Persist::stop_after`] (the simulated-kill path); a completed
+    /// mix is `Ok(Some(outcome))` and real failures (storage, numeric
+    /// watchdog, unsupported context extras) surface as `Err`.
+    fn try_soup(&self, ctx: &SoupCtx<'_>) -> crate::Result<Option<SoupOutcome>>;
+
+    /// Infallible non-persistent wrapper around [`Self::try_soup`]. `seed`
+    /// drives all of the strategy's internal randomness.
     fn soup(
         &self,
         ingredients: &[Ingredient],
         dataset: &Dataset,
         cfg: &ModelConfig,
         seed: u64,
-    ) -> SoupOutcome;
+    ) -> SoupOutcome {
+        self.try_soup(&SoupCtx::new(ingredients, dataset, cfg, seed))
+            .expect("souping without persistence cannot hit storage errors")
+            .expect("souping without persistence never stops early")
+    }
+}
+
+/// Reject context extras a strategy does not support — the shared guard
+/// for the full-graph strategies (US/Greedy/GIS), which have no optimizer
+/// state to persist. Accepting-and-ignoring `--resume` would silently
+/// recompute from scratch, so it is an error instead.
+pub(crate) fn reject_persist(ctx: &SoupCtx<'_>, name: &str) -> crate::Result<()> {
+    if ctx.persist.is_some() {
+        return Err(soup_error::SoupError::usage(format!(
+            "{name} has no phase-2 optimizer state to persist — \
+             durability options apply to LS/PLS only"
+        )));
+    }
+    Ok(())
+}
+
+/// Declarative strategy selection shared by `soupctl soup` and the serving
+/// layer's re-soup path: name + the hyperparameters the CLI exposes,
+/// buildable into a boxed [`SoupStrategy`].
+#[derive(Debug, Clone)]
+pub struct StrategySpec {
+    /// Lowercase CLI name: `us`, `greedy`, `gis`, `ls`, `pls`.
+    pub name: String,
+    /// LS/PLS optimisation epochs.
+    pub epochs: usize,
+    /// GIS interpolation-grid granularity.
+    pub granularity: usize,
+    /// PLS partition count `K`.
+    pub pls_k: usize,
+    /// PLS per-epoch partition budget `R`.
+    pub pls_r: usize,
+}
+
+impl StrategySpec {
+    /// A spec with the CLI's default hyperparameters.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            epochs: 50,
+            granularity: 20,
+            pls_k: 16,
+            pls_r: 4,
+        }
+    }
+
+    /// Instantiate the named strategy, or a usage error for unknown names.
+    pub fn build(&self) -> crate::Result<Box<dyn SoupStrategy>> {
+        if matches!(self.name.as_str(), "ls" | "pls") && self.epochs == 0 {
+            return Err(soup_error::SoupError::usage(
+                "--epochs must be >= 1 for ls|pls",
+            ));
+        }
+        let hyper = crate::learned::LearnedHyper {
+            epochs: self.epochs,
+            ..Default::default()
+        };
+        Ok(match self.name.as_str() {
+            "us" => Box::new(crate::uniform::UniformSouping),
+            "greedy" => Box::new(crate::greedy::GreedySouping),
+            "gis" => {
+                if self.granularity < 2 {
+                    return Err(soup_error::SoupError::usage(
+                        "--granularity must be >= 2 (both interpolation endpoints)",
+                    ));
+                }
+                Box::new(crate::gis::GisSouping::new(self.granularity))
+            }
+            "ls" => Box::new(crate::learned::LearnedSouping::new(hyper)),
+            "pls" => {
+                if self.pls_k < 1 || self.pls_r < 1 || self.pls_r > self.pls_k {
+                    return Err(soup_error::SoupError::usage(format!(
+                        "PLS needs 1 <= R <= K (got R={}, K={})",
+                        self.pls_r, self.pls_k
+                    )));
+                }
+                Box::new(crate::pls::PartitionLearnedSouping::new(
+                    hyper, self.pls_k, self.pls_r,
+                ))
+            }
+            other => {
+                return Err(soup_error::SoupError::usage(format!(
+                    "unknown strategy '{other}' (expected us|greedy|gis|ls|pls)"
+                )))
+            }
+        })
+    }
 }
 
 /// Run `mix` under time/memory measurement, then evaluate the resulting

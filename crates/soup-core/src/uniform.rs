@@ -5,10 +5,11 @@
 //! the fastest strategy in Table III but usually the least accurate in
 //! Table II.
 
-use crate::ingredient::{validate_ingredients, Ingredient};
-use crate::strategy::{measure_soup, MixReport, SoupOutcome, SoupStrategy};
-use soup_gnn::{ModelConfig, ParamSet};
-use soup_graph::Dataset;
+use crate::ingredient::validate_ingredients;
+use crate::strategy::{
+    measure_soup_try, reject_persist, MixReport, SoupCtx, SoupOutcome, SoupStrategy,
+};
+use soup_gnn::ParamSet;
 
 /// Uniform Souping configuration (none needed).
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,24 +20,20 @@ impl SoupStrategy for UniformSouping {
         "US"
     }
 
-    fn soup(
-        &self,
-        ingredients: &[Ingredient],
-        dataset: &Dataset,
-        cfg: &ModelConfig,
-        _seed: u64,
-    ) -> SoupOutcome {
+    fn try_soup(&self, ctx: &SoupCtx<'_>) -> crate::Result<Option<SoupOutcome>> {
+        reject_persist(ctx, self.name())?;
+        let ingredients = ctx.ingredients;
         validate_ingredients(ingredients);
         // Partial pools degrade gracefully: the average renormalises over
         // however many ingredients survived (1/R' each).
-        measure_soup(ingredients, dataset, cfg, || {
+        measure_soup_try(ingredients, ctx.dataset, ctx.cfg, || {
             let sets: Vec<&ParamSet> = ingredients.iter().map(|i| &i.params).collect();
-            MixReport {
+            Ok(Some(MixReport {
                 params: ParamSet::average(&sets),
                 forward_passes: 0,
                 epochs: 0,
                 spmm_saved: 0,
-            }
+            }))
         })
     }
 }
@@ -46,7 +43,8 @@ mod tests {
     use super::*;
     use crate::ingredient::Ingredient;
     use soup_gnn::model::init_params;
-    use soup_graph::DatasetKind;
+    use soup_gnn::ModelConfig;
+    use soup_graph::{Dataset, DatasetKind};
     use soup_tensor::SplitMix64;
 
     fn make_ingredients(n: usize, _d: &Dataset, cfg: &ModelConfig) -> Vec<Ingredient> {

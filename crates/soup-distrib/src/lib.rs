@@ -25,8 +25,6 @@ pub mod trainer;
 pub use gather::{gather_ingredients, GatherReport};
 pub use queue::{Claim, FailAction, TaskQueue};
 pub use schedule::{predicted_min_time, predicted_total_time, simulate_schedule, ScheduleResult};
-#[allow(deprecated)]
-pub use trainer::train_ingredients_with_opts;
 pub use trainer::{
     train_ingredients, train_ingredients_detailed, train_ingredients_opts, FailedTask, FaultKind,
     FaultPlan, TrainOpts, TrainRun, WorkerReport,

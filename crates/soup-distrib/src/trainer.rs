@@ -141,8 +141,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 // Options
 // ---------------------------------------------------------------------------
 
-/// Options for a Phase-1 run. Replaces the old seven-positional-argument
-/// `train_ingredients_with_opts`; construct with [`TrainOpts::default`] and
+/// Options for a Phase-1 run. Construct with [`TrainOpts::default`] and
 /// chain `with_*` setters:
 ///
 /// ```ignore
@@ -639,46 +638,6 @@ pub fn train_ingredients_detailed(
     seed: u64,
 ) -> TrainRun {
     let opts = TrainOpts::default().with_workers(workers).with_seed(seed);
-    let run = train_ingredients_opts(dataset, cfg, tc, n, &opts)
-        .expect("phase-1 setup failed without a checkpoint directory");
-    assert!(
-        run.failed.is_empty(),
-        "worker pool left a task untrained: {:?}",
-        run.missing_ordinals()
-    );
-    run
-}
-
-/// Deprecated seven-positional-argument entry point. Use [`TrainOpts`] with
-/// [`train_ingredients_opts`] instead:
-///
-/// ```ignore
-/// // before
-/// train_ingredients_with_opts(&d, &cfg, &tc, n, workers, seed, true);
-/// // after
-/// let opts = TrainOpts::default()
-///     .with_workers(workers)
-///     .with_seed(seed)
-///     .with_exclusive_devices(true);
-/// train_ingredients_opts(&d, &cfg, &tc, n, &opts)?;
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use train_ingredients_opts with a TrainOpts struct"
-)]
-pub fn train_ingredients_with_opts(
-    dataset: &Dataset,
-    cfg: &ModelConfig,
-    tc: &TrainConfig,
-    n: usize,
-    workers: usize,
-    seed: u64,
-    exclusive_devices: bool,
-) -> TrainRun {
-    let opts = TrainOpts::default()
-        .with_workers(workers)
-        .with_seed(seed)
-        .with_exclusive_devices(exclusive_devices);
     let run = train_ingredients_opts(dataset, cfg, tc, n, &opts)
         .expect("phase-1 setup failed without a checkpoint directory");
     assert!(

@@ -1,0 +1,493 @@
+//! The serve loop: worker-pool TCP accept, admission control, dispatch,
+//! and hot model swap.
+//!
+//! `workers` OS threads share one `TcpListener`; each accepted connection
+//! is handled inline by its accepting thread (clients are expected to hold
+//! a connection and pipeline requests over it, so a thread-per-live-
+//! connection pool is the right shape at this scale). PREDICT requests are
+//! admitted into a bounded `sync_channel` feeding the [`crate::batcher`];
+//! a full queue answers `OVERLOADED` immediately instead of queueing
+//! unboundedly — latency under overload stays flat and the client decides
+//! whether to retry.
+//!
+//! The live model is an `Arc<ServeModel>` behind a `parking_lot::RwLock`.
+//! Promotion (SWAP / RESOUP) builds the new model — including its
+//! quantized form when serving quantized — *outside* the lock, takes the
+//! write lock only for the pointer swap, and acks the client after the
+//! guard drops. In-flight batches keep their old `Arc` (it stays alive
+//! until the last reference drops), so traffic is never paused and no
+//! request is dropped by a swap.
+
+use crate::batcher::{self, PredictJob, PredictReply};
+use crate::proto::{self, Request, Response};
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+use soup_core::{load_manifest, SoupCtx, StrategySpec};
+use soup_error::SoupError;
+use soup_gnn::{
+    load_checkpoint, predict_cached, predict_quant, ModelConfig, ParamSet, PropCache, PropOps,
+    QuantParamSet,
+};
+use soup_graph::Dataset;
+use soup_tensor::quant::QuantKind;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving knobs, mirrored one-to-one by `soupctl serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind (0 = ephemeral, the bound port is reported back).
+    pub port: u16,
+    /// Close a batch once this many node ids have accumulated.
+    pub max_batch: usize,
+    /// Close a batch this long after its first request arrived.
+    pub max_delay: Duration,
+    /// Admission-queue capacity in requests; a full queue answers
+    /// `OVERLOADED`.
+    pub queue_depth: usize,
+    /// Accept-loop worker threads (= max concurrently served connections).
+    pub workers: usize,
+    /// Serve through the quantized forward path instead of f32.
+    pub quant: Option<QuantKind>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            max_batch: 64,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 128,
+            workers: 4,
+            quant: None,
+        }
+    }
+}
+
+/// One immutable promoted model. Swaps replace the whole `Arc`.
+pub struct ServeModel {
+    /// Monotonic promotion counter; version 1 is the model served at
+    /// startup.
+    pub version: u64,
+    /// f32 parameters (kept even when serving quantized, for re-promotion
+    /// diagnostics and STATS).
+    pub params: ParamSet,
+    /// Quantized form, present iff the server was started with a quant
+    /// kind.
+    pub qparams: Option<QuantParamSet>,
+}
+
+impl ServeModel {
+    /// Full-graph class predictions through whichever forward path this
+    /// server is configured for.
+    pub(crate) fn predict_all(&self, shared: &ServeShared) -> Vec<usize> {
+        match &self.qparams {
+            Some(q) => predict_quant(
+                &shared.cfg,
+                &shared.ops,
+                Some(&shared.cache),
+                q,
+                &shared.dataset.features,
+            ),
+            None => predict_cached(&shared.cfg, &shared.ops, &shared.cache, &self.params),
+        }
+    }
+}
+
+/// State shared by every worker, the batcher, and promotions.
+pub(crate) struct ServeShared {
+    pub config: ServeConfig,
+    pub cfg: ModelConfig,
+    pub ops: PropOps,
+    pub cache: PropCache,
+    pub dataset: Dataset,
+    pub model: RwLock<Arc<ServeModel>>,
+    pub queue: SyncSender<PredictJob>,
+    pub queue_len: AtomicUsize,
+    pub shutdown: AtomicBool,
+    pub swaps: AtomicU64,
+    /// Socket handles of live connections, keyed by an accept sequence
+    /// number. Workers block in `read_frame` on persistent connections, so
+    /// shutdown must actively `Shutdown::Both` these to unpark them — the
+    /// self-connect nudge only reaches workers parked in `accept()`.
+    pub conns: Mutex<HashMap<u64, TcpStream>>,
+    pub conn_seq: AtomicU64,
+}
+
+impl ServeShared {
+    /// Build (outside any lock) and promote a new model; returns the new
+    /// version. The write lock is held only for the pointer swap.
+    pub(crate) fn promote(&self, params: ParamSet) -> soup_error::Result<u64> {
+        if !params.same_shape(&self.model.read().params) {
+            return Err(SoupError::shape(
+                "promoted parameters do not match the serving architecture",
+            ));
+        }
+        let qparams = self
+            .config
+            .quant
+            .map(|kind| QuantParamSet::quantize(&self.cfg, &params, kind));
+        let mut live = self.model.write();
+        let version = live.version + 1;
+        *live = Arc::new(ServeModel {
+            version,
+            params,
+            qparams,
+        });
+        drop(live);
+        self.swaps.fetch_add(1, Ordering::AcqRel);
+        soup_obs::counter!("serve.swaps").inc();
+        Ok(version)
+    }
+}
+
+/// STATS response payload.
+#[derive(Serialize)]
+struct StatsBody {
+    version: u64,
+    num_nodes: usize,
+    quant: Option<String>,
+    requests: u64,
+    batches: u64,
+    rejected: u64,
+    swaps: u64,
+    queue_len: usize,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+}
+
+/// A running server: bound address plus the thread handles needed to join
+/// or stop it.
+pub struct Server {
+    shared: Arc<ServeShared>,
+    addr: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the batcher and the accept workers, and return.
+    ///
+    /// The initial model is promoted as version 1 (quantizing it first
+    /// when `config.quant` is set); the [`PropCache`] is built once here
+    /// and shared by every batch forward for the server's lifetime.
+    pub fn start(
+        dataset: Dataset,
+        cfg: ModelConfig,
+        params: ParamSet,
+        config: ServeConfig,
+    ) -> soup_error::Result<Server> {
+        let listener =
+            TcpListener::bind(("127.0.0.1", config.port)).map_err(|e| SoupError::Io {
+                path: None,
+                source: e,
+            })?;
+        let addr = listener.local_addr().map_err(|e| SoupError::Io {
+            path: None,
+            source: e,
+        })?;
+
+        let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+        let cache = PropCache::new(&ops, &dataset.features);
+        let qparams = config
+            .quant
+            .map(|kind| QuantParamSet::quantize(&cfg, &params, kind));
+        let (tx, rx) = sync_channel::<PredictJob>(config.queue_depth);
+        let shared = Arc::new(ServeShared {
+            config,
+            cfg,
+            ops,
+            cache,
+            dataset,
+            model: RwLock::new(Arc::new(ServeModel {
+                version: 1,
+                params,
+                qparams,
+            })),
+            queue: tx,
+            queue_len: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            swaps: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
+        });
+
+        let batcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("soup-serve-batcher".into())
+                .spawn(move || batcher::run(shared, rx))
+                .map_err(|e| SoupError::Io {
+                    path: None,
+                    source: e,
+                })?
+        };
+        let listener = Arc::new(listener);
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let listener = listener.clone();
+                std::thread::Builder::new()
+                    .name(format!("soup-serve-worker-{i}"))
+                    .spawn(move || accept_loop(shared, listener))
+                    .map_err(|e| SoupError::Io {
+                        path: None,
+                        source: e,
+                    })
+            })
+            .collect::<soup_error::Result<Vec<_>>>()?;
+
+        soup_obs::info!("serving on {addr} ({} workers)", workers.len());
+        Ok(Server {
+            shared,
+            addr,
+            workers,
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live model version.
+    pub fn version(&self) -> u64 {
+        self.shared.model.read().version
+    }
+
+    /// Block until the serve loop exits (a SHUTDOWN request arrived or
+    /// [`Server::stop`] was called from another thread's clone of the
+    /// address).
+    pub fn join(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+    }
+
+    /// Ask the server to stop and block until every thread exits.
+    pub fn stop(self) {
+        request_stop(&self.shared, self.addr);
+        self.join();
+    }
+}
+
+/// Flip the shutdown flag, kick handlers off their live connections, and
+/// nudge every worker out of `accept()` with throwaway self-connections.
+fn request_stop(shared: &ServeShared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    // Handlers parked in `read_frame` on persistent connections only wake
+    // when their socket dies; responses already written are not discarded
+    // by the half-close semantics, so the SHUTDOWN ack still reaches its
+    // client.
+    for conn in shared.conns.lock().values() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    for _ in 0..shared.config.workers.max(1) {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    }
+}
+
+fn accept_loop(shared: Arc<ServeShared>, listener: Arc<TcpListener>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        // Register the socket so `request_stop` can unpark this handler,
+        // then re-check the flag: either `request_stop` saw the entry and
+        // shut it, or this load sees the flag — no interleaving leaves a
+        // blocked, unkillable read.
+        let id = shared.conn_seq.fetch_add(1, Ordering::AcqRel);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(id, clone);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = stream.shutdown(Shutdown::Both);
+            shared.conns.lock().remove(&id);
+            return;
+        }
+        let outcome = handle_conn(&shared, stream);
+        shared.conns.lock().remove(&id);
+        if let Err(err) = outcome {
+            soup_obs::debug!("connection ended: {err}");
+        }
+    }
+}
+
+/// Serve one connection until EOF, a fatal I/O error, or shutdown.
+fn handle_conn(shared: &Arc<ServeShared>, mut stream: TcpStream) -> soup_error::Result<()> {
+    stream.set_nodelay(true).map_err(|e| SoupError::Io {
+        path: None,
+        source: e,
+    })?;
+    loop {
+        let payload = match proto::read_frame(&mut stream) {
+            Ok(p) => p,
+            // EOF between frames is the normal way a client hangs up.
+            Err(err) => {
+                return match &err {
+                    SoupError::Io { source, .. }
+                        if source.kind() == std::io::ErrorKind::UnexpectedEof =>
+                    {
+                        Ok(())
+                    }
+                    _ => Err(err),
+                }
+            }
+        };
+        let (resp, stop_after) = match proto::decode_request(&payload) {
+            Ok(req) => dispatch(shared, req),
+            // Malformed frame: answer with the decode error, keep serving —
+            // the framing layer is still synchronized.
+            Err(err) => (Response::Error(err.to_string()), false),
+        };
+        proto::write_frame(&mut stream, &proto::encode_response(&resp)).map_err(|e| {
+            SoupError::Io {
+                path: None,
+                source: e,
+            }
+        })?;
+        if stop_after {
+            request_stop(
+                shared,
+                stream.local_addr().map_err(|e| SoupError::Io {
+                    path: None,
+                    source: e,
+                })?,
+            );
+            return Ok(());
+        }
+    }
+}
+
+/// Execute one request; the bool asks the connection loop to initiate
+/// server shutdown after the response is written.
+fn dispatch(shared: &Arc<ServeShared>, req: Request) -> (Response, bool) {
+    soup_obs::counter!("serve.requests").inc();
+    match req {
+        Request::Ping => {
+            let version = shared.model.read().version;
+            (Response::Ok(version.to_le_bytes().to_vec()), false)
+        }
+        Request::Predict(nodes) => (predict(shared, nodes), false),
+        Request::Stats => match stats(shared) {
+            Ok(json) => (Response::Ok(json.into_bytes()), false),
+            Err(err) => (Response::Error(err.to_string()), false),
+        },
+        Request::Swap(path) => {
+            let outcome = load_checkpoint(&path).and_then(|ck| shared.promote(ck.params));
+            match outcome {
+                Ok(v) => (Response::Ok(v.to_le_bytes().to_vec()), false),
+                Err(err) => (Response::Error(err.to_string()), false),
+            }
+        }
+        Request::Resoup {
+            strategy,
+            dir,
+            seed,
+        } => match resoup(shared, &strategy, &dir, seed) {
+            Ok(v) => (Response::Ok(v.to_le_bytes().to_vec()), false),
+            Err(err) => (Response::Error(err.to_string()), false),
+        },
+        Request::Shutdown => (Response::Ok(Vec::new()), true),
+    }
+}
+
+fn predict(shared: &Arc<ServeShared>, nodes: Vec<u32>) -> Response {
+    let num_nodes = shared.dataset.num_nodes();
+    if let Some(&bad) = nodes.iter().find(|&&n| n as usize >= num_nodes) {
+        return Response::Error(format!(
+            "node id {bad} out of range (graph has {num_nodes})"
+        ));
+    }
+    let (reply_tx, reply_rx) = sync_channel::<PredictReply>(1);
+    let job = PredictJob {
+        nodes,
+        reply: reply_tx,
+        enqueued: std::time::Instant::now(),
+    };
+    // Count the job *before* the send so the batcher's decrement (which
+    // can race ahead of this thread) never underflows the gauge; roll the
+    // increment back on rejection.
+    shared.queue_len.fetch_add(1, Ordering::AcqRel);
+    match shared.queue.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.queue_len.fetch_sub(1, Ordering::AcqRel);
+            soup_obs::counter!("serve.rejected").inc();
+            return Response::Overloaded;
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.queue_len.fetch_sub(1, Ordering::AcqRel);
+            return Response::Error("server is shutting down".into());
+        }
+    }
+    match reply_rx.recv() {
+        Ok(reply) => Response::Ok(proto::encode_predictions(reply.version, &reply.classes)),
+        Err(_) => Response::Error("batcher exited before answering".into()),
+    }
+}
+
+fn stats(shared: &Arc<ServeShared>) -> soup_error::Result<String> {
+    let latency = soup_obs::histogram!("serve.latency_us");
+    let body = StatsBody {
+        version: shared.model.read().version,
+        num_nodes: shared.dataset.num_nodes(),
+        quant: shared.config.quant.map(|k| k.to_string()),
+        requests: soup_obs::counter!("serve.requests").get(),
+        batches: soup_obs::counter!("serve.batches").get(),
+        rejected: soup_obs::counter!("serve.rejected").get(),
+        swaps: shared.swaps.load(Ordering::Acquire),
+        queue_len: shared.queue_len.load(Ordering::Acquire),
+        latency_p50_us: latency.quantile(0.5),
+        latency_p99_us: latency.quantile(0.99),
+    };
+    serde_json::to_string(&body).map_err(|e| SoupError::parse(format!("stats encoding: {e}")))
+}
+
+/// RESOUP: load the ingredient pool at `dir`, soup it with `strategy`
+/// (resolved through [`StrategySpec`], so the guards match `soupctl soup`),
+/// and promote the result.
+fn resoup(
+    shared: &Arc<ServeShared>,
+    strategy: &str,
+    dir: &str,
+    seed: u64,
+) -> soup_error::Result<u64> {
+    let (pool_cfg, ingredients) = load_manifest(std::path::Path::new(dir))?;
+    if pool_cfg.arch != shared.cfg.arch {
+        return Err(SoupError::shape(format!(
+            "pool at {dir} was trained as {:?}, server runs {:?}",
+            pool_cfg.arch, shared.cfg.arch
+        )));
+    }
+    let strategy = StrategySpec::new(strategy).build()?;
+    let outcome = strategy
+        .try_soup(&SoupCtx::new(
+            &ingredients,
+            &shared.dataset,
+            &shared.cfg,
+            seed,
+        ))?
+        .expect("resoup runs without a stop-after budget");
+    soup_obs::info!(
+        "resoup({}) reached val acc {:.4}, promoting",
+        strategy.name(),
+        outcome.val_accuracy
+    );
+    shared.promote(outcome.params)
+}

@@ -8,38 +8,269 @@
 //! soupctl soup      --data ds.json --ckpt-dir ckpts/ --strategy ls \
 //!                   --epochs 50 --seed 7 --out soup.json
 //! soupctl eval      --data ds.json --ckpt-dir ckpts/ --params soup.json --split test
+//! soupctl serve     --data ds.json --ckpt-dir ckpts/ --params soup.json --port 7450
+//! soupctl query     --addr 127.0.0.1:7450 --nodes 0,17,42
 //! soupctl diversity --data ds.json --ckpt-dir ckpts/
 //! ```
+//!
+//! Every subcommand's flag surface is a declarative typed spec
+//! ([`enhanced_soups::cli`]): unknown flags and type mismatches are usage
+//! errors (exit 2), and per-command `--help` is generated from the same
+//! spec the parser runs.
 //!
 //! `train` persists every ingredient as a checksummed `soup-ckpt/2`
 //! checkpoint (written atomically through the crash-safe store) plus a
 //! `manifest.json` recording the model configuration, per-ingredient
-//! metadata and the run journal, which `soup`/`eval`/`diversity` read back
-//! so the architecture never has to be re-specified. A killed run is
-//! picked up with `--resume`: existing checkpoints are validated (envelope
-//! checksum, format version, ordinal, seed, shape, NaN/Inf scan) and only
-//! missing or corrupt ingredients retrain. Phase 2 is resumable too:
-//! `soup --strategy ls --resume` continues the α-optimisation
-//! bit-identically from the last durable epoch checkpoint.
-//! `--fault-rate`/`--fault-seed` drive the deterministic fault-injection
-//! harness for chaos-testing the worker pool and the storage layer, and
-//! `soupctl verify DIR` audits every artifact offline.
+//! metadata and the run journal, which `soup`/`eval`/`serve`/`diversity`
+//! read back so the architecture never has to be re-specified. A killed
+//! run is picked up with `--resume`: existing checkpoints are validated
+//! and only missing or corrupt ingredients retrain. Phase 2 is resumable
+//! too: `soup --strategy ls --resume` continues the α-optimisation
+//! bit-identically from the last durable epoch checkpoint. `serve` exposes
+//! the souped model over a micro-batching TCP loop with admission control
+//! and hot model swap; `query` is the matching client.
 
+use enhanced_soups::cli::{CommandSpec, FlagDef, Flags};
 use enhanced_soups::gnn::model::PropOps;
-use enhanced_soups::gnn::{
-    checkpoint_name, evaluate_accuracy, load_checkpoint, ModelConfig, ParamSet, TrainConfig,
-};
+use enhanced_soups::gnn::{checkpoint_name, evaluate_accuracy, load_checkpoint, ParamSet};
+use enhanced_soups::gnn::{ModelConfig, TrainConfig};
 use enhanced_soups::graph::io::{load_dataset, save_dataset};
 use enhanced_soups::prelude::*;
+use enhanced_soups::serve::{Client, PredictResult, ServeConfig, Server};
 use enhanced_soups::soup::resume::load_state;
 use enhanced_soups::soup::strategy::test_accuracy;
-use enhanced_soups::soup::{diversity_report, GreedySouping, LearnedHyper};
-use enhanced_soups::store::write_durable;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use enhanced_soups::soup::{
+    diversity_report, load_manifest, write_manifest, Manifest, ManifestEntry, SoupCtx, StrategySpec,
+};
+use enhanced_soups::tensor::quant::QuantKind;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Duration;
+
+const GENERATE: CommandSpec = CommandSpec {
+    name: "generate",
+    summary: "synthesize a dataset shaped like one of the paper's benchmarks",
+    positional: "",
+    flags: &[
+        FlagDef::str("dataset", "NAME", "flickr | arxiv | reddit | products").required(),
+        FlagDef::f64("scale", "node-count multiplier").default("1.0"),
+        FlagDef::u64("seed", "generator seed").default("42"),
+        FlagDef::str("out", "FILE", "output dataset file").required(),
+    ],
+};
+
+const TRAIN: CommandSpec = CommandSpec {
+    name: "train",
+    summary: "phase 1: train the ingredient pool (crash-safe, resumable)",
+    positional: "",
+    flags: &[
+        FlagDef::str("data", "FILE", "dataset from `generate`").required(),
+        FlagDef::str("arch", "NAME", "gcn | sage | gat | gin").required(),
+        FlagDef::u64("hidden", "hidden width").default("64"),
+        FlagDef::u64("ingredients", "pool size").default("8"),
+        FlagDef::u64("workers", "parallel trainers").default("4"),
+        FlagDef::u64("epochs", "training epochs per ingredient").default("30"),
+        FlagDef::u64("seed", "base seed (ingredient i trains with seed+i)").default("42"),
+        FlagDef::str("out-dir", "DIR", "checkpoint directory").required(),
+        FlagDef::switch(
+            "resume",
+            "revalidate checkpoints, retrain only missing/corrupt",
+        ),
+        FlagDef::u64(
+            "retry-budget",
+            "retries per ingredient before permanent failure",
+        )
+        .default("2"),
+        FlagDef::u64(
+            "straggler-deadline-ms",
+            "requeue attempts running longer than this",
+        )
+        .default("0"),
+        FlagDef::f64(
+            "fault-rate",
+            "inject faults into this fraction of first attempts",
+        )
+        .default("0.0"),
+        FlagDef::f64(
+            "storage-fault-rate",
+            "strike this fraction of artifact writes (store heals them)",
+        )
+        .default("0.0"),
+        FlagDef::u64("fault-seed", "fault-schedule seed (default: --seed)"),
+    ],
+};
+
+const SOUP: CommandSpec = CommandSpec {
+    name: "soup",
+    summary: "phase 2: mix the pool with a souping strategy",
+    positional: "",
+    flags: &[
+        FlagDef::str("data", "FILE", "dataset from `generate`").required(),
+        FlagDef::str("ckpt-dir", "DIR", "checkpoint directory from `train`").required(),
+        FlagDef::str("strategy", "NAME", "us | greedy | gis | ls | pls").required(),
+        FlagDef::u64("epochs", "LS/PLS optimisation epochs").default("50"),
+        FlagDef::u64("granularity", "GIS interpolation steps").default("20"),
+        FlagDef::u64("pls-k", "PLS partition count K").default("16"),
+        FlagDef::u64("pls-r", "PLS partitions per epoch R").default("4"),
+        FlagDef::u64("seed", "phase-2 seed").default("7"),
+        FlagDef::str("out", "FILE", "write the souped parameters as JSON"),
+        FlagDef::switch(
+            "resume",
+            "continue from the last durable phase-2 checkpoint (ls/pls)",
+        ),
+        FlagDef::u64("ckpt-every", "persist optimizer state every N epochs").default("1"),
+        FlagDef::u64("stop-after-epoch", "simulated kill right after epoch N").default("0"),
+        FlagDef::f64(
+            "storage-fault-rate",
+            "inject faults into phase-2 state writes",
+        )
+        .default("0.0"),
+        FlagDef::u64("fault-seed", "storage-fault seed (default: --seed)"),
+        FlagDef::switch("quant-check", "gate int8/bf16 quantized accuracy at 0.5 pp"),
+    ],
+};
+
+const EVAL: CommandSpec = CommandSpec {
+    name: "eval",
+    summary: "evaluate saved parameters on a dataset split",
+    positional: "",
+    flags: &[
+        FlagDef::str("data", "FILE", "dataset from `generate`").required(),
+        FlagDef::str(
+            "ckpt-dir",
+            "DIR",
+            "checkpoint directory (for the architecture)",
+        )
+        .required(),
+        FlagDef::str("params", "FILE", "parameters from `soup --out`").required(),
+        FlagDef::str("split", "NAME", "train | val | test").default("test"),
+    ],
+};
+
+const SERVE: CommandSpec = CommandSpec {
+    name: "serve",
+    summary: "serve node-classification queries over a souped model (TCP)",
+    positional: "",
+    flags: &[
+        FlagDef::str("data", "FILE", "dataset from `generate`").required(),
+        FlagDef::str("ckpt-dir", "DIR", "checkpoint directory from `train`").required(),
+        FlagDef::str(
+            "params",
+            "FILE",
+            "souped parameters to serve (default: soup the pool at startup)",
+        ),
+        FlagDef::str(
+            "strategy",
+            "NAME",
+            "startup souping strategy when --params is absent",
+        )
+        .default("us"),
+        FlagDef::u64("seed", "startup souping seed").default("7"),
+        FlagDef::u64("port", "TCP port (0 = ephemeral, printed at startup)").default("7450"),
+        FlagDef::u64("max-batch", "close a batch at this many queued node ids").default("64"),
+        FlagDef::u64(
+            "max-delay-us",
+            "close a batch this long after its first request",
+        )
+        .default("500"),
+        FlagDef::u64(
+            "queue-depth",
+            "admission queue capacity (full => OVERLOADED)",
+        )
+        .default("128"),
+        FlagDef::u64("workers", "accept-loop threads = max live connections").default("4"),
+        FlagDef::str(
+            "quant",
+            "KIND",
+            "serve the quantized forward path: int8 | bf16",
+        ),
+    ],
+};
+
+const QUERY: CommandSpec = CommandSpec {
+    name: "query",
+    summary: "client for a running `soupctl serve`",
+    positional: "",
+    flags: &[
+        FlagDef::str("addr", "HOST:PORT", "server address").required(),
+        FlagDef::str("nodes", "IDS", "comma-separated node ids to classify"),
+        FlagDef::switch("ping", "liveness probe; prints the model version"),
+        FlagDef::switch("stats", "print the server's metrics snapshot (JSON)"),
+        FlagDef::str(
+            "swap",
+            "FILE",
+            "hot-swap: promote this checkpoint to the live model",
+        ),
+        FlagDef::str(
+            "resoup",
+            "NAME",
+            "re-soup --ckpt-dir with this strategy and promote",
+        ),
+        FlagDef::str("ckpt-dir", "DIR", "pool directory for --resoup"),
+        FlagDef::u64("seed", "souping seed for --resoup").default("7"),
+        FlagDef::switch("shutdown", "stop the server"),
+    ],
+};
+
+const DIVERSITY: CommandSpec = CommandSpec {
+    name: "diversity",
+    summary: "report ingredient-pool diversity (§V-A)",
+    positional: "",
+    flags: &[
+        FlagDef::str("data", "FILE", "dataset from `generate`").required(),
+        FlagDef::str("ckpt-dir", "DIR", "checkpoint directory from `train`").required(),
+    ],
+};
+
+const VERIFY: CommandSpec = CommandSpec {
+    name: "verify",
+    summary: "offline integrity audit of an artifact directory",
+    positional: "DIR",
+    flags: &[FlagDef::str(
+        "ckpt-dir",
+        "DIR",
+        "directory to audit (alternative to positional)",
+    )],
+};
+
+const TRACE_VALIDATE: CommandSpec = CommandSpec {
+    name: "trace-validate",
+    summary: "check a --trace-out file against the soup-trace/1 schema",
+    positional: "FILE",
+    flags: &[FlagDef::str(
+        "file",
+        "FILE",
+        "trace to validate (alternative to positional)",
+    )],
+};
+
+const OBS: CommandSpec = CommandSpec {
+    name: "obs",
+    summary: "offline tooling over --trace-out / --metrics-out artifacts",
+    positional: "<report|tail|diff|flame> FILE...",
+    flags: &[
+        FlagDef::u64("last", "samples to show (tail)").default("5"),
+        FlagDef::f64("noise", "noise band for diff (fraction)"),
+        FlagDef::switch(
+            "fail-on-regress",
+            "non-zero exit if diff regresses beyond the band",
+        ),
+        FlagDef::str("out", "FILE", "output file (flame)").default("flame.folded"),
+    ],
+};
+
+const COMMANDS: &[&CommandSpec] = &[
+    &GENERATE,
+    &TRAIN,
+    &SOUP,
+    &EVAL,
+    &SERVE,
+    &QUERY,
+    &DIVERSITY,
+    &VERIFY,
+    &TRACE_VALIDATE,
+    &OBS,
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,27 +278,40 @@ fn main() {
         usage();
         exit(2);
     };
-    let (flags, positional) = parse_flags(rest);
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            usage();
+            return;
+        }
+        _ => {}
+    }
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == command.as_str()) else {
+        eprintln!("unknown command '{command}'");
+        usage();
+        exit(2);
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{}", spec.usage());
+        return;
+    }
+    let flags = match spec.parse(rest) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    };
     // Observability flags apply to every command: --trace-out streams a
     // JSONL trace of the run, --metrics-out a live soup-metrics/1 time
     // series, --metrics-summary prints the span/counter report at exit.
-    if let Some(path) = flags.get("trace-out") {
+    if let Some(path) = flags.str("trace-out") {
         if let Err(e) = enhanced_soups::obs::trace::init(path) {
             eprintln!("error: cannot open trace file {path}: {e}");
             exit(1);
         }
     }
-    let sampler = flags.get("metrics-out").map(|path| {
-        let interval: u64 = flags
-            .get("metrics-interval-ms")
-            .map(|v| match v.parse() {
-                Ok(ms) => ms,
-                Err(_) => {
-                    eprintln!("error: --metrics-interval-ms: cannot parse '{v}'");
-                    exit(2);
-                }
-            })
-            .unwrap_or(100);
+    let sampler = flags.str("metrics-out").map(|path| {
+        let interval = flags.req_u64("metrics-interval-ms");
         // Pool/memory gauges ride the sampler via the probe hook.
         enhanced_soups::tensor::memory::install_obs_probe();
         match enhanced_soups::obs::series::start(path, Duration::from_millis(interval)) {
@@ -78,24 +322,18 @@ fn main() {
             }
         }
     });
-    let result = match command.as_str() {
+    let result = match spec.name {
         "generate" => cmd_generate(&flags),
         "train" => cmd_train(&flags),
         "soup" => cmd_soup(&flags),
         "eval" => cmd_eval(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         "diversity" => cmd_diversity(&flags),
-        "verify" => cmd_verify(&flags, &positional),
-        "trace-validate" => cmd_trace_validate(&flags, &positional),
-        "obs" => cmd_obs(&flags, &positional),
-        "help" | "--help" | "-h" => {
-            usage();
-            Ok(())
-        }
-        other => {
-            eprintln!("unknown command '{other}'");
-            usage();
-            exit(2);
-        }
+        "verify" => cmd_verify(&flags),
+        "trace-validate" => cmd_trace_validate(&flags),
+        "obs" => cmd_obs(&flags),
+        _ => unreachable!("command table covers every spec"),
     };
     if let Some(handle) = sampler {
         if let Some(path) = handle.stop() {
@@ -105,131 +343,44 @@ fn main() {
     if let Some(path) = enhanced_soups::obs::trace::finish() {
         soup_obs::info!("wrote trace {}", path.display());
     }
-    if flags.contains_key("metrics-summary") {
+    if flags.switch("metrics-summary") {
         enhanced_soups::obs::report::print_summary();
     }
     if let Err(e) = result {
         eprintln!("error: {e}");
-        exit(1);
+        exit(if e.kind() == "usage" { 2 } else { 1 });
     }
 }
 
 fn usage() {
+    eprintln!("soupctl — GNN model souping (Enhanced Soups reproduction)\n");
+    for spec in COMMANDS {
+        eprintln!("  {:<16} {}", spec.name, spec.summary);
+    }
     eprintln!(
-        "soupctl — GNN model souping (Enhanced Soups reproduction)\n\
+        "\nrun `soupctl <command> --help` for the command's flags\n\
          \n\
-         commands:\n\
-         \x20 generate  --dataset <flickr|arxiv|reddit|products> [--scale F] [--seed N] --out FILE\n\
-         \x20 train     --data FILE --arch <gcn|sage|gat|gin> [--ingredients N] [--workers N]\n\
-         \x20           [--epochs N] [--hidden N] [--seed N] --out-dir DIR\n\
-         \x20           [--resume] [--retry-budget N] [--straggler-deadline-ms N]\n\
-         \x20           [--fault-rate F] [--fault-seed N]\n\
-         \x20 soup      --data FILE --ckpt-dir DIR --strategy <us|greedy|gis|ls|pls>\n\
-         \x20           [--epochs N] [--granularity N] [--pls-k N] [--pls-r N] [--seed N] [--out FILE]\n\
-         \x20           [--resume] [--ckpt-every N] [--stop-after-epoch N] [--quant-check]\n\
-         \x20 eval      --data FILE --ckpt-dir DIR --params FILE [--split <train|val|test>]\n\
-         \x20 diversity --data FILE --ckpt-dir DIR\n\
-         \x20 verify    DIR         offline integrity audit of an artifact directory\n\
-         \x20                       (checksums, versions, manifest/journal consistency, NaN scan);\n\
-         \x20                       exits non-zero if any entry is corrupt\n\
-         \x20 trace-validate FILE   check a --trace-out file against the soup-trace/1 schema\n\
-         \x20 obs report FILE       render the end-of-run report from a trace's metrics record\n\
-         \x20 obs tail FILE         show the last samples of a --metrics-out time series\n\
-         \x20           [--last N]\n\
-         \x20 obs diff BASE NEW     compare two traces span-by-span with a noise band\n\
-         \x20           [--noise F] [--fail-on-regress]\n\
-         \x20 obs flame FILE        export a trace as an inferno-compatible folded-stack file\n\
-         \x20           [--out FILE]   (default: flame.folded)\n\
-         \n\
-         fault tolerance (train):\n\
-         \x20 --resume              validate checkpoints in --out-dir, retrain only missing/corrupt\n\
-         \x20 --retry-budget N      retries per ingredient before failing it permanently (default 2)\n\
-         \x20 --straggler-deadline-ms N   requeue attempts running longer than N ms\n\
-         \x20 --fault-rate F        inject deterministic faults into fraction F of first attempts\n\
-         \x20 --fault-seed N        seed of the fault schedule (default: --seed)\n\
-         \x20 --storage-fault-rate F      strike fraction F of artifact writes with a torn write\n\
-         \x20                       or bit flip (the store detects and heals every strike)\n\
-         \n\
-         durability (soup, ls/pls only):\n\
-         \x20 --resume              continue bit-identically from the last durable epoch checkpoint\n\
-         \x20 --ckpt-every N        persist optimizer state every N epochs (default 1)\n\
-         \x20 --stop-after-epoch N  deterministic simulated kill right after epoch N's checkpoint\n\
-         \x20 --storage-fault-rate F      inject storage faults into phase-2 state writes\n\
-         \n\
-         global flags:\n\
-         \x20 --trace-out FILE      stream a structured JSONL trace of the run\n\
-         \x20 --metrics-out FILE    stream a live soup-metrics/1 time series (JSONL)\n\
-         \x20 --metrics-interval-ms N   sampler tick interval (default 100)\n\
-         \x20 --metrics-summary     print the span/counter report when the command finishes\n\
-         \x20 (SOUP_LOG=debug|info|warn|off controls stderr log verbosity;\n\
+         global flags (any command):"
+    );
+    for def in enhanced_soups::cli::GLOBAL_FLAGS {
+        eprintln!(
+            "  --{:<26} {}",
+            format!("{} {}", def.name, def.value_name),
+            def.help
+        );
+    }
+    eprintln!(
+        "  (SOUP_LOG=debug|info|warn|off controls stderr log verbosity;\n\
          \x20  SOUP_LOG=off yields silent machine-readable runs)"
     );
 }
 
-type Flags = HashMap<String, String>;
-
-/// Split `--name value` / `--switch` style flags from positional arguments.
-fn parse_flags(args: &[String]) -> (Flags, Vec<String>) {
-    let mut flags = Flags::new();
-    let mut positional = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let arg = &args[i];
-        if let Some(name) = arg.strip_prefix("--") {
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                flags.insert(name.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                flags.insert(name.to_string(), String::from("true"));
-                i += 1;
-            }
-        } else {
-            positional.push(arg.clone());
-            i += 1;
-        }
-    }
-    (flags, positional)
-}
-
-fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str> {
-    flags
-        .get(name)
-        .map(String::as_str)
-        .ok_or_else(|| SoupError::usage(format!("missing --{name}")))
-}
-
-fn numeric<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T> {
-    match flags.get(name) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| SoupError::usage(format!("--{name}: cannot parse '{v}'"))),
-    }
-}
-
-/// Checkpoint-directory manifest written by `train`.
-#[derive(Serialize, Deserialize)]
-struct Manifest {
-    config: ModelConfig,
-    ingredients: Vec<ManifestEntry>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct ManifestEntry {
-    id: usize,
-    val_accuracy: f64,
-    train_seed: u64,
-    file: String,
-}
-
 fn cmd_generate(flags: &Flags) -> Result<()> {
-    let name = required(flags, "dataset")?;
+    let name = flags.req_str("dataset");
     let kind = DatasetKind::from_name(name)
         .ok_or_else(|| SoupError::usage(format!("unknown dataset '{name}'")))?;
-    let scale: f64 = numeric(flags, "scale", 1.0)?;
-    let seed: u64 = numeric(flags, "seed", 42)?;
-    let out = required(flags, "out")?;
-    let dataset = kind.generate_scaled(seed, scale);
+    let out = flags.req_str("out");
+    let dataset = kind.generate_scaled(flags.req_u64("seed"), flags.req_f64("scale"));
     save_dataset(&dataset, out)?;
     soup_obs::info!(
         "wrote {} ({} nodes, {} edges, {} classes)",
@@ -242,11 +393,10 @@ fn cmd_generate(flags: &Flags) -> Result<()> {
 }
 
 fn cmd_train(flags: &Flags) -> Result<()> {
-    let dataset = load_dataset(required(flags, "data")?)?;
-    let arch_name = required(flags, "arch")?;
+    let dataset = load_dataset(flags.req_str("data"))?;
+    let arch_name = flags.req_str("arch");
     let arch = enhanced_soups::gnn::Arch::from_name(arch_name)
         .ok_or_else(|| SoupError::usage(format!("unknown architecture '{arch_name}'")))?;
-    let hidden: usize = numeric(flags, "hidden", 64)?;
     let cfg = match arch {
         enhanced_soups::gnn::Arch::Gcn => {
             ModelConfig::gcn(dataset.num_features(), dataset.num_classes())
@@ -261,28 +411,26 @@ fn cmd_train(flags: &Flags) -> Result<()> {
             ModelConfig::gin(dataset.num_features(), dataset.num_classes())
         }
     }
-    .with_hidden(hidden);
-    let n: usize = numeric(flags, "ingredients", 8)?;
-    let workers: usize = numeric(flags, "workers", 4)?;
-    let epochs: usize = numeric(flags, "epochs", 30)?;
-    let seed: u64 = numeric(flags, "seed", 42)?;
-    let retry_budget: u32 = numeric(flags, "retry-budget", 2)?;
-    let fault_rate: f64 = numeric(flags, "fault-rate", 0.0)?;
-    let storage_fault_rate: f64 = numeric(flags, "storage-fault-rate", 0.0)?;
-    let fault_seed: u64 = numeric(flags, "fault-seed", seed)?;
-    let straggler_ms: u64 = numeric(flags, "straggler-deadline-ms", 0)?;
-    let resume = flags.contains_key("resume");
-    let out_dir = PathBuf::from(required(flags, "out-dir")?);
+    .with_hidden(flags.req_usize("hidden"));
+    let n = flags.req_usize("ingredients");
+    let workers = flags.req_usize("workers");
+    let seed = flags.req_u64("seed");
+    let fault_rate = flags.req_f64("fault-rate");
+    let storage_fault_rate = flags.req_f64("storage-fault-rate");
+    let fault_seed = flags.u64("fault-seed").unwrap_or(seed);
+    let straggler_ms = flags.req_u64("straggler-deadline-ms");
+    let resume = flags.switch("resume");
+    let out_dir = PathBuf::from(flags.req_str("out-dir"));
 
     let tc = TrainConfig {
-        epochs,
+        epochs: flags.req_usize("epochs"),
         early_stop_patience: None,
         ..TrainConfig::quick()
     };
     let mut opts = TrainOpts::default()
         .with_workers(workers)
         .with_seed(seed)
-        .with_retry_budget(retry_budget)
+        .with_retry_budget(flags.req_u64("retry-budget") as u32)
         .with_checkpoint_dir(&out_dir)
         .with_resume(resume);
     if fault_rate > 0.0 || storage_fault_rate > 0.0 {
@@ -359,98 +507,19 @@ fn cmd_train(flags: &Flags) -> Result<()> {
     Ok(())
 }
 
-/// Durably write the manifest while preserving any fields other writers
-/// (the store's run journal) keep in the same file: the `config` and
-/// `ingredients` keys are replaced, everything else is carried over.
-fn write_manifest(path: &Path, manifest: &Manifest) -> Result<()> {
-    let mut root = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
-        .unwrap_or_else(|| serde::Value::Object(Vec::new()));
-    let serde::Value::Object(new_fields) = serde::to_value(manifest) else {
-        return Err(SoupError::parse("manifest did not serialize to an object"));
-    };
-    let serde::Value::Object(fields) = &mut root else {
-        return Err(SoupError::corrupt(format!(
-            "{} exists but is not a JSON object",
-            path.display()
-        )));
-    };
-    for (key, value) in new_fields {
-        match fields.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, slot)) => *slot = value,
-            None => fields.push((key, value)),
-        }
-    }
-    let json = serde_json::to_string_pretty(&root)
-        .map_err(|e| SoupError::parse(format!("serializing manifest: {e}")))?;
-    write_durable(path, json.as_bytes())
-}
-
-/// Load the manifest and every usable ingredient checkpoint. Unreadable or
-/// corrupt checkpoints are skipped with a warning — souping degrades to the
-/// surviving pool — and only an entirely unusable directory is an error.
-fn load_manifest(dir: &Path) -> Result<(ModelConfig, Vec<Ingredient>)> {
-    let path = dir.join("manifest.json");
-    let json = std::fs::read_to_string(&path).map_err(|e| SoupError::io_at(&path, e))?;
-    let manifest: Manifest = serde_json::from_str(&json)
-        .map_err(|e| SoupError::parse(format!("manifest {}: {e}", path.display())))?;
-    let mut ingredients: Vec<Ingredient> = Vec::new();
-    let mut skipped = Vec::new();
-    for entry in &manifest.ingredients {
-        let usable = load_checkpoint(dir.join(&entry.file)).and_then(|ck| {
-            if ck.id != entry.id {
-                return Err(SoupError::checkpoint(format!(
-                    "{} holds ingredient {} but manifest says {}",
-                    entry.file, ck.id, entry.id
-                )));
-            }
-            if !ck
-                .params
-                .flat()
-                .all(|t| t.data().iter().all(|v| v.is_finite()))
-            {
-                return Err(SoupError::corrupt("non-finite parameters"));
-            }
-            if let Some(first) = ingredients.first() {
-                if !ck.params.same_shape(&first.params) {
-                    return Err(SoupError::shape("architecture mismatch within pool"));
-                }
-            }
-            Ok(ck)
-        });
-        match usable {
-            Ok(ck) => ingredients.push(Ingredient::new(
-                ck.id,
-                ck.params,
-                ck.val_accuracy,
-                ck.train_seed,
-            )),
-            Err(err) => {
-                soup_obs::warn!("skipping ingredient {}: {err}", entry.id);
-                skipped.push(entry.id);
-            }
-        }
-    }
-    if ingredients.is_empty() {
-        return Err(SoupError::checkpoint(format!(
-            "no usable ingredient checkpoints in {}",
-            dir.display()
-        )));
-    }
-    if !skipped.is_empty() {
-        soup_obs::warn!(
-            "degraded pool — {} of {} ingredients usable (missing {skipped:?})",
-            ingredients.len(),
-            manifest.ingredients.len()
-        );
-    }
-    Ok((manifest.config, ingredients))
+/// Build the [`StrategySpec`] shared by `soup` and `serve` from flags.
+fn strategy_spec(flags: &Flags, name: &str) -> StrategySpec {
+    let mut spec = StrategySpec::new(name);
+    spec.epochs = flags.req_usize("epochs");
+    spec.granularity = flags.req_usize("granularity");
+    spec.pls_k = flags.req_usize("pls-k");
+    spec.pls_r = flags.req_usize("pls-r");
+    spec
 }
 
 fn cmd_soup(flags: &Flags) -> Result<()> {
-    let dataset = load_dataset(required(flags, "data")?)?;
-    let dir = PathBuf::from(required(flags, "ckpt-dir")?);
+    let dataset = load_dataset(flags.req_str("data"))?;
+    let dir = PathBuf::from(flags.req_str("ckpt-dir"));
     let (cfg, ingredients) = load_manifest(&dir)?;
     // Phase-1 -> Phase-2 boundary: buffers pooled while loading/validating
     // checkpoints would otherwise count against the souping phase's peak
@@ -462,64 +531,37 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
             enhanced_soups::tensor::memory::format_bytes(trimmed)
         );
     }
-    let seed: u64 = numeric(flags, "seed", 7)?;
-    let epochs: usize = numeric(flags, "epochs", 50)?;
-    let hyper = LearnedHyper {
-        epochs,
-        ..Default::default()
-    };
-    let strategy_name = required(flags, "strategy")?;
+    let seed = flags.req_u64("seed");
+    let strategy_name = flags.req_str("strategy");
     // Phase-2 durability (LS/PLS only): any of --resume / --ckpt-every /
     // --stop-after-epoch turns on durable optimizer-state checkpoints in
     // the checkpoint directory.
-    let resume = flags.contains_key("resume");
-    let ckpt_every: usize = numeric(flags, "ckpt-every", 1)?;
-    let stop_after: usize = numeric(flags, "stop-after-epoch", 0)?;
-    let storage_fault_rate: f64 = numeric(flags, "storage-fault-rate", 0.0)?;
-    let fault_seed: u64 = numeric(flags, "fault-seed", seed)?;
-    let persist = (resume || stop_after > 0 || flags.contains_key("ckpt-every")).then(|| {
+    let resume = flags.switch("resume");
+    let stop_after = flags.req_usize("stop-after-epoch");
+    let storage_fault_rate = flags.req_f64("storage-fault-rate");
+    let persist = (resume || stop_after > 0 || flags.provided("ckpt-every")).then(|| {
         Phase2Persist::new(&dir)
-            .every(ckpt_every)
+            .every(flags.req_usize("ckpt-every"))
             .resume(resume)
             .stop_after((stop_after > 0).then_some(stop_after))
-            .faults(
-                (storage_fault_rate > 0.0)
-                    .then(|| StorageFaultPlan::new(storage_fault_rate, fault_seed)),
-            )
+            .faults((storage_fault_rate > 0.0).then(|| {
+                StorageFaultPlan::new(storage_fault_rate, flags.u64("fault-seed").unwrap_or(seed))
+            }))
     });
     if persist.is_some() && !matches!(strategy_name, "ls" | "pls") {
         return Err(SoupError::usage(
             "--resume/--ckpt-every/--stop-after-epoch apply to --strategy ls|pls only",
         ));
     }
+    // All five strategies route through the unified trait entry point; the
+    // spec's build() turns bad hyperparameters into usage errors.
+    let strategy = strategy_spec(flags, strategy_name).build()?;
     soup_obs::info!(
         "souping {} ingredients with {strategy_name} ...",
         ingredients.len()
     );
-    let mixed = match strategy_name {
-        "us" => Some(UniformSouping.soup(&ingredients, &dataset, &cfg, seed)),
-        "greedy" => Some(GreedySouping.soup(&ingredients, &dataset, &cfg, seed)),
-        "gis" => Some(GisSouping::new(numeric(flags, "granularity", 20)?).soup(
-            &ingredients,
-            &dataset,
-            &cfg,
-            seed,
-        )),
-        "ls" => LearnedSouping::new(hyper).try_soup(
-            &ingredients,
-            &dataset,
-            &cfg,
-            seed,
-            persist.as_ref(),
-        )?,
-        "pls" => PartitionLearnedSouping::new(
-            hyper,
-            numeric(flags, "pls-k", 16)?,
-            numeric(flags, "pls-r", 4)?,
-        )
-        .try_soup(&ingredients, &dataset, &cfg, seed, persist.as_ref())?,
-        other => return Err(SoupError::usage(format!("unknown strategy '{other}'"))),
-    };
+    let ctx = SoupCtx::new(&ingredients, &dataset, &cfg, seed).with_persist_opt(persist.as_ref());
+    let mixed = strategy.try_soup(&ctx)?;
     let Some(outcome) = mixed else {
         soup_obs::info!(
             "stopped after epoch {stop_after} with a durable phase-2 checkpoint; \
@@ -540,10 +582,10 @@ fn cmd_soup(flags: &Flags) -> Result<()> {
         enhanced_soups::tensor::memory::format_bytes(outcome.stats.peak_mem_bytes),
         outcome.stats.spmm_saved,
     );
-    if flags.contains_key("quant-check") {
+    if flags.switch("quant-check") {
         quant_check(&cfg, &dataset, &outcome.params, test)?;
     }
-    if let Some(out) = flags.get("out") {
+    if let Some(out) = flags.str("out") {
         outcome.params.save_json(out)?;
         soup_obs::info!("wrote {out}");
     }
@@ -561,7 +603,6 @@ fn quant_check(
     f32_acc: f64,
 ) -> Result<()> {
     use enhanced_soups::gnn::quant::{evaluate_accuracy_quant, QuantParamSet};
-    use enhanced_soups::tensor::quant::QuantKind;
     let ops = PropOps::prepare(cfg.arch, &dataset.graph);
     for kind in [QuantKind::Int8, QuantKind::Bf16] {
         let qp = QuantParamSet::quantize(cfg, params, kind);
@@ -593,11 +634,11 @@ fn quant_check(
 }
 
 fn cmd_eval(flags: &Flags) -> Result<()> {
-    let dataset = load_dataset(required(flags, "data")?)?;
-    let dir = PathBuf::from(required(flags, "ckpt-dir")?);
+    let dataset = load_dataset(flags.req_str("data"))?;
+    let dir = PathBuf::from(flags.req_str("ckpt-dir"));
     let (cfg, _) = load_manifest(&dir)?;
-    let params = ParamSet::load_json(required(flags, "params")?)?;
-    let split = flags.get("split").map(String::as_str).unwrap_or("test");
+    let params = ParamSet::load_json(flags.req_str("params"))?;
+    let split = flags.req_str("split");
     let mask = match split {
         "train" => &dataset.splits.train,
         "val" => &dataset.splits.val,
@@ -617,15 +658,143 @@ fn cmd_eval(flags: &Flags) -> Result<()> {
     Ok(())
 }
 
+/// `serve`: load the pool's architecture, pick the model (saved `--params`
+/// or a startup soup), and run the micro-batching TCP loop until a
+/// SHUTDOWN request arrives.
+fn cmd_serve(flags: &Flags) -> Result<()> {
+    let dataset = load_dataset(flags.req_str("data"))?;
+    let dir = PathBuf::from(flags.req_str("ckpt-dir"));
+    let (cfg, ingredients) = load_manifest(&dir)?;
+    let params = match flags.str("params") {
+        Some(path) => ParamSet::load_json(path)?,
+        None => {
+            let name = flags.req_str("strategy");
+            let mut spec = StrategySpec::new(name);
+            spec.epochs = 50;
+            let strategy = spec.build()?;
+            soup_obs::info!(
+                "no --params: souping {} ingredients with {name} for serving ...",
+                ingredients.len()
+            );
+            let ctx = SoupCtx::new(&ingredients, &dataset, &cfg, flags.req_u64("seed"));
+            strategy
+                .try_soup(&ctx)?
+                .expect("startup souping runs without a stop-after budget")
+                .params
+        }
+    };
+    let quant = match flags.str("quant") {
+        None => None,
+        Some("int8") => Some(QuantKind::Int8),
+        Some("bf16") => Some(QuantKind::Bf16),
+        Some(other) => {
+            return Err(SoupError::usage(format!(
+                "--quant: unknown kind '{other}' (int8 | bf16)"
+            )))
+        }
+    };
+    let port = flags.req_u64("port");
+    if port > u16::MAX as u64 {
+        return Err(SoupError::usage(format!("--port {port} exceeds 65535")));
+    }
+    let config = ServeConfig {
+        port: port as u16,
+        max_batch: flags.req_usize("max-batch"),
+        max_delay: Duration::from_micros(flags.req_u64("max-delay-us")),
+        queue_depth: flags.req_usize("queue-depth"),
+        workers: flags.req_usize("workers"),
+        quant,
+    };
+    if config.max_batch == 0 || config.queue_depth == 0 {
+        return Err(SoupError::usage(
+            "--max-batch and --queue-depth must be positive",
+        ));
+    }
+    let server = Server::start(dataset, cfg, params, config)?;
+    // Machine-readable so scripts (and CI) can discover an ephemeral port.
+    println!("SERVING {}", server.addr());
+    server.join();
+    soup_obs::info!("serve loop exited");
+    Ok(())
+}
+
+/// `query`: one-shot client. Actions run in flag order: ping, predict,
+/// swap, resoup, stats, shutdown — any subset may be combined.
+fn cmd_query(flags: &Flags) -> Result<()> {
+    let addr = flags.req_str("addr");
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| SoupError::usage(format!("--addr: cannot parse '{addr}' as HOST:PORT")))?;
+    let mut client = Client::connect(addr)?;
+    let mut acted = false;
+    if flags.switch("ping") {
+        println!("version {}", client.ping()?);
+        acted = true;
+    }
+    if let Some(list) = flags.str("nodes") {
+        let nodes = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| SoupError::usage(format!("--nodes: bad node id '{s}'")))
+            })
+            .collect::<Result<Vec<u32>>>()?;
+        match client.predict(&nodes)? {
+            PredictResult::Classes { version, classes } => {
+                for (node, class) in nodes.iter().zip(&classes) {
+                    println!("node {node} -> class {class}");
+                }
+                println!("(model version {version})");
+            }
+            PredictResult::Overloaded => {
+                return Err(SoupError::usage("server overloaded — retry later"))
+            }
+        }
+        acted = true;
+    }
+    if let Some(path) = flags.str("swap") {
+        println!("promoted version {}", client.swap(path)?);
+        acted = true;
+    }
+    if let Some(strategy) = flags.str("resoup") {
+        let dir = flags
+            .str("ckpt-dir")
+            .ok_or_else(|| SoupError::usage("--resoup needs --ckpt-dir"))?;
+        println!(
+            "resouped version {}",
+            client.resoup(strategy, dir, flags.req_u64("seed"))?
+        );
+        acted = true;
+    }
+    if flags.switch("stats") {
+        println!("{}", client.stats()?);
+        acted = true;
+    }
+    if flags.switch("shutdown") {
+        client.shutdown()?;
+        println!("server stopping");
+        acted = true;
+    }
+    if !acted {
+        return Err(SoupError::usage(
+            "query: nothing to do — give --ping, --nodes, --swap, --resoup, --stats, or --shutdown",
+        ));
+    }
+    Ok(())
+}
+
 /// Offline integrity audit of an artifact directory: envelope checksums,
 /// format versions, manifest/journal consistency, NaN scans of every
 /// parameter payload, and the phase-2 optimizer states. Prints one line per
 /// artifact and fails (non-zero exit) if anything is corrupt.
-fn cmd_verify(flags: &Flags, positional: &[String]) -> Result<()> {
-    let dir = positional
+fn cmd_verify(flags: &Flags) -> Result<()> {
+    let dir = flags
+        .positional
         .first()
         .map(String::as_str)
-        .or_else(|| flags.get("ckpt-dir").map(String::as_str))
+        .or_else(|| flags.str("ckpt-dir"))
         .ok_or_else(|| SoupError::usage("usage: soupctl verify DIR"))?;
     let dir = PathBuf::from(dir);
     if !dir.is_dir() {
@@ -770,11 +939,12 @@ fn cmd_verify(flags: &Flags, positional: &[String]) -> Result<()> {
     }
 }
 
-fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<()> {
-    let file = positional
+fn cmd_trace_validate(flags: &Flags) -> Result<()> {
+    let file = flags
+        .positional
         .first()
         .map(String::as_str)
-        .or_else(|| flags.get("file").map(String::as_str))
+        .or_else(|| flags.str("file"))
         .ok_or_else(|| SoupError::usage("usage: soupctl trace-validate FILE"))?;
     let stats = enhanced_soups::obs::trace::validate_file(file)?;
     println!(
@@ -798,9 +968,9 @@ fn cmd_trace_validate(flags: &Flags, positional: &[String]) -> Result<()> {
 /// noise band, and `flame` exports an inferno-compatible folded-stack
 /// file. The rendered output is the command's product, so it goes to
 /// stdout unconditionally (not through `SOUP_LOG`).
-fn cmd_obs(flags: &Flags, positional: &[String]) -> Result<()> {
+fn cmd_obs(flags: &Flags) -> Result<()> {
     let usage = "usage: soupctl obs <report|tail|diff|flame> FILE...";
-    let Some((sub, files)) = positional.split_first() else {
+    let Some((sub, files)) = flags.positional.split_first() else {
         return Err(SoupError::usage(usage));
     };
     match sub.as_str() {
@@ -829,7 +999,7 @@ fn cmd_obs(flags: &Flags, positional: &[String]) -> Result<()> {
             let file = files.first().ok_or_else(|| {
                 SoupError::usage("usage: soupctl obs tail <metrics.jsonl> [--last N]")
             })?;
-            let last: usize = numeric(flags, "last", 5)?;
+            let last = flags.req_usize("last");
             let series = enhanced_soups::obs::series::validate_file(file)?;
             println!(
                 "{file}: {} samples at {}ms{}",
@@ -881,10 +1051,12 @@ fn cmd_obs(flags: &Flags, positional: &[String]) -> Result<()> {
                     ))
                 }
             };
-            let noise: f64 = numeric(flags, "noise", enhanced_soups::obs::diff::DEFAULT_NOISE)?;
+            let noise = flags
+                .f64("noise")
+                .unwrap_or(enhanced_soups::obs::diff::DEFAULT_NOISE);
             let report = enhanced_soups::obs::diff::diff_traces(base, new, noise)?;
             print!("{}", report.render());
-            if report.has_regressions() && flags.contains_key("fail-on-regress") {
+            if report.has_regressions() && flags.switch("fail-on-regress") {
                 return Err(SoupError::corrupt(format!(
                     "{} span(s) regressed beyond the ±{:.0}% noise band",
                     report.regressions().count(),
@@ -897,10 +1069,7 @@ fn cmd_obs(flags: &Flags, positional: &[String]) -> Result<()> {
             let file = files.first().ok_or_else(|| {
                 SoupError::usage("usage: soupctl obs flame <trace.jsonl> [--out FILE]")
             })?;
-            let out = flags
-                .get("out")
-                .map(String::as_str)
-                .unwrap_or("flame.folded");
+            let out = flags.req_str("out");
             let stacks = enhanced_soups::obs::flame::write_folded(file, out)?;
             println!("wrote {out} ({stacks} stacks)");
             Ok(())
@@ -912,8 +1081,8 @@ fn cmd_obs(flags: &Flags, positional: &[String]) -> Result<()> {
 }
 
 fn cmd_diversity(flags: &Flags) -> Result<()> {
-    let dataset = load_dataset(required(flags, "data")?)?;
-    let dir = PathBuf::from(required(flags, "ckpt-dir")?);
+    let dataset = load_dataset(flags.req_str("data"))?;
+    let dir = PathBuf::from(flags.req_str("ckpt-dir"));
     let (cfg, ingredients) = load_manifest(&dir)?;
     let report = diversity_report(&ingredients, &dataset, &cfg);
     println!(

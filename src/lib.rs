@@ -11,6 +11,8 @@
 //! - [`gnn`] — GCN / GraphSAGE / GAT models and training loops
 //! - [`soup`] — the souping algorithms: US, Greedy, GIS, **LS**, **PLS**
 //! - [`distrib`] — zero-communication distributed ingredient training
+//! - [`serve`] — online serving: micro-batched TCP queries over the soup,
+//!   admission control, hot model swap
 //! - [`store`] — crash-safe artifact store: atomic durable writes,
 //!   checksummed envelopes, fault injection, the per-run journal
 //! - [`obs`] — metrics registry, timing spans, JSONL tracing, reporting
@@ -33,12 +35,15 @@
 //! println!("soup val acc: {:.4}", outcome.val_accuracy);
 //! ```
 
+pub mod cli;
+
 pub use soup_core as soup;
 pub use soup_distrib as distrib;
 pub use soup_gnn as gnn;
 pub use soup_graph as graph;
 pub use soup_obs as obs;
 pub use soup_partition as partition;
+pub use soup_serve as serve;
 pub use soup_store as store;
 pub use soup_tensor as tensor;
 

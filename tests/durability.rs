@@ -10,8 +10,22 @@
 //! performed.
 
 use enhanced_soups::prelude::*;
-use enhanced_soups::soup::{LearnedHyper, LearnedSouping, PartitionLearnedSouping, SoupOutcome};
+use enhanced_soups::soup::{
+    LearnedHyper, LearnedSouping, PartitionLearnedSouping, SoupCtx, SoupOutcome,
+};
 use std::path::PathBuf;
+
+/// All runs in this suite share one seed; what varies is the persistence
+/// handle. Routes through the unified `SoupStrategy::try_soup` entry point.
+fn try_soup(
+    strategy: &dyn SoupStrategy,
+    ingredients: &[Ingredient],
+    dataset: &Dataset,
+    cfg: &ModelConfig,
+    persist: Option<&Phase2Persist>,
+) -> Result<Option<SoupOutcome>> {
+    strategy.try_soup(&SoupCtx::new(ingredients, dataset, cfg, 42).with_persist_opt(persist))
+}
 
 fn setup() -> (Dataset, ModelConfig, Vec<Ingredient>) {
     let dataset = DatasetKind::Flickr.generate_scaled(11, 0.15);
@@ -54,8 +68,7 @@ fn hyper() -> LearnedHyper {
 fn ls_kill_at_every_epoch_resumes_bit_identically() {
     let (dataset, cfg, ingredients) = setup();
     let ls = LearnedSouping::new(hyper());
-    let baseline = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, None)
+    let baseline = try_soup(&ls, &ingredients, &dataset, &cfg, None)
         .unwrap()
         .unwrap();
 
@@ -64,17 +77,14 @@ fn ls_kill_at_every_epoch_resumes_bit_identically() {
         let stopping = Phase2Persist::new(&dir)
             .every(1)
             .stop_after(Some(kill_after));
-        let stopped = ls
-            .try_soup(&ingredients, &dataset, &cfg, 42, Some(&stopping))
-            .unwrap();
+        let stopped = try_soup(&ls, &ingredients, &dataset, &cfg, Some(&stopping)).unwrap();
         assert!(
             stopped.is_none(),
             "stop_after({kill_after}) must terminate before the mix completes"
         );
 
         let resuming = Phase2Persist::new(&dir).every(1).resume(true);
-        let resumed = ls
-            .try_soup(&ingredients, &dataset, &cfg, 42, Some(&resuming))
+        let resumed = try_soup(&ls, &ingredients, &dataset, &cfg, Some(&resuming))
             .unwrap()
             .expect("resumed run must complete");
         assert!(
@@ -94,8 +104,7 @@ fn ls_kill_at_every_epoch_resumes_bit_identically() {
 fn pls_kill_at_every_epoch_resumes_bit_identically() {
     let (dataset, cfg, ingredients) = setup();
     let pls = PartitionLearnedSouping::new(hyper(), 4, 2);
-    let baseline = pls
-        .try_soup(&ingredients, &dataset, &cfg, 42, None)
+    let baseline = try_soup(&pls, &ingredients, &dataset, &cfg, None)
         .unwrap()
         .unwrap();
 
@@ -104,14 +113,11 @@ fn pls_kill_at_every_epoch_resumes_bit_identically() {
         let stopping = Phase2Persist::new(&dir)
             .every(1)
             .stop_after(Some(kill_after));
-        let stopped = pls
-            .try_soup(&ingredients, &dataset, &cfg, 42, Some(&stopping))
-            .unwrap();
+        let stopped = try_soup(&pls, &ingredients, &dataset, &cfg, Some(&stopping)).unwrap();
         assert!(stopped.is_none(), "stop_after({kill_after}) must stop PLS");
 
         let resuming = Phase2Persist::new(&dir).every(1).resume(true);
-        let resumed = pls
-            .try_soup(&ingredients, &dataset, &cfg, 42, Some(&resuming))
+        let resumed = try_soup(&pls, &ingredients, &dataset, &cfg, Some(&resuming))
             .unwrap()
             .expect("resumed PLS run must complete");
         assert!(
@@ -128,28 +134,24 @@ fn pls_kill_at_every_epoch_resumes_bit_identically() {
 fn ls_double_kill_composes() {
     let (dataset, cfg, ingredients) = setup();
     let ls = LearnedSouping::new(hyper());
-    let baseline = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, None)
+    let baseline = try_soup(&ls, &ingredients, &dataset, &cfg, None)
         .unwrap()
         .unwrap();
     let dir = tmpdir("ls_double");
 
     let first = Phase2Persist::new(&dir).every(1).stop_after(Some(1));
-    assert!(ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&first))
+    assert!(try_soup(&ls, &ingredients, &dataset, &cfg, Some(&first))
         .unwrap()
         .is_none());
     let second = Phase2Persist::new(&dir)
         .every(1)
         .resume(true)
         .stop_after(Some(3));
-    assert!(ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&second))
+    assert!(try_soup(&ls, &ingredients, &dataset, &cfg, Some(&second))
         .unwrap()
         .is_none());
     let last = Phase2Persist::new(&dir).every(1).resume(true);
-    let resumed = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&last))
+    let resumed = try_soup(&ls, &ingredients, &dataset, &cfg, Some(&last))
         .unwrap()
         .unwrap();
     assert!(bit_identical(&baseline, &resumed), "double kill diverged");
@@ -162,8 +164,7 @@ fn ls_double_kill_composes() {
 fn ls_resume_survives_storage_faults() {
     let (dataset, cfg, ingredients) = setup();
     let ls = LearnedSouping::new(hyper());
-    let baseline = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, None)
+    let baseline = try_soup(&ls, &ingredients, &dataset, &cfg, None)
         .unwrap()
         .unwrap();
     let dir = tmpdir("ls_faults");
@@ -172,13 +173,11 @@ fn ls_resume_survives_storage_faults() {
         .every(1)
         .stop_after(Some(2))
         .faults(Some(StorageFaultPlan::new(1.0, 99)));
-    assert!(ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&stopping))
+    assert!(try_soup(&ls, &ingredients, &dataset, &cfg, Some(&stopping))
         .unwrap()
         .is_none());
     let resuming = Phase2Persist::new(&dir).every(1).resume(true);
-    let resumed = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&resuming))
+    let resumed = try_soup(&ls, &ingredients, &dataset, &cfg, Some(&resuming))
         .unwrap()
         .unwrap();
     assert!(
@@ -195,15 +194,13 @@ fn ls_resume_survives_storage_faults() {
 fn corrupt_state_file_falls_back_to_fresh_run() {
     let (dataset, cfg, ingredients) = setup();
     let ls = LearnedSouping::new(hyper());
-    let baseline = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, None)
+    let baseline = try_soup(&ls, &ingredients, &dataset, &cfg, None)
         .unwrap()
         .unwrap();
     let dir = tmpdir("ls_corrupt");
 
     let stopping = Phase2Persist::new(&dir).every(1).stop_after(Some(2));
-    assert!(ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&stopping))
+    assert!(try_soup(&ls, &ingredients, &dataset, &cfg, Some(&stopping))
         .unwrap()
         .is_none());
     // Flip one payload byte of the durable state.
@@ -214,8 +211,7 @@ fn corrupt_state_file_falls_back_to_fresh_run() {
     std::fs::write(&state_path, bytes).unwrap();
 
     let resuming = Phase2Persist::new(&dir).every(1).resume(true);
-    let resumed = ls
-        .try_soup(&ingredients, &dataset, &cfg, 42, Some(&resuming))
+    let resumed = try_soup(&ls, &ingredients, &dataset, &cfg, Some(&resuming))
         .unwrap()
         .unwrap();
     assert!(

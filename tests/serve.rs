@@ -1,0 +1,322 @@
+//! Serving-layer integration: protocol robustness against a live server,
+//! batched-vs-unbatched bitwise identity, the max-delay bound, admission
+//! backpressure, and the hot-swap-under-load guarantee.
+
+use enhanced_soups::gnn::model::init_params;
+use enhanced_soups::gnn::{
+    predict_cached, predict_nodes_cached, save_checkpoint, Checkpoint, ModelConfig, PropCache,
+    PropOps,
+};
+use enhanced_soups::prelude::*;
+use enhanced_soups::serve::{Client, PredictResult, ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_dataset() -> Dataset {
+    DatasetKind::Flickr.generate_scaled(11, 0.12)
+}
+
+fn start_server(config: ServeConfig) -> (Server, Dataset, ModelConfig, ParamsFixture) {
+    let dataset = small_dataset();
+    let cfg = ModelConfig::gcn(dataset.num_features(), dataset.num_classes()).with_hidden(8);
+    let mut rng = SplitMix64::new(7);
+    let params = init_params(&cfg, &mut rng);
+    let fixture = ParamsFixture {
+        reference: {
+            let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+            let cache = PropCache::new(&ops, &dataset.features);
+            predict_cached(&cfg, &ops, &cache, &params)
+        },
+    };
+    let server = Server::start(dataset.clone(), cfg.clone(), params, config).unwrap();
+    (server, dataset, cfg, fixture)
+}
+
+struct ParamsFixture {
+    /// Full-graph predictions of the served params through the offline
+    /// cached path — the ground truth every served answer must match.
+    reference: Vec<usize>,
+}
+
+#[test]
+fn served_answers_are_bitwise_identical_to_unbatched_forwards() {
+    let (server, dataset, cfg, fixture) = start_server(ServeConfig {
+        max_batch: 32,
+        max_delay: Duration::from_millis(5),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let n = dataset.num_nodes() as u32;
+
+    // Hammer from several threads so real batches form, then check every
+    // answer against the single-request offline forward.
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let reference = fixture.reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut rng = SplitMix64::new(100 + t);
+                for _ in 0..25 {
+                    let nodes: Vec<u32> =
+                        (0..3).map(|_| rng.next_below(n as usize) as u32).collect();
+                    match client.predict(&nodes).unwrap() {
+                        PredictResult::Classes { classes, .. } => {
+                            let expected: Vec<u32> = nodes
+                                .iter()
+                                .map(|&id| reference[id as usize] as u32)
+                                .collect();
+                            assert_eq!(classes, expected, "batched answer diverged for {nodes:?}");
+                        }
+                        PredictResult::Overloaded => panic!("default queue should not overflow"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // And the helper the batcher is built on agrees with the wire answers.
+    let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+    let cache = PropCache::new(&ops, &dataset.features);
+    let mut rng = SplitMix64::new(7);
+    let params = init_params(&cfg, &mut rng);
+    let sample = [0u32, 5, 17];
+    assert_eq!(
+        predict_nodes_cached(&cfg, &ops, &cache, &params, &sample),
+        sample
+            .iter()
+            .map(|&id| fixture.reference[id as usize] as u32)
+            .collect::<Vec<_>>()
+    );
+    server.stop();
+}
+
+#[test]
+fn max_delay_bounds_a_lone_request() {
+    // max_batch is far larger than one request supplies, so only the
+    // delay budget can close the batch; a lone request must still come
+    // back promptly.
+    let (server, _dataset, _cfg, _fixture) = start_server(ServeConfig {
+        max_batch: 1_000_000,
+        max_delay: Duration::from_millis(20),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let t0 = Instant::now();
+    let result = client.predict(&[0, 1, 2]).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(matches!(result, PredictResult::Classes { .. }));
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "lone request took {elapsed:?} — max-delay did not close the batch"
+    );
+    server.stop();
+}
+
+#[test]
+fn garbage_frames_get_clean_errors_and_the_connection_survives() {
+    use enhanced_soups::serve::proto::{read_frame, write_frame};
+    use enhanced_soups::serve::{Response, Status};
+
+    let (server, _dataset, _cfg, _fixture) = start_server(ServeConfig::default());
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+
+    // Unknown opcode, empty payload, and a truncated PREDICT body must all
+    // come back as ERROR frames — and the same connection keeps working.
+    for garbage in [vec![99u8], vec![], vec![1u8, 10, 0, 0, 0, 7]] {
+        write_frame(&mut stream, &garbage).unwrap();
+        let reply = read_frame(&mut stream).unwrap();
+        assert_eq!(reply[0], Status::Error as u8, "payload {garbage:?}");
+    }
+    write_frame(
+        &mut stream,
+        &enhanced_soups::serve::proto::encode_request(&enhanced_soups::serve::Request::Ping),
+    )
+    .unwrap();
+    let reply =
+        enhanced_soups::serve::proto::decode_response(&read_frame(&mut stream).unwrap()).unwrap();
+    assert!(
+        matches!(reply, Response::Ok(_)),
+        "connection died after garbage"
+    );
+    server.stop();
+}
+
+#[test]
+fn out_of_range_node_is_an_error_not_a_panic() {
+    let (server, dataset, _cfg, _fixture) = start_server(ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client.predict(&[dataset.num_nodes() as u32]).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+    // Server still serves valid requests afterwards.
+    assert!(matches!(
+        client.predict(&[0]).unwrap(),
+        PredictResult::Classes { .. }
+    ));
+    server.stop();
+}
+
+#[test]
+fn overload_answers_overloaded_and_recovers() {
+    // One-deep queue, long delay: concurrent requests must overflow it.
+    let (server, _dataset, _cfg, _fixture) = start_server(ServeConfig {
+        queue_depth: 1,
+        max_batch: 1,
+        max_delay: Duration::from_millis(100),
+        workers: 8,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let overloaded = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let overloaded = overloaded.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..20 {
+                    if client.predict(&[1, 2]).unwrap() == PredictResult::Overloaded {
+                        overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        overloaded.load(Ordering::Relaxed) > 0,
+        "a one-deep queue under 8 concurrent clients never overflowed"
+    );
+    // Recovery: once the burst is gone a fresh request is served.
+    let mut client = Client::connect(addr).unwrap();
+    let mut served = false;
+    for _ in 0..50 {
+        if matches!(client.predict(&[0]).unwrap(), PredictResult::Classes { .. }) {
+            served = true;
+            break;
+        }
+    }
+    assert!(served, "server did not recover after overload");
+    server.stop();
+}
+
+#[test]
+fn hot_swap_under_load_loses_nothing_and_never_serves_stale() {
+    let (server, dataset, cfg, _fixture) = start_server(ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(2),
+        queue_depth: 256,
+        // 4 loader connections are persistent; the admin connection needs
+        // its own worker or the swap request never gets accepted.
+        workers: 6,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // The checkpoint that will be promoted mid-flight.
+    let dir = std::env::temp_dir().join(format!("soup-serve-swap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck_path = dir.join("promoted.ck");
+    let mut rng = SplitMix64::new(999);
+    let new_params = init_params(&cfg, &mut rng);
+    save_checkpoint(&Checkpoint::new(0, 999, 0.9, new_params), &ck_path).unwrap();
+
+    let swapped = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let n = dataset.num_nodes();
+
+    // Sustained load: every request must be served (no drops, no errors),
+    // and any request *started after the promote ack* must be answered by
+    // the new version.
+    let loaders: Vec<_> = (0..4)
+        .map(|t| {
+            let swapped = swapped.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || -> (u64, u64) {
+                let mut client = Client::connect(addr).unwrap();
+                let mut rng = SplitMix64::new(313 + t);
+                let (mut served, mut after_ack_old) = (0u64, 0u64);
+                while !stop.load(Ordering::Acquire) {
+                    let sent_after_ack = swapped.load(Ordering::Acquire);
+                    let nodes = [rng.next_below(n) as u32];
+                    match client.predict(&nodes).unwrap() {
+                        PredictResult::Classes { version, .. } => {
+                            served += 1;
+                            if sent_after_ack && version < 2 {
+                                after_ack_old += 1;
+                            }
+                        }
+                        PredictResult::Overloaded => {
+                            // Deep queue: treat as a failure, nothing may drop.
+                            panic!("request rejected during swap test");
+                        }
+                    }
+                }
+                (served, after_ack_old)
+            })
+        })
+        .collect();
+
+    // Let traffic build up, then promote.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = Client::connect(addr).unwrap();
+    let version = admin.swap(ck_path.to_str().unwrap()).unwrap();
+    assert_eq!(version, 2, "first promotion must be version 2");
+    swapped.store(true, Ordering::Release);
+
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Release);
+    let mut total_served = 0;
+    for h in loaders {
+        let (served, after_ack_old) = h.join().unwrap();
+        assert_eq!(
+            after_ack_old, 0,
+            "a request sent after the promote ack was served by the old model"
+        );
+        total_served += served;
+    }
+    assert!(
+        total_served > 0,
+        "load generators never got a request through"
+    );
+
+    // The promoted model is actually the checkpoint's: compare against the
+    // offline forward of the new params.
+    let ops = PropOps::prepare(cfg.arch, &dataset.graph);
+    let cache = PropCache::new(&ops, &dataset.features);
+    let mut rng = SplitMix64::new(999);
+    let promoted = init_params(&cfg, &mut rng);
+    let reference = predict_cached(&cfg, &ops, &cache, &promoted);
+    match admin.predict(&[0, 1, 2, 3]).unwrap() {
+        PredictResult::Classes { version, classes } => {
+            assert_eq!(version, 2);
+            let expected: Vec<u32> = [0usize, 1, 2, 3]
+                .iter()
+                .map(|&i| reference[i] as u32)
+                .collect();
+            assert_eq!(
+                classes, expected,
+                "promoted model does not serve the checkpoint"
+            );
+        }
+        PredictResult::Overloaded => panic!("post-swap request rejected"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    server.stop();
+}
+
+#[test]
+fn shutdown_opcode_stops_the_server() {
+    let (server, _dataset, _cfg, _fixture) = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    server.join(); // must return, not hang
+                   // New connections are refused or die immediately.
+    let alive = Client::connect(addr).and_then(|mut c| c.ping()).is_ok();
+    assert!(!alive, "server still answering after shutdown");
+}
