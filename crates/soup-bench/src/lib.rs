@@ -13,6 +13,7 @@
 
 pub mod harness;
 pub mod regress;
+pub mod scale;
 
 pub use harness::{
     format_pm, run_cell, CellConfig, CellResult, ExperimentPreset, StrategyKind, StrategyResult,

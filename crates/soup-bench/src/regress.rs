@@ -31,7 +31,9 @@ pub const DEFAULT_TOLERANCE: f64 = 0.25;
 /// Which way a metric improves, inferred from its leaf name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
-    /// Timings: `*_ms` (also `*_ns`, `*_us`, `*_bytes` totals).
+    /// Timings (`*_ms`, `*_ns`, `*_us`) and memory footprints (`*_bytes`,
+    /// `*_rss`) — peak RSS especially, which is what the sharded Phase-1
+    /// bench exists to bound.
     LowerIsBetter,
     /// Rates and quality: `*speedup*`, `*gflops*`, `*accuracy*`, `*_rps`.
     HigherIsBetter,
@@ -42,7 +44,12 @@ pub enum Direction {
 /// Classify a dotted leaf path (e.g. `gemm_512.naive_ms`, `gis.speedup`).
 pub fn classify(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
-    if leaf.ends_with("_ms") || leaf.ends_with("_ns") || leaf.ends_with("_us") {
+    if leaf.ends_with("_ms")
+        || leaf.ends_with("_ns")
+        || leaf.ends_with("_us")
+        || leaf.ends_with("_bytes")
+        || leaf.ends_with("_rss")
+    {
         Direction::LowerIsBetter
     } else if leaf.contains("speedup")
         || leaf.contains("gflops")
@@ -279,8 +286,35 @@ mod tests {
             Direction::HigherIsBetter
         );
         assert_eq!(classify("serve.c4.p99_us"), Direction::LowerIsBetter);
+        assert_eq!(
+            classify("shard_1m.k4.peak_rss_bytes"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("shard_1m.max_worker_peak_rss"),
+            Direction::LowerIsBetter
+        );
+        // `..._saved` byte counts are savings, not footprints.
+        assert_eq!(
+            classify("quant.quant_bytes_saved"),
+            Direction::Informational
+        );
         assert_eq!(classify("pool.hits"), Direction::Informational);
         assert_eq!(classify("gemm.shape.0"), Direction::Informational);
+    }
+
+    #[test]
+    fn grown_peak_rss_beyond_tolerance_regresses() {
+        let base: serde::Value =
+            serde_json::from_str(r#"{"shard": {"peak_rss_bytes": 1000000}}"#).unwrap();
+        let new: serde::Value =
+            serde_json::from_str(r#"{"shard": {"peak_rss_bytes": 1600000}}"#).unwrap();
+        let report = diff_values(&base, &new, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions().count(), 1);
+        // Shrinking is an improvement, never a regression.
+        let report = diff_values(&new, &base, DEFAULT_TOLERANCE);
+        assert!(!report.has_regressions());
+        assert_eq!(report.entries[0].verdict, Verdict::Improved);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Paper-scale synthetic dataset generation, streamed straight to disk.
+//!
+//! The in-memory generator ([`soup_graph::SbmConfig`]) materialises the
+//! feature matrix, which at the paper's ogbn-products size (2.4M nodes)
+//! is multiple GiB — exactly what the sharded pipeline exists to avoid.
+//! This module writes a `soup-graphmmap/1` file without ever holding a
+//! feature row beyond the one being written:
+//!
+//! - **labels** are a balanced, shuffled class assignment (small: `u32 × n`);
+//! - **edges** are defined by a *pure function* of `(seed, edge ordinal)` —
+//!   an SBM-style draw where endpoint `a` is uniform and endpoint `b` is
+//!   intra-class with probability `homophily` — so the edge stream can be
+//!   replayed as often as needed instead of being stored. CSR construction
+//!   runs in source-range chunks: each chunk replays the stream, keeps the
+//!   directed entries whose source falls in the chunk, sorts and dedups
+//!   them locally (duplicates can only collide within one source row, so
+//!   chunk-local dedup equals global dedup);
+//! - **features** are `centroid[label] + σ·N(0,1)` with a per-node derived
+//!   RNG, generated row by row during the write;
+//! - **splits** are a per-node Bernoulli draw, replayed per section so the
+//!   sorted id lists stream out in ascending order.
+//!
+//! Peak generator memory is `O(n)` for labels/degrees plus one chunk of
+//! edge pairs — ~tens of MB at 2.4M nodes, independent of feature_dim.
+
+use std::path::Path;
+
+use soup_error::SoupError;
+use soup_graph::mmap::{write_mmap_dataset, MmapMeta};
+use soup_tensor::SplitMix64;
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// Chunk-replay consumer: `(source node, its deduped sorted (src, dst)
+/// run)` — shared by the counting pass and every section pass.
+type RowSink<'a> = dyn FnMut(u32, &[(u32, u32)]) + 'a;
+
+/// Shape of a streamed synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    pub nodes: usize,
+    /// Target undirected edges per node (CSR nnz ≈ `nodes × avg_degree`).
+    pub avg_degree: f64,
+    pub num_classes: usize,
+    pub feature_dim: usize,
+    /// Probability that an edge endpoint stays inside its source's class.
+    pub homophily: f64,
+    /// Distance of class centroids from the origin.
+    pub centroid_scale: f32,
+    /// Per-feature Gaussian noise around the centroid.
+    pub sigma: f32,
+    pub train_ratio: f64,
+    pub val_ratio: f64,
+    pub test_ratio: f64,
+    /// Source-range chunk size for the two-pass CSR build; smaller chunks
+    /// trade replay time for memory.
+    pub chunk_nodes: usize,
+}
+
+impl ScaleConfig {
+    /// The synthetic ogbn-products counterpart used by `bench_shard`:
+    /// paper-scale node/edge counts with a class structure separable
+    /// enough that full-graph and sharded training agree near ceiling —
+    /// the bench compares *memory*, not learnability.
+    pub fn products(nodes: usize) -> Self {
+        Self {
+            nodes,
+            avg_degree: 10.0,
+            num_classes: 16,
+            feature_dim: 64,
+            homophily: 0.85,
+            centroid_scale: 3.0,
+            sigma: 1.0,
+            train_ratio: 0.10,
+            val_ratio: 0.05,
+            test_ratio: 0.20,
+            chunk_nodes: 300_000,
+        }
+    }
+
+    fn num_edges(&self) -> u64 {
+        (self.nodes as f64 * self.avg_degree / 2.0) as u64
+    }
+}
+
+/// Split membership of one node: replayed identically by the count pass
+/// and each section pass.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Split {
+    Train,
+    Val,
+    Test,
+    None,
+}
+
+struct Streams {
+    labels: SplitMix64,
+    edges: SplitMix64,
+    feats: SplitMix64,
+    splits: SplitMix64,
+    centroids: SplitMix64,
+}
+
+impl Streams {
+    fn new(seed: u64) -> Self {
+        let root = SplitMix64::new(seed);
+        Self {
+            labels: root.derive(0x1a8e),
+            edges: root.derive(0xed6e),
+            feats: root.derive(0xfea7),
+            splits: root.derive(0x5917),
+            centroids: root.derive(0xce17),
+        }
+    }
+}
+
+fn split_of(streams: &Streams, cfg: &ScaleConfig, v: usize) -> Split {
+    let u = streams.splits.derive(v as u64).next_f64();
+    if u < cfg.train_ratio {
+        Split::Train
+    } else if u < cfg.train_ratio + cfg.val_ratio {
+        Split::Val
+    } else if u < cfg.train_ratio + cfg.val_ratio + cfg.test_ratio {
+        Split::Test
+    } else {
+        Split::None
+    }
+}
+
+/// Endpoints of edge `t`, or `None` for the (discarded) self-loop draws.
+/// A fresh derived RNG per ordinal makes replay trivially consistent.
+fn edge_endpoints(
+    streams: &Streams,
+    cfg: &ScaleConfig,
+    labels: &[u32],
+    class_members: &[Vec<u32>],
+    t: u64,
+) -> Option<(u32, u32)> {
+    let mut r = streams.edges.derive(t);
+    let a = r.next_below(cfg.nodes) as u32;
+    let b = if (r.next_f64()) < cfg.homophily {
+        let members = &class_members[labels[a as usize] as usize];
+        members[r.next_below(members.len())]
+    } else {
+        r.next_below(cfg.nodes) as u32
+    };
+    if a == b {
+        None
+    } else {
+        Some((a, b))
+    }
+}
+
+/// Stream a seeded synthetic dataset to `path` in `soup-graphmmap/1`
+/// format. Deterministic: same `(cfg, seed)` → bitwise-identical file.
+/// Returns the written shape.
+pub fn generate_streamed(cfg: &ScaleConfig, seed: u64, path: impl AsRef<Path>) -> Result<MmapMeta> {
+    assert!(
+        cfg.nodes >= cfg.num_classes,
+        "need at least one node per class"
+    );
+    assert!(cfg.num_classes >= 2, "need at least two classes");
+    assert!(
+        cfg.train_ratio + cfg.val_ratio + cfg.test_ratio <= 1.0 + 1e-9,
+        "split ratios sum over 1"
+    );
+    let streams = Streams::new(seed);
+    let n = cfg.nodes;
+    let m = cfg.num_edges();
+
+    // Balanced shuffled labels + per-class member lists (O(n) u32 memory).
+    let mut labels: Vec<u32> = (0..n).map(|v| (v % cfg.num_classes) as u32).collect();
+    streams.labels.derive(0).shuffle(&mut labels);
+    let mut class_members: Vec<Vec<u32>> = vec![Vec::new(); cfg.num_classes];
+    for (v, &c) in labels.iter().enumerate() {
+        class_members[c as usize].push(v as u32);
+    }
+
+    // Pass 1 (chunked replay): per-node degree after dedup, and nnz.
+    let chunk = cfg.chunk_nodes.max(1);
+    let mut degrees: Vec<u32> = vec![0; n];
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    let mut for_each_chunk = |row_sink: &mut RowSink| {
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            scratch.clear();
+            for t in 0..m {
+                if let Some((a, b)) = edge_endpoints(&streams, cfg, &labels, &class_members, t) {
+                    if (lo..hi).contains(&(a as usize)) {
+                        scratch.push((a, b));
+                    }
+                    if (lo..hi).contains(&(b as usize)) {
+                        scratch.push((b, a));
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            let mut i = 0usize;
+            while i < scratch.len() {
+                let src = scratch[i].0;
+                let mut j = i;
+                while j < scratch.len() && scratch[j].0 == src {
+                    j += 1;
+                }
+                row_sink(src, &scratch[i..j]);
+                i = j;
+            }
+            lo = hi;
+        }
+    };
+    for_each_chunk(&mut |src, row| {
+        degrees[src as usize] = row.len() as u32;
+    });
+    let nnz: u64 = degrees.iter().map(|&d| d as u64).sum();
+
+    // Split counts (cheap replay).
+    let (mut train_len, mut val_len, mut test_len) = (0usize, 0usize, 0usize);
+    for v in 0..n {
+        match split_of(&streams, cfg, v) {
+            Split::Train => train_len += 1,
+            Split::Val => val_len += 1,
+            Split::Test => test_len += 1,
+            Split::None => {}
+        }
+    }
+
+    // Class centroids (tiny).
+    let mut crng = streams.centroids.derive(0);
+    let centroids: Vec<Vec<f32>> = (0..cfg.num_classes)
+        .map(|_| {
+            (0..cfg.feature_dim)
+                .map(|_| crng.normal() * cfg.centroid_scale)
+                .collect()
+        })
+        .collect();
+
+    let meta = MmapMeta {
+        n,
+        nnz: nnz as usize,
+        feature_dim: cfg.feature_dim,
+        num_classes: cfg.num_classes,
+        train_len,
+        val_len,
+        test_len,
+    };
+    write_mmap_dataset(&path, &meta, |w| {
+        // indptr from the degree array.
+        let mut acc = 0u64;
+        w.put_indptr(0)?;
+        for &d in &degrees {
+            acc += d as u64;
+            w.put_indptr(acc)?;
+        }
+        // indices: pass 2, identical chunked replay. Rows arrive in
+        // ascending source order because chunks are source ranges and the
+        // chunk-local sort orders sources within each.
+        let mut io_err: Option<std::io::Error> = None;
+        for_each_chunk(&mut |_src, row| {
+            if io_err.is_some() {
+                return;
+            }
+            for &(_, dst) in row {
+                if let Err(e) = w.put_index(dst) {
+                    io_err = Some(e);
+                    return;
+                }
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        // features: one row at a time, per-node derived RNG.
+        let mut row = vec![0f32; cfg.feature_dim];
+        for (v, &label) in labels.iter().enumerate() {
+            let mut r = streams.feats.derive(v as u64);
+            let centroid = &centroids[label as usize];
+            for (x, &c) in row.iter_mut().zip(centroid) {
+                *x = c + r.normal() * cfg.sigma;
+            }
+            w.put_feature_row(&row)?;
+        }
+        for &l in &labels {
+            w.put_label(l)?;
+        }
+        // splits: replay once per section; ids stream out sorted.
+        for v in 0..n {
+            if split_of(&streams, cfg, v) == Split::Train {
+                w.put_train_id(v as u32)?;
+            }
+        }
+        for v in 0..n {
+            if split_of(&streams, cfg, v) == Split::Val {
+                w.put_val_id(v as u32)?;
+            }
+        }
+        for v in 0..n {
+            if split_of(&streams, cfg, v) == Split::Test {
+                w.put_test_id(v as u32)?;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_graph::mmap::MmapDataset;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("soup-bench-scale-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn small_cfg() -> ScaleConfig {
+        ScaleConfig {
+            nodes: 2000,
+            chunk_nodes: 700, // force several chunks
+            ..ScaleConfig::products(2000)
+        }
+    }
+
+    #[test]
+    fn streamed_generation_is_valid_and_deterministic() {
+        let cfg = small_cfg();
+        let p1 = tmp("det1.gmm");
+        let p2 = tmp("det2.gmm");
+        let meta1 = generate_streamed(&cfg, 99, &p1).unwrap();
+        let meta2 = generate_streamed(&cfg, 99, &p2).unwrap();
+        assert_eq!(meta1, meta2);
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        let m = MmapDataset::open(&p1).unwrap();
+        m.validate().unwrap();
+        assert_eq!(m.num_nodes(), 2000);
+        // Average degree lands near the target (dedup + self-loop losses
+        // only shave a little).
+        let avg = m.num_directed_edges() as f64 / m.num_nodes() as f64;
+        assert!(
+            avg > 0.7 * cfg.avg_degree && avg < 1.1 * cfg.avg_degree,
+            "avg degree {avg}"
+        );
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_file() {
+        let mut a = small_cfg();
+        a.chunk_nodes = 123;
+        let mut b = small_cfg();
+        b.chunk_nodes = 2000;
+        let pa = tmp("chunk_a.gmm");
+        let pb = tmp("chunk_b.gmm");
+        generate_streamed(&a, 7, &pa).unwrap();
+        generate_streamed(&b, 7, &pb).unwrap();
+        assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_cfg();
+        let pa = tmp("seed_a.gmm");
+        let pb = tmp("seed_b.gmm");
+        generate_streamed(&cfg, 1, &pa).unwrap();
+        generate_streamed(&cfg, 2, &pb).unwrap();
+        assert_ne!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+    }
+
+    #[test]
+    fn loaded_dataset_is_learnable_shape() {
+        let cfg = small_cfg();
+        let p = tmp("shape.gmm");
+        generate_streamed(&cfg, 3, &p).unwrap();
+        let d = MmapDataset::open(&p).unwrap().load().unwrap();
+        assert_eq!(d.num_classes, 16);
+        assert_eq!(d.features.cols(), 64);
+        assert!(!d.splits.train.is_empty());
+        assert!(!d.splits.val.is_empty());
+        assert!(!d.splits.test.is_empty());
+        // Homophily: most edges connect same-class endpoints.
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for v in 0..d.num_nodes() {
+            for &u in d.graph.neighbors(v) {
+                total += 1;
+                if d.labels[v] == d.labels[u as usize] {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.7, "intra-class edge fraction {frac}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Halo feature transport between shard-worker processes.
+//!
+//! Sharded Phase-1 gives every worker process exclusive ownership of one
+//! contiguous node range of the shard-ordered mmap dataset. Training a
+//! GNN on a shard still needs the *features* of the 1-hop out-of-shard
+//! neighbors ("halo" nodes); this module moves them with the same
+//! length-prefixed frame discipline as `soup-serve::proto` (u32-LE length,
+//! one opcode byte, fixed little-endian payload layout, total decoding):
+//!
+//! ```text
+//! frame    := len:u32-LE  op:u8  payload[len-1]
+//! FETCH    := op=1  count:u32  ids:u32×count      (global node ids)
+//! ROWS     := op=2  count:u32  dim:u32  rows:f32×count×dim
+//! BYE      := op=3
+//! READY    := op=10 shard:u32        worker → coordinator (halo server up)
+//! GO       := op=11                  coordinator → worker (all servers up)
+//! FETCHED  := op=12 shard:u32        worker → coordinator (halo resident)
+//! PROCEED  := op=13                  coordinator → worker (training may start)
+//! RESULT   := op=14 shard:u32 json:u8×rest   worker → coordinator
+//! ACK      := op=15                  coordinator → worker (exit)
+//! ```
+//!
+//! Two transports deliver identical bytes:
+//!
+//! - **shared-memory fast path** (default): the dataset file is mapped
+//!   `MAP_SHARED` by every process, so the owner's feature pages *are*
+//!   shared memory — the fetcher dereferences them directly. Costs: the
+//!   halo pages join the fetcher's RSS.
+//! - **Unix-domain sockets** (`SOUP_SHARD_NO_SHM=1` or `no_shm` in the
+//!   plan): the fetcher asks each owning shard over its `halo-<i>.sock`
+//!   and only ever touches its own pages.
+//!
+//! The determinism test in `tests/shard_pipeline.rs` holds the two paths
+//! bit-identical.
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+use soup_error::SoupError;
+use soup_graph::mmap::MmapDataset;
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// Frames above this size are rejected as corrupt (largest legal frame is
+/// a ROWS response for one id chunk: `FETCH_CHUNK × dim × 4` plus header).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Ids per FETCH frame; bounds peak frame size at any feature_dim ≤ 1024.
+pub const FETCH_CHUNK: usize = 4096;
+
+pub const OP_FETCH: u8 = 1;
+pub const OP_ROWS: u8 = 2;
+pub const OP_BYE: u8 = 3;
+pub const OP_READY: u8 = 10;
+pub const OP_GO: u8 = 11;
+pub const OP_FETCHED: u8 = 12;
+pub const OP_PROCEED: u8 = 13;
+pub const OP_RESULT: u8 = 14;
+pub const OP_ACK: u8 = 15;
+
+/// Write one `op + payload` frame.
+pub fn write_frame(w: &mut impl Write, op: u8, payload: &[u8]) -> Result<()> {
+    let len = payload.len() + 1;
+    if len > MAX_FRAME {
+        return Err(SoupError::usage(format!(
+            "halo frame of {len} bytes exceeds MAX_FRAME {MAX_FRAME}"
+        )));
+    }
+    let mut head = [0u8; 5];
+    head[0..4].copy_from_slice(&(len as u32).to_le_bytes());
+    head[4] = op;
+    w.write_all(&head).map_err(SoupError::from)?;
+    w.write_all(payload).map_err(SoupError::from)?;
+    w.flush().map_err(SoupError::from)
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
+    let mut lenb = [0u8; 4];
+    match r.read_exact(&mut lenb) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(SoupError::from(e)),
+    }
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(SoupError::corrupt(format!(
+            "halo frame length {len} outside 1..={MAX_FRAME}"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(SoupError::from)?;
+    let op = buf[0];
+    buf.remove(0);
+    Ok(Some((op, buf)))
+}
+
+/// A frame that must be present and carry the expected opcode.
+pub fn expect_frame(r: &mut impl Read, want: u8) -> Result<Vec<u8>> {
+    match read_frame(r)? {
+        Some((op, payload)) if op == want => Ok(payload),
+        Some((op, _)) => Err(SoupError::corrupt(format!(
+            "halo protocol: expected opcode {want}, got {op}"
+        ))),
+        None => Err(SoupError::corrupt(format!(
+            "halo protocol: peer closed while waiting for opcode {want}"
+        ))),
+    }
+}
+
+/// `u32` frame payload helper (READY/FETCHED carry the shard ordinal).
+pub fn u32_payload(payload: &[u8]) -> Result<u32> {
+    if payload.len() != 4 {
+        return Err(SoupError::corrupt(format!(
+            "halo protocol: expected 4-byte payload, got {}",
+            payload.len()
+        )));
+    }
+    Ok(u32::from_le_bytes(payload.try_into().unwrap()))
+}
+
+/// Socket path of shard `i`'s halo server inside the run directory.
+pub fn halo_socket_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("halo-{shard}.sock"))
+}
+
+/// Socket path of the coordinator's control plane.
+pub fn control_socket_path(dir: &Path) -> PathBuf {
+    dir.join("control.sock")
+}
+
+/// Serve this shard's owned feature rows on `listener` until the process
+/// exits. Each FETCH is answered with one ROWS frame; ids outside
+/// `owned` are a protocol violation and close the connection.
+///
+/// Runs on a detached thread: the listener accepts for the worker's whole
+/// lifetime, so a slow peer can fetch at any point before the coordinator's
+/// PROCEED barrier releases training.
+pub fn serve_halo(
+    listener: UnixListener,
+    dataset: std::sync::Arc<MmapDataset>,
+    owned: std::ops::Range<usize>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let dataset = std::sync::Arc::clone(&dataset);
+            let owned = owned.clone();
+            std::thread::spawn(move || {
+                let _ = serve_halo_conn(stream, &dataset, owned);
+            });
+        }
+    })
+}
+
+fn serve_halo_conn(
+    stream: UnixStream,
+    dataset: &MmapDataset,
+    owned: std::ops::Range<usize>,
+) -> Result<()> {
+    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(SoupError::from)?);
+    let mut writer = std::io::BufWriter::new(stream);
+    let dim = dataset.feature_dim();
+    while let Some((op, payload)) = read_frame(&mut reader)? {
+        match op {
+            OP_FETCH => {
+                if payload.len() < 4 {
+                    return Err(SoupError::corrupt("halo FETCH shorter than its count"));
+                }
+                let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+                if payload.len() != 4 + count * 4 {
+                    return Err(SoupError::corrupt(format!(
+                        "halo FETCH declares {count} ids but carries {} bytes",
+                        payload.len() - 4
+                    )));
+                }
+                let mut resp = Vec::with_capacity(8 + count * dim * 4);
+                resp.extend_from_slice(&(count as u32).to_le_bytes());
+                resp.extend_from_slice(&(dim as u32).to_le_bytes());
+                for c in payload[4..].chunks_exact(4) {
+                    let id = u32::from_le_bytes(c.try_into().unwrap()) as usize;
+                    if !owned.contains(&id) {
+                        return Err(SoupError::usage(format!(
+                            "halo FETCH for node {id} outside owned range {owned:?}"
+                        )));
+                    }
+                    for &x in dataset.feature_row(id) {
+                        resp.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                write_frame(&mut writer, OP_ROWS, &resp)?;
+            }
+            OP_BYE => return Ok(()),
+            other => {
+                return Err(SoupError::corrupt(format!(
+                    "halo server: unexpected opcode {other}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fetch feature rows for `ids` (global, sorted or not) over the socket of
+/// their owning shard, in [`FETCH_CHUNK`]-sized frames. Rows are written
+/// into `out` at `row_of(id)` — the caller picks the destination layout.
+pub fn fetch_rows_from(
+    sock: &Path,
+    ids: &[u32],
+    dim: usize,
+    mut store_row: impl FnMut(usize, &[f32]),
+) -> Result<()> {
+    let stream = UnixStream::connect(sock).map_err(|e| SoupError::io_at(sock, e))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(SoupError::from)?);
+    let mut writer = std::io::BufWriter::new(stream);
+    for chunk in ids.chunks(FETCH_CHUNK) {
+        let mut req = Vec::with_capacity(4 + chunk.len() * 4);
+        req.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        for &id in chunk {
+            req.extend_from_slice(&id.to_le_bytes());
+        }
+        write_frame(&mut writer, OP_FETCH, &req)?;
+        let payload = expect_frame(&mut reader, OP_ROWS)?;
+        if payload.len() < 8 {
+            return Err(SoupError::corrupt("halo ROWS shorter than its header"));
+        }
+        let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+        let got_dim = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+        if count != chunk.len() || got_dim != dim {
+            return Err(SoupError::corrupt(format!(
+                "halo ROWS shape {count}×{got_dim}, expected {}×{dim}",
+                chunk.len()
+            )));
+        }
+        if payload.len() != 8 + count * dim * 4 {
+            return Err(SoupError::corrupt("halo ROWS payload size mismatch"));
+        }
+        let mut row = vec![0f32; dim];
+        for (i, &id) in chunk.iter().enumerate() {
+            let base = 8 + i * dim * 4;
+            for (j, x) in row.iter_mut().enumerate() {
+                let off = base + j * 4;
+                *x = f32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
+            }
+            store_row(id as usize, &row);
+        }
+    }
+    write_frame(&mut writer, OP_BYE, &[])?;
+    Ok(())
+}
+
+/// Connect to a unix socket, retrying while the peer is still binding.
+pub fn connect_retry(path: &Path, timeout: std::time::Duration) -> Result<UnixStream> {
+    let start = std::time::Instant::now();
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if start.elapsed() > timeout {
+                    return Err(SoupError::io_at(path, e));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_graph::mmap::save_mmap_dataset;
+    use soup_graph::DatasetKind;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("soup-halo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_READY, &7u32.to_le_bytes()).unwrap();
+        write_frame(&mut buf, OP_GO, &[]).unwrap();
+        let mut r = &buf[..];
+        let (op, p) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((op, u32_payload(&p).unwrap()), (OP_READY, 7));
+        let (op, p) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((op, p.len()), (OP_GO, 0));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_zero_frames_are_corrupt() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), "corrupt");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(read_frame(&mut &buf[..]).unwrap_err().kind(), "corrupt");
+    }
+
+    #[test]
+    fn fetch_roundtrips_rows_over_uds() {
+        let dir = tmpdir("fetch");
+        let ds_path = dir.join("ds.gmm");
+        let d = DatasetKind::Flickr.generate_scaled(5, 0.02);
+        save_mmap_dataset(&d, &ds_path).unwrap();
+        let m = std::sync::Arc::new(MmapDataset::open(&ds_path).unwrap());
+        let n = m.num_nodes();
+        let dim = m.feature_dim();
+        let sock = halo_socket_path(&dir, 0);
+        let listener = UnixListener::bind(&sock).unwrap();
+        let _server = serve_halo(listener, std::sync::Arc::clone(&m), 0..n);
+
+        let ids: Vec<u32> = (0..n as u32).step_by(7).collect();
+        let mut got: std::collections::HashMap<usize, Vec<f32>> = Default::default();
+        fetch_rows_from(&sock, &ids, dim, |id, row| {
+            got.insert(id, row.to_vec());
+        })
+        .unwrap();
+        assert_eq!(got.len(), ids.len());
+        for &id in &ids {
+            // Transport is bit-exact with the shared-memory path.
+            assert_eq!(got[&(id as usize)], m.feature_row(id as usize));
+        }
+    }
+
+    #[test]
+    fn fetch_outside_owned_range_closes_connection() {
+        let dir = tmpdir("range");
+        let ds_path = dir.join("ds.gmm");
+        let d = DatasetKind::Flickr.generate_scaled(6, 0.02);
+        save_mmap_dataset(&d, &ds_path).unwrap();
+        let m = std::sync::Arc::new(MmapDataset::open(&ds_path).unwrap());
+        let dim = m.feature_dim();
+        let sock = halo_socket_path(&dir, 1);
+        let listener = UnixListener::bind(&sock).unwrap();
+        // Server owns only the first half.
+        let _server = serve_halo(listener, std::sync::Arc::clone(&m), 0..m.num_nodes() / 2);
+        let bad = vec![(m.num_nodes() - 1) as u32];
+        let err = fetch_rows_from(&sock, &bad, dim, |_, _| {}).unwrap_err();
+        // The server drops the connection; the client sees a protocol error.
+        assert!(matches!(err.kind(), "corrupt" | "io"), "{err}");
+    }
+}

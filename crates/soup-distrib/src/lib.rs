@@ -18,13 +18,21 @@
 //! onto the souping device.
 
 pub mod gather;
+pub mod halo;
 pub mod queue;
 pub mod schedule;
+pub mod shard;
+pub mod shard_worker;
 pub mod trainer;
 
 pub use gather::{gather_ingredients, GatherReport};
 pub use queue::{Claim, FailAction, TaskQueue};
 pub use schedule::{predicted_min_time, predicted_total_time, simulate_schedule, ScheduleResult};
+pub use shard::{
+    analyze_sharding, prepare_sharded_dataset, run_sharded, PrepareReport, ShardPlan, ShardQuality,
+    ShardResult, ShardRunReport, WorkerLaunch,
+};
+pub use shard_worker::{run_shard_worker, shard_seed};
 pub use trainer::{
     train_ingredients, train_ingredients_detailed, train_ingredients_opts, FailedTask, FaultKind,
     FaultPlan, TrainOpts, TrainRun, WorkerReport,

@@ -1,0 +1,375 @@
+//! The shard worker process: one shard's Phase-1 + PLS, end to end.
+//!
+//! Launched by [`crate::shard::run_sharded`] as `<exe> [prefix...] --plan
+//! <plan.json> --shard <i>` (hidden `soupctl shard-worker` subcommand, or
+//! `bench_shard` re-executing itself). The worker:
+//!
+//! 1. maps the shard-ordered dataset and serves its owned feature rows on
+//!    `halo-<i>.sock`;
+//! 2. builds the local training graph: owned nodes plus their 1-hop
+//!    out-of-shard neighbors (halo). Halo nodes contribute *features
+//!    only* — halo↔halo edges are dropped because reading a halo node's
+//!    adjacency row would touch another shard's pages (the standard
+//!    1-hop-halo approximation of distributed GNN training);
+//! 3. obtains halo features bit-identically via either transport
+//!    ([`crate::halo`]): dereferencing the shared map, or UDS frames when
+//!    `no_shm` / `SOUP_SHARD_NO_SHM=1`;
+//! 4. trains its `rounds` ingredients with the ordinary thread trainer
+//!    ([`crate::train_ingredients_opts`]) — checkpoints and the journal
+//!    land in `out_dir/shard-<i>/`, so `--resume` revalidates per shard;
+//! 5. soups shard-locally (PLS by default) and reports owned-test-node
+//!    counts, wall time and its own `VmHWM` peak RSS.
+//!
+//! Determinism: shard `i` derives its seed from the plan seed and `i`
+//! alone, the trainer keys every ingredient by ordinal, and both halo
+//! transports deliver identical bytes — so reruns are bit-identical
+//! (asserted by `tests/shard_pipeline.rs`).
+
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use soup_error::SoupError;
+use soup_gnn::{ModelConfig, TrainConfig};
+use soup_graph::mmap::MmapDataset;
+use soup_graph::{CsrGraph, Dataset, Splits};
+use soup_tensor::{SplitMix64, Tensor};
+
+use crate::halo::{fetch_rows_from, halo_socket_path, serve_halo};
+use crate::shard::{ShardPlan, ShardResult, WorkerControl};
+use crate::trainer::TrainOpts;
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// Environment override forcing the UDS halo path (testing the transports
+/// against each other).
+pub const NO_SHM_ENV: &str = "SOUP_SHARD_NO_SHM";
+
+/// The shard-local view assembled from the mmap dataset.
+struct LocalView {
+    dataset: Dataset,
+    halo: Vec<u32>,
+    used_shm: bool,
+}
+
+/// Build the local graph/features/splits for `shard`. Touches only the
+/// owned range's adjacency+feature pages (plus halo feature rows via the
+/// chosen transport, and the small label/split sections).
+fn build_local_view(
+    mmap: &MmapDataset,
+    plan: &ShardPlan,
+    shard: usize,
+    no_shm: bool,
+) -> Result<LocalView> {
+    let owned = plan.range(shard);
+    let m = owned.len();
+    let dim = mmap.feature_dim();
+
+    // Halo discovery: out-of-range neighbors of owned nodes, deduped.
+    let mut halo: Vec<u32> = Vec::new();
+    for v in owned.clone() {
+        for &u in mmap.neighbors(v) {
+            if !owned.contains(&(u as usize)) {
+                halo.push(u);
+            }
+        }
+    }
+    halo.sort_unstable();
+    halo.dedup();
+    let local_of = |g: usize| -> usize {
+        if owned.contains(&g) {
+            g - owned.start
+        } else {
+            m + halo.binary_search(&(g as u32)).expect("halo id known")
+        }
+    };
+
+    // Local adjacency: every edge incident to an owned node. `from_edges`
+    // symmetrises and dedups, so owned↔owned pairs appearing twice and
+    // owned↔halo pairs appearing once both come out right.
+    let n_local = m + halo.len();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in owned.clone() {
+        let lv = (v - owned.start) as u32;
+        for &u in mmap.neighbors(v) {
+            edges.push((lv, local_of(u as usize) as u32));
+        }
+    }
+    let graph = CsrGraph::from_edges(n_local, &edges);
+    drop(edges);
+
+    // Features: owned rows from our own pages; halo rows via the shared
+    // map (fast path) or UDS frames from their owners.
+    let mut data = vec![0f32; n_local * dim];
+    for v in owned.clone() {
+        let l = v - owned.start;
+        data[l * dim..(l + 1) * dim].copy_from_slice(mmap.feature_row(v));
+    }
+    if no_shm {
+        // Group halo ids by owning shard; fetch each group over that
+        // shard's socket.
+        let out_dir = plan.out_dir_path();
+        let mut by_owner: Vec<Vec<u32>> = vec![Vec::new(); plan.k];
+        for &g in &halo {
+            by_owner[plan.owner_of(g as usize)].push(g);
+        }
+        for (owner, ids) in by_owner.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            assert_ne!(owner, shard, "own nodes cannot be halo");
+            let sock = halo_socket_path(&out_dir, owner);
+            fetch_rows_from(&sock, ids, dim, |g, row| {
+                let l = local_of(g);
+                data[l * dim..(l + 1) * dim].copy_from_slice(row);
+            })?;
+        }
+    } else {
+        for &g in &halo {
+            let l = local_of(g as usize);
+            data[l * dim..(l + 1) * dim].copy_from_slice(mmap.feature_row(g as usize));
+        }
+    }
+    let features = Tensor::from_vec(n_local, dim, data);
+
+    let labels_all = mmap.labels();
+    let mut labels: Vec<u32> = Vec::with_capacity(n_local);
+    labels.extend(owned.clone().map(|v| labels_all[v]));
+    labels.extend(halo.iter().map(|&g| labels_all[g as usize]));
+
+    // Owned slice of each (sorted) split section, relocated to local ids.
+    let localise = |ids: &[u32]| -> Vec<usize> {
+        let lo = ids.partition_point(|&v| (v as usize) < owned.start);
+        let hi = ids.partition_point(|&v| (v as usize) < owned.end);
+        ids[lo..hi]
+            .iter()
+            .map(|&v| v as usize - owned.start)
+            .collect()
+    };
+    let splits = Splits {
+        train: localise(mmap.train_ids()),
+        val: localise(mmap.val_ids()),
+        test: localise(mmap.test_ids()),
+    };
+
+    let dataset = Dataset::from_parts(graph, features, labels, splits, mmap.num_classes());
+    Ok(LocalView {
+        dataset,
+        halo,
+        used_shm: !no_shm,
+    })
+}
+
+/// Derive shard `i`'s private seed from the plan seed.
+pub fn shard_seed(root_seed: u64, shard: usize) -> u64 {
+    SplitMix64::new(root_seed)
+        .derive(0x5a4d_0000 + shard as u64)
+        .snapshot()
+        .0
+}
+
+/// Run one shard worker to completion. This is the body of the hidden
+/// `soupctl shard-worker` subcommand.
+pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
+    let start = Instant::now();
+    let plan = ShardPlan::load(plan_path)?;
+    if shard >= plan.k {
+        return Err(SoupError::usage(format!(
+            "shard {shard} out of range for k={}",
+            plan.k
+        )));
+    }
+    let out_dir = plan.out_dir_path();
+    let shard_dir = plan.shard_dir(shard);
+    std::fs::create_dir_all(&shard_dir).map_err(|e| SoupError::io_at(&shard_dir, e))?;
+
+    let mmap = Arc::new(MmapDataset::open(plan.dataset_path())?);
+    let owned = plan.range(shard);
+
+    // Halo server up before READY — peers may fetch as soon as GO lands.
+    let sock = halo_socket_path(&out_dir, shard);
+    let _ = std::fs::remove_file(&sock);
+    let listener = UnixListener::bind(&sock).map_err(|e| SoupError::io_at(&sock, e))?;
+    let _halo_server = serve_halo(listener, Arc::clone(&mmap), owned.clone());
+
+    let mut control = WorkerControl::connect(&out_dir, shard)?;
+    control.wait_go()?;
+
+    let no_shm = plan.no_shm || std::env::var_os(NO_SHM_ENV).is_some_and(|v| v != "0");
+    let view = build_local_view(&mmap, &plan, shard, no_shm)?;
+    control.send_fetched(shard)?;
+    control.wait_proceed()?;
+
+    let seed = shard_seed(plan.seed, shard);
+    let cfg = make_model_config(&plan, mmap.feature_dim(), mmap.num_classes())?;
+    let tc = TrainConfig {
+        epochs: plan.epochs,
+        lr: plan.lr,
+        weight_decay: 5e-4,
+        minibatch: None,
+        early_stop_patience: None,
+        eval_every: 5,
+        swa: None,
+    };
+    let opts = TrainOpts {
+        workers: 1,
+        seed,
+        checkpoint_dir: Some(shard_dir.clone()),
+        resume: plan.resume,
+        ..TrainOpts::default()
+    };
+    let run = crate::trainer::train_ingredients_opts(&view.dataset, &cfg, &tc, plan.rounds, &opts)?;
+    if run.ingredients.is_empty() {
+        return Err(SoupError::corrupt(format!(
+            "shard {shard}: no ingredient survived Phase-1"
+        )));
+    }
+    // Merge the full manifest over the trainer's journal (write_manifest
+    // preserves foreign fields) so the shard dir is a first-class pool:
+    // `soupctl verify/soup/eval` all load it like any single-process run.
+    let manifest = soup_core::Manifest {
+        config: cfg.clone(),
+        ingredients: run
+            .ingredients
+            .iter()
+            .map(|ing| soup_core::ManifestEntry {
+                id: ing.id,
+                val_accuracy: ing.val_accuracy,
+                train_seed: ing.train_seed,
+                file: soup_gnn::checkpoint_name(ing.id),
+            })
+            .collect(),
+    };
+    soup_core::write_manifest(&shard_dir.join("manifest.json"), &manifest)?;
+
+    let mut spec = soup_core::StrategySpec::new(plan.strategy.clone());
+    spec.epochs = plan.soup_epochs;
+    spec.pls_k = plan.pls_k;
+    spec.pls_r = plan.pls_r;
+    let strategy = spec.build()?;
+    let soup_seed = SplitMix64::new(seed).derive(2).snapshot().0;
+    let ctx = soup_core::SoupCtx::new(&run.ingredients, &view.dataset, &cfg, soup_seed);
+    let outcome = strategy
+        .try_soup(&ctx)?
+        .ok_or_else(|| SoupError::corrupt(format!("shard {shard}: soup stopped mid-run")))?;
+
+    let test_total = view.dataset.splits.test.len() as u64;
+    let test_accuracy = if test_total > 0 {
+        soup_core::strategy::test_accuracy(&outcome, &view.dataset, &cfg)
+    } else {
+        0.0
+    };
+    let correct = (test_accuracy * test_total as f64).round() as u64;
+
+    let result = ShardResult {
+        shard,
+        correct,
+        test_total,
+        val_accuracy: outcome.val_accuracy,
+        test_accuracy,
+        wall_ms: start.elapsed().as_millis() as u64,
+        peak_rss_bytes: soup_obs::series::peak_rss_bytes().unwrap_or(0),
+        ingredients: run.ingredients.len(),
+        resumed: run.resumed.len(),
+        halo_nodes: view.halo.len(),
+        used_shm: view.used_shm,
+    };
+    let json = serde_json::to_string(&result)
+        .map_err(|e| SoupError::usage(format!("shard result serialise: {e}")))?;
+    soup_store::write_durable(shard_dir.join("result.json"), json.as_bytes())?;
+    control.send_result(&result)?;
+    Ok(result)
+}
+
+fn make_model_config(plan: &ShardPlan, in_dim: usize, out_dim: usize) -> Result<ModelConfig> {
+    let arch = soup_gnn::Arch::from_name(&plan.arch)
+        .ok_or_else(|| SoupError::usage(format!("unknown arch '{}'", plan.arch)))?;
+    let base = ModelConfig::gcn(in_dim, out_dim);
+    Ok(ModelConfig {
+        arch,
+        hidden: plan.hidden,
+        layers: plan.layers,
+        dropout: plan.dropout,
+        ..base
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soup_graph::mmap::save_mmap_dataset;
+    use soup_graph::DatasetKind;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("soup-shardworker-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        assert_eq!(shard_seed(7, 0), shard_seed(7, 0));
+        assert_ne!(shard_seed(7, 0), shard_seed(7, 1));
+        assert_ne!(shard_seed(7, 0), shard_seed(8, 0));
+    }
+
+    #[test]
+    fn local_view_covers_owned_nodes_and_halo_features_match() {
+        let dir = tmpdir("view");
+        let d = DatasetKind::Flickr.generate_scaled(31, 0.03);
+        let src = dir.join("src.gmm");
+        let sharded = dir.join("sharded.gmm");
+        save_mmap_dataset(&d, &src).unwrap();
+        let report = crate::shard::prepare_sharded_dataset(&src, 2, &sharded).unwrap();
+        let plan = ShardPlan {
+            version: 1,
+            dataset: sharded.display().to_string(),
+            k: 2,
+            ranges: report.ranges.clone(),
+            seed: 1,
+            rounds: 1,
+            arch: "gcn".into(),
+            hidden: 8,
+            layers: 2,
+            dropout: 0.0,
+            epochs: 1,
+            lr: 0.01,
+            strategy: "us".into(),
+            soup_epochs: 1,
+            pls_k: 2,
+            pls_r: 1,
+            out_dir: dir.display().to_string(),
+            no_shm: false,
+            resume: false,
+        };
+        let mmap = MmapDataset::open(&sharded).unwrap();
+        let view = build_local_view(&mmap, &plan, 0, false).unwrap();
+        let owned = plan.range(0);
+        let m = owned.len();
+        assert_eq!(view.dataset.num_nodes(), m + view.halo.len());
+        // Owned features are the shard's own rows, halo rows follow.
+        for (l, g) in owned.clone().enumerate().step_by(7) {
+            assert_eq!(view.dataset.features.row(l), mmap.feature_row(g));
+        }
+        for (i, &g) in view.halo.iter().enumerate().step_by(5) {
+            assert_eq!(
+                view.dataset.features.row(m + i),
+                mmap.feature_row(g as usize)
+            );
+        }
+        // Local splits only contain owned nodes.
+        assert!(view.dataset.splits.train.iter().all(|&v| v < m));
+        assert!(view.dataset.splits.test.iter().all(|&v| v < m));
+        // Every owned edge to an owned neighbor survives.
+        for (l, g) in owned.clone().enumerate().step_by(13) {
+            for &u in mmap.neighbors(g) {
+                if owned.contains(&(u as usize)) {
+                    let lu = u as usize - owned.start;
+                    assert!(view.dataset.graph.has_edge(l, lu), "lost edge {l}-{lu}");
+                }
+            }
+        }
+    }
+}

@@ -83,6 +83,21 @@ pub fn rss_bytes() -> Option<u64> {
     None
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM`, the RSS
+/// high-water mark) from `/proc/self/status` — the number `bench_shard`
+/// records per process to demonstrate the sharded ≈ R/K memory curve.
+/// `None` on platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// Handle to a running sampler thread. Dropping it stops the thread and
 /// finalizes the file; prefer [`SamplerHandle::stop`] to also learn the
 /// output path.
@@ -440,6 +455,15 @@ mod tests {
 
     fn temp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("soup_series_{name}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_at_least_current_rss() {
+        let peak = peak_rss_bytes().expect("procfs available on linux");
+        let now = rss_bytes().expect("procfs available on linux");
+        assert!(peak >= now, "VmHWM {peak} < VmRSS {now}");
+        assert!(peak > 0);
     }
 
     #[test]

@@ -29,9 +29,11 @@ pub mod kway;
 pub mod matching;
 pub mod quality;
 pub mod refine;
+pub mod streaming;
 pub mod valbalance;
 
 pub use baselines::{bfs_partition, random_partition};
 pub use kway::{partition_graph, PartitionConfig, Partitioning};
-pub use quality::{balance_ratio, edge_cut};
+pub use quality::{balance_ratio, edge_cut, edge_cut_on, halo_counts, halo_fraction};
+pub use streaming::{ldg_partition, ldg_partition_restream};
 pub use valbalance::{partition_val_balanced, val_weights};

@@ -1,7 +1,14 @@
-//! Partition quality metrics: edge cut and balance.
+//! Partition quality metrics: edge cut, balance and halo size.
+//!
+//! The halo metrics quantify what sharded Phase-1 actually pays for a
+//! partitioning: every shard must obtain the features of the out-of-shard
+//! neighbors of its owned nodes ("halo" nodes, DGL terminology), so the
+//! halo fraction is both the communication volume of the UDS feature
+//! exchange and the extra resident pages of the shared-mmap fast path
+//! (DESIGN.md §12).
 
 use crate::coarsen::WGraph;
-use soup_graph::CsrGraph;
+use soup_graph::{CsrGraph, NeighborAccess};
 
 /// Total weight of edges crossing partition boundaries (each undirected
 /// edge counted once) on a weighted working graph.
@@ -19,6 +26,12 @@ pub fn edge_cut_wgraph(g: &WGraph, assignment: &[u32]) -> f64 {
 
 /// Number of edges crossing partition boundaries on a [`CsrGraph`].
 pub fn edge_cut(g: &CsrGraph, assignment: &[u32]) -> usize {
+    edge_cut_on(g, assignment)
+}
+
+/// [`edge_cut`] over any adjacency source, including out-of-core
+/// [`soup_graph::mmap::MmapDataset`] graphs.
+pub fn edge_cut_on<G: NeighborAccess>(g: &G, assignment: &[u32]) -> usize {
     assert_eq!(assignment.len(), g.num_nodes());
     let mut cut = 0usize;
     for v in 0..g.num_nodes() {
@@ -29,6 +42,41 @@ pub fn edge_cut(g: &CsrGraph, assignment: &[u32]) -> usize {
         }
     }
     cut / 2
+}
+
+/// Per-partition halo sizes: `halo[p]` is the number of *distinct* nodes
+/// outside partition `p` that are adjacent to a node inside it — exactly
+/// the feature rows shard `p` must fetch from other shards.
+pub fn halo_counts<G: NeighborAccess>(g: &G, assignment: &[u32], k: usize) -> Vec<usize> {
+    let n = g.num_nodes();
+    assert_eq!(assignment.len(), n);
+    let words = n.div_ceil(64);
+    // One bitset per partition: k * n/8 bytes, small next to the graph.
+    let mut bits = vec![vec![0u64; words]; k];
+    for v in 0..n {
+        let pv = assignment[v] as usize;
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if assignment[u] as usize != pv {
+                bits[pv][u / 64] |= 1 << (u % 64);
+            }
+        }
+    }
+    bits.iter()
+        .map(|b| b.iter().map(|w| w.count_ones() as usize).sum())
+        .collect()
+}
+
+/// Total halo volume as a fraction of the node count: `Σ_p |halo(p)| / n`.
+/// 0 means no shard needs any remote feature; values near `k-1` mean every
+/// node is in every other shard's halo (a partitioning that shards nothing).
+pub fn halo_fraction<G: NeighborAccess>(g: &G, assignment: &[u32], k: usize) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = halo_counts(g, assignment, k).iter().sum();
+    total as f64 / n as f64
 }
 
 /// Maximum partition weight divided by the ideal (total/k): 1.0 is perfect
@@ -82,6 +130,21 @@ mod tests {
         let w = vec![3.0f32, 1.0, 1.0, 1.0];
         // Part 0: {0} weight 3; part 1: {1,2,3} weight 3 -> perfectly even.
         assert_eq!(balance_ratio(&w, &[0, 1, 1, 1], 2), 1.0);
+    }
+
+    #[test]
+    fn halo_counts_distinct_out_of_part_neighbors() {
+        // Path 0-1-2-3 split {0,1} | {2,3}: part 0's halo is {2}, part 1's
+        // halo is {1}.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(halo_counts(&g, &[0, 0, 1, 1], 2), vec![1, 1]);
+        // Star around 0: every leaf in part 1 sees only {0} as halo, part 0
+        // sees all three leaves.
+        let star = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(halo_counts(&star, &[0, 1, 1, 1], 2), vec![3, 1]);
+        assert!((halo_fraction(&star, &[0, 1, 1, 1], 2) - 1.0).abs() < 1e-12);
+        // No cut, no halo.
+        assert_eq!(halo_counts(&g, &[0, 0, 0, 0], 1), vec![0]);
     }
 
     #[test]

@@ -79,6 +79,70 @@ pub fn write_durable(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
     Ok(())
 }
 
+/// [`write_durable`] for content too large to hold in memory: the caller
+/// streams bytes into a buffered temp-file writer and the same four-step
+/// dance publishes the result. The writer callback gets a `BufWriter`
+/// sized for large sequential output (mmap dataset files are written
+/// through this path); flush + fsync + rename + dir-fsync happen after it
+/// returns. An `Err` from the callback aborts the write and removes the
+/// temp file, leaving any previous destination content untouched.
+pub fn write_durable_streamed(
+    path: impl AsRef<Path>,
+    write: impl FnOnce(&mut std::io::BufWriter<&mut File>) -> std::io::Result<()>,
+) -> Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        SoupError::usage(format!(
+            "write_durable_streamed: bad path {}",
+            path.display()
+        ))
+    })?;
+    let tmp = {
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp_name = format!(".{name}.tmp.{}.{seq}", std::process::id());
+        match dir {
+            Some(d) => d.join(tmp_name),
+            None => tmp_name.into(),
+        }
+    };
+
+    let write_steps = (|| -> std::io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        {
+            let mut w = std::io::BufWriter::with_capacity(1 << 20, &mut f);
+            write(&mut w)?;
+            w.flush()?;
+        }
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write_steps {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SoupError::io_at(&tmp, e));
+    }
+
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SoupError::io_at(path, e));
+    }
+
+    #[cfg(unix)]
+    if let Some(d) = dir {
+        let dirf = File::open(d).map_err(|e| SoupError::io_at(d, e))?;
+        dirf.sync_all().map_err(|e| SoupError::io_at(d, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+
+    soup_obs::counter!("store.durable_writes").inc();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +170,43 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+    }
+
+    #[test]
+    fn streamed_write_roundtrips_and_cleans_up() {
+        let dir = tmpdir("streamed");
+        let p = dir.join("big.bin");
+        write_durable_streamed(&p, |w| {
+            for chunk in 0..64u8 {
+                w.write_all(&vec![chunk; 4096])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let got = std::fs::read(&p).unwrap();
+        assert_eq!(got.len(), 64 * 4096);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[got.len() - 1], 63);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+    }
+
+    #[test]
+    fn streamed_write_error_preserves_old_content() {
+        let dir = tmpdir("streamed-err");
+        let p = dir.join("x.bin");
+        write_durable(&p, b"original").unwrap();
+        let err = write_durable_streamed(&p, |w| {
+            w.write_all(b"partial")?;
+            Err(std::io::Error::other("generator failed"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert_eq!(std::fs::read(&p).unwrap(), b"original");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! soupctl serve     --data ds.json --ckpt-dir ckpts/ --params soup.json --port 7450
 //! soupctl query     --addr 127.0.0.1:7450 --nodes 0,17,42
 //! soupctl diversity --data ds.json --ckpt-dir ckpts/
+//! soupctl generate  --dataset products --scale 0.2 --mmap --out ds.gmm
+//! soupctl partition --data ds.gmm --k 4
+//! soupctl shard     --data ds.gmm --k 4 --out-dir run/ --strategy pls
 //! ```
 //!
 //! Every subcommand's flag surface is a declarative typed spec
@@ -29,12 +32,24 @@
 //! bit-identically from the last durable epoch checkpoint. `serve` exposes
 //! the souped model over a micro-batching TCP loop with admission control
 //! and hot model swap; `query` is the matching client.
+//!
+//! The sharded path works on out-of-core `soup-graphmmap/1` datasets
+//! (`generate --mmap`): `partition` reports k-way quality (edge-cut, halo
+//! fraction, balance) or rewrites the dataset shard-ordered, and `shard`
+//! runs multi-process Phase-1 + souping — one OS process per shard, halo
+//! features over Unix sockets (shared-map fast path), ≈R/K peak memory per
+//! worker. The workers it forks are the hidden `shard-worker` subcommand.
 
 use enhanced_soups::cli::{CommandSpec, FlagDef, Flags};
+use enhanced_soups::distrib::{
+    analyze_sharding, prepare_sharded_dataset, run_shard_worker, run_sharded, ShardPlan,
+    WorkerLaunch,
+};
 use enhanced_soups::gnn::model::PropOps;
 use enhanced_soups::gnn::{checkpoint_name, evaluate_accuracy, load_checkpoint, ParamSet};
 use enhanced_soups::gnn::{ModelConfig, TrainConfig};
 use enhanced_soups::graph::io::{load_dataset, save_dataset};
+use enhanced_soups::graph::mmap::{save_mmap_dataset, MmapDataset};
 use enhanced_soups::prelude::*;
 use enhanced_soups::serve::{Client, PredictResult, ServeConfig, Server};
 use enhanced_soups::soup::resume::load_state;
@@ -56,6 +71,83 @@ const GENERATE: CommandSpec = CommandSpec {
         FlagDef::f64("scale", "node-count multiplier").default("1.0"),
         FlagDef::u64("seed", "generator seed").default("42"),
         FlagDef::str("out", "FILE", "output dataset file").required(),
+        FlagDef::switch(
+            "mmap",
+            "write the out-of-core soup-graphmmap/1 format (for partition/shard)",
+        ),
+    ],
+};
+
+const PARTITION: CommandSpec = CommandSpec {
+    name: "partition",
+    summary: "k-way shard quality report; --out rewrites the dataset shard-ordered",
+    positional: "",
+    flags: &[
+        FlagDef::str(
+            "data",
+            "FILE",
+            "soup-graphmmap/1 dataset (`generate --mmap`)",
+        )
+        .required(),
+        FlagDef::u64("k", "shard count").default("4"),
+        FlagDef::str(
+            "out",
+            "FILE",
+            "write the shard-ordered rewrite here (default: analyze only)",
+        ),
+    ],
+};
+
+const SHARD: CommandSpec = CommandSpec {
+    name: "shard",
+    summary: "multi-process sharded phase 1 + souping (one worker per shard)",
+    positional: "",
+    flags: &[
+        FlagDef::str(
+            "data",
+            "FILE",
+            "soup-graphmmap/1 dataset (`generate --mmap`)",
+        )
+        .required(),
+        FlagDef::u64("k", "shard count = worker process count").default("2"),
+        FlagDef::str(
+            "out-dir",
+            "DIR",
+            "run directory: plan, sockets, per-shard checkpoints",
+        )
+        .required(),
+        FlagDef::str("arch", "NAME", "gcn | sage | gat | gin").default("gcn"),
+        FlagDef::u64("hidden", "hidden width").default("64"),
+        FlagDef::u64("layers", "model depth").default("2"),
+        FlagDef::f64("dropout", "dropout rate").default("0.5"),
+        FlagDef::u64("ingredients", "pool size per shard").default("4"),
+        FlagDef::u64("epochs", "training epochs per ingredient").default("30"),
+        FlagDef::f64("lr", "ingredient learning rate").default("0.01"),
+        FlagDef::str("strategy", "NAME", "us | greedy | gis | ls | pls").default("pls"),
+        FlagDef::u64("soup-epochs", "LS/PLS optimisation epochs").default("50"),
+        FlagDef::u64("pls-k", "PLS partition count K").default("16"),
+        FlagDef::u64("pls-r", "PLS partitions per epoch R").default("4"),
+        FlagDef::u64("seed", "root seed (shard i derives its own stream)").default("42"),
+        FlagDef::switch(
+            "resume",
+            "reuse the run directory's plan and valid per-shard checkpoints",
+        ),
+        FlagDef::switch(
+            "no-shm",
+            "force the socket halo path (skip the shared-map fast path)",
+        ),
+    ],
+};
+
+/// Hidden: the worker half of `shard`. Not listed in `soupctl help`; the
+/// coordinator launches `soupctl shard-worker --plan ... --shard i`.
+const SHARD_WORKER: CommandSpec = CommandSpec {
+    name: "shard-worker",
+    summary: "(internal) one shard worker process, forked by `shard`",
+    positional: "",
+    flags: &[
+        FlagDef::str("plan", "FILE", "plan.json written by the coordinator").required(),
+        FlagDef::u64("shard", "this worker's shard index").required(),
     ],
 };
 
@@ -270,6 +362,9 @@ const COMMANDS: &[&CommandSpec] = &[
     &VERIFY,
     &TRACE_VALIDATE,
     &OBS,
+    &PARTITION,
+    &SHARD,
+    &SHARD_WORKER,
 ];
 
 fn main() {
@@ -333,6 +428,9 @@ fn main() {
         "verify" => cmd_verify(&flags),
         "trace-validate" => cmd_trace_validate(&flags),
         "obs" => cmd_obs(&flags),
+        "partition" => cmd_partition(&flags),
+        "shard" => cmd_shard(&flags),
+        "shard-worker" => cmd_shard_worker(&flags),
         _ => unreachable!("command table covers every spec"),
     };
     if let Some(handle) = sampler {
@@ -355,6 +453,11 @@ fn main() {
 fn usage() {
     eprintln!("soupctl — GNN model souping (Enhanced Soups reproduction)\n");
     for spec in COMMANDS {
+        // shard-worker is an implementation detail of `shard`, not a
+        // user-facing command.
+        if spec.name == SHARD_WORKER.name {
+            continue;
+        }
         eprintln!("  {:<16} {}", spec.name, spec.summary);
     }
     eprintln!(
@@ -381,13 +484,22 @@ fn cmd_generate(flags: &Flags) -> Result<()> {
         .ok_or_else(|| SoupError::usage(format!("unknown dataset '{name}'")))?;
     let out = flags.req_str("out");
     let dataset = kind.generate_scaled(flags.req_u64("seed"), flags.req_f64("scale"));
-    save_dataset(&dataset, out)?;
+    if flags.switch("mmap") {
+        save_mmap_dataset(&dataset, out)?;
+    } else {
+        save_dataset(&dataset, out)?;
+    }
     soup_obs::info!(
-        "wrote {} ({} nodes, {} edges, {} classes)",
+        "wrote {} ({} nodes, {} edges, {} classes{})",
         out,
         dataset.num_nodes(),
         dataset.graph.num_edges(),
-        dataset.num_classes()
+        dataset.num_classes(),
+        if flags.switch("mmap") {
+            ", soup-graphmmap/1"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -1078,6 +1190,186 @@ fn cmd_obs(flags: &Flags) -> Result<()> {
             "unknown obs subcommand '{other}' — {usage}"
         ))),
     }
+}
+
+/// `partition`: open an out-of-core dataset, run the streaming LDG
+/// partitioner, and print the quality triplet the sharded pipeline lives
+/// and dies by — edge-cut, halo fraction, balance — plus per-shard halo
+/// counts. With `--out`, also rewrite the dataset shard-ordered (the
+/// prepare step `shard` otherwise performs itself). The metrics are
+/// exported as gauges so `--metrics-out` series and `soupctl obs` see them.
+fn cmd_partition(flags: &Flags) -> Result<()> {
+    let data = flags.req_str("data");
+    let k = flags.req_usize("k");
+    if k == 0 {
+        return Err(SoupError::usage("--k must be positive"));
+    }
+    let src = MmapDataset::open(data)?;
+    src.validate()?;
+    if k > src.num_nodes() {
+        return Err(SoupError::usage(format!(
+            "--k {k} exceeds the dataset's {} nodes",
+            src.num_nodes()
+        )));
+    }
+    let (nodes, nnz) = (src.num_nodes(), src.num_directed_edges());
+    let quality = match flags.str("out") {
+        Some(out) => {
+            drop(src); // prepare re-opens the source; don't hold two maps
+            let report = prepare_sharded_dataset(data, k, out)?;
+            soup_obs::info!("wrote {out} — shard-ordered, ranges {:?}", report.ranges);
+            report.quality
+        }
+        None => analyze_sharding(&src, k).1,
+    };
+    quality.export_gauges();
+    println!("{data}: {nodes} nodes, {nnz} directed edges, k = {k}");
+    println!(
+        "  edge-cut:      {} ({:.2}% of undirected edges)",
+        quality.edge_cut,
+        200.0 * quality.edge_cut as f64 / nnz.max(1) as f64
+    );
+    println!(
+        "  halo fraction: {:.4} (remote feature rows fetched per node)",
+        quality.halo_fraction
+    );
+    println!(
+        "  balance:       {:.4} (largest shard / ideal n/k)",
+        quality.balance
+    );
+    println!("  halo counts:   {:?}", quality.halo_counts);
+    Ok(())
+}
+
+/// `shard`: the end-to-end multi-process pipeline. Partitions + rewrites
+/// the dataset shard-ordered (unless resuming an existing run directory),
+/// forks one `shard-worker` per shard, and aggregates their shard-local
+/// test counts into a global accuracy. Each worker's peak RSS covers only
+/// its own shard's pages — the ≈R/K memory behaviour `bench_shard`
+/// measures.
+fn cmd_shard(flags: &Flags) -> Result<()> {
+    let data = flags.req_str("data");
+    let k = flags.req_usize("k");
+    if k == 0 {
+        return Err(SoupError::usage("--k must be positive"));
+    }
+    let arch = flags.req_str("arch");
+    if enhanced_soups::gnn::Arch::from_name(arch).is_none() {
+        return Err(SoupError::usage(format!("unknown architecture '{arch}'")));
+    }
+    let out_dir = PathBuf::from(flags.req_str("out-dir"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| SoupError::io_at(&out_dir, e))?;
+    let sharded = out_dir.join("sharded.gmm");
+    let plan_path = out_dir.join("plan.json");
+    let resume = flags.switch("resume");
+
+    // A resumed run must keep its original plan (seeds, ranges, shard
+    // count) — only the resume bit flips. Otherwise partition fresh.
+    let plan = if resume && plan_path.exists() && sharded.exists() {
+        let mut plan = ShardPlan::load(&plan_path)?;
+        if plan.k != k && flags.provided("k") {
+            return Err(SoupError::usage(format!(
+                "--resume: run directory was sharded with k={}, not k={k}",
+                plan.k
+            )));
+        }
+        plan.resume = true;
+        soup_obs::info!(
+            "resuming sharded run in {} (k={})",
+            out_dir.display(),
+            plan.k
+        );
+        plan
+    } else {
+        soup_obs::info!("partitioning {data} into {k} shards ...");
+        let report = prepare_sharded_dataset(data, k, &sharded)?;
+        report.quality.export_gauges();
+        soup_obs::info!(
+            "shard-ordered {} nodes — edge-cut {}, halo fraction {:.4}, balance {:.3}",
+            report.nodes,
+            report.quality.edge_cut,
+            report.quality.halo_fraction,
+            report.quality.balance
+        );
+        ShardPlan {
+            version: 1,
+            dataset: sharded.display().to_string(),
+            k,
+            ranges: report.ranges,
+            seed: flags.req_u64("seed"),
+            rounds: flags.req_usize("ingredients"),
+            arch: arch.to_string(),
+            hidden: flags.req_usize("hidden"),
+            layers: flags.req_usize("layers"),
+            dropout: flags.req_f64("dropout") as f32,
+            epochs: flags.req_usize("epochs"),
+            lr: flags.req_f64("lr") as f32,
+            strategy: flags.req_str("strategy").to_string(),
+            soup_epochs: flags.req_usize("soup-epochs"),
+            pls_k: flags.req_usize("pls-k"),
+            pls_r: flags.req_usize("pls-r"),
+            out_dir: out_dir.display().to_string(),
+            no_shm: flags.switch("no-shm"),
+            resume,
+        }
+    };
+    // Catch a bad strategy name here, not as a cryptic worker exit.
+    let mut spec = StrategySpec::new(plan.strategy.clone());
+    spec.epochs = plan.soup_epochs;
+    spec.pls_k = plan.pls_k;
+    spec.pls_r = plan.pls_r;
+    spec.build()?;
+
+    let exe = std::env::current_exe().map_err(SoupError::from)?;
+    let launch = WorkerLaunch::new(exe, &["shard-worker"]);
+    soup_obs::info!(
+        "launching {} shard workers ({} ingredients each, strategy {}) ...",
+        plan.k,
+        plan.rounds,
+        plan.strategy
+    );
+    let report = run_sharded(&plan, &launch)?;
+    for r in &report.per_shard {
+        soup_obs::info!(
+            "  shard {} — val {:.2}% test {:.2}% ({}/{} test nodes), \
+             {} ingredients ({} resumed), halo {} rows via {}, peak rss {}",
+            r.shard,
+            r.val_accuracy * 100.0,
+            r.test_accuracy * 100.0,
+            r.correct,
+            r.test_total,
+            r.ingredients,
+            r.resumed,
+            r.halo_nodes,
+            if r.used_shm { "shared map" } else { "sockets" },
+            enhanced_soups::obs::report::fmt_bytes(r.peak_rss_bytes),
+        );
+    }
+    println!(
+        "sharded {} (k={}): test {:.2}%  wall {:.3}s  max worker peak rss {}",
+        plan.strategy,
+        plan.k,
+        report.test_accuracy * 100.0,
+        report.wall_ms as f64 / 1000.0,
+        enhanced_soups::obs::report::fmt_bytes(report.max_worker_peak_rss),
+    );
+    Ok(())
+}
+
+/// `shard-worker` (hidden): the process `shard` forks, one per shard. All
+/// behaviour lives in [`run_shard_worker`]; stdout stays quiet because the
+/// coordinator owns user-facing reporting.
+fn cmd_shard_worker(flags: &Flags) -> Result<()> {
+    let plan = PathBuf::from(flags.req_str("plan"));
+    let result = run_shard_worker(&plan, flags.req_usize("shard"))?;
+    soup_obs::info!(
+        "shard {} done — val {:.2}% test {:.2}%, {} ingredients",
+        result.shard,
+        result.val_accuracy * 100.0,
+        result.test_accuracy * 100.0,
+        result.ingredients
+    );
+    Ok(())
 }
 
 fn cmd_diversity(flags: &Flags) -> Result<()> {

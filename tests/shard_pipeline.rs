@@ -1,0 +1,241 @@
+//! Multi-process sharded pipeline, end to end through the `soupctl`
+//! binary: generate an out-of-core dataset, partition it, run K worker
+//! processes through Phase-1 + souping, and audit the artifacts — plus
+//! the two determinism guarantees the shard layer makes: runs are
+//! bit-identical across repetitions at a fixed seed, and the shared-map
+//! halo fast path produces exactly what the socket path produces.
+
+use enhanced_soups::distrib::ShardResult;
+use enhanced_soups::gnn::load_checkpoint;
+use enhanced_soups::graph::mmap::{save_mmap_dataset, MmapDataset};
+use enhanced_soups::graph::DatasetKind;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn soupctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_soupctl"))
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn soupctl");
+    assert!(
+        out.status.success(),
+        "soupctl failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soup-shardpipe-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate_mmap(dir: &Path) -> PathBuf {
+    let ds = dir.join("ds.gmm");
+    run_ok(soupctl().args([
+        "generate",
+        "--dataset",
+        "flickr",
+        "--scale",
+        "0.08",
+        "--seed",
+        "33",
+        "--mmap",
+        "--out",
+        ds.to_str().unwrap(),
+    ]));
+    ds
+}
+
+/// One small K=2 sharded run; returns its out-dir.
+fn shard_run(ds: &Path, out_dir: &Path, extra_env: &[(&str, &str)]) -> String {
+    let mut cmd = soupctl();
+    cmd.args([
+        "shard",
+        "--data",
+        ds.to_str().unwrap(),
+        "--k",
+        "2",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--ingredients",
+        "2",
+        "--epochs",
+        "4",
+        "--hidden",
+        "8",
+        "--strategy",
+        "pls",
+        "--soup-epochs",
+        "3",
+        "--pls-k",
+        "4",
+        "--pls-r",
+        "2",
+        "--seed",
+        "7",
+    ]);
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    run_ok(&mut cmd)
+}
+
+fn shard_result(out_dir: &Path, shard: usize) -> ShardResult {
+    let path = out_dir.join(format!("shard-{shard}/result.json"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    serde_json::from_str(&text).expect("result.json decodes as ShardResult")
+}
+
+/// Every ingredient checkpoint's parameters, as raw f32 bit patterns, in
+/// filename order. Envelope bytes are not compared (they carry metadata);
+/// the parameters are what determinism is about.
+fn checkpoint_bits(shard_dir: &Path) -> Vec<(String, Vec<u32>)> {
+    let mut names: Vec<String> = std::fs::read_dir(shard_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ingredient_") && n.ends_with(".ck"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no checkpoints in {shard_dir:?}");
+    names
+        .into_iter()
+        .map(|name| {
+            let ck = load_checkpoint(shard_dir.join(&name)).expect("checkpoint loads");
+            let bits: Vec<u32> = ck
+                .params
+                .flat()
+                .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+                .collect();
+            (name, bits)
+        })
+        .collect()
+}
+
+#[test]
+fn mmap_dataset_round_trips_bitwise_against_in_memory() {
+    let dir = tmpdir("roundtrip");
+    let d = DatasetKind::Flickr.generate_scaled(5, 0.05);
+    let path = dir.join("rt.gmm");
+    save_mmap_dataset(&d, &path).unwrap();
+    let m = MmapDataset::open(&path).unwrap();
+    m.validate().unwrap();
+    // Structure and features must survive the disk trip bit-for-bit.
+    for v in 0..d.num_nodes() {
+        assert_eq!(m.neighbors(v), d.graph.neighbors(v), "row {v}");
+        let mem: Vec<u32> = d.features.row(v).iter().map(|x| x.to_bits()).collect();
+        let mapped: Vec<u32> = m.feature_row(v).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(mem, mapped, "features {v}");
+    }
+    let back = m.load().unwrap();
+    assert_eq!(back.labels, d.labels);
+    assert_eq!(back.splits.test.len(), d.splits.test.len());
+    // Truncation is caught by the exact-length check.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+    assert!(MmapDataset::open(&path).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_pipeline_round_trips_through_soupctl() {
+    let dir = tmpdir("e2e");
+    let ds = generate_mmap(&dir);
+
+    // Partition quality report prints the metric triplet.
+    let report = run_ok(soupctl().args(["partition", "--data", ds.to_str().unwrap(), "--k", "2"]));
+    assert!(report.contains("edge-cut:"), "{report}");
+    assert!(report.contains("halo fraction:"), "{report}");
+    assert!(report.contains("balance:"), "{report}");
+
+    // Train → soup across two worker processes.
+    let run_dir = dir.join("run");
+    let stdout = shard_run(&ds, &run_dir, &[]);
+    assert!(stdout.contains("sharded pls (k=2)"), "{stdout}");
+
+    // Both shards reported, with coherent test-count bookkeeping.
+    let ds_nodes = MmapDataset::open(&ds).unwrap();
+    let total_test = ds_nodes.test_ids().len() as u64;
+    let results = [shard_result(&run_dir, 0), shard_result(&run_dir, 1)];
+    assert_eq!(results[0].test_total + results[1].test_total, total_test);
+    for r in &results {
+        assert!(
+            r.ingredients == 2,
+            "shard {}: {} ingredients",
+            r.shard,
+            r.ingredients
+        );
+        assert!(r.correct <= r.test_total);
+    }
+
+    // The per-shard artifact directories pass the offline integrity audit.
+    for shard in 0..2 {
+        let shard_dir = run_dir.join(format!("shard-{shard}"));
+        let audit = run_ok(soupctl().args(["verify", shard_dir.to_str().unwrap()]));
+        assert!(audit.contains("all clean"), "{audit}");
+    }
+
+    // Resume satisfies every ingredient from checkpoints and agrees on
+    // the souped accuracy.
+    let mut cmd = soupctl();
+    cmd.args([
+        "shard",
+        "--data",
+        ds.to_str().unwrap(),
+        "--out-dir",
+        run_dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    run_ok(&mut cmd);
+    let resumed = shard_result(&run_dir, 0);
+    assert_eq!(resumed.resumed, 2, "resume retrained instead of reusing");
+    assert_eq!(resumed.test_accuracy, results[0].test_accuracy);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_at_fixed_seed() {
+    let dir = tmpdir("determinism");
+    let ds = generate_mmap(&dir);
+    let (run_a, run_b) = (dir.join("a"), dir.join("b"));
+    shard_run(&ds, &run_a, &[]);
+    shard_run(&ds, &run_b, &[]);
+    for shard in 0..2 {
+        let a = checkpoint_bits(&run_a.join(format!("shard-{shard}")));
+        let b = checkpoint_bits(&run_b.join(format!("shard-{shard}")));
+        assert_eq!(a, b, "shard {shard} ingredients differ across runs");
+        let (ra, rb) = (shard_result(&run_a, shard), shard_result(&run_b, shard));
+        assert_eq!(ra.correct, rb.correct);
+        assert_eq!(ra.val_accuracy.to_bits(), rb.val_accuracy.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_map_and_socket_halo_paths_agree_bitwise() {
+    let dir = tmpdir("transport");
+    let ds = generate_mmap(&dir);
+    let (run_shm, run_uds) = (dir.join("shm"), dir.join("uds"));
+    shard_run(&ds, &run_shm, &[]);
+    shard_run(&ds, &run_uds, &[("SOUP_SHARD_NO_SHM", "1")]);
+    for shard in 0..2 {
+        let (rs, ru) = (shard_result(&run_shm, shard), shard_result(&run_uds, shard));
+        assert!(
+            rs.used_shm,
+            "shard {shard} should default to the shared map"
+        );
+        assert!(!ru.used_shm, "SOUP_SHARD_NO_SHM ignored on shard {shard}");
+        assert_eq!(rs.halo_nodes, ru.halo_nodes);
+        // Same halo bytes in, same training out — transport is invisible.
+        let a = checkpoint_bits(&run_shm.join(format!("shard-{shard}")));
+        let b = checkpoint_bits(&run_uds.join(format!("shard-{shard}")));
+        assert_eq!(a, b, "halo transport changed shard {shard}'s training");
+        assert_eq!(rs.correct, ru.correct);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
