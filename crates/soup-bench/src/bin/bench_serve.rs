@@ -84,6 +84,7 @@ fn run_arm(
         // Connections are persistent, so workers bounds live clients.
         workers: LEVELS[LEVELS.len() - 1] + 2,
         quant,
+        ..ServeConfig::default()
     };
     let server = Server::start(dataset.clone(), cfg.clone(), params.clone(), config)
         .expect("bench server failed to bind");

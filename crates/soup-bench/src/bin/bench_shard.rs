@@ -229,17 +229,19 @@ fn child_full(path: &Path) {
 fn child_shard_worker(args: &[String]) {
     let mut plan = None;
     let mut shard = None;
+    let mut epoch = 0u32;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--plan" => plan = it.next().cloned(),
             "--shard" => shard = it.next().and_then(|s| s.parse::<usize>().ok()),
+            "--epoch" => epoch = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
             other => panic!("shard-worker: unexpected argument '{other}'"),
         }
     }
     let plan = PathBuf::from(plan.expect("shard-worker needs --plan"));
     let shard = shard.expect("shard-worker needs --shard");
-    run_shard_worker(&plan, shard).expect("shard worker");
+    run_shard_worker(&plan, shard, epoch).expect("shard worker");
 }
 
 fn main() {
@@ -304,6 +306,9 @@ fn main() {
         out_dir: s(&run_dir),
         no_shm: false,
         resume: false,
+        worker_timeout_ms: 120_000,
+        restart_budget: 2,
+        chaos: None,
     };
     let exe = std::env::current_exe().expect("current_exe");
     let launch = WorkerLaunch::new(exe, &["shard-worker"]);

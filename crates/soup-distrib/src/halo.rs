@@ -8,17 +8,25 @@
 //! one opcode byte, fixed little-endian payload layout, total decoding):
 //!
 //! ```text
-//! frame    := len:u32-LE  op:u8  payload[len-1]
-//! FETCH    := op=1  count:u32  ids:u32×count      (global node ids)
-//! ROWS     := op=2  count:u32  dim:u32  rows:f32×count×dim
-//! BYE      := op=3
-//! READY    := op=10 shard:u32        worker → coordinator (halo server up)
-//! GO       := op=11                  coordinator → worker (all servers up)
-//! FETCHED  := op=12 shard:u32        worker → coordinator (halo resident)
-//! PROCEED  := op=13                  coordinator → worker (training may start)
-//! RESULT   := op=14 shard:u32 json:u8×rest   worker → coordinator
-//! ACK      := op=15                  coordinator → worker (exit)
+//! frame     := len:u32-LE  op:u8  payload[len-1]
+//! FETCH     := op=1  epoch:u8  count:u32  ids:u32×count   (global node ids)
+//! ROWS      := op=2  epoch:u8  count:u32  dim:u32  rows:f32×count×dim
+//! BYE       := op=3
+//! READY     := op=10 shard:u32 epoch:u32   worker → coordinator (halo server up)
+//! GO        := op=11                       coordinator → worker (all servers up)
+//! FETCHED   := op=12 shard:u32 epoch:u32   worker → coordinator (halo resident)
+//! PROCEED   := op=13                       coordinator → worker (training may start)
+//! RESULT    := op=14 shard:u32 epoch:u32 json:u8×rest   worker → coordinator
+//! ACK       := op=15                       coordinator → worker (exit)
+//! HEARTBEAT := op=16 shard:u32 epoch:u32   worker → coordinator (liveness)
 //! ```
+//!
+//! The **session epoch** is the worker's incarnation counter: 0 on first
+//! spawn, bumped by the supervisor on every respawn. Worker→coordinator
+//! frames carry it so the supervisor can reject stale frames left in a
+//! socket buffer by a pre-crash incarnation; halo FETCH/ROWS carry a
+//! truncated epoch byte that the server echoes, so a fetcher never
+//! accounts rows against a reply it did not request this incarnation.
 //!
 //! Two transports deliver identical bytes:
 //!
@@ -58,6 +66,7 @@ pub const OP_FETCHED: u8 = 12;
 pub const OP_PROCEED: u8 = 13;
 pub const OP_RESULT: u8 = 14;
 pub const OP_ACK: u8 = 15;
+pub const OP_HEARTBEAT: u8 = 16;
 
 /// Write one `op + payload` frame.
 pub fn write_frame(w: &mut impl Write, op: u8, payload: &[u8]) -> Result<()> {
@@ -120,6 +129,77 @@ pub fn u32_payload(payload: &[u8]) -> Result<u32> {
     Ok(u32::from_le_bytes(payload.try_into().unwrap()))
 }
 
+/// Encode the `shard:u32 epoch:u32` prefix carried by every
+/// worker→coordinator control frame (READY/FETCHED/RESULT/HEARTBEAT).
+pub fn shard_epoch_payload(shard: u32, epoch: u32) -> [u8; 8] {
+    let mut p = [0u8; 8];
+    p[0..4].copy_from_slice(&shard.to_le_bytes());
+    p[4..8].copy_from_slice(&epoch.to_le_bytes());
+    p
+}
+
+/// Decode a `shard:u32 epoch:u32` prefix, returning the rest of the
+/// payload (RESULT carries its JSON there; the others carry nothing).
+pub fn parse_shard_epoch(payload: &[u8]) -> Result<(u32, u32, &[u8])> {
+    if payload.len() < 8 {
+        return Err(SoupError::corrupt(format!(
+            "halo protocol: shard+epoch prefix needs 8 bytes, got {}",
+            payload.len()
+        )));
+    }
+    let shard = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+    let epoch = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+    Ok((shard, epoch, &payload[8..]))
+}
+
+/// Incremental frame accumulator for nonblocking readers: feed raw bytes
+/// as they arrive off the wire, pop complete frames as they materialise.
+/// The supervisor drives all K control connections off one poll loop with
+/// one of these per connection, so a worker that writes half a frame and
+/// stalls never blocks the loop.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read off the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet assembled into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
+    /// A length outside `1..=MAX_FRAME` poisons the stream permanently —
+    /// there is no way to resynchronise a corrupt length prefix.
+    pub fn pop(&mut self) -> Result<Option<(u8, Vec<u8>)>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(SoupError::corrupt(format!(
+                "halo frame length {len} outside 1..={MAX_FRAME}"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let op = self.buf[4];
+        let payload = self.buf[5..4 + len].to_vec();
+        self.buf.drain(0..4 + len);
+        Ok(Some((op, payload)))
+    }
+}
+
 /// Socket path of shard `i`'s halo server inside the run directory.
 pub fn halo_socket_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("halo-{shard}.sock"))
@@ -165,20 +245,22 @@ fn serve_halo_conn(
     while let Some((op, payload)) = read_frame(&mut reader)? {
         match op {
             OP_FETCH => {
-                if payload.len() < 4 {
-                    return Err(SoupError::corrupt("halo FETCH shorter than its count"));
+                if payload.len() < 5 {
+                    return Err(SoupError::corrupt("halo FETCH shorter than its header"));
                 }
-                let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
-                if payload.len() != 4 + count * 4 {
+                let epoch = payload[0];
+                let count = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+                if payload.len() != 5 + count * 4 {
                     return Err(SoupError::corrupt(format!(
                         "halo FETCH declares {count} ids but carries {} bytes",
-                        payload.len() - 4
+                        payload.len() - 5
                     )));
                 }
-                let mut resp = Vec::with_capacity(8 + count * dim * 4);
+                let mut resp = Vec::with_capacity(9 + count * dim * 4);
+                resp.push(epoch); // echo the fetcher's session epoch
                 resp.extend_from_slice(&(count as u32).to_le_bytes());
                 resp.extend_from_slice(&(dim as u32).to_le_bytes());
-                for c in payload[4..].chunks_exact(4) {
+                for c in payload[5..].chunks_exact(4) {
                     let id = u32::from_le_bytes(c.try_into().unwrap()) as usize;
                     if !owned.contains(&id) {
                         return Err(SoupError::usage(format!(
@@ -202,51 +284,161 @@ fn serve_halo_conn(
     Ok(())
 }
 
+/// Retry/timeout policy for halo fetches. Fetches are pure idempotent
+/// reads, so a failed chunk is simply re-requested over a fresh
+/// connection with exponential backoff between attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchOpts {
+    /// Session epoch of the fetching incarnation; the server echoes its
+    /// low byte so stale replies are detected.
+    pub epoch: u32,
+    /// Per-read/write socket timeout. A peer that stops mid-frame fails
+    /// the chunk within this bound instead of pinning the fetcher.
+    pub io_timeout: std::time::Duration,
+    /// Total attempts per chunk (first try included).
+    pub attempts: u32,
+    /// Backoff before retry `n` is `base_backoff × 2^(n-1)`.
+    pub base_backoff: std::time::Duration,
+}
+
+impl Default for FetchOpts {
+    fn default() -> Self {
+        Self {
+            epoch: 0,
+            io_timeout: std::time::Duration::from_secs(30),
+            attempts: 3,
+            base_backoff: std::time::Duration::from_millis(50),
+        }
+    }
+}
+
+struct FetchConn {
+    reader: std::io::BufReader<UnixStream>,
+    writer: std::io::BufWriter<UnixStream>,
+}
+
+fn connect_fetch(sock: &Path, opts: &FetchOpts) -> Result<FetchConn> {
+    let stream = UnixStream::connect(sock).map_err(|e| SoupError::io_at(sock, e))?;
+    stream
+        .set_read_timeout(Some(opts.io_timeout))
+        .map_err(SoupError::from)?;
+    stream
+        .set_write_timeout(Some(opts.io_timeout))
+        .map_err(SoupError::from)?;
+    Ok(FetchConn {
+        reader: std::io::BufReader::new(stream.try_clone().map_err(SoupError::from)?),
+        writer: std::io::BufWriter::new(stream),
+    })
+}
+
+/// One FETCH→ROWS exchange. Rows are stored only after the whole reply
+/// validates, so a failed attempt never leaves partial state behind.
+fn fetch_chunk(
+    conn: &mut FetchConn,
+    chunk: &[u32],
+    dim: usize,
+    epoch: u32,
+    store_row: &mut impl FnMut(usize, &[f32]),
+) -> Result<()> {
+    let mut req = Vec::with_capacity(5 + chunk.len() * 4);
+    req.push((epoch & 0xff) as u8);
+    req.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+    for &id in chunk {
+        req.extend_from_slice(&id.to_le_bytes());
+    }
+    write_frame(&mut conn.writer, OP_FETCH, &req)?;
+    let payload = expect_frame(&mut conn.reader, OP_ROWS)?;
+    if payload.len() < 9 {
+        return Err(SoupError::corrupt("halo ROWS shorter than its header"));
+    }
+    if payload[0] != (epoch & 0xff) as u8 {
+        return Err(SoupError::corrupt(format!(
+            "halo ROWS from stale session epoch {} (want {})",
+            payload[0],
+            epoch & 0xff
+        )));
+    }
+    let count = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    let got_dim = u32::from_le_bytes(payload[5..9].try_into().unwrap()) as usize;
+    if count != chunk.len() || got_dim != dim {
+        return Err(SoupError::corrupt(format!(
+            "halo ROWS shape {count}×{got_dim}, expected {}×{dim}",
+            chunk.len()
+        )));
+    }
+    if payload.len() != 9 + count * dim * 4 {
+        return Err(SoupError::corrupt("halo ROWS payload size mismatch"));
+    }
+    let mut row = vec![0f32; dim];
+    for (i, &id) in chunk.iter().enumerate() {
+        let base = 9 + i * dim * 4;
+        for (j, x) in row.iter_mut().enumerate() {
+            let off = base + j * 4;
+            *x = f32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
+        }
+        store_row(id as usize, &row);
+    }
+    Ok(())
+}
+
 /// Fetch feature rows for `ids` (global, sorted or not) over the socket of
-/// their owning shard, in [`FETCH_CHUNK`]-sized frames. Rows are written
-/// into `out` at `row_of(id)` — the caller picks the destination layout.
+/// their owning shard, in [`FETCH_CHUNK`]-sized frames with the default
+/// [`FetchOpts`]. Rows are handed to `store_row(id, row)` — the caller
+/// picks the destination layout.
 pub fn fetch_rows_from(
     sock: &Path,
     ids: &[u32],
     dim: usize,
+    store_row: impl FnMut(usize, &[f32]),
+) -> Result<()> {
+    fetch_rows_with(sock, ids, dim, &FetchOpts::default(), store_row)
+}
+
+/// [`fetch_rows_from`] with explicit timeout/retry policy. Each chunk is
+/// retried up to `opts.attempts` times over a fresh connection with
+/// exponential backoff; only `Usage` errors (a fetch outside the owned
+/// range — a deterministic bug) fail fast.
+pub fn fetch_rows_with(
+    sock: &Path,
+    ids: &[u32],
+    dim: usize,
+    opts: &FetchOpts,
     mut store_row: impl FnMut(usize, &[f32]),
 ) -> Result<()> {
-    let stream = UnixStream::connect(sock).map_err(|e| SoupError::io_at(sock, e))?;
-    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(SoupError::from)?);
-    let mut writer = std::io::BufWriter::new(stream);
+    let mut conn: Option<FetchConn> = None;
     for chunk in ids.chunks(FETCH_CHUNK) {
-        let mut req = Vec::with_capacity(4 + chunk.len() * 4);
-        req.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
-        for &id in chunk {
-            req.extend_from_slice(&id.to_le_bytes());
-        }
-        write_frame(&mut writer, OP_FETCH, &req)?;
-        let payload = expect_frame(&mut reader, OP_ROWS)?;
-        if payload.len() < 8 {
-            return Err(SoupError::corrupt("halo ROWS shorter than its header"));
-        }
-        let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
-        let got_dim = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
-        if count != chunk.len() || got_dim != dim {
-            return Err(SoupError::corrupt(format!(
-                "halo ROWS shape {count}×{got_dim}, expected {}×{dim}",
-                chunk.len()
-            )));
-        }
-        if payload.len() != 8 + count * dim * 4 {
-            return Err(SoupError::corrupt("halo ROWS payload size mismatch"));
-        }
-        let mut row = vec![0f32; dim];
-        for (i, &id) in chunk.iter().enumerate() {
-            let base = 8 + i * dim * 4;
-            for (j, x) in row.iter_mut().enumerate() {
-                let off = base + j * 4;
-                *x = f32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
+        let mut attempt = 0u32;
+        loop {
+            let result = match &mut conn {
+                Some(c) => fetch_chunk(c, chunk, dim, opts.epoch, &mut store_row),
+                None => match connect_fetch(sock, opts) {
+                    Ok(c) => {
+                        let c = conn.insert(c);
+                        fetch_chunk(c, chunk, dim, opts.epoch, &mut store_row)
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match result {
+                Ok(()) => break,
+                // Out-of-range fetches are deterministic bugs, not flakes.
+                Err(e) if e.kind() == "usage" => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= opts.attempts {
+                        return Err(e);
+                    }
+                    soup_obs::counter!("halo.fetch_retries").inc();
+                    conn = None; // reconnect on the next attempt
+                    std::thread::sleep(opts.base_backoff * (1 << (attempt - 1).min(8)));
+                }
             }
-            store_row(id as usize, &row);
         }
     }
-    write_frame(&mut writer, OP_BYE, &[])?;
+    if let Some(mut c) = conn {
+        // Best-effort goodbye; the data already landed.
+        let _ = write_frame(&mut c.writer, OP_BYE, &[]);
+    }
     Ok(())
 }
 
@@ -326,6 +518,89 @@ mod tests {
             // Transport is bit-exact with the shared-memory path.
             assert_eq!(got[&(id as usize)], m.feature_row(id as usize));
         }
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_READY, &shard_epoch_payload(3, 1)).unwrap();
+        write_frame(&mut wire, OP_HEARTBEAT, &shard_epoch_payload(3, 1)).unwrap();
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some((op, p)) = fb.pop().unwrap() {
+                got.push((op, p));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, OP_READY);
+        assert_eq!(got[1].0, OP_HEARTBEAT);
+        let (shard, epoch, rest) = parse_shard_epoch(&got[0].1).unwrap();
+        assert_eq!((shard, epoch), (3, 1));
+        assert!(rest.is_empty());
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_corrupt_length() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert_eq!(fb.pop().unwrap_err().kind(), "corrupt");
+    }
+
+    #[test]
+    fn shard_epoch_prefix_roundtrips_with_tail() {
+        let mut p = shard_epoch_payload(7, 42).to_vec();
+        p.extend_from_slice(b"{\"x\":1}");
+        let (shard, epoch, rest) = parse_shard_epoch(&p).unwrap();
+        assert_eq!((shard, epoch), (7, 42));
+        assert_eq!(rest, b"{\"x\":1}");
+        assert_eq!(parse_shard_epoch(&[0; 7]).unwrap_err().kind(), "corrupt");
+    }
+
+    #[test]
+    fn fetch_retries_over_a_flaky_connection() {
+        let dir = tmpdir("retry");
+        let ds_path = dir.join("ds.gmm");
+        let d = DatasetKind::Flickr.generate_scaled(5, 0.02);
+        save_mmap_dataset(&d, &ds_path).unwrap();
+        let m = std::sync::Arc::new(MmapDataset::open(&ds_path).unwrap());
+        let n = m.num_nodes();
+        let dim = m.feature_dim();
+        let sock = halo_socket_path(&dir, 0);
+        let listener = UnixListener::bind(&sock).unwrap();
+        // First connection is dropped on the floor; later ones are served.
+        let srv = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || {
+            let mut first = true;
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                if std::mem::take(&mut first) {
+                    drop(stream); // simulated mid-handshake crash
+                    continue;
+                }
+                let dataset = std::sync::Arc::clone(&srv);
+                std::thread::spawn(move || {
+                    let _ = serve_halo_conn(stream, &dataset, 0..dataset.num_nodes());
+                });
+            }
+        });
+        let ids: Vec<u32> = (0..n as u32).step_by(5).collect();
+        let opts = FetchOpts {
+            epoch: 1,
+            io_timeout: std::time::Duration::from_secs(5),
+            attempts: 3,
+            base_backoff: std::time::Duration::from_millis(5),
+        };
+        let mut got = 0usize;
+        fetch_rows_with(&sock, &ids, dim, &opts, |id, row| {
+            assert_eq!(row, m.feature_row(id));
+            got += 1;
+        })
+        .unwrap();
+        assert_eq!(got, ids.len());
     }
 
     #[test]

@@ -17,14 +17,17 @@
 //! [`gather`] models the reduce-style collection of trained ingredients
 //! onto the souping device.
 
+pub mod chaos;
 pub mod gather;
 pub mod halo;
 pub mod queue;
 pub mod schedule;
 pub mod shard;
 pub mod shard_worker;
+pub mod supervisor;
 pub mod trainer;
 
+pub use chaos::{parse_kill_list, parse_shard_list, ChaosPhase, ChaosPlan, FrameFault};
 pub use gather::{gather_ingredients, GatherReport};
 pub use queue::{Claim, FailAction, TaskQueue};
 pub use schedule::{predicted_min_time, predicted_total_time, simulate_schedule, ScheduleResult};

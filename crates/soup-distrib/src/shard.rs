@@ -23,9 +23,11 @@
 //! killed run restarts only the unfinished shards' missing ingredients.
 
 use std::io::{BufReader, BufWriter};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use soup_error::SoupError;
@@ -34,8 +36,8 @@ use soup_partition::quality::{edge_cut_on, halo_counts};
 use soup_partition::streaming::{ldg_partition_restream, DEFAULT_PASSES, DEFAULT_SLACK};
 
 use crate::halo::{
-    control_socket_path, expect_frame, u32_payload, write_frame, OP_ACK, OP_FETCHED, OP_GO,
-    OP_PROCEED, OP_READY, OP_RESULT,
+    control_socket_path, expect_frame, shard_epoch_payload, write_frame, OP_ACK, OP_FETCHED, OP_GO,
+    OP_HEARTBEAT, OP_PROCEED, OP_READY, OP_RESULT,
 };
 
 type Result<T> = std::result::Result<T, SoupError>;
@@ -75,6 +77,21 @@ pub struct ShardPlan {
     pub no_shm: bool,
     /// Reuse valid per-shard checkpoints instead of retraining.
     pub resume: bool,
+    /// Heartbeat deadline in milliseconds: a worker silent for longer is
+    /// declared lost. Workers heartbeat at a quarter of this interval.
+    pub worker_timeout_ms: u64,
+    /// Respawns each shard may consume before the run degrades without it.
+    pub restart_budget: u32,
+    /// Deterministic fault injection, if any ([`crate::ChaosPlan`]).
+    pub chaos: Option<crate::ChaosPlan>,
+}
+
+pub(crate) fn default_worker_timeout_ms() -> u64 {
+    30_000
+}
+
+pub(crate) fn default_restart_budget() -> u32 {
+    2
 }
 
 impl ShardPlan {
@@ -105,10 +122,43 @@ impl ShardPlan {
         self.ranges.partition_point(|&(_, end)| (end as usize) <= v)
     }
 
+    /// Heartbeat deadline for crash/hang detection.
+    pub fn worker_timeout(&self) -> Duration {
+        Duration::from_millis(self.worker_timeout_ms.max(100))
+    }
+
+    /// How long a *worker* waits on a control read before giving up: long
+    /// enough to ride out every peer's full respawn chain, so one shard's
+    /// recovery never cascades into its neighbours timing out.
+    pub fn worker_patience(&self) -> Duration {
+        self.worker_timeout() * (self.restart_budget + 2)
+    }
+
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path).map_err(|e| SoupError::io_at(path, e))?;
-        let plan: ShardPlan = serde_json::from_str(&text)
+        let mut value: serde_json::JsonValue = serde_json::from_str(&text)
+            .map_err(|e| SoupError::corrupt(format!("shard plan {}: {e}", path.display())))?;
+        // Plans written before the supervision fields existed deserialize
+        // with the defaults patched in, so `--resume` over an old run dir
+        // keeps working.
+        if let serde_json::JsonValue::Object(fields) = &mut value {
+            let mut fill = |key: &str, default: serde_json::JsonValue| {
+                if !fields.iter().any(|(k, _)| k == key) {
+                    fields.push((key.to_string(), default));
+                }
+            };
+            fill(
+                "worker_timeout_ms",
+                serde_json::to_value(&default_worker_timeout_ms()),
+            );
+            fill(
+                "restart_budget",
+                serde_json::to_value(&default_restart_budget()),
+            );
+            fill("chaos", serde_json::JsonValue::Null);
+        }
+        let plan: ShardPlan = serde_json::from_value(value)
             .map_err(|e| SoupError::corrupt(format!("shard plan {}: {e}", path.display())))?;
         if plan.version != 1 {
             return Err(SoupError::corrupt(format!(
@@ -318,17 +368,34 @@ pub struct ShardResult {
 /// Aggregated outcome of a sharded run.
 #[derive(Debug, Clone)]
 pub struct ShardRunReport {
+    /// Surviving shards' results, ordered by shard ordinal.
     pub per_shard: Vec<ShardResult>,
-    /// Global test accuracy: `Σ correct / Σ total` over all shards.
+    /// Global test accuracy: `Σ correct / Σ total` over *surviving*
+    /// shards — exact over the owned test nodes that are still covered.
     pub test_accuracy: f64,
     pub wall_ms: u64,
     /// Largest worker `VmHWM` — the number the R/K claim is about.
     pub max_worker_peak_rss: u64,
+    /// Shards whose restart budget ran out; their owned nodes are not in
+    /// the accuracy above.
+    pub missing: Vec<usize>,
+    /// Total worker respawns across the run.
+    pub restarts: u32,
+}
+
+impl ShardRunReport {
+    /// Whether any shard was lost. A degraded run still completes with
+    /// exact accuracy over the surviving shards' owned test nodes; the
+    /// provenance lives in [`missing`](Self::missing) and `run.json`.
+    pub fn is_degraded(&self) -> bool {
+        !self.missing.is_empty()
+    }
 }
 
 /// How to launch a worker process: an executable plus argument prefix; the
-/// coordinator appends `--plan <path> --shard <i>`. `soupctl` passes
-/// `(current_exe, ["shard-worker"])`; `bench_shard` re-executes itself.
+/// coordinator appends `--plan <path> --shard <i> --epoch <e>`. `soupctl`
+/// passes `(current_exe, ["shard-worker"])`; `bench_shard` re-executes
+/// itself.
 #[derive(Debug, Clone)]
 pub struct WorkerLaunch {
     pub exe: PathBuf,
@@ -344,186 +411,210 @@ impl WorkerLaunch {
     }
 }
 
-/// Kill-on-drop guard so a coordinator error never leaks worker processes.
-struct Children(Vec<std::process::Child>);
-
-impl Drop for Children {
-    fn drop(&mut self) {
-        for child in &mut self.0 {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-    }
-}
-
-/// Fork one worker per shard and drive the control protocol:
-/// accept K × READY, broadcast GO (all halo servers are now listening),
-/// collect K × FETCHED, broadcast PROCEED (halo exchange done — training
-/// may start), then collect K × RESULT and ACK each worker out.
+/// Fork one worker per shard and drive the control protocol under
+/// supervision: crash/hang detection via `try_wait` + heartbeat
+/// deadlines, kill-and-reap, bounded respawn with session epochs, and
+/// graceful degradation when a shard's budget runs out. The full fault
+/// model lives in [`crate::supervisor`].
 ///
 /// The coordinator itself never maps the dataset: its resident set stays
 /// at process baseline, which keeps the bench's memory accounting honest.
 pub fn run_sharded(plan: &ShardPlan, launch: &WorkerLaunch) -> Result<ShardRunReport> {
-    let _span = soup_obs::span!("distrib.shard_run");
-    let start = Instant::now();
-    let out_dir = plan.out_dir_path();
-    std::fs::create_dir_all(&out_dir).map_err(|e| SoupError::io_at(&out_dir, e))?;
-    let plan_path = plan.save()?;
-
-    let control = control_socket_path(&out_dir);
-    let _ = std::fs::remove_file(&control);
-    for shard in 0..plan.k {
-        let _ = std::fs::remove_file(crate::halo::halo_socket_path(&out_dir, shard));
-    }
-    let listener = UnixListener::bind(&control).map_err(|e| SoupError::io_at(&control, e))?;
-
-    let mut children = Children(Vec::with_capacity(plan.k));
-    for shard in 0..plan.k {
-        let child = std::process::Command::new(&launch.exe)
-            .args(&launch.args)
-            .arg("--plan")
-            .arg(&plan_path)
-            .arg("--shard")
-            .arg(shard.to_string())
-            .spawn()
-            .map_err(|e| SoupError::io_at(&launch.exe, e))?;
-        children.0.push(child);
-    }
-
-    // READY barrier: every worker's halo server is listening.
-    let mut conns: Vec<Option<ControlConn>> = (0..plan.k).map(|_| None).collect();
-    for _ in 0..plan.k {
-        let (stream, _) = listener
-            .accept()
-            .map_err(|e| SoupError::io_at(&control, e))?;
-        stream
-            .set_read_timeout(Some(Duration::from_secs(3600)))
-            .map_err(SoupError::from)?;
-        let mut conn = ControlConn::new(stream)?;
-        let shard = u32_payload(&expect_frame(&mut conn.reader, OP_READY)?)? as usize;
-        if shard >= plan.k || conns[shard].is_some() {
-            return Err(SoupError::corrupt(format!(
-                "shard coordinator: bad or duplicate READY from shard {shard}"
-            )));
-        }
-        conns[shard] = Some(conn);
-    }
-    let mut conns: Vec<ControlConn> = conns.into_iter().map(|c| c.unwrap()).collect();
-
-    for conn in &mut conns {
-        write_frame(&mut conn.writer, OP_GO, &[])?;
-    }
-    // FETCHED barrier: every worker's halo is resident; serving shards can
-    // now be busy training without starving a neighbor's fetch.
-    for conn in &mut conns {
-        let shard = u32_payload(&expect_frame(&mut conn.reader, OP_FETCHED)?)?;
-        let _ = shard;
-    }
-    for conn in &mut conns {
-        write_frame(&mut conn.writer, OP_PROCEED, &[])?;
-    }
-
-    let mut per_shard: Vec<ShardResult> = Vec::with_capacity(plan.k);
-    for conn in &mut conns {
-        let payload = expect_frame(&mut conn.reader, OP_RESULT)?;
-        if payload.len() < 4 {
-            return Err(SoupError::corrupt("shard RESULT shorter than its header"));
-        }
-        let json = std::str::from_utf8(&payload[4..])
-            .map_err(|_| SoupError::corrupt("shard RESULT payload is not UTF-8"))?;
-        let result: ShardResult = serde_json::from_str(json)
-            .map_err(|e| SoupError::corrupt(format!("shard RESULT decode: {e}")))?;
-        per_shard.push(result);
-        write_frame(&mut conn.writer, OP_ACK, &[])?;
-    }
-    per_shard.sort_by_key(|r| r.shard);
-
-    for (shard, child) in children.0.iter_mut().enumerate() {
-        let status = child.wait().map_err(SoupError::from)?;
-        if !status.success() {
-            return Err(SoupError::corrupt(format!(
-                "shard worker {shard} exited with {status}"
-            )));
-        }
-    }
-    children.0.clear();
-
-    let correct: u64 = per_shard.iter().map(|r| r.correct).sum();
-    let total: u64 = per_shard.iter().map(|r| r.test_total).sum();
-    let max_worker_peak_rss = per_shard
-        .iter()
-        .map(|r| r.peak_rss_bytes)
-        .max()
-        .unwrap_or(0);
-    soup_obs::gauge!("shard.test_accuracy").set(correct as f64 / total.max(1) as f64);
-    soup_obs::gauge!("shard.max_worker_peak_rss").set(max_worker_peak_rss as f64);
-    Ok(ShardRunReport {
-        test_accuracy: correct as f64 / total.max(1) as f64,
-        per_shard,
-        wall_ms: start.elapsed().as_millis() as u64,
-        max_worker_peak_rss,
-    })
+    crate::supervisor::run_supervised(plan, launch)
 }
 
-/// One accepted control connection, split into buffered halves.
-struct ControlConn {
-    reader: BufReader<UnixStream>,
-    writer: BufWriter<UnixStream>,
-}
-
-impl ControlConn {
-    fn new(stream: UnixStream) -> Result<Self> {
-        let reader = BufReader::new(stream.try_clone().map_err(SoupError::from)?);
-        let writer = BufWriter::new(stream);
-        Ok(Self { reader, writer })
-    }
-}
-
-/// Worker-side control handle: connect, then step through the barriers.
+/// Worker-side control handle: connect, heartbeat, step the barriers.
+///
+/// Every read is bounded by the plan's *patience* (the heartbeat deadline
+/// scaled by the restart budget, so a peer's full respawn chain fits) and
+/// surfaces expiry as a typed [`SoupError::WorkerLost`] instead of the
+/// PR-9 hour-long hang. A background thread heartbeats at a quarter of
+/// the deadline through the shared writer for as long as the handle
+/// lives, keeping the supervisor convinced through long training phases.
 pub struct WorkerControl {
     reader: BufReader<UnixStream>,
+    writer: Arc<Mutex<ChaosWriter>>,
+    shard: usize,
+    patience: Duration,
+    hb_stop: Arc<AtomicBool>,
+    hb_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The worker's outbound control half. All frames funnel through here so
+/// the heartbeat thread and the protocol steps interleave whole frames,
+/// and so the chaos plan can strike outbound frames deterministically.
+struct ChaosWriter {
     writer: BufWriter<UnixStream>,
+    raw: UnixStream,
+    chaos: Option<crate::ChaosPlan>,
+    shard: usize,
+    epoch: u32,
+    seq: u64,
+}
+
+impl ChaosWriter {
+    fn send(&mut self, op: u8, payload: &[u8]) -> Result<()> {
+        let seq = self.seq;
+        self.seq += 1;
+        let fault = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.frame_fault(self.shard, op, seq, self.epoch));
+        match fault {
+            None => {}
+            Some(crate::FrameFault::Drop) => {
+                soup_obs::warn!(
+                    "chaos: dropping control frame op={op} (shard {})",
+                    self.shard
+                );
+                return Ok(());
+            }
+            Some(crate::FrameFault::Delay(ms)) => {
+                soup_obs::warn!("chaos: delaying control frame op={op} by {ms}ms");
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            Some(crate::FrameFault::Truncate) => {
+                soup_obs::warn!(
+                    "chaos: truncating control frame op={op} (shard {})",
+                    self.shard
+                );
+                use std::io::Write;
+                let mut frame = Vec::with_capacity(5 + payload.len());
+                frame.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+                frame.push(op);
+                frame.extend_from_slice(payload);
+                let half = &frame[..frame.len() / 2];
+                let _ = self.writer.write_all(half);
+                let _ = self.writer.flush();
+                // FIN mid-frame: the supervisor must reject the stream.
+                let _ = self.raw.shutdown(std::net::Shutdown::Write);
+                return Ok(());
+            }
+        }
+        write_frame(&mut self.writer, op, payload)
+    }
 }
 
 impl WorkerControl {
-    /// Connect to the coordinator (retrying while it binds) and announce
-    /// this shard as READY.
-    pub fn connect(out_dir: &Path, shard: usize) -> Result<Self> {
-        let path = control_socket_path(out_dir);
+    /// Connect to the coordinator (retrying while it binds), announce
+    /// this shard+epoch as READY, and start heartbeating.
+    pub fn connect(plan: &ShardPlan, shard: usize, epoch: u32) -> Result<Self> {
+        let out_dir = plan.out_dir_path();
+        let path = control_socket_path(&out_dir);
         let stream = crate::halo::connect_retry(&path, Duration::from_secs(30))?;
+        let patience = plan.worker_patience();
         stream
-            .set_read_timeout(Some(Duration::from_secs(3600)))
+            .set_read_timeout(Some(patience))
             .map_err(SoupError::from)?;
         let reader = BufReader::new(stream.try_clone().map_err(SoupError::from)?);
+        let raw = stream.try_clone().map_err(SoupError::from)?;
+        let writer = Arc::new(Mutex::new(ChaosWriter {
+            writer: BufWriter::new(stream),
+            raw,
+            chaos: plan.chaos.clone(),
+            shard,
+            epoch,
+            seq: 0,
+        }));
         let mut this = Self {
             reader,
-            writer: BufWriter::new(stream),
+            writer,
+            shard,
+            patience,
+            hb_stop: Arc::new(AtomicBool::new(false)),
+            hb_thread: None,
         };
-        write_frame(&mut this.writer, OP_READY, &(shard as u32).to_le_bytes())?;
+        this.send(OP_READY, &shard_epoch_payload(shard as u32, epoch))?;
+        this.start_heartbeats(plan.worker_timeout() / 4, shard as u32, epoch);
         Ok(this)
     }
 
-    pub fn wait_go(&mut self) -> Result<()> {
-        expect_frame(&mut self.reader, OP_GO).map(|_| ())
+    fn send(&self, op: u8, payload: &[u8]) -> Result<()> {
+        self.writer
+            .lock()
+            .map_err(|_| SoupError::corrupt("control writer poisoned"))?
+            .send(op, payload)
     }
 
-    pub fn send_fetched(&mut self, shard: usize) -> Result<()> {
-        write_frame(&mut self.writer, OP_FETCHED, &(shard as u32).to_le_bytes())
+    /// Heartbeat at `interval` until the handle drops. Sleeps in short
+    /// slices so shutdown never waits a full interval.
+    fn start_heartbeats(&mut self, interval: Duration, shard: u32, epoch: u32) {
+        let interval = interval.clamp(Duration::from_millis(25), Duration::from_secs(5));
+        let writer = Arc::clone(&self.writer);
+        let stop = Arc::clone(&self.hb_stop);
+        self.hb_thread = Some(std::thread::spawn(move || {
+            let payload = shard_epoch_payload(shard, epoch);
+            let slice = Duration::from_millis(10);
+            'outer: loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                let Ok(mut w) = writer.lock() else { break };
+                if w.send(OP_HEARTBEAT, &payload).is_err() {
+                    break; // coordinator gone; the main thread will notice
+                }
+            }
+        }));
+    }
+
+    /// A bounded read of the next control frame, mapping timeout to a
+    /// typed [`SoupError::WorkerLost`].
+    fn wait(&mut self, want: u8) -> Result<Vec<u8>> {
+        match expect_frame(&mut self.reader, want) {
+            Ok(p) => Ok(p),
+            Err(SoupError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(SoupError::worker_lost(
+                    self.shard,
+                    format!(
+                        "coordinator silent for {:.1}s waiting for opcode {want}",
+                        self.patience.as_secs_f64()
+                    ),
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn wait_go(&mut self) -> Result<()> {
+        self.wait(OP_GO).map(|_| ())
+    }
+
+    pub fn send_fetched(&mut self, shard: usize, epoch: u32) -> Result<()> {
+        self.send(OP_FETCHED, &shard_epoch_payload(shard as u32, epoch))
     }
 
     pub fn wait_proceed(&mut self) -> Result<()> {
-        expect_frame(&mut self.reader, OP_PROCEED).map(|_| ())
+        self.wait(OP_PROCEED).map(|_| ())
     }
 
     /// Send the final RESULT and wait for the coordinator's ACK.
-    pub fn send_result(&mut self, result: &ShardResult) -> Result<()> {
+    pub fn send_result(&mut self, result: &ShardResult, epoch: u32) -> Result<()> {
         let json = serde_json::to_string(result)
             .map_err(|e| SoupError::usage(format!("shard result serialise: {e}")))?;
-        let mut payload = Vec::with_capacity(4 + json.len());
-        payload.extend_from_slice(&(result.shard as u32).to_le_bytes());
+        let mut payload = Vec::with_capacity(8 + json.len());
+        payload.extend_from_slice(&shard_epoch_payload(result.shard as u32, epoch));
         payload.extend_from_slice(json.as_bytes());
-        write_frame(&mut self.writer, OP_RESULT, &payload)?;
-        expect_frame(&mut self.reader, OP_ACK).map(|_| ())
+        self.send(OP_RESULT, &payload)?;
+        self.wait(OP_ACK).map(|_| ())
+    }
+}
+
+impl Drop for WorkerControl {
+    fn drop(&mut self) {
+        self.hb_stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.hb_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -634,6 +725,9 @@ mod tests {
             out_dir: dir.display().to_string(),
             no_shm: false,
             resume: false,
+            worker_timeout_ms: 5_000,
+            restart_budget: 1,
+            chaos: None,
         };
         let path = plan.save().unwrap();
         let back = ShardPlan::load(&path).unwrap();
@@ -644,5 +738,52 @@ mod tests {
         assert_eq!(back.owner_of(10), 1);
         assert_eq!(back.owner_of(29), 2);
         assert_eq!(back.range(1), 10..25);
+        assert_eq!(back.worker_timeout(), Duration::from_secs(5));
+        assert_eq!(back.worker_patience(), Duration::from_secs(15));
+    }
+
+    #[test]
+    fn plans_without_supervision_fields_get_defaults() {
+        // A PR-9 plan.json predates worker_timeout_ms/restart_budget/chaos;
+        // loading one must not fail and must land on the documented
+        // defaults (30 s deadline, 2 respawns, no chaos).
+        let dir = tmpdir("compat");
+        let plan = ShardPlan {
+            version: 1,
+            dataset: "ds.gmm".into(),
+            k: 1,
+            ranges: vec![(0, 10)],
+            seed: 1,
+            rounds: 1,
+            arch: "gcn".into(),
+            hidden: 8,
+            layers: 2,
+            dropout: 0.0,
+            epochs: 1,
+            lr: 0.01,
+            strategy: "us".into(),
+            soup_epochs: 1,
+            pls_k: 2,
+            pls_r: 1,
+            out_dir: dir.display().to_string(),
+            no_shm: false,
+            resume: false,
+            worker_timeout_ms: 1,
+            restart_budget: 9,
+            chaos: None,
+        };
+        let mut value = serde_json::to_value(&plan);
+        let serde_json::JsonValue::Object(fields) = &mut value else {
+            panic!("plan serialises to an object");
+        };
+        fields.retain(|(k, _)| {
+            !matches!(k.as_str(), "worker_timeout_ms" | "restart_budget" | "chaos")
+        });
+        let path = dir.join("plan.json");
+        std::fs::write(&path, serde_json::to_string(&value).unwrap()).unwrap();
+        let plan = ShardPlan::load(&path).unwrap();
+        assert_eq!(plan.worker_timeout_ms, 30_000);
+        assert_eq!(plan.restart_budget, 2);
+        assert!(plan.chaos.is_none());
     }
 }

@@ -36,7 +36,8 @@ use soup_graph::mmap::MmapDataset;
 use soup_graph::{CsrGraph, Dataset, Splits};
 use soup_tensor::{SplitMix64, Tensor};
 
-use crate::halo::{fetch_rows_from, halo_socket_path, serve_halo};
+use crate::chaos::{ChaosPhase, CHAOS_KILL_EXIT};
+use crate::halo::{fetch_rows_with, halo_socket_path, serve_halo, FetchOpts};
 use crate::shard::{ShardPlan, ShardResult, WorkerControl};
 use crate::trainer::TrainOpts;
 
@@ -61,6 +62,7 @@ fn build_local_view(
     plan: &ShardPlan,
     shard: usize,
     no_shm: bool,
+    epoch: u32,
 ) -> Result<LocalView> {
     let owned = plan.range(shard);
     let m = owned.len();
@@ -114,16 +116,36 @@ fn build_local_view(
         for &g in &halo {
             by_owner[plan.owner_of(g as usize)].push(g);
         }
+        let opts = FetchOpts {
+            epoch,
+            io_timeout: plan.worker_timeout(),
+            ..FetchOpts::default()
+        };
         for (owner, ids) in by_owner.iter().enumerate() {
             if ids.is_empty() {
                 continue;
             }
             assert_ne!(owner, shard, "own nodes cannot be halo");
             let sock = halo_socket_path(&out_dir, owner);
-            fetch_rows_from(&sock, ids, dim, |g, row| {
+            let fetched = fetch_rows_with(&sock, ids, dim, &opts, |g, row| {
                 let l = local_of(g);
                 data[l * dim..(l + 1) * dim].copy_from_slice(row);
-            })?;
+            });
+            if let Err(e) = fetched {
+                // The owner may be dead (degraded shard). Both transports
+                // are bit-identical, so falling back to the shared map
+                // keeps the run correct — at the cost of the halo pages
+                // joining our RSS for this group.
+                soup_obs::warn!(
+                    "shard {shard}: halo fetch from shard {owner} failed ({e}); \
+                     falling back to the shared map"
+                );
+                soup_obs::counter!("halo.shm_fallbacks").inc();
+                for &g in ids {
+                    let l = local_of(g as usize);
+                    data[l * dim..(l + 1) * dim].copy_from_slice(mmap.feature_row(g as usize));
+                }
+            }
         }
     } else {
         for &g in &halo {
@@ -169,9 +191,56 @@ pub fn shard_seed(root_seed: u64, shard: usize) -> u64 {
         .0
 }
 
+/// Honour a chaos kill scheduled for `phase`: the process dies on the
+/// spot with [`CHAOS_KILL_EXIT`], exactly as if it had crashed there.
+fn chaos_kill_point(plan: &ShardPlan, shard: usize, phase: ChaosPhase, epoch: u32) {
+    if let Some(chaos) = &plan.chaos {
+        if chaos.kill_at(shard, phase, epoch) {
+            soup_obs::warn!(
+                "chaos: killing shard {shard} at {} (epoch {epoch})",
+                phase.name()
+            );
+            std::process::exit(CHAOS_KILL_EXIT);
+        }
+    }
+}
+
+/// A Train-phase chaos kill cannot strike "at the start of training" —
+/// that is indistinguishable from a Soup/Fetch kill for recovery
+/// purposes. Instead a watcher thread puts the process down once the
+/// first ingredient checkpoint is durable, so the respawn exercises a
+/// genuine *partial-journal* resume.
+fn spawn_train_kill_watcher(plan: &ShardPlan, shard: usize, epoch: u32) {
+    let Some(chaos) = &plan.chaos else { return };
+    if !chaos.kill_at(shard, ChaosPhase::Train, epoch) {
+        return;
+    }
+    let shard_dir = plan.shard_dir(shard);
+    std::thread::spawn(move || loop {
+        let durable = std::fs::read_dir(&shard_dir)
+            .map(|rd| {
+                rd.flatten().any(|e| {
+                    let n = e.file_name();
+                    let n = n.to_string_lossy();
+                    n.starts_with("ingredient_") && n.ends_with(".ck")
+                })
+            })
+            .unwrap_or(false);
+        if durable {
+            soup_obs::warn!("chaos: killing shard {shard} mid-train (epoch {epoch})");
+            std::process::exit(CHAOS_KILL_EXIT);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    });
+}
+
 /// Run one shard worker to completion. This is the body of the hidden
-/// `soupctl shard-worker` subcommand.
-pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
+/// `soupctl shard-worker` subcommand. `epoch` is the session epoch the
+/// supervisor assigned to this incarnation: 0 on first spawn, higher
+/// after a respawn — in which case the worker resumes from its journal
+/// regardless of the plan's resume bit, which is what makes a recovered
+/// run bit-identical to an uninterrupted one.
+pub fn run_shard_worker(plan_path: &Path, shard: usize, epoch: u32) -> Result<ShardResult> {
     let start = Instant::now();
     let plan = ShardPlan::load(plan_path)?;
     if shard >= plan.k {
@@ -180,6 +249,7 @@ pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
             plan.k
         )));
     }
+    chaos_kill_point(&plan, shard, ChaosPhase::Spawn, epoch);
     let out_dir = plan.out_dir_path();
     let shard_dir = plan.shard_dir(shard);
     std::fs::create_dir_all(&shard_dir).map_err(|e| SoupError::io_at(&shard_dir, e))?;
@@ -193,12 +263,13 @@ pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
     let listener = UnixListener::bind(&sock).map_err(|e| SoupError::io_at(&sock, e))?;
     let _halo_server = serve_halo(listener, Arc::clone(&mmap), owned.clone());
 
-    let mut control = WorkerControl::connect(&out_dir, shard)?;
+    let mut control = WorkerControl::connect(&plan, shard, epoch)?;
     control.wait_go()?;
+    chaos_kill_point(&plan, shard, ChaosPhase::Fetch, epoch);
 
     let no_shm = plan.no_shm || std::env::var_os(NO_SHM_ENV).is_some_and(|v| v != "0");
-    let view = build_local_view(&mmap, &plan, shard, no_shm)?;
-    control.send_fetched(shard)?;
+    let view = build_local_view(&mmap, &plan, shard, no_shm, epoch)?;
+    control.send_fetched(shard, epoch)?;
     control.wait_proceed()?;
 
     let seed = shard_seed(plan.seed, shard);
@@ -216,10 +287,19 @@ pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
         workers: 1,
         seed,
         checkpoint_dir: Some(shard_dir.clone()),
-        resume: plan.resume,
+        // A respawned incarnation always resumes: its predecessor's
+        // journal is the whole point of recovery.
+        resume: plan.resume || epoch > 0,
         ..TrainOpts::default()
     };
+    spawn_train_kill_watcher(&plan, shard, epoch);
     let run = crate::trainer::train_ingredients_opts(&view.dataset, &cfg, &tc, plan.rounds, &opts)?;
+    // On datasets small enough to out-train the watcher's poll interval,
+    // the kill must still land before the worker can report: a scheduled
+    // Train kill that hasn't fired yet fires here, at train end, with the
+    // full journal durable — the respawn still proves a journal resume.
+    chaos_kill_point(&plan, shard, ChaosPhase::Train, epoch);
+    chaos_kill_point(&plan, shard, ChaosPhase::Soup, epoch);
     if run.ingredients.is_empty() {
         return Err(SoupError::corrupt(format!(
             "shard {shard}: no ingredient survived Phase-1"
@@ -261,6 +341,7 @@ pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
         0.0
     };
     let correct = (test_accuracy * test_total as f64).round() as u64;
+    chaos_kill_point(&plan, shard, ChaosPhase::Report, epoch);
 
     let result = ShardResult {
         shard,
@@ -278,7 +359,7 @@ pub fn run_shard_worker(plan_path: &Path, shard: usize) -> Result<ShardResult> {
     let json = serde_json::to_string(&result)
         .map_err(|e| SoupError::usage(format!("shard result serialise: {e}")))?;
     soup_store::write_durable(shard_dir.join("result.json"), json.as_bytes())?;
-    control.send_result(&result)?;
+    control.send_result(&result, epoch)?;
     Ok(result)
 }
 
@@ -343,9 +424,12 @@ mod tests {
             out_dir: dir.display().to_string(),
             no_shm: false,
             resume: false,
+            worker_timeout_ms: 30_000,
+            restart_budget: 2,
+            chaos: None,
         };
         let mmap = MmapDataset::open(&sharded).unwrap();
-        let view = build_local_view(&mmap, &plan, 0, false).unwrap();
+        let view = build_local_view(&mmap, &plan, 0, false, 0).unwrap();
         let owned = plan.range(0);
         let m = owned.len();
         assert_eq!(view.dataset.num_nodes(), m + view.halo.len());

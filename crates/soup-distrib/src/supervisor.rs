@@ -1,0 +1,834 @@
+//! The shard supervisor: self-healing coordinator for multi-process runs.
+//!
+//! PR-9's coordinator drove the READY → GO → FETCHED → PROCEED → RESULT
+//! protocol sequentially over blocking sockets with hour-long timeouts —
+//! one dead worker stalled the run and one crash forfeited it. This
+//! module replaces that with a supervised poll loop:
+//!
+//! - **Detection.** Every tick the supervisor `try_wait`s each child
+//!   (crash → detected within milliseconds) and checks its heartbeat
+//!   deadline (hang → detected within one `worker_timeout`; workers send
+//!   [`OP_HEARTBEAT`] at a quarter of that interval). Either way a dead
+//!   worker is noticed in well under 2× the deadline.
+//! - **Reaping.** A lost child is killed *and waited* — failed runs never
+//!   accumulate zombies. The supervisor's `Drop` does the same for every
+//!   child still alive, so early errors can't leak processes either.
+//! - **Respawn.** A lost shard is relaunched with a bounded restart
+//!   budget and a bumped **session epoch**; the worker resumes from its
+//!   shard journal, so the recovered run is bit-identical to an
+//!   uninterrupted one. Frames carrying a stale epoch (leftovers from a
+//!   pre-crash incarnation) are rejected and counted.
+//! - **Degradation.** A shard that exhausts its budget is marked lost and
+//!   excluded from the barriers; the surviving shards complete and the
+//!   run reports exact accuracy over surviving owned-test nodes with
+//!   explicit `missing` provenance ([`ShardRunReport::is_degraded`]).
+//!   Only when *every* shard is lost does the run error.
+//!
+//! Barrier semantics are *sticky*: GO is first broadcast when all live
+//! shards are simultaneously READY (same for PROCEED/FETCHED); after
+//! that, a respawned worker re-entering the protocol receives the barrier
+//! release immediately instead of waiting for peers that are already
+//! training.
+//!
+//! Observability: `supervisor.restarts`, `supervisor.reaps`,
+//! `supervisor.crashes`, `supervisor.hangs`, `supervisor.stale_frames`,
+//! `supervisor.frame_retries` counters, a `supervisor.degraded_shards`
+//! gauge, and the per-worker `distrib.worker.<shard>.heartbeat_s` gauges
+//! republished from worker heartbeats.
+
+use std::io::Read;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+use soup_error::SoupError;
+
+use crate::halo::{
+    control_socket_path, FrameBuf, OP_ACK, OP_FETCHED, OP_GO, OP_HEARTBEAT, OP_PROCEED, OP_READY,
+    OP_RESULT,
+};
+use crate::shard::{ShardPlan, ShardResult, ShardRunReport, WorkerLaunch};
+
+type Result<T> = std::result::Result<T, SoupError>;
+
+/// Poll-loop granularity. Crash detection latency is one tick; the cost
+/// of an idle tick is one `try_wait` + one nonblocking read per worker.
+const TICK: Duration = Duration::from_millis(10);
+
+/// Where one worker stands in the control protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Child spawned, READY not yet seen for the current epoch.
+    Spawning,
+    /// READY seen: halo server is up.
+    Ready,
+    /// FETCHED seen: halo resident; training once PROCEED lands.
+    Fetched,
+    /// RESULT accepted and ACKed.
+    Done,
+    /// Restart budget exhausted; excluded from the run.
+    Lost,
+}
+
+/// One shard's supervision record.
+struct Slot {
+    shard: usize,
+    /// Session epoch == incarnation counter; bumped on every respawn.
+    epoch: u32,
+    restarts_left: u32,
+    child: Option<Child>,
+    conn: Option<Conn>,
+    state: SlotState,
+    go_sent: bool,
+    proceed_sent: bool,
+    /// Last proof of life: spawn, READY, FETCHED, RESULT or heartbeat.
+    last_seen: Instant,
+    done_at: Option<Instant>,
+    result: Option<ShardResult>,
+    lost_reason: Option<String>,
+}
+
+impl Slot {
+    fn live(&self) -> bool {
+        !matches!(self.state, SlotState::Lost)
+    }
+}
+
+/// An attached control connection, owned by exactly one (shard, epoch).
+struct Conn {
+    stream: UnixStream,
+    buf: FrameBuf,
+}
+
+/// An accepted connection that has not yet identified itself with READY.
+struct PendingConn {
+    stream: UnixStream,
+    buf: FrameBuf,
+    since: Instant,
+}
+
+/// What `pump` found on a connection this tick.
+enum Pumped {
+    Idle,
+    Progress,
+    Eof,
+}
+
+/// Read whatever is available on a nonblocking stream into `buf`.
+fn pump(stream: &mut UnixStream, buf: &mut FrameBuf) -> Result<Pumped> {
+    let mut chunk = [0u8; 4096];
+    let mut progressed = false;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(Pumped::Eof),
+            Ok(n) => {
+                buf.extend(&chunk[..n]);
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return Ok(if progressed {
+                    Pumped::Progress
+                } else {
+                    Pumped::Idle
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(SoupError::from(e)),
+        }
+    }
+}
+
+/// Write a (small) control frame to a nonblocking stream, retrying
+/// `WouldBlock` with byte-level progress tracking — a blind re-send of
+/// the whole frame after a partial write would desync the stream.
+/// Control frames are ≤ a few bytes, so a worker that cannot absorb one
+/// within the deadline is as good as dead.
+fn write_frame_deadline(
+    stream: &mut UnixStream,
+    op: u8,
+    payload: &[u8],
+    deadline: Duration,
+) -> Result<()> {
+    use std::io::Write;
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+    frame.push(op);
+    frame.extend_from_slice(payload);
+    let start = Instant::now();
+    let mut off = 0;
+    while off < frame.len() {
+        match (&*stream).write(&frame[off..]) {
+            Ok(0) => {
+                return Err(SoupError::worker_lost(
+                    usize::MAX,
+                    "control socket rejected write",
+                ))
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if start.elapsed() >= deadline {
+                    return Err(SoupError::worker_lost(
+                        usize::MAX,
+                        format!("control write stalled for {:.1}s", deadline.as_secs_f64()),
+                    ));
+                }
+                soup_obs::counter!("supervisor.frame_retries").inc();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(SoupError::from(e)),
+        }
+    }
+    Ok(())
+}
+
+fn unix_now_s() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// The supervisor itself. Construction spawns every worker; [`run`]
+/// drives them to completion; `Drop` kills and reaps whatever is left.
+///
+/// [`run`]: Supervisor::run
+struct Supervisor<'a> {
+    plan: &'a ShardPlan,
+    launch: &'a WorkerLaunch,
+    plan_path: PathBuf,
+    listener: UnixListener,
+    slots: Vec<Slot>,
+    pending: Vec<PendingConn>,
+    go_barrier: bool,
+    proceed_barrier: bool,
+    restarts: u32,
+}
+
+impl Drop for Supervisor<'_> {
+    fn drop(&mut self) {
+        // Kill-on-drop with reaping: `kill` alone would leave zombies.
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl<'a> Supervisor<'a> {
+    fn new(plan: &'a ShardPlan, launch: &'a WorkerLaunch) -> Result<Self> {
+        let out_dir = plan.out_dir_path();
+        std::fs::create_dir_all(&out_dir).map_err(|e| SoupError::io_at(&out_dir, e))?;
+        let plan_path = plan.save()?;
+        let control = control_socket_path(&out_dir);
+        let _ = std::fs::remove_file(&control);
+        for shard in 0..plan.k {
+            let _ = std::fs::remove_file(crate::halo::halo_socket_path(&out_dir, shard));
+        }
+        let listener = UnixListener::bind(&control).map_err(|e| SoupError::io_at(&control, e))?;
+        listener.set_nonblocking(true).map_err(SoupError::from)?;
+
+        let mut this = Self {
+            plan,
+            launch,
+            plan_path,
+            listener,
+            slots: Vec::with_capacity(plan.k),
+            pending: Vec::new(),
+            go_barrier: false,
+            proceed_barrier: false,
+            restarts: 0,
+        };
+        for shard in 0..plan.k {
+            let child = this.spawn(shard, 0)?;
+            this.slots.push(Slot {
+                shard,
+                epoch: 0,
+                restarts_left: plan.restart_budget,
+                child: Some(child),
+                conn: None,
+                state: SlotState::Spawning,
+                go_sent: false,
+                proceed_sent: false,
+                last_seen: Instant::now(),
+                done_at: None,
+                result: None,
+                lost_reason: None,
+            });
+        }
+        Ok(this)
+    }
+
+    fn spawn(&self, shard: usize, epoch: u32) -> Result<Child> {
+        std::process::Command::new(&self.launch.exe)
+            .args(&self.launch.args)
+            .arg("--plan")
+            .arg(&self.plan_path)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--epoch")
+            .arg(epoch.to_string())
+            .spawn()
+            .map_err(|e| SoupError::io_at(&self.launch.exe, e))
+    }
+
+    fn timeout(&self) -> Duration {
+        self.plan.worker_timeout()
+    }
+
+    /// Kill + reap slot `i`'s worker and either respawn it into the next
+    /// session epoch or, with the budget spent, degrade the run.
+    fn lose_slot(&mut self, i: usize, reason: &str, hang: bool) -> Result<()> {
+        let timeout = self.timeout();
+        let slot = &mut self.slots[i];
+        soup_obs::counter!("supervisor.reaps").inc();
+        if hang {
+            soup_obs::counter!("supervisor.hangs").inc();
+        } else {
+            soup_obs::counter!("supervisor.crashes").inc();
+        }
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait(); // reap: no zombies, ever
+        }
+        slot.conn = None;
+        if slot.restarts_left == 0 {
+            soup_obs::warn!(
+                "shard {}: {reason}; restart budget exhausted — degrading",
+                slot.shard
+            );
+            slot.state = SlotState::Lost;
+            slot.lost_reason = Some(reason.to_string());
+            let degraded = self.slots.iter().filter(|s| !s.live()).count();
+            soup_obs::counter!("supervisor.shards_degraded").inc();
+            soup_obs::gauge!("supervisor.degraded_shards").set(degraded as f64);
+            return Ok(());
+        }
+        slot.restarts_left -= 1;
+        slot.epoch += 1;
+        let (shard, epoch) = (slot.shard, slot.epoch);
+        soup_obs::warn!("shard {shard}: {reason}; respawning (session epoch {epoch})");
+        soup_obs::counter!("supervisor.restarts").inc();
+        self.restarts += 1;
+        if let Some(chaos) = &self.plan.chaos {
+            if chaos.corrupt_at_respawn(shard, epoch) {
+                corrupt_newest_checkpoint(&self.plan.shard_dir(shard));
+            }
+        }
+        let child = self.spawn(shard, epoch)?;
+        let slot = &mut self.slots[i];
+        slot.child = Some(child);
+        slot.state = SlotState::Spawning;
+        slot.go_sent = false;
+        slot.proceed_sent = false;
+        slot.last_seen = Instant::now();
+        let _ = timeout;
+        Ok(())
+    }
+
+    /// Accept any connections waiting on the listener.
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.pending.push(PendingConn {
+                        stream,
+                        buf: FrameBuf::new(),
+                        since: Instant::now(),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drive pending connections to their READY frame and attach them to
+    /// their slot. Anything that identifies badly — stale epoch, unknown
+    /// shard, a non-READY first frame — is dropped and counted, never
+    /// trusted.
+    fn pump_pending(&mut self) {
+        let timeout = self.timeout();
+        let mut keep: Vec<PendingConn> = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            match pump(&mut p.stream, &mut p.buf) {
+                Ok(Pumped::Eof) | Err(_) => continue, // dropped before READY
+                Ok(_) => {}
+            }
+            match p.buf.pop() {
+                Ok(None) => {
+                    if p.since.elapsed() < timeout {
+                        keep.push(p);
+                    }
+                    // else: silently drop a mute connection
+                }
+                Ok(Some((op, payload))) if op == OP_READY => {
+                    match crate::halo::parse_shard_epoch(&payload) {
+                        Ok((shard, epoch, _)) => self.attach(p, shard as usize, epoch),
+                        Err(_) => {
+                            soup_obs::counter!("supervisor.stale_frames").inc();
+                        }
+                    }
+                }
+                Ok(Some(_)) | Err(_) => {
+                    // First frame must be READY; anything else is a stray
+                    // stream from a dead incarnation or a corrupt peer.
+                    soup_obs::counter!("supervisor.stale_frames").inc();
+                }
+            }
+        }
+        self.pending.extend(keep);
+    }
+
+    /// Bind an identified connection to its slot, carrying over any bytes
+    /// (heartbeats) already buffered behind the READY frame.
+    fn attach(&mut self, p: PendingConn, shard: usize, epoch: u32) {
+        let Some(slot) = self.slots.get_mut(shard) else {
+            soup_obs::counter!("supervisor.stale_frames").inc();
+            return;
+        };
+        if epoch != slot.epoch || !slot.live() || slot.state != SlotState::Spawning {
+            // READY from a pre-crash incarnation that was still in the
+            // listener backlog when its successor spawned.
+            soup_obs::counter!("supervisor.stale_frames").inc();
+            return;
+        }
+        slot.state = SlotState::Ready;
+        slot.last_seen = Instant::now();
+        slot.conn = Some(Conn {
+            stream: p.stream,
+            buf: p.buf,
+        });
+    }
+
+    /// Drain frames from every attached connection. Returns the slots
+    /// that must be declared lost (collected first — `lose_slot` needs
+    /// `&mut self`).
+    fn pump_slots(&mut self) -> Vec<(usize, String)> {
+        let deadline = self.timeout();
+        let mut lost: Vec<(usize, String)> = Vec::new();
+        for i in 0..self.slots.len() {
+            let slot = &mut self.slots[i];
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
+            let pumped = match pump(&mut conn.stream, &mut conn.buf) {
+                Ok(p) => p,
+                Err(e) => {
+                    lost.push((i, format!("control read failed: {e}")));
+                    continue;
+                }
+            };
+            let mut closed = matches!(pumped, Pumped::Eof);
+            loop {
+                let frame = match slot.conn.as_mut().unwrap().buf.pop() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break,
+                    Err(e) => {
+                        lost.push((i, format!("control stream corrupt: {e}")));
+                        closed = false; // already being handled as lost
+                        slot.conn = None;
+                        break;
+                    }
+                };
+                let (op, payload) = frame;
+                let (shard, epoch, rest) = match crate::halo::parse_shard_epoch(&payload) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        lost.push((i, format!("unparsable control frame op={op}")));
+                        slot.conn = None;
+                        closed = false;
+                        break;
+                    }
+                };
+                if shard as usize != slot.shard || epoch != slot.epoch {
+                    soup_obs::counter!("supervisor.stale_frames").inc();
+                    continue;
+                }
+                slot.last_seen = Instant::now();
+                match op {
+                    OP_HEARTBEAT => {
+                        soup_obs::registry::gauge(&format!(
+                            "distrib.worker.{}.heartbeat_s",
+                            slot.shard
+                        ))
+                        .set(unix_now_s());
+                    }
+                    OP_FETCHED if slot.state == SlotState::Ready => {
+                        slot.state = SlotState::Fetched;
+                    }
+                    OP_RESULT => match parse_result(rest, slot.shard) {
+                        Ok(result) => {
+                            let conn = slot.conn.as_mut().unwrap();
+                            if let Err(e) =
+                                write_frame_deadline(&mut conn.stream, OP_ACK, &[], deadline)
+                            {
+                                soup_obs::warn!(
+                                    "shard {}: ACK not delivered ({e}); result kept",
+                                    slot.shard
+                                );
+                            }
+                            slot.result = Some(result);
+                            slot.state = SlotState::Done;
+                            slot.done_at = Some(Instant::now());
+                            slot.conn = None;
+                            closed = false;
+                            break;
+                        }
+                        Err(e) => {
+                            lost.push((i, format!("RESULT rejected: {e}")));
+                            slot.conn = None;
+                            closed = false;
+                            break;
+                        }
+                    },
+                    other => {
+                        lost.push((i, format!("unexpected control opcode {other}")));
+                        slot.conn = None;
+                        closed = false;
+                        break;
+                    }
+                }
+            }
+            let slot = &mut self.slots[i];
+            if closed && slot.state != SlotState::Done && slot.live() {
+                lost.push((i, "control connection closed".to_string()));
+                slot.conn = None;
+            }
+        }
+        lost
+    }
+
+    /// `try_wait` every child: exits are either expected (Done) or a
+    /// crash; hung workers are caught by the heartbeat deadline instead.
+    fn check_children(&mut self) -> Vec<(usize, String, bool)> {
+        let timeout = self.timeout();
+        let mut lost = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(child) = slot.child.as_mut() else {
+                continue;
+            };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if slot.state == SlotState::Done {
+                        slot.child = None; // clean exit, reaped
+                    } else if slot.live() {
+                        lost.push((i, format!("worker exited with {status}"), false));
+                    }
+                }
+                Ok(None) => {
+                    let stale = slot.last_seen.elapsed();
+                    if slot.state == SlotState::Done {
+                        // ACKed but lingering: give it one deadline, then
+                        // put it down — the result is already in hand.
+                        if slot.done_at.is_some_and(|t| t.elapsed() > timeout) {
+                            let mut c = slot.child.take().unwrap();
+                            let _ = c.kill();
+                            let _ = c.wait();
+                            soup_obs::counter!("supervisor.reaps").inc();
+                            soup_obs::warn!(
+                                "shard {}: worker lingered after ACK; reaped",
+                                slot.shard
+                            );
+                        }
+                    } else if slot.live() && stale > timeout {
+                        lost.push((
+                            i,
+                            format!(
+                                "heartbeat deadline missed ({:.1}s > {:.1}s)",
+                                stale.as_secs_f64(),
+                                timeout.as_secs_f64()
+                            ),
+                            true,
+                        ));
+                    }
+                }
+                Err(e) => lost.push((i, format!("try_wait failed: {e}"), false)),
+            }
+        }
+        lost
+    }
+
+    /// Barrier logic. First release requires every *live* slot to stand
+    /// at the barrier simultaneously; afterwards the release is sticky so
+    /// respawned workers pass straight through. A slot whose barrier send
+    /// fails is reported lost, not fatal to the run.
+    fn drive_barriers(&mut self) -> Vec<(usize, String)> {
+        let deadline = self.timeout();
+        let mut lost = Vec::new();
+        if !self.go_barrier
+            && self.slots.iter().any(Slot::live)
+            && self
+                .slots
+                .iter()
+                .filter(|s| s.live())
+                .all(|s| s.state != SlotState::Spawning)
+        {
+            self.go_barrier = true;
+        }
+        if self.go_barrier {
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                if slot.state == SlotState::Ready && !slot.go_sent {
+                    if let Some(conn) = slot.conn.as_mut() {
+                        match write_frame_deadline(&mut conn.stream, OP_GO, &[], deadline) {
+                            Ok(()) => slot.go_sent = true,
+                            Err(e) => lost.push((i, format!("GO not delivered: {e}"))),
+                        }
+                    }
+                }
+            }
+        }
+        if !self.proceed_barrier
+            && self.go_barrier
+            && self.slots.iter().any(Slot::live)
+            && self
+                .slots
+                .iter()
+                .filter(|s| s.live())
+                .all(|s| matches!(s.state, SlotState::Fetched | SlotState::Done))
+        {
+            self.proceed_barrier = true;
+        }
+        if self.proceed_barrier {
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                if slot.state == SlotState::Fetched && !slot.proceed_sent {
+                    if let Some(conn) = slot.conn.as_mut() {
+                        match write_frame_deadline(&mut conn.stream, OP_PROCEED, &[], deadline) {
+                            Ok(()) => slot.proceed_sent = true,
+                            Err(e) => lost.push((i, format!("PROCEED not delivered: {e}"))),
+                        }
+                    }
+                }
+            }
+        }
+        lost
+    }
+
+    fn run(&mut self) -> Result<()> {
+        loop {
+            self.accept_new();
+            self.pump_pending();
+            for (i, reason) in self.pump_slots() {
+                if self.slots[i].live() && self.slots[i].state != SlotState::Done {
+                    self.lose_slot(i, &reason, false)?;
+                }
+            }
+            for (i, reason, hang) in self.check_children() {
+                if self.slots[i].live() && self.slots[i].state != SlotState::Done {
+                    self.lose_slot(i, &reason, hang)?;
+                }
+            }
+            for (i, reason) in self.drive_barriers() {
+                if self.slots[i].live() && self.slots[i].state != SlotState::Done {
+                    self.lose_slot(i, &reason, false)?;
+                }
+            }
+            if self
+                .slots
+                .iter()
+                .all(|s| matches!(s.state, SlotState::Done | SlotState::Lost))
+            {
+                break;
+            }
+            std::thread::sleep(TICK);
+        }
+        // Drain: Done workers exit on their own after ACK; anything still
+        // alive past one deadline is killed (and reaped) by check_children
+        // or, ultimately, by Drop.
+        let drain_deadline = Instant::now() + self.timeout();
+        while self.slots.iter().any(|s| s.child.is_some()) && Instant::now() < drain_deadline {
+            let _ = self.check_children();
+            std::thread::sleep(TICK);
+        }
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+                soup_obs::counter!("supervisor.reaps").inc();
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_result(json_bytes: &[u8], want_shard: usize) -> Result<ShardResult> {
+    let json = std::str::from_utf8(json_bytes)
+        .map_err(|_| SoupError::corrupt("shard RESULT payload is not UTF-8"))?;
+    let result: ShardResult = serde_json::from_str(json)
+        .map_err(|e| SoupError::corrupt(format!("shard RESULT decode: {e}")))?;
+    if result.shard != want_shard {
+        return Err(SoupError::corrupt(format!(
+            "shard RESULT for {} arrived on shard {want_shard}'s connection",
+            result.shard
+        )));
+    }
+    Ok(result)
+}
+
+/// Flip bytes in the middle of the newest `ingredient_*.ck` — the
+/// respawn-time journal-corruption chaos. The resumed worker's journal
+/// validation must reject the artifact and retrain it.
+fn corrupt_newest_checkpoint(shard_dir: &std::path::Path) {
+    let Ok(entries) = std::fs::read_dir(shard_dir) else {
+        return;
+    };
+    let mut cks: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ingredient_") && n.ends_with(".ck"))
+        })
+        .collect();
+    cks.sort();
+    let Some(target) = cks.pop() else { return };
+    let Ok(mut bytes) = std::fs::read(&target) else {
+        return;
+    };
+    if bytes.len() < 64 {
+        return;
+    }
+    let mid = bytes.len() / 2;
+    let end = (mid + 16).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xff;
+    }
+    let _ = std::fs::write(&target, &bytes);
+    soup_obs::warn!("chaos: corrupted {} before respawn", target.display());
+}
+
+/// Shape of the durable `out_dir/run.json` provenance record.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct RunProvenance {
+    k: usize,
+    degraded: bool,
+    missing: Vec<usize>,
+    restarts: u32,
+    test_accuracy: f64,
+    surviving_shards: Vec<usize>,
+}
+
+/// Supervised replacement for the PR-9 coordinator: fork one worker per
+/// shard, drive the control protocol with crash/hang detection, bounded
+/// respawn and graceful degradation, and aggregate the surviving shards'
+/// results. See the module docs for the full fault model.
+pub fn run_supervised(plan: &ShardPlan, launch: &WorkerLaunch) -> Result<ShardRunReport> {
+    let _span = soup_obs::span!("distrib.shard_run");
+    let start = Instant::now();
+    soup_obs::gauge!("supervisor.degraded_shards").set(0.0);
+
+    let mut sup = Supervisor::new(plan, launch)?;
+    sup.run()?;
+
+    let mut per_shard: Vec<ShardResult> = Vec::new();
+    let mut missing: Vec<usize> = Vec::new();
+    for slot in &sup.slots {
+        match &slot.result {
+            Some(r) => per_shard.push(r.clone()),
+            None => missing.push(slot.shard),
+        }
+    }
+    per_shard.sort_by_key(|r| r.shard);
+    let restarts = sup.restarts;
+    drop(sup);
+
+    if per_shard.is_empty() {
+        return Err(SoupError::shard_degraded(
+            missing,
+            "every shard exhausted its restart budget".to_string(),
+        ));
+    }
+
+    let correct: u64 = per_shard.iter().map(|r| r.correct).sum();
+    let total: u64 = per_shard.iter().map(|r| r.test_total).sum();
+    let max_worker_peak_rss = per_shard
+        .iter()
+        .map(|r| r.peak_rss_bytes)
+        .max()
+        .unwrap_or(0);
+    let report = ShardRunReport {
+        test_accuracy: correct as f64 / total.max(1) as f64,
+        per_shard,
+        wall_ms: start.elapsed().as_millis() as u64,
+        max_worker_peak_rss,
+        missing,
+        restarts,
+    };
+    soup_obs::gauge!("shard.test_accuracy").set(report.test_accuracy);
+    soup_obs::gauge!("shard.max_worker_peak_rss").set(max_worker_peak_rss as f64);
+
+    // Durable run provenance: a degraded run must say so on disk, not
+    // just on stdout.
+    let provenance = RunProvenance {
+        k: plan.k,
+        degraded: report.is_degraded(),
+        missing: report.missing.clone(),
+        restarts: report.restarts,
+        test_accuracy: report.test_accuracy,
+        surviving_shards: report.per_shard.iter().map(|r| r.shard).collect(),
+    };
+    let run_json = serde_json::to_string_pretty(&provenance)
+        .map_err(|e| SoupError::corrupt(format!("run provenance serialise: {e}")))?;
+    soup_store::write_durable(plan.out_dir_path().join("run.json"), run_json.as_bytes())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halo::write_frame;
+
+    #[test]
+    fn pump_handles_fragmented_frames_over_a_socketpair() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut b = b;
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_READY, &crate::halo::shard_epoch_payload(1, 0)).unwrap();
+        // First half now, second half later.
+        use std::io::Write;
+        a.write_all(&wire[..wire.len() / 2]).unwrap();
+        a.flush().unwrap();
+        let mut buf = FrameBuf::new();
+        assert!(matches!(pump(&mut b, &mut buf).unwrap(), Pumped::Progress));
+        assert!(buf.pop().unwrap().is_none(), "half a frame is no frame");
+        a.write_all(&wire[wire.len() / 2..]).unwrap();
+        a.flush().unwrap();
+        assert!(matches!(pump(&mut b, &mut buf).unwrap(), Pumped::Progress));
+        let (op, payload) = buf.pop().unwrap().unwrap();
+        assert_eq!(op, OP_READY);
+        assert_eq!(
+            crate::halo::parse_shard_epoch(&payload).unwrap(),
+            (1, 0, &[][..])
+        );
+        // Peer hangs up: pump reports EOF.
+        drop(a);
+        assert!(matches!(pump(&mut b, &mut buf).unwrap(), Pumped::Eof));
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_flips_bytes_in_place() {
+        let dir = std::env::temp_dir().join(format!("soup-supcorrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("ingredient_0001.ck");
+        let original = vec![0xabu8; 256];
+        std::fs::write(&ck, &original).unwrap();
+        corrupt_newest_checkpoint(&dir);
+        let mutated = std::fs::read(&ck).unwrap();
+        assert_ne!(mutated, original, "checkpoint should have been mangled");
+        assert_eq!(mutated.len(), original.len());
+        // A directory with no checkpoints is a quiet no-op.
+        let empty = dir.join("sub");
+        std::fs::create_dir_all(&empty).unwrap();
+        corrupt_newest_checkpoint(&empty);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

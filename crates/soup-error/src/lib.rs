@@ -20,6 +20,8 @@
 //! | [`SoupError::Exhausted`] | a task failed more times than its retry budget |
 //! | [`SoupError::Numeric`] | numeric validation (gradcheck disagreement, divergence) |
 //! | [`SoupError::Usage`] | CLI / builder misuse (missing or unparsable options) |
+//! | [`SoupError::WorkerLost`] | a shard-worker OS process crashed or missed its heartbeat deadline |
+//! | [`SoupError::ShardDegraded`] | shard(s) exhausted their restart budget; run carries on without them |
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -63,6 +65,16 @@ pub enum SoupError {
     Numeric(String),
     /// API or CLI misuse: missing required flag, invalid option combination.
     Usage(String),
+    /// A shard-worker OS process was lost: it exited unexpectedly, hung past
+    /// its heartbeat deadline, or its control socket died mid-protocol. The
+    /// supervisor treats this as retryable — the worker can be respawned and
+    /// resume from its shard journal.
+    WorkerLost { shard: usize, message: String },
+    /// One or more shards exhausted their restart budget. Carries the shard
+    /// ordinals that are missing from the run. Not retryable: the supervisor
+    /// only raises it once every respawn avenue is spent (a partially
+    /// degraded run finishes `Ok` with provenance instead).
+    ShardDegraded { shards: Vec<usize>, message: String },
 }
 
 impl SoupError {
@@ -98,6 +110,22 @@ impl SoupError {
         Self::Usage(msg.into())
     }
 
+    /// A [`SoupError::WorkerLost`] for shard `shard`.
+    pub fn worker_lost(shard: usize, message: impl Into<String>) -> Self {
+        Self::WorkerLost {
+            shard,
+            message: message.into(),
+        }
+    }
+
+    /// A [`SoupError::ShardDegraded`] naming the missing shards.
+    pub fn shard_degraded(shards: Vec<usize>, message: impl Into<String>) -> Self {
+        Self::ShardDegraded {
+            shards,
+            message: message.into(),
+        }
+    }
+
     /// Whether retrying the failed operation could plausibly succeed —
     /// the predicate the Phase-1 requeue logic uses. Structural errors
     /// (shape, usage) are deterministic and not worth a retry slot.
@@ -105,13 +133,15 @@ impl SoupError {
         match self {
             SoupError::Io { .. }
             | SoupError::WorkerPanic { .. }
+            | SoupError::WorkerLost { .. }
             | SoupError::Corrupt(_)
             | SoupError::Checkpoint(_) => true,
             SoupError::Parse(_)
             | SoupError::Shape(_)
             | SoupError::Numeric(_)
             | SoupError::Usage(_)
-            | SoupError::Exhausted { .. } => false,
+            | SoupError::Exhausted { .. }
+            | SoupError::ShardDegraded { .. } => false,
         }
     }
 
@@ -127,6 +157,8 @@ impl SoupError {
             SoupError::Exhausted { .. } => "exhausted",
             SoupError::Numeric(_) => "numeric",
             SoupError::Usage(_) => "usage",
+            SoupError::WorkerLost { .. } => "worker_lost",
+            SoupError::ShardDegraded { .. } => "shard_degraded",
         }
     }
 }
@@ -155,6 +187,12 @@ impl fmt::Display for SoupError {
             ),
             SoupError::Numeric(m) => write!(f, "numeric error: {m}"),
             SoupError::Usage(m) => write!(f, "{m}"),
+            SoupError::WorkerLost { shard, message } => {
+                write!(f, "shard {shard} worker lost: {message}")
+            }
+            SoupError::ShardDegraded { shards, message } => {
+                write!(f, "shards {shards:?} degraded: {message}")
+            }
         }
     }
 }
@@ -233,5 +271,24 @@ mod tests {
         assert_eq!(SoupError::parse("x").kind(), "parse");
         assert_eq!(SoupError::checkpoint("x").kind(), "checkpoint");
         assert_eq!(SoupError::numeric("x").kind(), "numeric");
+        assert_eq!(SoupError::worker_lost(1, "x").kind(), "worker_lost");
+        assert_eq!(
+            SoupError::shard_degraded(vec![0], "x").kind(),
+            "shard_degraded"
+        );
+    }
+
+    #[test]
+    fn supervision_kinds_classify_and_display() {
+        // A lost worker is worth a respawn; a degraded run is final.
+        let lost = SoupError::worker_lost(2, "heartbeat deadline (30s) missed");
+        assert!(lost.is_retryable());
+        let s = lost.to_string();
+        assert!(s.contains("shard 2") && s.contains("heartbeat"), "{s}");
+
+        let degraded = SoupError::shard_degraded(vec![0, 3], "restart budget exhausted");
+        assert!(!degraded.is_retryable());
+        let s = degraded.to_string();
+        assert!(s.contains("[0, 3]") && s.contains("budget"), "{s}");
     }
 }

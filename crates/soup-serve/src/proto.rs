@@ -25,6 +25,8 @@
 
 use soup_error::SoupError;
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on frame payload size (1 MiB ≈ 260k node ids per request).
 pub const MAX_FRAME: usize = 1 << 20;
@@ -109,6 +111,96 @@ pub fn read_frame(r: &mut impl Read) -> soup_error::Result<Vec<u8>> {
 
 fn io_err(source: std::io::Error) -> SoupError {
     SoupError::Io { path: None, source }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame with an idle/stall budget, distinguishing the two ways
+/// a client can go quiet:
+///
+/// - **idle** — nothing arrives before the first byte of the length
+///   prefix within `idle`: the connection is just parked between
+///   requests. Returns `Ok(None)` so the server can reap it cleanly.
+/// - **stalled** — a frame *started* but did not complete within one
+///   further `idle` budget: a crashed or malicious (slow-loris) client.
+///   Returns a typed `TimedOut` I/O error; total time a drip-feeding
+///   client can hold a handler is bounded at ~2× `idle`.
+///
+/// EOF surfaces exactly like [`read_frame`]'s (`UnexpectedEof`), so the
+/// caller's hangup handling is unchanged.
+pub fn read_frame_deadline(
+    stream: &mut TcpStream,
+    idle: Duration,
+) -> soup_error::Result<Option<Vec<u8>>> {
+    stream.set_read_timeout(Some(idle)).map_err(io_err)?;
+    let mut len = [0u8; 4];
+    let first = loop {
+        match stream.read(&mut len) {
+            Ok(0) => {
+                return Err(io_err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed",
+                )))
+            }
+            Ok(n) => break n,
+            Err(e) if is_timeout(&e) => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(e)),
+        }
+    };
+    // A frame has begun: everything else must land before one overall
+    // deadline, however many partial reads it takes.
+    let deadline = Instant::now() + idle;
+    read_exact_deadline(stream, &mut len[first..], deadline, "length prefix")?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(SoupError::parse(format!(
+            "frame length {len} exceeds cap {MAX_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_deadline(stream, &mut payload, deadline, "payload")?;
+    Ok(Some(payload))
+}
+
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    mut buf: &mut [u8],
+    deadline: Instant,
+    what: &str,
+) -> soup_error::Result<()> {
+    while !buf.is_empty() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(stall(what));
+        }
+        stream.set_read_timeout(Some(remaining)).map_err(io_err)?;
+        match stream.read(buf) {
+            Ok(0) => {
+                return Err(io_err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => buf = &mut std::mem::take(&mut buf)[n..],
+            Err(e) if is_timeout(&e) => return Err(stall(what)),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(())
+}
+
+fn stall(what: &str) -> SoupError {
+    io_err(std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        format!("client stalled mid-frame ({what})"),
+    ))
 }
 
 /// Encode a request into a frame payload.

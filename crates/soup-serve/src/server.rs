@@ -54,6 +54,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Serve through the quantized forward path instead of f32.
     pub quant: Option<QuantKind>,
+    /// Reap a connection idle this long between requests; a connection
+    /// that *stalls mid-frame* is cut after at most twice this. Also the
+    /// per-connection write timeout.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +69,7 @@ impl Default for ServeConfig {
             queue_depth: 128,
             workers: 4,
             quant: None,
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -328,15 +333,29 @@ fn accept_loop(shared: Arc<ServeShared>, listener: Arc<TcpListener>) {
     }
 }
 
-/// Serve one connection until EOF, a fatal I/O error, or shutdown.
+/// Serve one connection until EOF, idle expiry, a fatal I/O error, or
+/// shutdown. Reads run under [`proto::read_frame_deadline`] so a parked
+/// client is reaped after `idle_timeout` and a mid-frame staller after at
+/// most twice that; writes carry the same timeout, so a client that stops
+/// draining its socket cannot pin a worker thread either.
 fn handle_conn(shared: &Arc<ServeShared>, mut stream: TcpStream) -> soup_error::Result<()> {
-    stream.set_nodelay(true).map_err(|e| SoupError::Io {
+    let io_err = |e: std::io::Error| SoupError::Io {
         path: None,
         source: e,
-    })?;
+    };
+    stream.set_nodelay(true).map_err(io_err)?;
+    stream
+        .set_write_timeout(Some(shared.config.idle_timeout))
+        .map_err(io_err)?;
     loop {
-        let payload = match proto::read_frame(&mut stream) {
-            Ok(p) => p,
+        let payload = match proto::read_frame_deadline(&mut stream, shared.config.idle_timeout) {
+            Ok(Some(p)) => p,
+            // Idle past the deadline between requests: reap quietly.
+            Ok(None) => {
+                soup_obs::counter!("serve.idle_reaped").inc();
+                soup_obs::debug!("reaped idle connection");
+                return Ok(());
+            }
             // EOF between frames is the normal way a client hangs up.
             Err(err) => {
                 return match &err {
@@ -344,6 +363,12 @@ fn handle_conn(shared: &Arc<ServeShared>, mut stream: TcpStream) -> soup_error::
                         if source.kind() == std::io::ErrorKind::UnexpectedEof =>
                     {
                         Ok(())
+                    }
+                    SoupError::Io { source, .. }
+                        if source.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        soup_obs::counter!("serve.stalled").inc();
+                        Err(err)
                     }
                     _ => Err(err),
                 }

@@ -42,8 +42,8 @@
 
 use enhanced_soups::cli::{CommandSpec, FlagDef, Flags};
 use enhanced_soups::distrib::{
-    analyze_sharding, prepare_sharded_dataset, run_shard_worker, run_sharded, ShardPlan,
-    WorkerLaunch,
+    analyze_sharding, parse_kill_list, parse_shard_list, prepare_sharded_dataset, run_shard_worker,
+    run_sharded, ShardPlan, WorkerLaunch,
 };
 use enhanced_soups::gnn::model::PropOps;
 use enhanced_soups::gnn::{checkpoint_name, evaluate_accuracy, load_checkpoint, ParamSet};
@@ -136,6 +136,44 @@ const SHARD: CommandSpec = CommandSpec {
             "no-shm",
             "force the socket halo path (skip the shared-map fast path)",
         ),
+        FlagDef::f64(
+            "worker-timeout",
+            "heartbeat deadline in seconds: a worker silent this long is \
+             declared lost and respawned",
+        )
+        .default("30"),
+        FlagDef::u64(
+            "restart-budget",
+            "respawns per shard before the run degrades without it",
+        )
+        .default("2"),
+        FlagDef::u64("chaos-seed", "seed of the chaos fault schedule").default("0"),
+        FlagDef::str(
+            "chaos-kill",
+            "LIST",
+            "kill shard:phase once (first incarnation), e.g. 0:train,2:spawn",
+        ),
+        FlagDef::str(
+            "chaos-kill-every",
+            "LIST",
+            "kill shard:phase at every incarnation (defeats the restart budget)",
+        ),
+        FlagDef::f64(
+            "chaos-kill-rate",
+            "probability a (shard, phase) is struck by a seeded kill",
+        )
+        .default("0"),
+        FlagDef::f64(
+            "chaos-frame-rate",
+            "probability an epoch-0 control frame is dropped/delayed/truncated",
+        )
+        .default("0"),
+        FlagDef::u64("chaos-frame-delay-ms", "delay used by frame-delay faults").default("5"),
+        FlagDef::str(
+            "chaos-corrupt-journal",
+            "LIST",
+            "shards whose newest checkpoint is corrupted before their first respawn",
+        ),
     ],
 };
 
@@ -148,6 +186,11 @@ const SHARD_WORKER: CommandSpec = CommandSpec {
     flags: &[
         FlagDef::str("plan", "FILE", "plan.json written by the coordinator").required(),
         FlagDef::u64("shard", "this worker's shard index").required(),
+        FlagDef::u64(
+            "epoch",
+            "session epoch (incarnation counter, bumped on respawn)",
+        )
+        .default("0"),
     ],
 };
 
@@ -276,6 +319,11 @@ const SERVE: CommandSpec = CommandSpec {
             "KIND",
             "serve the quantized forward path: int8 | bf16",
         ),
+        FlagDef::u64(
+            "idle-timeout-ms",
+            "reap a connection idle this long (stalled mid-frame: 2x)",
+        )
+        .default("60000"),
     ],
 };
 
@@ -816,6 +864,7 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         queue_depth: flags.req_usize("queue-depth"),
         workers: flags.req_usize("workers"),
         quant,
+        idle_timeout: Duration::from_millis(flags.req_u64("idle-timeout-ms").max(1)),
     };
     if config.max_batch == 0 || config.queue_depth == 0 {
         return Err(SoupError::usage(
@@ -1263,8 +1312,24 @@ fn cmd_shard(flags: &Flags) -> Result<()> {
     let plan_path = out_dir.join("plan.json");
     let resume = flags.switch("resume");
 
+    let worker_timeout_ms = (flags.req_f64("worker-timeout").max(0.1) * 1000.0) as u64;
+    let restart_budget = flags.req_u64("restart-budget") as u32;
+    let chaos = {
+        let plan = enhanced_soups::distrib::ChaosPlan {
+            seed: flags.req_u64("chaos-seed"),
+            kills: parse_kill_list(flags.str("chaos-kill").unwrap_or(""))?,
+            kill_rate: flags.req_f64("chaos-kill-rate"),
+            persistent_kills: parse_kill_list(flags.str("chaos-kill-every").unwrap_or(""))?,
+            frame_rate: flags.req_f64("chaos-frame-rate"),
+            frame_delay_ms: flags.req_u64("chaos-frame-delay-ms"),
+            corrupt_journal: parse_shard_list(flags.str("chaos-corrupt-journal").unwrap_or(""))?,
+        };
+        plan.is_active().then_some(plan)
+    };
+
     // A resumed run must keep its original plan (seeds, ranges, shard
-    // count) — only the resume bit flips. Otherwise partition fresh.
+    // count) — only the resume bit flips, supervision knobs may be
+    // re-tuned, and chaos never carries over into a recovery run.
     let plan = if resume && plan_path.exists() && sharded.exists() {
         let mut plan = ShardPlan::load(&plan_path)?;
         if plan.k != k && flags.provided("k") {
@@ -1274,6 +1339,13 @@ fn cmd_shard(flags: &Flags) -> Result<()> {
             )));
         }
         plan.resume = true;
+        if flags.provided("worker-timeout") {
+            plan.worker_timeout_ms = worker_timeout_ms;
+        }
+        if flags.provided("restart-budget") {
+            plan.restart_budget = restart_budget;
+        }
+        plan.chaos = chaos;
         soup_obs::info!(
             "resuming sharded run in {} (k={})",
             out_dir.display(),
@@ -1311,6 +1383,9 @@ fn cmd_shard(flags: &Flags) -> Result<()> {
             out_dir: out_dir.display().to_string(),
             no_shm: flags.switch("no-shm"),
             resume,
+            worker_timeout_ms,
+            restart_budget,
+            chaos,
         }
     };
     // Catch a bad strategy name here, not as a cryptic worker exit.
@@ -1329,6 +1404,21 @@ fn cmd_shard(flags: &Flags) -> Result<()> {
         plan.strategy
     );
     let report = run_sharded(&plan, &launch)?;
+    if report.is_degraded() {
+        soup_obs::warn!(
+            "run degraded: shards {:?} exhausted their restart budget; \
+             accuracy covers the {} surviving shard(s) only (see {}/run.json)",
+            report.missing,
+            report.per_shard.len(),
+            out_dir.display()
+        );
+    }
+    if report.restarts > 0 {
+        soup_obs::info!(
+            "supervisor recovered {} worker crash(es)/hang(s) via respawn",
+            report.restarts
+        );
+    }
     for r in &report.per_shard {
         soup_obs::info!(
             "  shard {} — val {:.2}% test {:.2}% ({}/{} test nodes), \
@@ -1346,9 +1436,14 @@ fn cmd_shard(flags: &Flags) -> Result<()> {
         );
     }
     println!(
-        "sharded {} (k={}): test {:.2}%  wall {:.3}s  max worker peak rss {}",
+        "sharded {} (k={}{}): test {:.2}%  wall {:.3}s  max worker peak rss {}",
         plan.strategy,
         plan.k,
+        if report.is_degraded() {
+            format!(", DEGRADED — missing shards {:?}", report.missing)
+        } else {
+            String::new()
+        },
         report.test_accuracy * 100.0,
         report.wall_ms as f64 / 1000.0,
         enhanced_soups::obs::report::fmt_bytes(report.max_worker_peak_rss),
@@ -1361,7 +1456,8 @@ fn cmd_shard(flags: &Flags) -> Result<()> {
 /// coordinator owns user-facing reporting.
 fn cmd_shard_worker(flags: &Flags) -> Result<()> {
     let plan = PathBuf::from(flags.req_str("plan"));
-    let result = run_shard_worker(&plan, flags.req_usize("shard"))?;
+    let epoch = flags.req_u64("epoch") as u32;
+    let result = run_shard_worker(&plan, flags.req_usize("shard"), epoch)?;
     soup_obs::info!(
         "shard {} done — val {:.2}% test {:.2}%, {} ingredients",
         result.shard,

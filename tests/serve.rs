@@ -320,3 +320,56 @@ fn shutdown_opcode_stops_the_server() {
     let alive = Client::connect(addr).and_then(|mut c| c.ping()).is_ok();
     assert!(!alive, "server still answering after shutdown");
 }
+
+#[test]
+fn stalled_and_idle_clients_are_reaped_not_pinned() {
+    // One worker thread: if a dead client pinned its handler forever, the
+    // healthy client that follows could never be served.
+    let (server, _dataset, _cfg, _fixture) = start_server(ServeConfig {
+        workers: 1,
+        idle_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let mut buf = [0u8; 8];
+
+    // Slow-loris: declare a 100-byte frame, deliver 3 bytes, go silent.
+    // The server must cut the connection after at most ~2x idle_timeout.
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    std::io::Write::write_all(&mut stalled, &100u32.to_le_bytes()).unwrap();
+    std::io::Write::write_all(&mut stalled, b"abc").unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let t0 = Instant::now();
+    let n = std::io::Read::read(&mut stalled, &mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server answered a stalled half-frame");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "stalled connection held for {:?}",
+        t0.elapsed()
+    );
+
+    // The lone worker is free again: a healthy client gets served.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    drop(client);
+
+    // A connection that never sends anything is reaped as idle, too.
+    let mut idle = std::net::TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let t0 = Instant::now();
+    let n = std::io::Read::read(&mut idle, &mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server answered a connection that sent nothing");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "idle connection held for {:?}",
+        t0.elapsed()
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    drop(client);
+    server.stop();
+}

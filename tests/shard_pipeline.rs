@@ -51,8 +51,18 @@ fn generate_mmap(dir: &Path) -> PathBuf {
     ds
 }
 
-/// One small K=2 sharded run; returns its out-dir.
+/// One small K=2 sharded run; returns its stdout.
 fn shard_run(ds: &Path, out_dir: &Path, extra_env: &[(&str, &str)]) -> String {
+    shard_run_with(ds, out_dir, &[], extra_env)
+}
+
+/// Same run with extra `soupctl shard` flags appended (chaos knobs etc.).
+fn shard_run_with(
+    ds: &Path,
+    out_dir: &Path,
+    extra_args: &[&str],
+    extra_env: &[(&str, &str)],
+) -> String {
     let mut cmd = soupctl();
     cmd.args([
         "shard",
@@ -79,10 +89,18 @@ fn shard_run(ds: &Path, out_dir: &Path, extra_env: &[(&str, &str)]) -> String {
         "--seed",
         "7",
     ]);
+    cmd.args(extra_args);
     for (k, v) in extra_env {
         cmd.env(k, v);
     }
     run_ok(&mut cmd)
+}
+
+/// The durable `run.json` provenance the supervisor writes.
+fn run_provenance(out_dir: &Path) -> serde_json::JsonValue {
+    let path = out_dir.join("run.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    serde_json::from_str(&text).expect("run.json parses")
 }
 
 fn shard_result(out_dir: &Path, shard: usize) -> ShardResult {
@@ -236,6 +254,212 @@ fn shared_map_and_socket_halo_paths_agree_bitwise() {
         let b = checkpoint_bits(&run_uds.join(format!("shard-{shard}")));
         assert_eq!(a, b, "halo transport changed shard {shard}'s training");
         assert_eq!(rs.correct, ru.correct);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The headline recovery guarantee: a worker killed at *any* pipeline
+/// phase is respawned from its journal and the finished run is
+/// bit-identical to a run nothing went wrong in.
+#[test]
+fn chaos_killed_runs_recover_bit_identically_at_every_phase() {
+    let dir = tmpdir("chaos-sweep");
+    let ds = generate_mmap(&dir);
+    let clean = dir.join("clean");
+    shard_run(&ds, &clean, &[]);
+    let clean_bits: Vec<_> = (0..2)
+        .map(|s| checkpoint_bits(&clean.join(format!("shard-{s}"))))
+        .collect();
+    let clean_results = [shard_result(&clean, 0), shard_result(&clean, 1)];
+
+    for phase in ["spawn", "fetch", "train", "soup", "report"] {
+        let run = dir.join(format!("kill-{phase}"));
+        let stdout = shard_run_with(
+            &ds,
+            &run,
+            &[
+                "--chaos-kill",
+                &format!("0:{phase}"),
+                "--worker-timeout",
+                "10",
+            ],
+            &[],
+        );
+        assert!(
+            !stdout.contains("DEGRADED"),
+            "kill at {phase} degraded the run:\n{stdout}"
+        );
+        let prov = run_provenance(&run);
+        assert_eq!(
+            prov.get("degraded"),
+            Some(&serde_json::JsonValue::Bool(false)),
+            "kill at {phase}"
+        );
+        assert!(
+            prov.get("restarts").and_then(|v| v.as_u64()).unwrap() >= 1,
+            "kill at {phase} recorded no respawn"
+        );
+        for shard in 0..2 {
+            let bits = checkpoint_bits(&run.join(format!("shard-{shard}")));
+            assert_eq!(
+                bits, clean_bits[shard],
+                "kill at {phase}: shard {shard} ingredients diverged from the clean run"
+            );
+            let r = shard_result(&run, shard);
+            let c = &clean_results[shard];
+            assert_eq!(r.correct, c.correct, "kill at {phase}, shard {shard}");
+            assert_eq!(
+                r.val_accuracy.to_bits(),
+                c.val_accuracy.to_bits(),
+                "kill at {phase}, shard {shard}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When a shard defeats its restart budget the run must *finish* — souping
+/// over the surviving shards — and say exactly what is missing, both on
+/// stdout and in the durable run.json.
+#[test]
+fn budget_exhaustion_degrades_with_explicit_provenance() {
+    let dir = tmpdir("degraded");
+    let ds = generate_mmap(&dir);
+    let run = dir.join("run");
+    let stdout = shard_run_with(
+        &ds,
+        &run,
+        &[
+            "--chaos-kill-every",
+            "0:spawn",
+            "--restart-budget",
+            "1",
+            "--worker-timeout",
+            "5",
+        ],
+        &[],
+    );
+    assert!(stdout.contains("DEGRADED"), "{stdout}");
+    assert!(
+        stdout.contains("[0]"),
+        "missing shards not named:\n{stdout}"
+    );
+
+    let prov = run_provenance(&run);
+    assert_eq!(
+        prov.get("degraded"),
+        Some(&serde_json::JsonValue::Bool(true))
+    );
+    let missing: Vec<u64> = prov
+        .get("missing")
+        .and_then(|v| v.as_array())
+        .expect("missing array")
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(missing, vec![0]);
+    let surviving: Vec<u64> = prov
+        .get("surviving_shards")
+        .and_then(|v| v.as_array())
+        .expect("surviving array")
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(surviving, vec![1]);
+
+    // The survivor's artifacts are complete and audit clean; the lost
+    // shard reported nothing.
+    let r = shard_result(&run, 1);
+    assert_eq!(r.shard, 1);
+    assert_eq!(r.ingredients, 2);
+    assert!(
+        !run.join("shard-0/result.json").exists(),
+        "a shard that never ran must not report a result"
+    );
+    let audit = run_ok(soupctl().args(["verify", run.join("shard-1").to_str().unwrap()]));
+    assert!(audit.contains("all clean"), "{audit}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Zombie children of `ppid`: `/proc/<pid>/stat` state `Z` entries.
+fn zombie_children_of(ppid: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Fields after the parenthesised comm: state, ppid, ...
+        let Some(idx) = stat.rfind(')') else { continue };
+        let fields: Vec<&str> = stat[idx + 1..].split_whitespace().collect();
+        if fields.len() >= 2 && fields[0] == "Z" && fields[1] == ppid.to_string() {
+            out.push(pid);
+        }
+    }
+    out
+}
+
+/// An aborted run must kill AND reap every worker it forked: killing
+/// without `wait` leaks zombies for the coordinator's lifetime, which in
+/// a long-lived caller (serve, notebooks) exhausts the PID table.
+#[test]
+fn aborted_runs_leave_no_zombie_children() {
+    use enhanced_soups::distrib::{run_sharded, ShardPlan, WorkerLaunch};
+    use std::time::{Duration, Instant};
+
+    let dir = tmpdir("zombies");
+    let plan = ShardPlan {
+        version: 1,
+        dataset: dir.join("unused.gmm").display().to_string(),
+        k: 2,
+        ranges: vec![(0, 5), (5, 10)],
+        seed: 1,
+        rounds: 1,
+        arch: "gcn".into(),
+        hidden: 8,
+        layers: 2,
+        dropout: 0.0,
+        epochs: 1,
+        lr: 0.01,
+        strategy: "us".into(),
+        soup_epochs: 1,
+        pls_k: 2,
+        pls_r: 1,
+        out_dir: dir.display().to_string(),
+        no_shm: false,
+        resume: false,
+        worker_timeout_ms: 400,
+        restart_budget: 0,
+        chaos: None,
+    };
+    // Workers that never speak the control protocol: the supervisor must
+    // declare them hung, kill them, and abort the run as fully degraded.
+    // `exec` so the kill hits the sleep itself — a sh child would survive
+    // as an orphan holding this binary's stdio open.
+    let launch = WorkerLaunch::new("/bin/sh".into(), &["-c", "exec sleep 1000", "sh"]);
+    let err = run_sharded(&plan, &launch).unwrap_err();
+    assert_eq!(err.kind(), "shard_degraded", "{err}");
+
+    // Every killed worker must also have been waited on. Tolerate a
+    // short grace window for unrelated tests' children mid-exit.
+    let me = std::process::id();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let zombies = zombie_children_of(me);
+        if zombies.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "zombie children leaked after an aborted run: {zombies:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
